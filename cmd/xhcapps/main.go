@@ -1,0 +1,64 @@
+// Command xhcapps runs the paper's application models (PiSvM, miniAMR,
+// CNTK) across collective components on a simulated platform — the data
+// behind Figs. 12–14.
+//
+// Examples:
+//
+//	xhcapps -app pisvm -platform ARM-N1
+//	xhcapps -app miniamr -config challenging -platform Epyc-2P
+//	xhcapps -app cntk -comp xhc-tree,tuned,ucc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xhc/internal/apps"
+	"xhc/internal/topo"
+)
+
+func main() {
+	app := flag.String("app", "pisvm", "pisvm | miniamr | cntk")
+	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1")
+	config := flag.String("config", "default", "miniamr: default | challenging")
+	comps := flag.String("comp", "xhc-tree,tuned,ucc,smhc-tree,xbrc", "components to compare")
+	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
+	flag.Parse()
+
+	top := topo.ByName(*platform)
+	if top == nil {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+
+	names := strings.Split(*comps, ",")
+	run := func(name string) (apps.Result, error) {
+		base := apps.Config{Topo: top, NRanks: *nranks, Component: strings.TrimSpace(name)}
+		switch *app {
+		case "pisvm":
+			return apps.PiSvM(apps.DefaultPiSvM(base))
+		case "miniamr":
+			cfg := apps.DefaultMiniAMR(base)
+			if *config == "challenging" {
+				cfg = apps.ChallengingMiniAMR(base)
+			}
+			return apps.MiniAMR(cfg)
+		case "cntk":
+			return apps.CNTK(apps.DefaultCNTK(base))
+		}
+		return apps.Result{}, fmt.Errorf("unknown app %q", *app)
+	}
+
+	report, _, err := apps.CompareComponents(run, names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	np := *nranks
+	if np == 0 {
+		np = top.NCores
+	}
+	fmt.Printf("# %s on %s (%d ranks)\n%s", *app, top.Name, np, report)
+}

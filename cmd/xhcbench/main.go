@@ -1,0 +1,105 @@
+// Command xhcbench runs OSU-style collective microbenchmarks on the
+// simulated platforms.
+//
+// Examples:
+//
+//	xhcbench -platform Epyc-2P -coll bcast -comp xhc-tree
+//	xhcbench -platform ARM-N1 -coll allreduce -comp tuned,ucc,xhc-tree -sizes 4,1024,1048576
+//	xhcbench -platform Epyc-2P -coll bcast -comp xhc-tree -policy map-numa -root 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xhc/internal/coll"
+	"xhc/internal/osu"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+func main() {
+	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1")
+	collective := flag.String("coll", "bcast", "bcast | allreduce")
+	comps := flag.String("comp", "xhc-tree", "comma-separated component list (see -listcomp)")
+	sizesArg := flag.String("sizes", "", "comma-separated byte sizes (default: 4B..4MB sweep)")
+	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
+	policy := flag.String("policy", "map-core", "map-core | map-numa")
+	root := flag.Int("root", 0, "broadcast root")
+	warmup := flag.Int("warmup", 4, "warmup iterations")
+	iterations := flag.Int("iters", 10, "measured iterations")
+	stock := flag.Bool("stock", false, "stock OSU behaviour (no buffer dirtying)")
+	listComp := flag.Bool("listcomp", false, "list components and exit")
+	flag.Parse()
+
+	if *listComp {
+		fmt.Println(strings.Join(coll.Names(), "\n"))
+		return
+	}
+
+	top := topo.ByName(*platform)
+	if top == nil {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	sizes := osu.DefaultSizes()
+	if *sizesArg != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	names := strings.Split(*comps, ",")
+	all := map[string]map[int]float64{}
+	for _, name := range names {
+		b := osu.Bench{
+			Topo: top, NRanks: *nranks, Component: strings.TrimSpace(name),
+			Policy: topo.MapPolicy(*policy), Root: *root,
+			Warmup: *warmup, Iters: *iterations, Dirty: !*stock,
+		}
+		var rs []osu.Result
+		var err error
+		switch *collective {
+		case "bcast":
+			rs, err = b.Bcast(sizes)
+		case "allreduce":
+			rs, err = b.Allreduce(sizes)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown collective %q\n", *collective)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		all[name] = map[int]float64{}
+		for _, r := range rs {
+			all[name][r.Size] = r.AvgLat
+		}
+	}
+
+	np := *nranks
+	if np == 0 {
+		np = top.NCores
+	}
+	fmt.Printf("# %s on %s, %d ranks, %s, root %d (latency us, mean of %d iters)\n",
+		*collective, top.Name, np, *policy, *root, *iterations)
+	t := &stats.Table{Header: append([]string{"size"}, names...)}
+	for _, n := range sizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, name := range names {
+			row = append(row, fmt.Sprintf("%.2f", all[name][n]))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.String())
+}

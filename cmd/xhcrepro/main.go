@@ -1,0 +1,75 @@
+// Command xhcrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	xhcrepro [-quick] [-exp id] [-list] [-o file]
+//
+// Without -exp it runs every experiment in paper order and prints (or
+// writes) a combined report, the data behind EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xhc/internal/exper"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "trimmed sweeps (seconds instead of minutes)")
+	expID := flag.String("exp", "", "run a single experiment (e.g. fig8); empty = all")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := exper.Options{Quick: *quick}
+	var doc string
+	if *expID != "" {
+		e, ok := exper.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have: %s\n",
+				*expID, strings.Join(exper.IDs(), " "))
+			os.Exit(2)
+		}
+		r, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "## %s — %s\n\n%s\n", r.ID, r.Title, r.Text)
+		if len(r.Metrics) > 0 {
+			b.WriteString("Headline metrics:\n")
+			for k, v := range r.Metrics {
+				fmt.Fprintf(&b, "  %-46s %8.3f\n", k, v)
+			}
+		}
+		doc = b.String()
+	} else {
+		var err error
+		doc, _, err = exper.RenderAll(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+	fmt.Print(doc)
+}

@@ -1,0 +1,74 @@
+// Command xhctopo prints platform topologies, XHC hierarchies (the
+// paper's Fig. 2), and the Table II message-distance accounting.
+//
+// Examples:
+//
+//	xhctopo -platform Epyc-2P
+//	xhctopo -platform ARM-N1 -sens numa+socket -root 10
+//	xhctopo -fig2
+//	xhctopo -tab2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xhc/internal/exper"
+	"xhc/internal/hier"
+	"xhc/internal/topo"
+)
+
+func main() {
+	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1 | fig2")
+	sens := flag.String("sens", "numa+socket", "hierarchy sensitivity (flat, numa, numa+socket, llc+numa+socket)")
+	root := flag.Int("root", 0, "hierarchy root rank")
+	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
+	policy := flag.String("policy", "map-core", "map-core | map-numa")
+	fig2 := flag.Bool("fig2", false, "print the paper's Fig. 2 demo hierarchy")
+	tab2 := flag.Bool("tab2", false, "print the Table II message-distance counts")
+	flag.Parse()
+
+	if *tab2 {
+		e, _ := exper.ByID("tab2")
+		r, err := e.Run(exper.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n%s", r.Title, r.Text)
+		return
+	}
+	if *fig2 {
+		*platform = "fig2"
+	}
+
+	top := topo.ByName(*platform)
+	if top == nil {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	fmt.Print(top.Render())
+
+	n := *nranks
+	if n == 0 {
+		n = top.NCores
+	}
+	s, err := hier.ParseSensitivity(*sens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := top.Map(topo.MapPolicy(*policy), n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h, err := hier.Build(top, m, s, *root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println()
+	fmt.Print(h.Render())
+}

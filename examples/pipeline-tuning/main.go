@@ -1,0 +1,61 @@
+// Pipeline tuning: the paper makes XHC's per-level chunk size run-time
+// configurable (Section III-B). This example sweeps the chunk size for a
+// 1 MiB broadcast on the simulated Epyc-2P node and shows the tradeoff:
+// tiny chunks pay synchronization per chunk, huge chunks lose the overlap
+// between hierarchy levels.
+//
+// Run with: go run ./examples/pipeline-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xhc"
+)
+
+func main() {
+	top := xhc.Epyc2P()
+	const msg = 1 << 20
+	fmt.Printf("1 MiB hierarchical broadcast on %s, chunk-size sweep:\n\n", top.Name)
+	fmt.Printf("%10s %12s\n", "chunk", "latency(us)")
+
+	best, bestLat := 0, 0.0
+	for chunk := 4 << 10; chunk <= 1<<20; chunk *= 4 {
+		chunk := chunk
+		b := xhc.MicroBench{
+			Topo:   top,
+			Warmup: 2, Iters: 5, Dirty: true,
+			Custom: func(w *xhc.World) (xhc.Component, error) {
+				cfg := xhc.DefaultConfig()
+				cfg.ChunkBytes = []int{chunk}
+				return xhc.NewXHC(w, cfg)
+			},
+		}
+		rs, err := b.Bcast([]int{msg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9dK %12.2f\n", chunk>>10, rs[0].AvgLat)
+		if best == 0 || rs[0].AvgLat < bestLat {
+			best, bestLat = chunk, rs[0].AvgLat
+		}
+	}
+	fmt.Printf("\nbest chunk size: %dK (%.2f us)\n", best>>10, bestLat)
+
+	// Per-level tuning: a larger chunk on the cross-socket level.
+	b := xhc.MicroBench{
+		Topo:   top,
+		Warmup: 2, Iters: 5, Dirty: true,
+		Custom: func(w *xhc.World) (xhc.Component, error) {
+			cfg := xhc.DefaultConfig()
+			cfg.ChunkBytes = []int{32 << 10, 64 << 10, 128 << 10} // leaf..top
+			return xhc.NewXHC(w, cfg)
+		},
+	}
+	rs, err := b.Bcast([]int{msg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-level chunks 32K/64K/128K: %.2f us\n", rs[0].AvgLat)
+}

@@ -1,0 +1,3 @@
+module xhc
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package apps models the three MPI applications of the paper's
+// evaluation (Section V-D3) at the level that matters for its experiments:
+// the mix, sizes and frequency of collective calls, interleaved with
+// compute phases of realistic magnitude and slight per-rank imbalance.
+//
+//   - PiSvM: parallel SVM training whose MPI time is dominated by
+//     MPI_Bcast of working-set data (Fig. 12).
+//   - miniAMR: adaptive mesh refinement; the recurring refine step issues
+//     bursts of small MPI_Allreduce calls (Fig. 13, two configurations).
+//   - CNTK: distributed SGD (AlexNet); per-minibatch gradient
+//     MPI_Allreduce over large float buffers (Fig. 14). Buffer sizes are
+//     scaled down from AlexNet's 244 MB of gradients to keep host memory
+//     bounded; the compute:communication ratio is preserved.
+package apps
+
+import (
+	"fmt"
+
+	"xhc/internal/coll"
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+// Config places an application run.
+type Config struct {
+	Topo      *topo.Topology
+	NRanks    int // 0: all cores
+	Component string
+	Custom    coll.Builder
+	Params    *mem.Params
+}
+
+// Result summarizes one application run.
+type Result struct {
+	Component string
+	// Total is the wall time of the slowest rank.
+	Total sim.Duration
+	// Coll is the mean per-rank time spent inside collectives (what an
+	// MPI profiler would report).
+	Coll sim.Duration
+	// Ops counts collective calls per rank.
+	Ops int
+}
+
+// String renders a report line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s total=%-12s coll=%-12s ops=%d",
+		r.Component, sim.FmtTime(r.Total), sim.FmtTime(r.Coll), r.Ops)
+}
+
+func (c Config) defaults() Config {
+	if c.NRanks == 0 {
+		c.NRanks = c.Topo.NCores
+	}
+	return c
+}
+
+// jitter derives a deterministic pseudo-random compute imbalance in
+// [0, spread) for a (rank, step) pair.
+func jitter(rank, step int, spread sim.Duration) sim.Duration {
+	if spread <= 0 {
+		return 0
+	}
+	h := uint64(rank)*2654435761 + uint64(step)*40503 + 12345
+	h ^= h >> 13
+	h *= 1099511628211
+	h ^= h >> 29
+	return sim.Duration(h % uint64(spread))
+}
+
+// runner owns the common world/component/measurement plumbing.
+type runner struct {
+	cfg  Config
+	w    *env.World
+	comp coll.Component
+
+	collTime []sim.Duration
+	total    []sim.Duration
+	ops      []int
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	cfg = cfg.defaults()
+	m, err := cfg.Topo.Map(topo.MapCore, cfg.NRanks)
+	if err != nil {
+		return nil, err
+	}
+	var w *env.World
+	if cfg.Params != nil {
+		w = env.NewWorldParams(cfg.Topo, m, *cfg.Params)
+	} else {
+		w = env.NewWorld(cfg.Topo, m)
+	}
+	builder := cfg.Custom
+	var comp coll.Component
+	if builder != nil {
+		comp, err = builder(w)
+	} else {
+		comp, err = coll.New(cfg.Component, w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &runner{
+		cfg:      cfg,
+		w:        w,
+		comp:     comp,
+		collTime: make([]sim.Duration, cfg.NRanks),
+		total:    make([]sim.Duration, cfg.NRanks),
+		ops:      make([]int, cfg.NRanks),
+	}, nil
+}
+
+// timeColl wraps one collective call with per-rank accounting.
+func (r *runner) timeColl(p *env.Proc, f func()) {
+	t0 := p.Now()
+	f()
+	r.collTime[p.Rank] += p.Now() - t0
+	r.ops[p.Rank]++
+}
+
+func (r *runner) result() Result {
+	var worst sim.Duration
+	var collSum float64
+	for i := range r.total {
+		if r.total[i] > worst {
+			worst = r.total[i]
+		}
+		collSum += float64(r.collTime[i])
+	}
+	return Result{
+		Component: r.cfg.Component,
+		Total:     worst,
+		Coll:      sim.Duration(collSum / float64(len(r.collTime))),
+		Ops:       r.ops[0],
+	}
+}
+
+// PiSvMConfig describes the SVM training model: iterations of gradient
+// selection compute followed by broadcasts of the updated working set
+// (index vector + alpha values), matching PiSvM's profile where almost all
+// MPI time is inside MPI_Bcast.
+type PiSvMConfig struct {
+	Config
+	Iterations int
+	// WorkingSetBytes is the per-iteration broadcast payload (kernel rows
+	// of the mnist-like dataset).
+	WorkingSetBytes int
+	// AlphaBytes is the small second broadcast.
+	AlphaBytes int
+	// ComputeNS is the per-iteration local compute, with up to 25%
+	// deterministic per-rank jitter.
+	ComputeNS sim.Duration
+}
+
+// DefaultPiSvM returns the mnist_train-like configuration.
+func DefaultPiSvM(base Config) PiSvMConfig {
+	return PiSvMConfig{
+		Config:          base,
+		Iterations:      120,
+		WorkingSetBytes: 48 << 10,
+		AlphaBytes:      2 << 10,
+		ComputeNS:       35 * sim.Microsecond,
+	}
+}
+
+// PiSvM runs the SVM model and reports timings.
+func PiSvM(cfg PiSvMConfig) (Result, error) {
+	r, err := newRunner(cfg.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	n := cfg.WorkingSetBytes
+	ws := make([]*mem.Buffer, r.cfg.NRanks)
+	al := make([]*mem.Buffer, r.cfg.NRanks)
+	for i := range ws {
+		ws[i] = r.w.NewBufferAt("pisvm.ws", i, n)
+		al[i] = r.w.NewBufferAt("pisvm.al", i, cfg.AlphaBytes)
+	}
+	err = r.w.Run(func(p *env.Proc) {
+		start := p.Now()
+		for it := 0; it < cfg.Iterations; it++ {
+			p.Compute(cfg.ComputeNS + jitter(p.Rank, it, cfg.ComputeNS/4))
+			if p.Rank == 0 {
+				p.Dirty(ws[0])
+				p.Dirty(al[0])
+			}
+			r.timeColl(p, func() { r.comp.Bcast(p, ws[p.Rank], 0, n, 0) })
+			r.timeColl(p, func() { r.comp.Bcast(p, al[p.Rank], 0, cfg.AlphaBytes, 0) })
+		}
+		r.total[p.Rank] = p.Now() - start
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return r.result(), nil
+}
+
+// MiniAMRConfig describes the AMR model: timesteps of stencil compute;
+// every RefineEvery steps a refine phase issues a burst of small
+// allreduce calls (load-balance decisions, grid consistency checks).
+type MiniAMRConfig struct {
+	Config
+	Steps       int
+	RefineEvery int
+	// CallsPerRefine small allreduce calls of AllreduceBytes each.
+	CallsPerRefine int
+	AllreduceBytes int
+	ComputeNS      sim.Duration
+}
+
+// DefaultMiniAMR is the paper's Fig. 13a configuration: the "expanding
+// sphere" example, default parameters, 400 timesteps; allreduce payloads
+// average a couple tens of bytes per call.
+func DefaultMiniAMR(base Config) MiniAMRConfig {
+	return MiniAMRConfig{
+		Config:         base,
+		Steps:          400,
+		RefineEvery:    4,
+		CallsPerRefine: 6,
+		AllreduceBytes: 24,
+		ComputeNS:      18 * sim.Microsecond,
+	}
+}
+
+// ChallengingMiniAMR is the Fig. 13b configuration: 1K refinement levels,
+// refine frequency of one timestep, 1000 steps, ~1 KB allreduce payloads.
+func ChallengingMiniAMR(base Config) MiniAMRConfig {
+	return MiniAMRConfig{
+		Config:         base,
+		Steps:          1000,
+		RefineEvery:    1,
+		CallsPerRefine: 4,
+		AllreduceBytes: 1 << 10,
+		ComputeNS:      10 * sim.Microsecond,
+	}
+}
+
+// MiniAMR runs the AMR model.
+func MiniAMR(cfg MiniAMRConfig) (Result, error) {
+	r, err := newRunner(cfg.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	n := cfg.AllreduceBytes
+	if n%8 != 0 {
+		n += 8 - n%8
+	}
+	sb := make([]*mem.Buffer, r.cfg.NRanks)
+	rb := make([]*mem.Buffer, r.cfg.NRanks)
+	for i := range sb {
+		sb[i] = r.w.NewBufferAt("amr.s", i, n)
+		rb[i] = r.w.NewBufferAt("amr.r", i, n)
+	}
+	err = r.w.Run(func(p *env.Proc) {
+		start := p.Now()
+		for ts := 0; ts < cfg.Steps; ts++ {
+			p.Compute(cfg.ComputeNS + jitter(p.Rank, ts, cfg.ComputeNS/5))
+			if ts%cfg.RefineEvery == 0 {
+				for k := 0; k < cfg.CallsPerRefine; k++ {
+					p.Dirty(sb[p.Rank])
+					r.timeColl(p, func() {
+						r.comp.Allreduce(p, sb[p.Rank], rb[p.Rank], n, mpi.Int64, mpi.Max)
+					})
+				}
+			}
+		}
+		r.total[p.Rank] = p.Now() - start
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return r.result(), nil
+}
+
+// CNTKConfig describes the SGD model: minibatches of forward/backward
+// compute followed by per-layer gradient allreduce. (The paper replaces
+// CNTK's Iallreduce with blocking Allreduce after confirming parity.)
+type CNTKConfig struct {
+	Config
+	Minibatches int
+	// LayerBytes are the gradient buffer sizes reduced per minibatch
+	// (AlexNet-shaped, scaled — see the package comment).
+	LayerBytes []int
+	ComputeNS  sim.Duration
+}
+
+// DefaultCNTK returns the AlexNet/ILSVRC12-like configuration.
+func DefaultCNTK(base Config) CNTKConfig {
+	return CNTKConfig{
+		Config:      base,
+		Minibatches: 10,
+		LayerBytes:  []int{64 << 10, 256 << 10, 1 << 20},
+		ComputeNS:   1500 * sim.Microsecond,
+	}
+}
+
+// CNTK runs the SGD model.
+func CNTK(cfg CNTKConfig) (Result, error) {
+	r, err := newRunner(cfg.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	maxN := 0
+	for _, n := range cfg.LayerBytes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	sb := make([]*mem.Buffer, r.cfg.NRanks)
+	rb := make([]*mem.Buffer, r.cfg.NRanks)
+	for i := range sb {
+		sb[i] = r.w.NewBufferAt("cntk.g", i, maxN)
+		rb[i] = r.w.NewBufferAt("cntk.o", i, maxN)
+	}
+	err = r.w.Run(func(p *env.Proc) {
+		start := p.Now()
+		for mb := 0; mb < cfg.Minibatches; mb++ {
+			p.Compute(cfg.ComputeNS + jitter(p.Rank, mb, cfg.ComputeNS/10))
+			for _, n := range cfg.LayerBytes {
+				p.Dirty(sb[p.Rank])
+				r.timeColl(p, func() {
+					r.comp.Allreduce(p, sb[p.Rank], rb[p.Rank], n, mpi.Float32, mpi.Sum)
+				})
+			}
+		}
+		r.total[p.Rank] = p.Now() - start
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return r.result(), nil
+}
+
+// CompareComponents runs one app constructor across a component list and
+// renders a Fig. 12/13/14-style report.
+func CompareComponents(run func(component string) (Result, error), comps []string) (string, []Result, error) {
+	t := &stats.Table{Header: []string{"Component", "Total(ms)", "Coll(ms)", "Coll%"}}
+	var out []Result
+	for _, name := range comps {
+		res, err := run(name)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, res)
+		totalMS := float64(res.Total) / float64(sim.Millisecond)
+		collMS := float64(res.Coll) / float64(sim.Millisecond)
+		pct := 0.0
+		if res.Total > 0 {
+			pct = 100 * collMS / totalMS
+		}
+		t.Add(name, fmt.Sprintf("%.2f", totalMS), fmt.Sprintf("%.2f", collMS), fmt.Sprintf("%.1f", pct))
+	}
+	return t.String(), out, nil
+}

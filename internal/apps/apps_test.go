@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+func quickBase(nranks int) Config {
+	return Config{Topo: topo.Epyc1P(), NRanks: nranks, Component: "xhc-tree"}
+}
+
+func TestPiSvMRuns(t *testing.T) {
+	cfg := DefaultPiSvM(quickBase(16))
+	cfg.Iterations = 5
+	res, err := PiSvM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 || res.Coll <= 0 || res.Coll > res.Total {
+		t.Errorf("implausible result %+v", res)
+	}
+	if res.Ops != 2*cfg.Iterations {
+		t.Errorf("ops = %d, want %d", res.Ops, 2*cfg.Iterations)
+	}
+}
+
+func TestMiniAMRBothConfigs(t *testing.T) {
+	a := DefaultMiniAMR(quickBase(16))
+	a.Steps = 20
+	ra, err := MiniAMR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ChallengingMiniAMR(quickBase(16))
+	b.Steps = 20
+	rb, err := MiniAMR(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Total <= 0 || rb.Total <= 0 {
+		t.Error("zero totals")
+	}
+	// The challenging config does far more collective work per step.
+	if rb.Ops <= ra.Ops/2 {
+		t.Errorf("challenging ops %d vs default %d", rb.Ops, ra.Ops)
+	}
+}
+
+func TestCNTKRuns(t *testing.T) {
+	cfg := DefaultCNTK(quickBase(16))
+	cfg.Minibatches = 2
+	res, err := CNTK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != cfg.Minibatches*len(cfg.LayerBytes) {
+		t.Errorf("ops = %d", res.Ops)
+	}
+}
+
+func TestAppsAcrossComponents(t *testing.T) {
+	// Every registered component must run the app models correctly.
+	comps := []string{"xhc-tree", "xhc-flat", "tuned", "ucc", "xbrc", "smhc-tree", "sm"}
+	report, results, err := CompareComponents(func(name string) (Result, error) {
+		cfg := DefaultMiniAMR(quickBase(16))
+		cfg.Component = name
+		cfg.Steps = 8
+		return MiniAMR(cfg)
+	}, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(comps) {
+		t.Fatalf("results = %d", len(results))
+	}
+	if !strings.Contains(report, "xhc-tree") || !strings.Contains(report, "Coll%") {
+		t.Errorf("report:\n%s", report)
+	}
+}
+
+func TestComputeDominatedTotalOrdering(t *testing.T) {
+	// With heavy compute and few collectives, total time is similar across
+	// components; collective time still differs.
+	cfg := DefaultCNTK(quickBase(16))
+	cfg.Minibatches = 2
+	rx, err := CNTK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Component = "sm"
+	rs, err := CNTK(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Coll <= rx.Coll {
+		t.Errorf("sm coll (%v) should exceed xhc-tree coll (%v)", rs.Coll, rx.Coll)
+	}
+}
+
+func TestJitterDeterministicBounded(t *testing.T) {
+	for r := 0; r < 10; r++ {
+		for s := 0; s < 10; s++ {
+			j1 := jitter(r, s, 1000)
+			j2 := jitter(r, s, 1000)
+			if j1 != j2 {
+				t.Fatal("jitter not deterministic")
+			}
+			if j1 < 0 || j1 >= 1000 {
+				t.Fatalf("jitter out of range: %d", j1)
+			}
+		}
+	}
+	if jitter(1, 1, 0) != 0 {
+		t.Error("zero spread should give zero jitter")
+	}
+}
+
+func TestBadComponentErrors(t *testing.T) {
+	cfg := DefaultPiSvM(quickBase(8))
+	cfg.Component = "nope"
+	if _, err := PiSvM(cfg); err == nil {
+		t.Error("unknown component accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package baselines
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/topo"
+)
+
+// components under test, constructed fresh per world.
+func components(w *env.World) map[string]Component {
+	smhcFlat := DefaultSMHCConfig()
+	smhcFlat.Tree = false
+	return map[string]Component{
+		"tuned":     NewTuned(w, DefaultTunedConfig()),
+		"ucc":       NewUCC(w, DefaultUCCConfig()),
+		"sm":        NewSM(w, DefaultSMConfig()),
+		"smhc-flat": MustNewSMHC(w, smhcFlat),
+		"smhc-tree": MustNewSMHC(w, DefaultSMHCConfig()),
+		"xbrc":      NewXBRC(w, DefaultXBRCConfig()),
+	}
+}
+
+func newWorld(t *testing.T, top *topo.Topology, nranks int) *env.World {
+	t.Helper()
+	return env.NewWorld(top, top.MustMap(topo.MapCore, nranks))
+}
+
+func checkBcast(t *testing.T, top *topo.Topology, nranks, n, root int, name string, build func(w *env.World) Component) {
+	t.Helper()
+	w := newWorld(t, top, nranks)
+	c := build(w)
+	bufs := make([]*mem.Buffer, nranks)
+	for r := range bufs {
+		bufs[r] = w.NewBufferAt(fmt.Sprintf("b%d", r), r, n)
+	}
+	for i := range bufs[root].Data {
+		bufs[root].Data[i] = byte(i*11 + 3)
+	}
+	if err := w.Run(func(p *env.Proc) {
+		c.Bcast(p, bufs[p.Rank], 0, n, root)
+	}); err != nil {
+		t.Fatalf("%s n=%d root=%d: %v", name, n, root, err)
+	}
+	for r := range bufs {
+		if !bytes.Equal(bufs[r].Data, bufs[root].Data) {
+			t.Fatalf("%s n=%d root=%d: rank %d wrong data", name, n, root, r)
+		}
+	}
+}
+
+func TestBcastCorrectnessAllComponents(t *testing.T) {
+	top := topo.Epyc2P()
+	builders := map[string]func(w *env.World) Component{
+		"tuned": func(w *env.World) Component { return NewTuned(w, DefaultTunedConfig()) },
+		"ucc":   func(w *env.World) Component { return NewUCC(w, DefaultUCCConfig()) },
+		"sm":    func(w *env.World) Component { return NewSM(w, DefaultSMConfig()) },
+		"smhc-flat": func(w *env.World) Component {
+			cfg := DefaultSMHCConfig()
+			cfg.Tree = false
+			return MustNewSMHC(w, cfg)
+		},
+		"smhc-tree": func(w *env.World) Component { return MustNewSMHC(w, DefaultSMHCConfig()) },
+		"xbrc":      func(w *env.World) Component { return NewXBRC(w, DefaultXBRCConfig()) },
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{4, 1024, 64 << 10, 1 << 20} {
+				checkBcast(t, top, 64, n, 0, name, build)
+			}
+			checkBcast(t, top, 64, 8<<10, 10, name, build)
+			// Odd rank counts.
+			checkBcast(t, top, 33, 4<<10, 0, name, build)
+		})
+	}
+}
+
+func checkAllreduce(t *testing.T, top *topo.Topology, nranks, elems int, name string, c Component, w *env.World) {
+	t.Helper()
+	n := elems * 8
+	sbufs := make([]*mem.Buffer, nranks)
+	rbufs := make([]*mem.Buffer, nranks)
+	want := make([]int64, elems)
+	for r := 0; r < nranks; r++ {
+		sbufs[r] = w.NewBufferAt(fmt.Sprintf("s%d", r), r, n)
+		rbufs[r] = w.NewBufferAt(fmt.Sprintf("r%d", r), r, n)
+		vals := make([]int64, elems)
+		for i := range vals {
+			vals[i] = int64(r*17 + i)
+			want[i] += vals[i]
+		}
+		mpi.EncodeInt64s(sbufs[r].Data, vals)
+	}
+	if err := w.Run(func(p *env.Proc) {
+		c.Allreduce(p, sbufs[p.Rank], rbufs[p.Rank], n, mpi.Int64, mpi.Sum)
+	}); err != nil {
+		t.Fatalf("%s elems=%d: %v", name, elems, err)
+	}
+	for r := 0; r < nranks; r++ {
+		got := make([]int64, elems)
+		mpi.DecodeInt64s(rbufs[r].Data, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s elems=%d rank=%d elem=%d: got %d want %d", name, elems, r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllreduceCorrectnessAllComponents(t *testing.T) {
+	top := topo.Epyc2P()
+	names := []string{"tuned", "ucc", "sm", "smhc-flat", "smhc-tree", "xbrc"}
+	for _, elems := range []int{1, 64, 2048, 65536} {
+		for _, name := range names {
+			// Fresh world per (component, size) to isolate state.
+			w := newWorld(t, top, 64)
+			c := componentsByName(w, name)
+			checkAllreduce(t, top, 64, elems, name, c, w)
+		}
+	}
+}
+
+func componentsByName(w *env.World, name string) Component {
+	return components(w)[name]
+}
+
+func TestAllreduceOddRanks(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, nranks := range []int{3, 7, 31} {
+		for _, name := range []string{"tuned", "ucc", "xbrc", "sm", "smhc-tree"} {
+			w := newWorld(t, top, nranks)
+			c := componentsByName(w, name)
+			checkAllreduce(t, top, nranks, 300, name, c, w)
+		}
+	}
+}
+
+func TestRepeatedMixedOps(t *testing.T) {
+	top := topo.Epyc1P()
+	const nranks = 32
+	for _, name := range []string{"tuned", "ucc", "sm", "smhc-tree", "xbrc"} {
+		w := newWorld(t, top, nranks)
+		c := componentsByName(w, name)
+		n := 4096
+		bufs := make([]*mem.Buffer, nranks)
+		sb := make([]*mem.Buffer, nranks)
+		rb := make([]*mem.Buffer, nranks)
+		for r := 0; r < nranks; r++ {
+			bufs[r] = w.NewBufferAt("b", r, n)
+			sb[r] = w.NewBufferAt("s", r, n)
+			rb[r] = w.NewBufferAt("r", r, n)
+			vals := make([]int64, n/8)
+			for i := range vals {
+				vals[i] = int64(r + i)
+			}
+			mpi.EncodeInt64s(sb[r].Data, vals)
+		}
+		for i := range bufs[0].Data {
+			bufs[0].Data[i] = byte(i)
+		}
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < 3; it++ {
+				c.Bcast(p, bufs[p.Rank], 0, n, 0)
+				c.Allreduce(p, sb[p.Rank], rb[p.Rank], n, mpi.Int64, mpi.Sum)
+			}
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := make([]int64, 1)
+		mpi.DecodeInt64s(rb[nranks-1].Data, got)
+		want := int64(nranks * (nranks - 1) / 2)
+		if got[0] != want {
+			t.Errorf("%s: allreduce elem0 = %d, want %d", name, got[0], want)
+		}
+	}
+}
+
+func TestXBRCReduce(t *testing.T) {
+	top := topo.Epyc1P()
+	const nranks = 32
+	const elems = 512
+	n := elems * 8
+	w := newWorld(t, top, nranks)
+	x := NewXBRC(w, DefaultXBRCConfig())
+	sbufs := make([]*mem.Buffer, nranks)
+	rbufs := make([]*mem.Buffer, nranks)
+	want := make([]int64, elems)
+	for r := 0; r < nranks; r++ {
+		sbufs[r] = w.NewBufferAt("s", r, n)
+		rbufs[r] = w.NewBufferAt("r", r, n)
+		vals := make([]int64, elems)
+		for i := range vals {
+			vals[i] = int64(r - i)
+			want[i] += vals[i]
+		}
+		mpi.EncodeInt64s(sbufs[r].Data, vals)
+	}
+	if err := w.Run(func(p *env.Proc) {
+		x.Reduce(p, sbufs[p.Rank], rbufs[p.Rank], n, mpi.Int64, mpi.Sum, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, elems)
+	mpi.DecodeInt64s(rbufs[5].Data, got)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKnomialTreeShape(t *testing.T) {
+	// Radix 4, 16 ranks: verify parents/children form a consistent tree.
+	N, k := 16, 4
+	childCount := 0
+	for v := 0; v < N; v++ {
+		parent, children := knomialChildren(v, N, k)
+		if v == 0 && parent != -1 {
+			t.Errorf("root has parent %d", parent)
+		}
+		if v != 0 {
+			if parent < 0 || parent >= N {
+				t.Errorf("node %d: bad parent %d", v, parent)
+			}
+			// Check reciprocity: v is in parent's children.
+			_, pc := knomialChildren(parent, N, k)
+			found := false
+			for _, c := range pc {
+				if c == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("node %d not among parent %d's children %v", v, parent, pc)
+			}
+		}
+		childCount += len(children)
+	}
+	if childCount != N-1 {
+		t.Errorf("total children = %d, want %d", childCount, N-1)
+	}
+	// Node 4 (radix 4) has children 5,6,7.
+	_, c4 := knomialChildren(4, N, k)
+	if len(c4) != 3 || c4[0] != 5 || c4[2] != 7 {
+		t.Errorf("children of 4 = %v, want [5 6 7]", c4)
+	}
+}
+
+func TestPow2Below(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 63: 32, 64: 64, 160: 128}
+	for in, want := range cases {
+		if got := pow2Below(in); got != want {
+			t.Errorf("pow2Below(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestXBRCSlices(t *testing.T) {
+	top := topo.Epyc1P()
+	w := newWorld(t, top, 8)
+	x := NewXBRC(w, XBRCConfig{MinSlice: 64, RegCache: true})
+	sl := x.slices(1024, 8)
+	// Coverage: slices tile [0,1024) without gaps or overlaps.
+	covered := 0
+	for i, s := range sl {
+		if s[1] < s[0] {
+			t.Errorf("slice %d inverted: %v", i, s)
+		}
+		covered += s[1] - s[0]
+	}
+	if covered != 1024 {
+		t.Errorf("covered %d bytes, want 1024", covered)
+	}
+	// Tiny message: single reducer.
+	sl2 := x.slices(8, 8)
+	if sl2[0][1]-sl2[0][0] != 8 {
+		t.Errorf("tiny message slice0 = %v", sl2[0])
+	}
+	for i := 1; i < len(sl2); i++ {
+		if sl2[i][1] != sl2[i][0] {
+			t.Errorf("tiny message slice %d nonempty", i)
+		}
+	}
+}

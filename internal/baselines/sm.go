@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"fmt"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/shm"
+)
+
+// SM mimics OpenMPI's sm coll component: flat copy-in-copy-out collectives
+// over a shared segment, synchronized with **atomic fetch-add** control
+// flags. The paper identifies this atomics-based synchronization as the
+// reason sm collapses on dense nodes (Fig. 4 and the ARM-N1 panels of
+// Figs. 8 and 11).
+type SM struct {
+	W   *env.World
+	cfg SMConfig
+
+	seg     *mem.Buffer     // staging segment (fan-out), homed at rank 0
+	slots   []*mem.Buffer   // per-rank contribution slots (fan-in)
+	gate    *shm.AtomicFlag // op entry tickets
+	copied  *shm.AtomicFlag // cumulative (round, reader) completions
+	arrived *shm.AtomicFlag // cumulative fan-in arrivals
+	ready   *shm.AtomicFlag // cumulative staged rounds
+
+	views []smView
+}
+
+// smView is one rank's mirror of the cumulative counters (all ranks run
+// the same op sequence, so mirrors stay consistent).
+type smView struct {
+	opSeq  uint64
+	rounds uint64 // staged fan-out rounds
+	ar     uint64 // fan-in arrivals
+}
+
+// SMConfig tunes the component.
+type SMConfig struct {
+	SegBytes   int // staging segment capacity
+	ChunkBytes int // pipelining granule through the segment
+}
+
+// DefaultSMConfig mirrors the OpenMPI defaults.
+func DefaultSMConfig() SMConfig {
+	return SMConfig{SegBytes: 64 << 10, ChunkBytes: 32 << 10}
+}
+
+// NewSM builds the component. The shared control flags all live on rank
+// 0's core — a single contention point, by design: this is the component
+// under study.
+func NewSM(w *env.World, cfg SMConfig) *SM {
+	if cfg.ChunkBytes > cfg.SegBytes {
+		cfg.ChunkBytes = cfg.SegBytes
+	}
+	home := w.Core(0)
+	s := &SM{
+		W:       w,
+		cfg:     cfg,
+		seg:     w.Sys.NewBuffer("sm.seg", home, cfg.SegBytes),
+		gate:    shm.NewAtomicFlag(w.Sys, "sm.gate", home),
+		copied:  shm.NewAtomicFlag(w.Sys, "sm.copied", home),
+		arrived: shm.NewAtomicFlag(w.Sys, "sm.arrived", home),
+		ready:   shm.NewAtomicFlag(w.Sys, "sm.ready", home),
+		views:   make([]smView, w.N),
+	}
+	s.slots = make([]*mem.Buffer, w.N)
+	for r := 0; r < w.N; r++ {
+		s.slots[r] = w.NewBufferAt(fmt.Sprintf("sm.slot.%d", r), r, cfg.SegBytes)
+	}
+	return s
+}
+
+// enter synchronizes op entry: every rank atomically takes a ticket — the
+// per-op atomic storm the paper measures in Fig. 4.
+func (s *SM) enter(p *env.Proc, v *smView) {
+	v.opSeq++
+	s.gate.FetchAdd(p.S, p.Core, 1)
+	s.gate.WaitGE(p.S, p.Core, v.opSeq*uint64(s.W.N))
+}
+
+// Bcast: the root stages chunks into the shared segment; every other rank
+// copies them out and atomically bumps the completion counter; the root
+// recycles the segment once all readers of a round are done.
+func (s *SM) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
+	v := &s.views[p.Rank]
+	s.enter(p, v)
+	if n == 0 {
+		return
+	}
+	N := uint64(s.W.N)
+	readers := N - 1
+	chunk := s.cfg.ChunkBytes
+	rounds := (n + chunk - 1) / chunk
+	for r := 0; r < rounds; r++ {
+		o := r * chunk
+		sz := min(chunk, n-o)
+		round := v.rounds + uint64(r)
+		if p.Rank == root {
+			// Recycle: all readers of the previous round must be done.
+			if round > 0 {
+				s.copied.WaitGE(p.S, p.Core, round*readers)
+			}
+			p.Copy(s.seg, 0, buf, off+o, sz)
+			s.ready.FetchAdd(p.S, p.Core, 1)
+		} else {
+			s.ready.WaitGE(p.S, p.Core, round+1)
+			p.Copy(buf, off+o, s.seg, 0, sz)
+			s.copied.FetchAdd(p.S, p.Core, 1)
+		}
+	}
+	if p.Rank == root {
+		s.copied.WaitGE(p.S, p.Core, (v.rounds+uint64(rounds))*readers)
+	}
+	v.rounds += uint64(rounds)
+}
+
+// Allreduce: every rank stages its contribution into its slot, rank 0
+// reduces all slots sequentially, then the result is fanned out through
+// the staging segment. All synchronization is atomic fetch-add.
+func (s *SM) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	if n == 0 {
+		s.allreduceChunk(p, sbuf, rbuf, 0, 0, dt, op)
+		return
+	}
+	for o := 0; o < n; o += s.cfg.SegBytes {
+		sz := min(s.cfg.SegBytes, n-o)
+		s.allreduceChunk(p, sbuf, rbuf, o, sz, dt, op)
+	}
+}
+
+func (s *SM) allreduceChunk(p *env.Proc, sbuf, rbuf *mem.Buffer, off, n int, dt mpi.Datatype, op mpi.Op) {
+	v := &s.views[p.Rank]
+	s.enter(p, v)
+	if n == 0 {
+		return
+	}
+	N := uint64(s.W.N)
+	// Fan-in.
+	p.Copy(s.slots[p.Rank], 0, sbuf, off, n)
+	s.arrived.FetchAdd(p.S, p.Core, 1)
+	if p.Rank == 0 {
+		s.arrived.WaitGE(p.S, p.Core, v.ar+N)
+		p.Copy(rbuf, off, s.slots[0], 0, n)
+		for r := 1; r < s.W.N; r++ {
+			p.ChargeRead(s.slots[r], 0, n)
+			mpi.ReduceBytes(op, dt, rbuf.Data[off:off+n], s.slots[r].Data[:n])
+			p.ChargeCompute(n)
+		}
+		p.Dirty(rbuf)
+	}
+	v.ar += N
+	// Fan-out through the segment.
+	round := v.rounds
+	if p.Rank == 0 {
+		p.Copy(s.seg, 0, rbuf, off, n)
+		s.ready.FetchAdd(p.S, p.Core, 1)
+		s.copied.WaitGE(p.S, p.Core, (round+1)*(N-1))
+	} else {
+		s.ready.WaitGE(p.S, p.Core, round+1)
+		p.Copy(rbuf, off, s.seg, 0, n)
+		s.copied.FetchAdd(p.S, p.Core, 1)
+	}
+	v.rounds++
+}

@@ -1,0 +1,197 @@
+package baselines
+
+import (
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+)
+
+// UCC mimics the Unified Collective Communication library's intra-node
+// behaviour: k-nomial trees over single-copy (XPMEM) point-to-point for
+// broadcasts, and a ring reduce-scatter + allgather for large allreduce —
+// bandwidth-optimal, which is why the paper observes ucc matching XHC in
+// the 128K–1M band — with k-nomial reduce+bcast below that.
+type UCC struct {
+	W   *env.World
+	P   *mpi.P2P
+	cfg UCCConfig
+	tmp []*mem.Buffer
+}
+
+// UCCConfig tunes the component.
+type UCCConfig struct {
+	Radix             int // k-nomial radix
+	RingThreshold     int // allreduce: above this, use the ring
+	BcastSegBytes     int // segment size for large k-nomial broadcasts
+	BcastSegThreshold int
+	P2P               mpi.Config
+}
+
+// DefaultUCCConfig returns typical UCC settings.
+func DefaultUCCConfig() UCCConfig {
+	return UCCConfig{
+		Radix:             4,
+		RingThreshold:     64 << 10,
+		BcastSegBytes:     64 << 10,
+		BcastSegThreshold: 128 << 10,
+		P2P:               mpi.DefaultConfig(), // XPMEM single-copy
+	}
+}
+
+// NewUCC builds the component.
+func NewUCC(w *env.World, cfg UCCConfig) *UCC {
+	if cfg.Radix < 2 {
+		cfg.Radix = 2
+	}
+	return &UCC{W: w, P: mpi.NewP2P(w, cfg.P2P), cfg: cfg, tmp: make([]*mem.Buffer, w.N)}
+}
+
+func (u *UCC) scratch(rank, n int) *mem.Buffer {
+	if u.tmp[rank] == nil || u.tmp[rank].Len() < n {
+		u.tmp[rank] = u.W.NewBufferAt("ucc.tmp", rank, n)
+	}
+	return u.tmp[rank]
+}
+
+// knomialChildren returns the parent of vr in a k-nomial tree over N
+// virtual ranks (-1 for the root) and its children. The parent clears the
+// lowest non-zero base-k digit of vr; children add d*k^j at every digit
+// position j strictly below that digit (all positions for the root).
+func knomialChildren(vr, N, k int) (parent int, children []int) {
+	parent = -1
+	maxPw := N // the root spawns children at every digit position
+	if vr != 0 {
+		pow := 1
+		for vr/pow%k == 0 {
+			pow *= k
+		}
+		parent = vr - (vr / pow % k * pow)
+		maxPw = pow
+	}
+	for pw := 1; pw < maxPw && pw < N; pw *= k {
+		for d := 1; d < k; d++ {
+			ch := vr + d*pw
+			if ch >= N {
+				break
+			}
+			children = append(children, ch)
+		}
+	}
+	return parent, children
+}
+
+// Bcast: k-nomial tree, segmented above the threshold.
+func (u *UCC) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
+	N := u.W.N
+	if N == 1 {
+		return
+	}
+	vr := (p.Rank - root + N) % N
+	parent, children := knomialChildren(vr, N, u.cfg.Radix)
+	toReal := func(v int) int { return (v + root) % N }
+
+	seg := n
+	if n > u.cfg.BcastSegThreshold {
+		seg = u.cfg.BcastSegBytes
+	}
+	nseg := (n + seg - 1) / seg
+	for s := 0; s < nseg; s++ {
+		o := s * seg
+		sz := min(seg, n-o)
+		if parent >= 0 {
+			u.P.Recv(p, toReal(parent), s, buf, off+o, sz)
+		}
+		for _, ch := range children {
+			u.P.Send(p, toReal(ch), s, buf, off+o, sz)
+		}
+	}
+}
+
+// Allreduce: k-nomial reduce + k-nomial bcast for small messages, ring
+// reduce-scatter + ring allgather for large ones.
+func (u *UCC) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	p.Copy(rbuf, 0, sbuf, 0, n)
+	es := dt.Size()
+	if n <= u.cfg.RingThreshold || n/u.W.N < es {
+		u.knomialAllreduce(p, rbuf, n, dt, op)
+		return
+	}
+	u.ringAllreduce(p, rbuf, n, dt, op)
+}
+
+// knomialAllreduce: reduce up the k-nomial tree to rank 0, broadcast back.
+func (u *UCC) knomialAllreduce(p *env.Proc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	N := u.W.N
+	if N == 1 {
+		return
+	}
+	parent, children := knomialChildren(p.Rank, N, u.cfg.Radix)
+	tmp := u.scratch(p.Rank, n)
+	// Reduce phase: children push up (deepest first arrives naturally).
+	for _, ch := range children {
+		u.P.Recv(p, ch, 1000, tmp, 0, n)
+		mpi.ReduceBytes(op, dt, rbuf.Data[:n], tmp.Data[:n])
+		p.ChargeCompute(n)
+		p.Dirty(rbuf)
+	}
+	if parent >= 0 {
+		u.P.Send(p, parent, 1000, rbuf, 0, n)
+	}
+	// Broadcast phase.
+	if parent >= 0 {
+		u.P.Recv(p, parent, 1001, rbuf, 0, n)
+	}
+	for _, ch := range children {
+		u.P.Send(p, ch, 1001, rbuf, 0, n)
+	}
+}
+
+// ringAllreduce: the classic bandwidth-optimal ring. Each rank owns slice
+// i; N-1 reduce-scatter steps then N-1 allgather steps, each moving one
+// slice to the right neighbour.
+func (u *UCC) ringAllreduce(p *env.Proc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	N := u.W.N
+	if N == 1 {
+		return
+	}
+	es := dt.Size()
+	elems := n / es
+	sliceOf := func(i int) (int, int) { // byte offset, byte size of slice i
+		i = (i%N + N) % N
+		lo := elems * i / N
+		hi := elems * (i + 1) / N
+		return lo * es, (hi - lo) * es
+	}
+	right := (p.Rank + 1) % N
+	left := (p.Rank - 1 + N) % N
+	tmp := u.scratch(p.Rank, n/N+es)
+
+	// Reduce-scatter: at step s, send slice (rank-s), receive and reduce
+	// slice (rank-s-1).
+	for s := 0; s < N-1; s++ {
+		sOff, sSz := sliceOf(p.Rank - s)
+		rOff, rSz := sliceOf(p.Rank - s - 1)
+		if p.Rank%2 == 0 {
+			u.P.Send(p, right, 2000+s, rbuf, sOff, sSz)
+			u.P.Recv(p, left, 2000+s, tmp, 0, rSz)
+		} else {
+			u.P.Recv(p, left, 2000+s, tmp, 0, rSz)
+			u.P.Send(p, right, 2000+s, rbuf, sOff, sSz)
+		}
+		mpi.ReduceBytes(op, dt, rbuf.Data[rOff:rOff+rSz], tmp.Data[:rSz])
+		p.ChargeCompute(rSz)
+		p.Dirty(rbuf)
+	}
+	// Allgather: rotate the completed slices around the ring.
+	for s := 0; s < N-1; s++ {
+		sOff, sSz := sliceOf(p.Rank + 1 - s)
+		rOff, rSz := sliceOf(p.Rank - s)
+		if p.Rank%2 == 0 {
+			u.P.Send(p, right, 3000+s, rbuf, sOff, sSz)
+			u.P.Recv(p, left, 3000+s, rbuf, rOff, rSz)
+		} else {
+			u.P.Recv(p, left, 3000+s, rbuf, rOff, rSz)
+			u.P.Send(p, right, 3000+s, rbuf, sOff, sSz)
+		}
+	}
+}

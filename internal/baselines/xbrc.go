@@ -1,0 +1,243 @@
+package baselines
+
+import (
+	"fmt"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/shm"
+	"xhc/internal/xpmem"
+)
+
+// XBRC reimplements the XPMEM-Based Reduction Collectives of Hashmi et al.
+// (IPDPS'18), the paper's second research comparison point: shared-address
+// space Reduce/Allreduce in which every rank maps its peers' buffers via
+// XPMEM and reduces a flat, rank-partitioned slice directly from them —
+// truly single-copy, but with no topology awareness, so every rank streams
+// from every other rank regardless of NUMA or socket distance.
+type XBRC struct {
+	W   *env.World
+	cfg XBRCConfig
+
+	caches []*xpmem.Cache
+	// ready[r]: rank r's contribution counter (ops completed).
+	ready []*shm.Flag
+	// done[r]: rank r's slice-reduced counter.
+	done []*shm.Flag
+	// fetched[r]: rank r's allgather-complete counter.
+	fetched []*shm.Flag
+	// exposure slots per rank: send buffer and result buffer handles.
+	sExp []xpmem.Handle
+	rExp []xpmem.Handle
+	rOff []int
+
+	views []xbrcView
+}
+
+type xbrcView struct{ opSeq uint64 }
+
+// XBRCConfig tunes the component.
+type XBRCConfig struct {
+	// MinSlice is the minimum per-rank slice; smaller messages are reduced
+	// by rank 0 alone.
+	MinSlice int
+	// RegCache enables the registration cache (the original design pairs
+	// XPMEM with one).
+	RegCache bool
+}
+
+// DefaultXBRCConfig returns the original design's defaults.
+func DefaultXBRCConfig() XBRCConfig {
+	return XBRCConfig{MinSlice: 1 << 10, RegCache: true}
+}
+
+// NewXBRC builds the component.
+func NewXBRC(w *env.World, cfg XBRCConfig) *XBRC {
+	x := &XBRC{
+		W:       w,
+		cfg:     cfg,
+		caches:  make([]*xpmem.Cache, w.N),
+		ready:   make([]*shm.Flag, w.N),
+		done:    make([]*shm.Flag, w.N),
+		fetched: make([]*shm.Flag, w.N),
+		sExp:    make([]xpmem.Handle, w.N),
+		rExp:    make([]xpmem.Handle, w.N),
+		rOff:    make([]int, w.N),
+		views:   make([]xbrcView, w.N),
+	}
+	for r := 0; r < w.N; r++ {
+		x.caches[r] = xpmem.NewCache(w.Sys, 0, cfg.RegCache)
+		core := w.Core(r)
+		x.ready[r] = shm.NewFlag(w.Sys, fmt.Sprintf("xbrc.ready.%d", r), core)
+		x.done[r] = shm.NewFlag(w.Sys, fmt.Sprintf("xbrc.done.%d", r), core)
+		x.fetched[r] = shm.NewFlag(w.Sys, fmt.Sprintf("xbrc.fetched.%d", r), core)
+	}
+	return x
+}
+
+// slices computes the flat partition: reducer i owns [lo, hi) bytes.
+func (x *XBRC) slices(n, es int) [][2]int {
+	N := x.W.N
+	active := n / x.cfg.MinSlice
+	if active < 1 {
+		active = 1
+	}
+	if active > N {
+		active = N
+	}
+	elems := n / es
+	out := make([][2]int, N)
+	per, rem := elems/active, elems%active
+	start := 0
+	for i := 0; i < N; i++ {
+		if i >= active {
+			out[i] = [2]int{start, start}
+			continue
+		}
+		e := per
+		if i < rem {
+			e++
+		}
+		out[i] = [2]int{start, start + e*es}
+		start += e * es
+	}
+	return out
+}
+
+// Allreduce: every rank exposes sbuf and rbuf; rank i reduces slice i from
+// all peers' send buffers directly into its own rbuf slice; then each rank
+// copies every other slice out of its owner's rbuf (single-copy
+// allgather).
+func (x *XBRC) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	v := &x.views[p.Rank]
+	v.opSeq++
+	if n == 0 {
+		return
+	}
+	N := x.W.N
+	sl := x.slices(n, dt.Size())
+
+	// Exposure.
+	x.sExp[p.Rank] = xpmem.Expose(sbuf)
+	x.rExp[p.Rank] = xpmem.Expose(rbuf)
+	x.ready[p.Rank].Set(p.S, p.Core, v.opSeq)
+
+	// Reduce own slice directly from every peer's send buffer.
+	lo, hi := sl[p.Rank][0], sl[p.Rank][1]
+	if hi > lo {
+		p.Copy(rbuf, lo, sbuf, lo, hi-lo)
+		for r := 0; r < N; r++ {
+			if r == p.Rank {
+				continue
+			}
+			x.ready[r].WaitGE(p.S, p.Core, v.opSeq)
+			src := x.caches[p.Rank].Attach(p.S, x.sExp[r])
+			p.ChargeRead(src, lo, hi-lo)
+			mpi.ReduceBytes(op, dt, rbuf.Data[lo:hi], src.Data[lo:hi])
+			p.ChargeCompute(hi - lo)
+			x.caches[p.Rank].Release(p.S, x.sExp[r])
+		}
+		p.Dirty(rbuf)
+	}
+	x.done[p.Rank].Set(p.S, p.Core, v.opSeq)
+
+	// Allgather: pull every other slice from its owner's result buffer.
+	for r := 0; r < N; r++ {
+		if r == p.Rank {
+			continue
+		}
+		rlo, rhi := sl[r][0], sl[r][1]
+		if rhi == rlo {
+			continue
+		}
+		x.done[r].WaitGE(p.S, p.Core, v.opSeq)
+		src := x.caches[p.Rank].Attach(p.S, x.rExp[r])
+		p.Copy(rbuf, rlo, src, rlo, rhi-rlo)
+		x.caches[p.Rank].Release(p.S, x.rExp[r])
+	}
+
+	// Exit: everyone must be done fetching before buffers can be reused.
+	x.fetched[p.Rank].Set(p.S, p.Core, v.opSeq)
+	var flags []*shm.Flag
+	for r := 0; r < N; r++ {
+		if r != p.Rank {
+			flags = append(flags, x.fetched[r])
+		}
+	}
+	shm.WaitAllGE(p.S, p.Core, flags, v.opSeq)
+}
+
+// Reduce: the rank-partitioned reduction lands directly in the root's
+// result buffer (all reducers write disjoint slices of it).
+func (x *XBRC) Reduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, root int) {
+	v := &x.views[p.Rank]
+	v.opSeq++
+	if n == 0 {
+		return
+	}
+	N := x.W.N
+	sl := x.slices(n, dt.Size())
+
+	x.sExp[p.Rank] = xpmem.Expose(sbuf)
+	if p.Rank == root {
+		x.rExp[p.Rank] = xpmem.Expose(rbuf)
+	}
+	x.ready[p.Rank].Set(p.S, p.Core, v.opSeq)
+
+	lo, hi := sl[p.Rank][0], sl[p.Rank][1]
+	if hi > lo {
+		x.ready[root].WaitGE(p.S, p.Core, v.opSeq)
+		dst := x.caches[p.Rank].Attach(p.S, x.rExp[root])
+		p.Copy(dst, lo, sbuf, lo, hi-lo)
+		for r := 0; r < N; r++ {
+			if r == p.Rank {
+				continue
+			}
+			x.ready[r].WaitGE(p.S, p.Core, v.opSeq)
+			src := x.caches[p.Rank].Attach(p.S, x.sExp[r])
+			p.ChargeRead(src, lo, hi-lo)
+			mpi.ReduceBytes(op, dt, dst.Data[lo:hi], src.Data[lo:hi])
+			p.ChargeCompute(hi - lo)
+			x.caches[p.Rank].Release(p.S, x.sExp[r])
+		}
+		p.Dirty(dst)
+		x.caches[p.Rank].Release(p.S, x.rExp[root])
+	}
+	x.done[p.Rank].Set(p.S, p.Core, v.opSeq)
+	// Everyone waits for all reducers (buffer reuse safety).
+	var flags []*shm.Flag
+	for r := 0; r < N; r++ {
+		if r != p.Rank {
+			flags = append(flags, x.done[r])
+		}
+	}
+	shm.WaitAllGE(p.S, p.Core, flags, v.opSeq)
+}
+
+// Bcast is not part of XBRC's design (reduction collectives only); it is
+// provided for interface completeness as a flat pull from the root's
+// exposed buffer.
+func (x *XBRC) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
+	v := &x.views[p.Rank]
+	v.opSeq++
+	if n == 0 {
+		return
+	}
+	if p.Rank == root {
+		x.rExp[root] = xpmem.Expose(buf)
+		x.rOff[root] = off
+		x.ready[root].Set(p.S, p.Core, v.opSeq)
+		for r := 0; r < x.W.N; r++ {
+			if r != root {
+				x.fetched[r].WaitGE(p.S, p.Core, v.opSeq)
+			}
+		}
+		return
+	}
+	x.ready[root].WaitGE(p.S, p.Core, v.opSeq)
+	src := x.caches[p.Rank].Attach(p.S, x.rExp[root])
+	p.Copy(buf, off, src, x.rOff[root], n)
+	x.caches[p.Rank].Release(p.S, x.rExp[root])
+	x.fetched[p.Rank].Set(p.S, p.Core, v.opSeq)
+}

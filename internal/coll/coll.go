@@ -1,0 +1,81 @@
+// Package coll is the component registry: it maps the evaluation's
+// component names (xhc-tree, xhc-flat, tuned, ucc, sm, smhc-flat,
+// smhc-tree, xbrc) to constructed instances over a World, the way
+// OpenMPI's MCA selects a coll component at runtime.
+package coll
+
+import (
+	"fmt"
+	"sort"
+
+	"xhc/internal/baselines"
+	"xhc/internal/core"
+	"xhc/internal/env"
+)
+
+// Component is re-exported from baselines (core.Comm satisfies it too).
+type Component = baselines.Component
+
+// Builder constructs a component over a world.
+type Builder func(w *env.World) (Component, error)
+
+var registry = map[string]Builder{
+	"xhc-tree": func(w *env.World) (Component, error) {
+		return core.New(w, core.DefaultConfig())
+	},
+	"xhc-flat": func(w *env.World) (Component, error) {
+		return core.New(w, core.FlatConfig())
+	},
+	"tuned": func(w *env.World) (Component, error) {
+		return baselines.NewTuned(w, baselines.DefaultTunedConfig()), nil
+	},
+	"ucc": func(w *env.World) (Component, error) {
+		return baselines.NewUCC(w, baselines.DefaultUCCConfig()), nil
+	},
+	"sm": func(w *env.World) (Component, error) {
+		return baselines.NewSM(w, baselines.DefaultSMConfig()), nil
+	},
+	"smhc-flat": func(w *env.World) (Component, error) {
+		cfg := baselines.DefaultSMHCConfig()
+		cfg.Tree = false
+		return baselines.NewSMHC(w, cfg)
+	},
+	"smhc-tree": func(w *env.World) (Component, error) {
+		return baselines.NewSMHC(w, baselines.DefaultSMHCConfig())
+	},
+	"xbrc": func(w *env.World) (Component, error) {
+		return baselines.NewXBRC(w, baselines.DefaultXBRCConfig()), nil
+	},
+}
+
+// New builds the named component over w.
+func New(name string, w *env.World) (Component, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("coll: unknown component %q (have %v)", name, Names())
+	}
+	return b(w)
+}
+
+// MustNew panics on error.
+func MustNew(name string, w *env.World) Component {
+	c, err := New(name, w)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Names lists the registered component names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds (or overrides) a component builder; tests and ablation
+// benches use it to install custom configurations.
+func Register(name string, b Builder) { registry[name] = b }

@@ -1,0 +1,82 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/topo"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := []string{"sm", "smhc-flat", "smhc-tree", "tuned", "ucc", "xbrc", "xhc-flat", "xhc-tree"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestEveryComponentBuildsAndBroadcasts(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := env.NewWorld(top, top.MustMap(topo.MapCore, 16))
+			c, err := New(name, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs := make([]*mem.Buffer, 16)
+			for r := range bufs {
+				bufs[r] = w.NewBufferAt(fmt.Sprintf("b%d", r), r, 2048)
+			}
+			for i := range bufs[0].Data {
+				bufs[0].Data[i] = byte(i * 3)
+			}
+			if err := w.Run(func(p *env.Proc) {
+				c.Bcast(p, bufs[p.Rank], 0, 2048, 0)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for r := range bufs {
+				if !bytes.Equal(bufs[r].Data, bufs[0].Data) {
+					t.Fatalf("rank %d wrong data", r)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownComponent(t *testing.T) {
+	top := topo.Epyc1P()
+	w := env.NewWorld(top, top.MustMap(topo.MapCore, 4))
+	if _, err := New("nope", w); err == nil {
+		t.Error("unknown name accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic")
+		}
+	}()
+	MustNew("nope", w)
+}
+
+func TestRegisterOverride(t *testing.T) {
+	top := topo.Epyc1P()
+	w := env.NewWorld(top, top.MustMap(topo.MapCore, 4))
+	called := false
+	Register("custom-test", func(w *env.World) (Component, error) {
+		called = true
+		return New("xhc-tree", w)
+	})
+	if _, err := New("custom-test", w); err != nil || !called {
+		t.Errorf("custom builder not used: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/shm"
+	"xhc/internal/xpmem"
+)
+
+// Bcast broadcasts buf[off:off+n] from root to all ranks, using the
+// hierarchical, pipelined, pull-based algorithm of the paper's Section
+// IV-A: leaders expose their buffer, a leader-owned shared counter
+// announces available bytes, members attach and pull chunks as they become
+// available, and a hierarchical acknowledgment step closes the operation.
+func (c *Comm) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
+	sizeCheck(buf, off, n)
+	st := c.stateFor(root)
+	view := st.views[p.Rank]
+	view.opSeq++
+	if p.Rank == 0 {
+		c.Ops++
+	}
+	if n == 0 {
+		c.ackPhase(p, st, view)
+		return
+	}
+	if n <= c.Cfg.CICOThreshold {
+		c.cicoBcast(p, st, view, buf, off, n, root)
+		return
+	}
+	c.xpmemBcast(p, st, view, buf, off, n, root)
+}
+
+// xpmemBcast is the single-copy path.
+func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+	lead := st.leadLevels(p.Rank)
+	pl := st.pullLevel(p.Rank)
+
+	// Exposure: leaders (and the root) publish their user buffer so
+	// children can attach to it.
+	for _, l := range lead {
+		gs, _ := st.groupOf(l, p.Rank)
+		gs.exposed = xpmem.Expose(buf)
+		gs.exposedOff = off
+		gs.expSeq.Set(p.S, p.Core, view.opSeq)
+	}
+
+	if p.Rank == root {
+		// The root's data is fully available from the start.
+		for _, l := range lead {
+			gs, _ := st.groupOf(l, p.Rank)
+			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
+		}
+	} else {
+		gs, _ := st.groupOf(pl, p.Rank)
+		// Wait for this op's exposure, then attach (registration cached).
+		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
+		soff := gs.exposedOff
+		base := view.cumBytes[pl]
+		chunk := c.chunkAt(pl)
+		copied := 0
+		for copied < n {
+			want := min(chunk, n-copied)
+			avail := int(c.waitReady(p, gs, base+uint64(copied+want)) - base)
+			if avail > n {
+				avail = n
+			}
+			// Copy chunk by chunk (not everything available at once): the
+			// chunk granule is what lets children overlap with this rank's
+			// own progress (Fig. 5).
+			for copied < avail {
+				take := min(chunk, avail-copied)
+				p.Copy(buf, off+copied, src, soff+copied, take)
+				copied += take
+				for _, l := range lead {
+					lgs, _ := st.groupOf(l, p.Rank)
+					c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
+				}
+			}
+		}
+		c.caches[p.Rank].Release(p.S, gs.exposed)
+		if c.OnPull != nil {
+			c.OnPull(gs.leader, p.Rank, n)
+		}
+	}
+
+	for l := range view.cumBytes {
+		view.cumBytes[l] += uint64(n)
+	}
+	c.ackPhase(p, st, view)
+}
+
+// cicoBcast is the small-message copy-in-copy-out path: the same
+// algorithm, with the leaders' CICO buffers in place of attached user
+// buffers (paper Section IV-C).
+func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+	lead := st.leadLevels(p.Rank)
+	pl := st.pullLevel(p.Rank)
+	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2) // double-buffered slots
+
+	if p.Rank == root {
+		// Copy-in, then announce to all led groups.
+		p.Copy(c.cico[p.Rank], slot, buf, off, n)
+		for _, l := range lead {
+			gs, _ := st.groupOf(l, p.Rank)
+			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
+		}
+	} else {
+		gs, _ := st.groupOf(pl, p.Rank)
+		base := view.cumBytes[pl]
+		c.waitReady(p, gs, base+uint64(n))
+		src := c.cico[gs.leader]
+		// Copy-out into the user buffer.
+		p.Copy(buf, off, src, slot, n)
+		// Leaders also stage into their own CICO buffer for their children.
+		if len(lead) > 0 {
+			p.Copy(c.cico[p.Rank], slot, src, slot, n)
+			for _, l := range lead {
+				lgs, _ := st.groupOf(l, p.Rank)
+				c.setReady(p, lgs, view.cumBytes[l]+uint64(n))
+			}
+		}
+		if c.OnPull != nil {
+			c.OnPull(gs.leader, p.Rank, n)
+		}
+	}
+
+	for l := range view.cumBytes {
+		view.cumBytes[l] += uint64(n)
+	}
+	c.ackPhase(p, st, view)
+}
+
+// ackPhase implements the hierarchical acknowledgment: each rank marks the
+// op complete at the group it pulls in; leaders wait for their members
+// before returning, guaranteeing their buffers and control structures are
+// no longer in use (paper Section IV-A, finalization).
+func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView) {
+	if pl := st.pullLevel(p.Rank); pl >= 0 {
+		gs, _ := st.groupOf(pl, p.Rank)
+		gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+	}
+	for _, l := range st.leadLevels(p.Rank) {
+		gs, _ := st.groupOf(l, p.Rank)
+		var flags []*shm.Flag
+		for _, m := range gs.g.Members {
+			if m != p.Rank {
+				flags = append(flags, gs.acks[m])
+			}
+		}
+		shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

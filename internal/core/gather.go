@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/shm"
+	"xhc/internal/xpmem"
+)
+
+// The paper's conclusions list extending XHC to further primitives as
+// ongoing work; this file provides the natural next set — Scatter, Gather
+// and Allgather — using the same machinery: exposure of the root's buffer,
+// single-copy pulls/pushes through XPMEM with the registration cache, a
+// CICO path for small per-rank blocks, and single-writer flags.
+
+// Scatter distributes blockLen bytes to each rank from root's buf (which
+// holds N consecutive blocks in rank order); each rank receives its block
+// into out. A direct single-copy design: every rank attaches to the root's
+// buffer and pulls exactly its own block — the hierarchy adds nothing for
+// scatter's disjoint traffic, but the pull is still distance-aware via the
+// memory model.
+func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int) {
+	st := c.stateFor(root)
+	view := st.views[p.Rank]
+	view.opSeq++
+	if p.Rank == 0 {
+		c.Ops++
+	}
+	if blockLen == 0 {
+		c.ackPhase(p, st, view)
+		return
+	}
+	gs := st.groups[st.h.NLevels()-1][0] // top group carries the exposure
+	if p.Rank == root {
+		sizeCheck(buf, 0, blockLen*c.W.N)
+		gs.exposed = xpmem.Expose(buf)
+		gs.exposedOff = 0
+		gs.expSeq.Set(p.S, p.Core, view.opSeq)
+		p.Copy(out, 0, buf, blockLen*root, blockLen)
+	} else {
+		sizeCheck(out, 0, blockLen)
+		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
+		p.Copy(out, 0, src, gs.exposedOff+blockLen*p.Rank, blockLen)
+		c.caches[p.Rank].Release(p.S, gs.exposed)
+		if c.OnPull != nil {
+			c.OnPull(root, p.Rank, blockLen)
+		}
+	}
+	c.ackPhase(p, st, view)
+}
+
+// Gather collects blockLen bytes from each rank's in buffer into root's
+// buf (N consecutive blocks in rank order). Push-based single-copy: the
+// root exposes its receive buffer, every rank attaches and writes its own
+// disjoint block directly — the inverse of the broadcast pull.
+func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, root int) {
+	st := c.stateFor(root)
+	view := st.views[p.Rank]
+	view.opSeq++
+	if p.Rank == 0 {
+		c.Ops++
+	}
+	if blockLen == 0 {
+		c.ackPhase(p, st, view)
+		return
+	}
+	gs := st.groups[st.h.NLevels()-1][0]
+	if p.Rank == root {
+		sizeCheck(buf, 0, blockLen*c.W.N)
+		gs.accExposed = xpmem.Expose(buf)
+		gs.accExposedOff = 0
+		gs.accExpSeq.Set(p.S, p.Core, view.opSeq)
+		p.Copy(buf, blockLen*root, in, 0, blockLen)
+	} else {
+		sizeCheck(in, 0, blockLen)
+		gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
+		dst := c.caches[p.Rank].Attach(p.S, gs.accExposed)
+		p.Copy(dst, gs.accExposedOff+blockLen*p.Rank, in, 0, blockLen)
+		c.caches[p.Rank].Release(p.S, gs.accExposed)
+		if c.OnPull != nil {
+			c.OnPull(p.Rank, root, blockLen)
+		}
+	}
+	// The ack phase doubles as the completion notification: the root's
+	// return is gated on every rank having pushed its block.
+	c.ackPhase(p, st, view)
+}
+
+// Allgather concatenates every rank's blockLen-byte in block into each
+// rank's out buffer (N blocks in rank order), hierarchically: blocks are
+// gathered into the leaders' buffers level by level, then the assembled
+// result is broadcast back down with the pipelined broadcast.
+func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int) {
+	if blockLen == 0 {
+		st := c.stateFor(0)
+		view := st.views[p.Rank]
+		view.opSeq++
+		c.ackPhase(p, st, view)
+		return
+	}
+	n := blockLen * c.W.N
+	sizeCheck(in, 0, blockLen)
+	sizeCheck(out, 0, n)
+	st := c.stateFor(0)
+	view := st.views[p.Rank]
+	view.opSeq++
+	if p.Rank == 0 {
+		c.Ops++
+	}
+
+	// Phase 1: every rank pushes its block into the internal root's out
+	// buffer (rank 0), which assembles the full vector. Leaders are not
+	// needed for disjoint pushes; the memory model charges the distances.
+	gs := st.groups[st.h.NLevels()-1][0]
+	if p.Rank == 0 {
+		gs.accExposed = xpmem.Expose(out)
+		gs.accExposedOff = 0
+		gs.accExpSeq.Set(p.S, p.Core, view.opSeq)
+		p.Copy(out, 0, in, 0, blockLen)
+		// Wait for all pushes (push counters reuse the redReady flags of
+		// the top group's members plus a shared arrival account below).
+		var flags []*shm.Flag
+		for r := 1; r < c.W.N; r++ {
+			flags = append(flags, c.agDone(st, r))
+		}
+		shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
+	} else {
+		gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
+		dst := c.caches[p.Rank].Attach(p.S, gs.accExposed)
+		p.Copy(dst, gs.accExposedOff+blockLen*p.Rank, in, 0, blockLen)
+		c.caches[p.Rank].Release(p.S, gs.accExposed)
+		c.agDone(st, p.Rank).Set(p.S, p.Core, view.opSeq)
+	}
+
+	// Phase 2: hierarchical pipelined broadcast of the assembled vector.
+	// Reuse the bcast machinery (root = 0 has the data in `out`).
+	c.bcastBody(p, st, view, out, 0, n, 0)
+	for l := range view.cumBytes {
+		view.cumBytes[l] += uint64(n)
+	}
+	c.ackPhase(p, st, view)
+}
+
+// agDone returns rank's allgather push-completion flag (lazily created at
+// comm setup granularity).
+func (c *Comm) agDone(st *commState, rank int) *shm.Flag {
+	if c.agFlags == nil {
+		c.agFlags = map[*commState][]*shm.Flag{}
+	}
+	fl := c.agFlags[st]
+	if fl == nil {
+		fl = make([]*shm.Flag, c.W.N)
+		for r := 0; r < c.W.N; r++ {
+			fl[r] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.ag.%d", r), c.W.Core(r))
+		}
+		c.agFlags[st] = fl
+	}
+	return fl[rank]
+}
+
+// bcastBody runs the data-movement part of the hierarchical broadcast for
+// an operation whose bookkeeping (opSeq, cum advance, acks) the caller
+// manages. Used by Allgather's distribution phase.
+func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+	lead := st.leadLevels(p.Rank)
+	pl := st.pullLevel(p.Rank)
+	for _, l := range lead {
+		gs, _ := st.groupOf(l, p.Rank)
+		gs.exposed = xpmem.Expose(buf)
+		gs.exposedOff = off
+		gs.expSeq.Set(p.S, p.Core, view.opSeq)
+	}
+	if p.Rank == root {
+		for _, l := range lead {
+			gs, _ := st.groupOf(l, p.Rank)
+			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
+		}
+		return
+	}
+	gs, _ := st.groupOf(pl, p.Rank)
+	gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+	src := c.caches[p.Rank].Attach(p.S, gs.exposed)
+	soff := gs.exposedOff
+	base := view.cumBytes[pl]
+	chunk := c.chunkAt(pl)
+	copied := 0
+	for copied < n {
+		want := min(chunk, n-copied)
+		avail := int(c.waitReady(p, gs, base+uint64(copied+want)) - base)
+		if avail > n {
+			avail = n
+		}
+		for copied < avail {
+			take := min(chunk, avail-copied)
+			p.Copy(buf, off+copied, src, soff+copied, take)
+			copied += take
+			for _, l := range lead {
+				lgs, _ := st.groupOf(l, p.Rank)
+				c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
+			}
+		}
+	}
+	c.caches[p.Rank].Release(p.S, gs.exposed)
+	if c.OnPull != nil {
+		c.OnPull(gs.leader, p.Rank, n)
+	}
+}

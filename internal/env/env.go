@@ -1,0 +1,139 @@
+// Package env is the runtime the collective algorithms are written
+// against: a World of MPI-like ranks pinned to cores of a simulated node,
+// each rank a simulated process with convenience operations for copying,
+// reducing, synchronizing through shared-memory flags, and attaching to
+// peers' buffers via (simulated) XPMEM.
+package env
+
+import (
+	"fmt"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// World is one intra-node MPI job: N ranks mapped onto the cores of a
+// simulated platform.
+type World struct {
+	Sys  *mem.System
+	Topo *topo.Topology
+	Map  topo.Mapping
+	N    int
+
+	barrier *barrierState
+}
+
+// NewWorld creates a world of len(m) ranks on a fresh engine with default
+// memory parameters for the platform.
+func NewWorld(t *topo.Topology, m topo.Mapping) *World {
+	return NewWorldParams(t, m, mem.DefaultParams(t))
+}
+
+// NewWorldParams creates a world with explicit memory parameters.
+func NewWorldParams(t *topo.Topology, m topo.Mapping, params mem.Params) *World {
+	if err := m.Validate(t); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	return &World{
+		Sys:     mem.NewSystem(eng, t, params),
+		Topo:    t,
+		Map:     m,
+		N:       len(m),
+		barrier: &barrierState{},
+	}
+}
+
+// Core returns the core that rank runs on.
+func (w *World) Core(rank int) int { return w.Map.Core(rank) }
+
+// Proc is one rank's execution context during a run.
+type Proc struct {
+	S    *sim.Proc
+	W    *World
+	Rank int
+	Core int
+}
+
+// Run spawns one simulated process per rank executing body and runs the
+// engine to completion.
+func (w *World) Run(body func(p *Proc)) error {
+	for r := 0; r < w.N; r++ {
+		r := r
+		w.Sys.Eng.Go(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			body(&Proc{S: sp, W: w, Rank: r, Core: w.Map.Core(r)})
+		})
+	}
+	return w.Sys.Eng.Run()
+}
+
+// Now returns the rank's current virtual time.
+func (p *Proc) Now() sim.Time { return p.S.Now() }
+
+// Compute advances the rank's clock by d (application compute phases).
+func (p *Proc) Compute(d sim.Duration) { p.S.Sleep(d) }
+
+// NewBuffer allocates a buffer homed at this rank's core.
+func (p *Proc) NewBuffer(label string, n int) *mem.Buffer {
+	return p.W.Sys.NewBuffer(label, p.Core, n)
+}
+
+// NewBufferAt allocates a buffer homed at another rank's core (used by
+// communicator setup code that builds per-rank shared structures).
+func (w *World) NewBufferAt(label string, rank, n int) *mem.Buffer {
+	return w.Sys.NewBuffer(label, w.Map.Core(rank), n)
+}
+
+// Copy moves n bytes from src[soff:] into dst[doff:] as this rank.
+func (p *Proc) Copy(dst *mem.Buffer, doff int, src *mem.Buffer, soff, n int) {
+	p.W.Sys.Copy(p.S, p.Core, dst, doff, src, soff, n)
+}
+
+// Dirty marks a buffer as rewritten by this rank (the osu _mb benchmark
+// variant's "alter the buffer before every iteration").
+func (p *Proc) Dirty(b *mem.Buffer) {
+	p.W.Sys.MarkWritten(b, p.Core)
+}
+
+// ChargeRead accounts for streaming n bytes of src through this rank.
+func (p *Proc) ChargeRead(src *mem.Buffer, soff, n int) {
+	p.W.Sys.ChargeRead(p.S, p.Core, src, soff, n)
+}
+
+// ChargeCompute accounts for a streaming kernel over n bytes.
+func (p *Proc) ChargeCompute(n int) {
+	p.W.Sys.ChargeCompute(p.S, n)
+}
+
+// barrierState implements a zero-cost rendezvous used by benchmark
+// harnesses to align ranks between iterations. It deliberately charges no
+// model time: it is measurement scaffolding, not part of any collective.
+type barrierState struct {
+	epoch   uint64
+	arrived int
+	waiters []waiter
+}
+
+type waiter struct {
+	p     *sim.Proc
+	token uint64
+}
+
+// HarnessBarrier blocks until all N ranks of the world have arrived.
+func (p *Proc) HarnessBarrier() {
+	b := p.W.barrier
+	b.arrived++
+	if b.arrived == p.W.N {
+		b.arrived = 0
+		b.epoch++
+		now := p.S.Now()
+		for _, w := range b.waiters {
+			p.W.Sys.Eng.Wake(w.p, w.token, now)
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, waiter{p: p.S, token: p.S.NextSuspendToken()})
+	p.S.Suspend(fmt.Sprintf("harness barrier (epoch %d)", b.epoch))
+}

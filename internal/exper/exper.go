@@ -1,0 +1,145 @@
+// Package exper regenerates every table and figure of the paper's
+// motivation and evaluation sections. Each experiment produces a textual
+// report (the same rows/series the paper plots) plus named metrics that
+// the test suite checks against the paper's qualitative claims.
+package exper
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options controls experiment fidelity.
+type Options struct {
+	// Quick trims iteration counts and size sweeps so the full suite runs
+	// in seconds (used by tests); the default (false) uses the full
+	// paper-style sweeps.
+	Quick bool
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+	// Metrics carries headline numbers (speedups, ratios) keyed by name,
+	// for programmatic checks against the paper's claims.
+	Metrics map[string]float64
+}
+
+// Metric records a named headline number.
+func (r *Report) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+// Experiment is a regenerable table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Options) (*Report, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+func orderOf(id string) int {
+	order := []string{"tab1", "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig7",
+		"fig8", "fig9a", "fig9b", "tab2", "fig10", "fig11", "fig12", "fig13", "fig14"}
+	for i, o := range order {
+		if o == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists registered experiment ids in paper order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// section renders a report header.
+func section(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Metrics) > 0 {
+		b.WriteString("\nHeadline metrics:\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-46s %8.3f\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// RenderAll runs every experiment and renders a combined document.
+func RenderAll(o Options) (string, []*Report, error) {
+	var b strings.Builder
+	var reports []*Report
+	for _, e := range All() {
+		r, err := e.Run(o)
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		reports = append(reports, r)
+		b.WriteString(section(r))
+		b.WriteString("\n")
+	}
+	return b.String(), reports, nil
+}
+
+// sweepSizes returns the message-size sweep (trimmed under Quick).
+func sweepSizes(o Options) []int {
+	if o.Quick {
+		return []int{4, 1 << 10, 64 << 10, 1 << 20}
+	}
+	return []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+}
+
+// smallSizes is the small-message range of Figs. 4 and 10.
+func smallSizes(o Options) []int {
+	if o.Quick {
+		return []int{4, 256}
+	}
+	return []int{4, 16, 64, 256, 1 << 10}
+}
+
+func iters(o Options) (warmup, measured int) {
+	if o.Quick {
+		return 2, 3
+	}
+	return 4, 10
+}

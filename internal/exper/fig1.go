@@ -1,0 +1,159 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/osu"
+	"xhc/internal/sim"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+func init() {
+	register("tab1", "Evaluation systems (Table I)", runTab1)
+	register("fig1a", "One-way latency across topological domains", runFig1a)
+	register("fig1b", "Memory-copy congestion: flat vs hierarchical (Epyc-1P)", runFig1b)
+	register("fig2", "Example 3-level hierarchy with numa+socket sensitivity", runFig2)
+}
+
+func runTab1(o Options) (*Report, error) {
+	t := &stats.Table{Header: []string{"Codename", "Arch", "Cores", "NUMA", "Sockets", "SharedLLC"}}
+	for _, top := range topo.Platforms() {
+		llc := "no"
+		if top.HasSharedLLC() {
+			llc = fmt.Sprintf("%dx%d", top.NLLC, top.CoresPerLLC)
+		}
+		t.Add(top.Name, top.Arch, fmt.Sprint(top.NCores), fmt.Sprint(top.NNUMA),
+			fmt.Sprint(top.NSockets), llc)
+	}
+	return &Report{ID: "tab1", Title: "Evaluation systems", Text: t.String()}, nil
+}
+
+// runFig1a measures point-to-point transfer time for core pairs in each
+// distance class, on every platform, for 1 MB (and 4 B) messages.
+func runFig1a(o Options) (*Report, error) {
+	warm, it := iters(o)
+	r := &Report{ID: "fig1a", Title: "One-way latency across topological domains"}
+	var b strings.Builder
+	for _, size := range []int{1 << 20, 4} {
+		t := &stats.Table{Header: []string{"Platform", "cache-local", "intra-numa", "cross-numa", "cross-socket"}}
+		for _, top := range topo.Platforms() {
+			pairs := classPairs(top)
+			row := []string{top.Name}
+			for _, class := range []topo.DistanceClass{topo.CacheLocal, topo.IntraNUMA, topo.CrossNUMA, topo.CrossSocket} {
+				pair, ok := pairs[class]
+				if !ok {
+					row = append(row, "n/a")
+					continue
+				}
+				res, err := osu.Latency(top, pair[0], pair[1], mpi.DefaultConfig(), []int{size}, warm, it, nil)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.2f", res[0].AvgLat))
+				if size == 1<<20 {
+					r.Metric(fmt.Sprintf("%s_%s_us", top.Name, class), res[0].AvgLat)
+				}
+			}
+			t.Add(row...)
+		}
+		fmt.Fprintf(&b, "message size %s (us):\n%s\n", stats.SizeLabel(size), t.String())
+	}
+	r.Text = b.String()
+	return r, nil
+}
+
+// classPairs picks a representative core pair per distance class.
+func classPairs(top *topo.Topology) map[topo.DistanceClass][2]int {
+	out := map[topo.DistanceClass][2]int{}
+	for b := 1; b < top.NCores; b++ {
+		d := top.Distance(0, b)
+		if _, ok := out[d]; !ok {
+			out[d] = [2]int{0, b}
+		}
+	}
+	if !top.HasSharedLLC() {
+		delete(out, topo.CacheLocal)
+	}
+	return out
+}
+
+// runFig1b reproduces the congestion experiment: N ranks concurrently copy
+// 1 MB from the root (flat) or from per-NUMA leaders (hierarchical); the
+// reported value is the copy time of one singled-out rank whose NUMA node
+// is always fully occupied.
+func runFig1b(o Options) (*Report, error) {
+	top := topo.Epyc1P()
+	const n = 1 << 20
+	counts := []int{8, 16, 24, 32}
+	if o.Quick {
+		counts = []int{8, 32}
+	}
+
+	measure := func(nprocs int, hierarchical bool) (float64, error) {
+		m := top.MustMap(topo.MapCore, nprocs)
+		w := env.NewWorld(top, m)
+		root := w.NewBufferAt("root", 0, n)
+		leaders := make([]*mem.Buffer, top.NNUMA)
+		for i := range leaders {
+			leaders[i] = w.Sys.NewBuffer(fmt.Sprintf("leader%d", i), top.NUMACores(i)[0], n)
+		}
+		var singled sim.Duration
+		err := w.Run(func(p *env.Proc) {
+			dst := p.NewBuffer("dst", n)
+			src := root
+			if hierarchical && top.NUMA(p.Core) != 0 {
+				src = leaders[top.NUMA(p.Core)]
+			}
+			if p.Rank == 0 {
+				return // the root does not copy
+			}
+			start := p.Now()
+			p.Copy(dst, 0, src, 0, n)
+			if p.Rank == 1 {
+				singled = p.Now() - start
+			}
+		})
+		return sim.Micros(singled), err
+	}
+
+	t := &stats.Table{Header: []string{"ranks", "flat(us)", "hier(us)"}}
+	r := &Report{ID: "fig1b", Title: "Memory-copy congestion: flat vs hierarchical"}
+	var flatLast, hierLast, flatFirst float64
+	for i, k := range counts {
+		f, err := measure(k, false)
+		if err != nil {
+			return nil, err
+		}
+		h, err := measure(k, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprint(k), fmt.Sprintf("%.2f", f), fmt.Sprintf("%.2f", h))
+		if i == 0 {
+			flatFirst = f
+		}
+		flatLast, hierLast = f, h
+	}
+	r.Text = t.String()
+	r.Metric("flat_degradation", flatLast/flatFirst)
+	r.Metric("hier_over_flat_at_full", flatLast/hierLast)
+	return r, nil
+}
+
+func runFig2(o Options) (*Report, error) {
+	top := topo.Fig2Demo()
+	m := top.MustMap(topo.MapCore, 16)
+	w := env.NewWorld(top, m)
+	_ = w
+	h, err := buildHier(top, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: "fig2", Title: "Example hierarchy (numa+socket, 16 cores)",
+		Text: top.Render() + "\n" + h}, nil
+}

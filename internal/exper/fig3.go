@@ -1,0 +1,166 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"xhc/internal/baselines"
+	"xhc/internal/coll"
+	"xhc/internal/env"
+	"xhc/internal/hier"
+	"xhc/internal/mpi"
+	"xhc/internal/osu"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+func init() {
+	register("fig3", "Data copy mechanisms: XPMEM vs KNEM vs CMA vs CICO (Epyc-2P)", runFig3)
+	register("fig4", "Atomics vs single-writer flag synchronization (ARM-N1, 4 B Bcast)", runFig4)
+}
+
+// buildHier renders a hierarchy for fig2 (kept here to avoid an import
+// cycle in fig1.go).
+func buildHier(top *topo.Topology, m topo.Mapping) (string, error) {
+	sens, err := hier.ParseSensitivity("numa+socket")
+	if err != nil {
+		return "", err
+	}
+	h, err := hier.Build(top, m, sens, 0)
+	if err != nil {
+		return "", err
+	}
+	return h.Render(), nil
+}
+
+// tunedWith builds the tuned component over a specific SMSC mechanism.
+func tunedWith(mech mpi.Mechanism, regCache bool) coll.Builder {
+	return func(w *env.World) (coll.Component, error) {
+		cfg := baselines.DefaultTunedConfig()
+		cfg.P2P.Mechanism = mech
+		cfg.P2P.RegCache = regCache
+		return baselines.NewTuned(w, cfg), nil
+	}
+}
+
+// runFig3 measures (a) p2p latency between two processes in different NUMA
+// nodes of the same socket and (b) 64-rank broadcast latency through
+// tuned, under each copy mechanism, plus XPMEM without its registration
+// cache (the paper's dashed bars).
+func runFig3(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	warm, it := iters(o)
+	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if o.Quick {
+		sizes = []int{64 << 10, 1 << 20}
+	}
+
+	type mechCase struct {
+		name     string
+		mech     mpi.Mechanism
+		regCache bool
+	}
+	cases := []mechCase{
+		{"xpmem", mpi.XPMEM, true},
+		{"knem", mpi.KNEM, true},
+		{"cma", mpi.CMA, true},
+		{"cico", mpi.CICO, true},
+		{"xpmem-nocache", mpi.XPMEM, false},
+	}
+
+	var b strings.Builder
+	r := &Report{ID: "fig3", Title: "Data copy mechanisms (Epyc-2P)"}
+	var colNames []string
+	for _, c := range cases {
+		colNames = append(colNames, c.name)
+	}
+
+	// (a) Point-to-point: cores 0 and 8 (different NUMA, same socket).
+	t := &stats.Table{Header: append([]string{"size"}, colNames...)}
+	lat := map[string]map[int]float64{}
+	for _, c := range cases {
+		cfg := mpi.DefaultConfig()
+		cfg.Mechanism = c.mech
+		cfg.RegCache = c.regCache
+		rs, err := osu.Latency(top, 0, 8, cfg, sizes, warm, it, nil)
+		if err != nil {
+			return nil, err
+		}
+		lat[c.name] = map[int]float64{}
+		for _, x := range rs {
+			lat[c.name][x.Size] = x.AvgLat
+		}
+	}
+	for _, n := range sizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, c := range cases {
+			row = append(row, fmt.Sprintf("%.2f", lat[c.name][n]))
+		}
+		t.Add(row...)
+	}
+	fmt.Fprintf(&b, "(a) osu_latency, 2 ranks cross-NUMA same-socket (us):\n%s\n", t.String())
+
+	// (b) Broadcast through tuned, 64 ranks.
+	tb := &stats.Table{Header: append([]string{"size"}, colNames...)}
+	blat := map[string]map[int]float64{}
+	for _, c := range cases {
+		bench := osu.Bench{Topo: top, NRanks: 64, Custom: tunedWith(c.mech, c.regCache),
+			Warmup: warm, Iters: it, Dirty: true}
+		rs, err := bench.Bcast(sizes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		blat[c.name] = map[int]float64{}
+		for _, x := range rs {
+			blat[c.name][x.Size] = x.AvgLat
+		}
+	}
+	for _, n := range sizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, c := range cases {
+			row = append(row, fmt.Sprintf("%.2f", blat[c.name][n]))
+		}
+		tb.Add(row...)
+	}
+	fmt.Fprintf(&b, "(b) osu_bcast, 64 ranks via tuned (us):\n%s\n", tb.String())
+
+	big := sizes[len(sizes)-1]
+	r.Metric("bcast_knem_over_xpmem", blat["knem"][big]/blat["xpmem"][big])
+	r.Metric("bcast_cma_over_xpmem", blat["cma"][big]/blat["xpmem"][big])
+	r.Metric("bcast_cico_over_xpmem", blat["cico"][big]/blat["xpmem"][big])
+	r.Metric("p2p_nocache_over_cached", lat["xpmem-nocache"][big]/lat["xpmem"][big])
+	r.Text = b.String()
+	return r, nil
+}
+
+// runFig4 compares a flat shared-memory broadcast of 4 bytes with
+// single-writer flags (smhc-flat) against the same with atomic fetch-add
+// flags (sm), as the node fills up.
+func runFig4(o Options) (*Report, error) {
+	top := topo.ArmN1()
+	warm, it := iters(o)
+	counts := []int{20, 40, 80, 120, 160}
+	if o.Quick {
+		counts = []int{40, 160}
+	}
+	t := &stats.Table{Header: []string{"ranks", "single-writer(us)", "atomics(us)", "ratio"}}
+	r := &Report{ID: "fig4", Title: "Atomics vs single-writer synchronization"}
+	var lastRatio float64
+	for _, k := range counts {
+		sw, err := (osu.Bench{Topo: top, NRanks: k, Component: "smhc-flat", Warmup: warm, Iters: it, Dirty: true}).Bcast([]int{4})
+		if err != nil {
+			return nil, err
+		}
+		at, err := (osu.Bench{Topo: top, NRanks: k, Component: "sm", Warmup: warm, Iters: it, Dirty: true}).Bcast([]int{4})
+		if err != nil {
+			return nil, err
+		}
+		ratio := at[0].AvgLat / sw[0].AvgLat
+		lastRatio = ratio
+		t.Add(fmt.Sprint(k), fmt.Sprintf("%.2f", sw[0].AvgLat), fmt.Sprintf("%.2f", at[0].AvgLat),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	r.Text = t.String()
+	r.Metric("atomics_over_single_writer_at_160", lastRatio)
+	return r, nil
+}

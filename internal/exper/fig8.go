@@ -1,0 +1,341 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"xhc/internal/coll"
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/osu"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+	"xhc/internal/trace"
+)
+
+func init() {
+	register("fig7", "osu_bcast vs osu_bcast_mb: cache effects (Epyc-2P)", runFig7)
+	register("fig8", "MPI Broadcast comparison across components and platforms", runFig8)
+	register("fig9a", "Broadcast under different rank-to-core layouts (Epyc-2P)", runFig9a)
+	register("fig9b", "Broadcast with different root ranks (Epyc-2P)", runFig9b)
+	register("tab2", "Number and distance of exchanged messages (Epyc-2P)", runTab2)
+	register("fig10", "Flag cache-line placement schemes (Epyc-1P)", runFig10)
+	register("fig11", "MPI Allreduce comparison across components and platforms", runFig11)
+}
+
+// sweep runs one collective benchmark for several components and renders
+// a size-by-component latency table.
+func sweep(o Options, top *topo.Topology, nranks int, comps []string,
+	kind string, sizes []int, pol topo.MapPolicy, root int) (string, map[string]map[int]float64, error) {
+	warm, it := iters(o)
+	lat := map[string]map[int]float64{}
+	for _, name := range comps {
+		b := osu.Bench{Topo: top, NRanks: nranks, Component: name, Policy: pol,
+			Warmup: warm, Iters: it, Dirty: true, Root: root}
+		var rs []osu.Result
+		var err error
+		switch kind {
+		case "bcast":
+			rs, err = b.Bcast(sizes)
+		case "allreduce":
+			rs, err = b.Allreduce(sizes)
+		default:
+			return "", nil, fmt.Errorf("unknown kind %q", kind)
+		}
+		if err != nil {
+			return "", nil, fmt.Errorf("%s on %s: %w", name, top.Name, err)
+		}
+		lat[name] = map[int]float64{}
+		for _, x := range rs {
+			lat[name][x.Size] = x.AvgLat
+		}
+	}
+	t := &stats.Table{Header: append([]string{"size"}, comps...)}
+	for _, n := range sizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, c := range comps {
+			row = append(row, fmt.Sprintf("%.2f", lat[c][n]))
+		}
+		t.Add(row...)
+	}
+	return t.String(), lat, nil
+}
+
+// runFig7 contrasts the stock osu_bcast (same buffer every iteration) with
+// the authors' _mb variant, for XHC-flat and XHC-tree on Epyc-2P.
+func runFig7(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	warm, it := iters(o)
+	sizes := sweepSizes(o)
+	r := &Report{ID: "fig7", Title: "osu_bcast vs osu_bcast_mb (Epyc-2P)"}
+	lat := map[string]map[int]float64{}
+	for _, comp := range []string{"xhc-flat", "xhc-tree"} {
+		for _, dirty := range []bool{false, true} {
+			key := comp
+			if dirty {
+				key += "+mb"
+			}
+			b := osu.Bench{Topo: top, NRanks: 64, Component: comp, Warmup: warm, Iters: it, Dirty: dirty}
+			rs, err := b.Bcast(sizes)
+			if err != nil {
+				return nil, err
+			}
+			lat[key] = map[int]float64{}
+			for _, x := range rs {
+				lat[key][x.Size] = x.AvgLat
+			}
+		}
+	}
+	cols := []string{"xhc-flat", "xhc-flat+mb", "xhc-tree", "xhc-tree+mb"}
+	t := &stats.Table{Header: append([]string{"size"}, cols...)}
+	for _, n := range sizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.2f", lat[c][n]))
+		}
+		t.Add(row...)
+	}
+	r.Text = t.String()
+	// At a medium size, the stock benchmark flatters the flat tree...
+	mid := 64 << 10
+	r.Metric("flat_mb_over_stock_64K", lat["xhc-flat+mb"][mid]/lat["xhc-flat"][mid])
+	// ... and the hierarchical tree barely changes.
+	r.Metric("tree_mb_over_stock_64K", lat["xhc-tree+mb"][mid]/lat["xhc-tree"][mid])
+	// With the honest benchmark, the tree wins at medium/large sizes.
+	r.Metric("flat_over_tree_mb_64K", lat["xhc-flat+mb"][mid]/lat["xhc-tree+mb"][mid])
+	return r, nil
+}
+
+// figComponents returns the component list of Figs. 8/11 per platform
+// (smhc uses its flat variant on the single-socket machine, as the paper
+// notes; xbrc is included only in the Allreduce comparison).
+func figComponents(top *topo.Topology, allreduce bool) []string {
+	smhc := "smhc-tree"
+	if top.NSockets == 1 {
+		smhc = "smhc-flat"
+	}
+	comps := []string{"xhc-tree", "xhc-flat", smhc, "tuned", "ucc", "sm"}
+	if allreduce {
+		comps = append(comps, "xbrc")
+	}
+	return comps
+}
+
+func runFig8(o Options) (*Report, error) {
+	r := &Report{ID: "fig8", Title: "MPI Broadcast comparison"}
+	var b strings.Builder
+	sizes := sweepSizes(o)
+	for _, top := range topo.Platforms() {
+		comps := figComponents(top, false)
+		text, lat, err := sweep(o, top, top.NCores, comps, "bcast", sizes, topo.MapCore, 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s (%d ranks), latency us:\n%s\n", top.Name, top.NCores, text)
+		big := 1 << 20
+		r.Metric(top.Name+"_tree_speedup_vs_tuned_1M", lat["tuned"][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_tree_speedup_vs_ucc_1M", lat["ucc"][big]/lat["xhc-tree"][big])
+		smhc := "smhc-tree"
+		if top.NSockets == 1 {
+			smhc = "smhc-flat"
+		}
+		r.Metric(top.Name+"_tree_speedup_vs_smhc_1M", lat[smhc][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_tree_speedup_vs_flat_1M", lat["xhc-flat"][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_flat_over_tree_4B", lat["xhc-flat"][4]/lat["xhc-tree"][4])
+	}
+	r.Text = b.String()
+	return r, nil
+}
+
+func runFig9a(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	sizes := sweepSizes(o)
+	r := &Report{ID: "fig9a", Title: "Rank-to-core layouts: map-core vs map-numa"}
+	var b strings.Builder
+	lat := map[string]map[int]float64{}
+	for _, pol := range []topo.MapPolicy{topo.MapCore, topo.MapNUMA} {
+		text, l, err := sweep(o, top, 64, []string{"tuned", "xhc-tree"}, "bcast", sizes, pol, 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s:\n%s\n", pol, text)
+		for k, v := range l {
+			lat[string(pol)+"/"+k] = v
+		}
+	}
+	// The layout claim is about the mismatch between the schedule and the
+	// topology; the pipeline regime (1M, stride-1 chain) exposes it most
+	// directly, exactly as in the paper's Fig. 9a.
+	big := 1 << 20
+	r.Metric("tuned_mapnuma_over_mapcore_1M", lat["map-numa/tuned"][big]/lat["map-core/tuned"][big])
+	r.Metric("xhc_mapnuma_over_mapcore_1M", lat["map-numa/xhc-tree"][big]/lat["map-core/xhc-tree"][big])
+	r.Text = b.String()
+	return r, nil
+}
+
+func runFig9b(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	sizes := sweepSizes(o)
+	r := &Report{ID: "fig9b", Title: "Broadcast with root 0 vs root 10"}
+	var b strings.Builder
+	lat := map[string]map[int]float64{}
+	for _, root := range []int{0, 10} {
+		text, l, err := sweep(o, top, 64, []string{"tuned", "xhc-tree"}, "bcast", sizes, topo.MapCore, root)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "root=%d:\n%s\n", root, text)
+		for k, v := range l {
+			lat[fmt.Sprintf("root%d/%s", root, k)] = v
+		}
+	}
+	mid := 64 << 10
+	r.Metric("tuned_root10_over_root0_64K", lat["root10/tuned"][mid]/lat["root0/tuned"][mid])
+	r.Metric("xhc_root10_over_root0_64K", lat["root10/xhc-tree"][mid]/lat["root0/xhc-tree"][mid])
+	r.Text = b.String()
+	return r, nil
+}
+
+// runTab2 counts messages by topological distance for one 8 KiB broadcast
+// under the scenarios of Fig. 9, for both tuned and XHC-tree. The paper's
+// claim is that tuned's distance profile swings with mapping and root
+// while XHC-tree's stays identical ("any" scenario).
+func runTab2(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	const n = 8 << 10
+
+	type scenario struct {
+		label  string
+		policy topo.MapPolicy
+		root   int
+	}
+	scenarios := []scenario{
+		{"map-core", topo.MapCore, 0},
+		{"map-numa", topo.MapNUMA, 0},
+		{"root=10", topo.MapCore, 10},
+	}
+
+	t := &stats.Table{Header: []string{"Component", "Scenario", "Inter-Socket", "Inter-NUMA", "Intra-NUMA"}}
+	r := &Report{ID: "tab2", Title: "Number and distance of exchanged messages"}
+	for _, compName := range []string{"tuned", "xhc-tree"} {
+		for _, sc := range scenarios {
+			m, err := top.Map(sc.policy, 64)
+			if err != nil {
+				return nil, err
+			}
+			w := env.NewWorld(top, m)
+			col := trace.New(top, m)
+			var comp coll.Component
+			if compName == "xhc-tree" {
+				c := core.MustNew(w, core.DefaultConfig())
+				c.OnPull = col.Hook()
+				comp = c
+			} else {
+				tc, err := coll.New(compName, w)
+				if err != nil {
+					return nil, err
+				}
+				type hookable interface{ SetOnMessage(func(int, int, int)) }
+				if h, ok := tc.(hookable); ok {
+					h.SetOnMessage(col.Hook())
+				}
+				comp = tc
+			}
+			bufs := make([]*mem.Buffer, 64)
+			for i := range bufs {
+				bufs[i] = w.NewBufferAt("t2", i, n)
+			}
+			if err := w.Run(func(p *env.Proc) {
+				comp.Bcast(p, bufs[p.Rank], 0, n, sc.root)
+			}); err != nil {
+				return nil, err
+			}
+			is, in, ia := col.Table2Row()
+			t.Add(compName, sc.label, fmt.Sprint(is), fmt.Sprint(in), fmt.Sprint(ia))
+			key := compName + "_" + strings.ReplaceAll(sc.label, " ", "_")
+			r.Metric(key+"_inter_socket", float64(is))
+			r.Metric(key+"_inter_numa", float64(in))
+			r.Metric(key+"_intra_numa", float64(ia))
+		}
+	}
+	r.Text = t.String()
+	return r, nil
+}
+
+// runFig10 compares flag cache-line placement schemes for small broadcasts
+// on Epyc-1P: per-member flags packed in a shared line vs on separate
+// lines, for both the flat and hierarchical variants.
+func runFig10(o Options) (*Report, error) {
+	top := topo.Epyc1P()
+	warm, it := iters(o)
+	sizes := smallSizes(o)
+	r := &Report{ID: "fig10", Title: "Flag cache-line placement (Epyc-1P)"}
+
+	build := func(flat bool, scheme core.FlagScheme) coll.Builder {
+		return func(w *env.World) (coll.Component, error) {
+			cfg := core.DefaultConfig()
+			if flat {
+				cfg = core.FlatConfig()
+			}
+			cfg.Flags = scheme
+			return core.New(w, cfg)
+		}
+	}
+	cases := []struct {
+		name   string
+		flat   bool
+		scheme core.FlagScheme
+	}{
+		{"flat/shared", true, core.MultiSharedLine},
+		{"flat/separated", true, core.MultiSeparateLines},
+		{"tree/shared", false, core.MultiSharedLine},
+		{"tree/separated", false, core.MultiSeparateLines},
+	}
+	lat := map[string]map[int]float64{}
+	for _, c := range cases {
+		b := osu.Bench{Topo: top, NRanks: 32, Custom: build(c.flat, c.scheme), Warmup: warm, Iters: it, Dirty: true}
+		rs, err := b.Bcast(sizes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		lat[c.name] = map[int]float64{}
+		for _, x := range rs {
+			lat[c.name][x.Size] = x.AvgLat
+		}
+	}
+	t := &stats.Table{Header: []string{"size", "flat/shared", "flat/separated", "tree/shared", "tree/separated"}}
+	for _, n := range sizes {
+		t.Add(stats.SizeLabel(n),
+			fmt.Sprintf("%.2f", lat["flat/shared"][n]),
+			fmt.Sprintf("%.2f", lat["flat/separated"][n]),
+			fmt.Sprintf("%.2f", lat["tree/shared"][n]),
+			fmt.Sprintf("%.2f", lat["tree/separated"][n]))
+	}
+	r.Text = t.String()
+	r.Metric("flat_shared_over_tree_shared_4B", lat["flat/shared"][4]/lat["tree/shared"][4])
+	r.Metric("flat_separated_over_tree_separated_4B", lat["flat/separated"][4]/lat["tree/separated"][4])
+	r.Metric("flat_separated_over_flat_shared_4B", lat["flat/separated"][4]/lat["flat/shared"][4])
+	return r, nil
+}
+
+func runFig11(o Options) (*Report, error) {
+	r := &Report{ID: "fig11", Title: "MPI Allreduce comparison"}
+	var b strings.Builder
+	sizes := sweepSizes(o)
+	for _, top := range topo.Platforms() {
+		comps := figComponents(top, true)
+		text, lat, err := sweep(o, top, top.NCores, comps, "allreduce", sizes, topo.MapCore, 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s (%d ranks), latency us:\n%s\n", top.Name, top.NCores, text)
+		big := 1 << 20
+		r.Metric(top.Name+"_tree_speedup_vs_tuned_1M", lat["tuned"][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_tree_speedup_vs_ucc_1M", lat["ucc"][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_tree_speedup_vs_xbrc_1M", lat["xbrc"][big]/lat["xhc-tree"][big])
+		r.Metric(top.Name+"_flat_over_tree_4B", lat["xhc-flat"][4]/lat["xhc-tree"][4])
+	}
+	r.Text = b.String()
+	return r, nil
+}

@@ -1,0 +1,458 @@
+// Package gxhc is a native Go implementation of the XHC design for
+// goroutine-level collectives: topology-aware hierarchical groups,
+// pull-based pipelined broadcast, index-partitioned reduction, and
+// single-writer synchronization (plain atomic loads/stores, no
+// read-modify-write operations — the discipline the paper's Section III-E
+// argues for).
+//
+// Unlike package core, which runs on the simulated node, gxhc coordinates
+// real goroutines sharing real slices, and is usable as a standalone
+// library for in-process parallel computations.
+package gxhc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xhc/internal/hier"
+	"xhc/internal/topo"
+)
+
+// Config tunes a communicator.
+type Config struct {
+	// GroupSize is the leaf group width of the synthetic 2-level
+	// hierarchy (0/1 yields a flat communicator). On a real machine a
+	// sensible choice is the number of cores sharing an L3 cache.
+	GroupSize int
+	// ChunkBytes is the broadcast pipelining granule.
+	ChunkBytes int
+}
+
+// DefaultConfig groups participants by 8 with 64 KiB chunks.
+func DefaultConfig() Config { return Config{GroupSize: 8, ChunkBytes: 64 << 10} }
+
+// Comm coordinates N participant goroutines. All participants must call
+// each collective in the same order (MPI semantics).
+type Comm struct {
+	n   int
+	cfg Config
+
+	mu     sync.Mutex
+	states map[int]*state // per root
+	views  []*view
+}
+
+// view is one participant's mirror of the monotonic counters.
+type view struct {
+	opSeq uint64
+	cum   []uint64
+}
+
+// groupCtl is the shared control block of one hierarchy group.
+type groupCtl struct {
+	leader int
+	// ready is the leader-owned published-bytes counter (single writer).
+	ready atomic.Uint64
+	// expSeq announces the exposure sequence; exposed holds the leader's
+	// current buffer ([]byte for Bcast, exposedF for float64 reductions —
+	// atomic.Value requires consistent concrete types per slot).
+	expSeq   atomic.Uint64
+	exposed  atomic.Value // []byte
+	exposedF atomic.Value // []float64
+	// acks[m] is member m's completed-op counter (single writer each).
+	acks map[int]*atomic.Uint64
+	// red[m] is member m's reduction progress counter.
+	red map[int]*atomic.Uint64
+	// contrib[m] holds member m's exposed contribution slice.
+	contrib map[int]*atomic.Value
+}
+
+type state struct {
+	h      *hier.Hierarchy
+	groups [][]*groupCtl
+}
+
+// New creates a communicator for n participants.
+func New(n int, cfg Config) (*Comm, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gxhc: need at least one participant, got %d", n)
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 64 << 10
+	}
+	c := &Comm{n: n, cfg: cfg, states: map[int]*state{}}
+	c.views = make([]*view, n)
+	if _, err := c.stateFor(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustNew panics on error.
+func MustNew(n int, cfg Config) *Comm {
+	c, err := New(n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of participants.
+func (c *Comm) N() int { return c.n }
+
+// synthetic topology: one socket, ceil(n/groupSize) "NUMA" groups.
+func (c *Comm) buildHierarchy(root int) (*hier.Hierarchy, error) {
+	gs := c.cfg.GroupSize
+	var sens hier.Sensitivity
+	if gs > 1 && gs < c.n {
+		sens = hier.Sensitivity{hier.DomainNUMA}
+	}
+	groups := (c.n + max(gs, 1) - 1) / max(gs, 1)
+	if groups < 1 {
+		groups = 1
+	}
+	t, err := topo.New(topo.Config{
+		Name: "gxhc", Arch: "go",
+		Sockets: 1, NUMAPerSocket: groups, CoresPerNUMA: max(gs, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := t.Map(topo.MapCore, c.n)
+	if err != nil {
+		return nil, err
+	}
+	return hier.Build(t, m, sens, root)
+}
+
+func (c *Comm) stateFor(root int) (*state, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.states[root]; ok {
+		return st, nil
+	}
+	h, err := c.buildHierarchy(root)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{h: h}
+	for l := 0; l < h.NLevels(); l++ {
+		var lvl []*groupCtl
+		for gi := range h.GroupsAt(l) {
+			g := &h.GroupsAt(l)[gi]
+			ctl := &groupCtl{
+				leader:  g.Leader,
+				acks:    map[int]*atomic.Uint64{},
+				red:     map[int]*atomic.Uint64{},
+				contrib: map[int]*atomic.Value{},
+			}
+			for _, m := range g.Members {
+				ctl.acks[m] = &atomic.Uint64{}
+				ctl.red[m] = &atomic.Uint64{}
+				ctl.contrib[m] = &atomic.Value{}
+			}
+			lvl = append(lvl, ctl)
+		}
+		st.groups = append(st.groups, lvl)
+	}
+	if c.views[0] == nil {
+		for r := 0; r < c.n; r++ {
+			c.views[r] = &view{cum: make([]uint64, 8)}
+		}
+	}
+	c.states[root] = st
+	return st, nil
+}
+
+// spinUntil polls an atomic counter with cooperative yielding.
+func spinUntil(a *atomic.Uint64, v uint64) uint64 {
+	for i := 0; ; i++ {
+		got := a.Load()
+		if got >= v {
+			return got
+		}
+		if i%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (st *state) groupOf(l, rank int) *groupCtl {
+	g, ok := st.h.GroupOf(l, rank)
+	if !ok {
+		return nil
+	}
+	return st.groups[l][g.Index]
+}
+
+func (st *state) pullLevel(rank int) int {
+	pl := -1
+	for l := 0; l < st.h.NLevels(); l++ {
+		if _, ok := st.h.GroupOf(l, rank); !ok {
+			break
+		}
+		if !st.h.IsLeader(l, rank) {
+			pl = l
+		}
+	}
+	return pl
+}
+
+func (st *state) leadLevels(rank int) []int {
+	var out []int
+	for l := 0; l < st.h.NLevels(); l++ {
+		if st.h.IsLeader(l, rank) {
+			out = append(out, l)
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+// Bcast distributes root's buf contents to every participant's buf. All
+// participants must pass equally sized buffers.
+func (c *Comm) Bcast(rank int, buf []byte, root int) {
+	st, err := c.stateFor(root)
+	if err != nil {
+		panic(err)
+	}
+	v := c.views[rank]
+	v.opSeq++
+	n := len(buf)
+
+	lead := st.leadLevels(rank)
+	pl := st.pullLevel(rank)
+
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		ctl.exposed.Store(buf)
+		ctl.expSeq.Store(v.opSeq)
+	}
+	if rank == root {
+		for _, l := range lead {
+			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+		}
+	} else if n > 0 {
+		ctl := st.groupOf(pl, rank)
+		spinUntil(&ctl.expSeq, v.opSeq)
+		src := ctl.exposed.Load().([]byte)
+		base := v.cum[pl]
+		copied := 0
+		for copied < n {
+			want := copied + min(c.cfg.ChunkBytes, n-copied)
+			avail := int(spinUntil(&ctl.ready, base+uint64(want)) - base)
+			if avail > n {
+				avail = n
+			}
+			copy(buf[copied:avail], src[copied:avail])
+			copied = avail
+			for _, l := range lead {
+				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(copied))
+			}
+		}
+	}
+
+	// Hierarchical acknowledgment.
+	if pl >= 0 {
+		st.groupOf(pl, rank).acks[rank].Store(v.opSeq)
+	}
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		for m, a := range ctl.acks {
+			if m != rank {
+				spinUntil(a, v.opSeq)
+			}
+		}
+	}
+	for l := range v.cum {
+		v.cum[l] += uint64(n)
+	}
+}
+
+// AllreduceFloat64 sums src element-wise across all participants into
+// every participant's dst (len(dst) == len(src) everywhere). The reduction
+// is hierarchical with index partitioning among group members.
+func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("gxhc: dst/src length mismatch")
+	}
+	st, _ := c.stateFor(0)
+	v := c.views[rank]
+	v.opSeq++
+	n := len(src)
+
+	lead := st.leadLevels(rank)
+	pl := st.pullLevel(rank)
+
+	// Expose contributions: src at the leaf level, dst (accumulator) above.
+	if pl >= 0 {
+		ctl := st.groupOf(pl, rank)
+		contrib := src
+		if pl > 0 {
+			contrib = dst
+		}
+		ctl.contrib[rank].Store(contrib)
+	}
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		contrib := dst
+		if l == 0 {
+			contrib = src
+		}
+		ctl.contrib[rank].Store(contrib)
+		ctl.exposedF.Store(dst) // accumulator for reducers
+		ctl.expSeq.Store(v.opSeq)
+	}
+	// Leaf contributions are ready immediately.
+	gs0 := st.groupOf(0, rank)
+	gs0.red[rank].Store(v.opSeq * 2) // phase counter: 2k = ready, 2k+1 unused
+
+	// Bottom-up walk. A rank first completes its duties as a leader of
+	// the levels below (wait for the group's reducers, then publish its
+	// own contribution readiness one level up), and only then performs
+	// its reduction share at its pull level — mirroring the dependency
+	// order of the simulated implementation.
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		g, _ := st.h.GroupOf(l, rank)
+		if l == 0 && len(g.Members) == 1 {
+			// Singleton leaf group: the accumulator takes the leader's own
+			// contribution directly.
+			copy(dst, src)
+		}
+		for _, m := range g.Members {
+			if m == rank {
+				continue
+			}
+			spinUntil(ctl.red[m], v.opSeq*2+1)
+		}
+		if l+1 < st.h.NLevels() {
+			st.groupOf(l+1, rank).red[rank].Store(v.opSeq * 2)
+		}
+	}
+	if pl >= 0 && !st.h.IsLeader(pl, rank) {
+		ctl := st.groupOf(pl, rank)
+		// Partition [0,n) among non-leader members.
+		g, _ := st.h.GroupOf(pl, rank)
+		var reducers []int
+		for _, m := range g.Members {
+			if m != ctl.leader {
+				reducers = append(reducers, m)
+			}
+		}
+		idx := 0
+		for i, m := range reducers {
+			if m == rank {
+				idx = i
+				break
+			}
+		}
+		lo := n * idx / len(reducers)
+		hi := n * (idx + 1) / len(reducers)
+		if hi > lo {
+			spinUntil(&ctl.expSeq, v.opSeq)
+			acc := ctl.exposedF.Load().([]float64)
+			// Wait for every member's contribution to be ready.
+			for _, m := range g.Members {
+				spinUntil(ctl.red[m], v.opSeq*2)
+			}
+			leaderContrib := ctl.contrib[ctl.leader].Load().([]float64)
+			if &leaderContrib[0] != &acc[0] {
+				copy(acc[lo:hi], leaderContrib[lo:hi])
+			}
+			for _, m := range g.Members {
+				if m == ctl.leader {
+					continue
+				}
+				mc := ctl.contrib[m].Load().([]float64)
+				for i := lo; i < hi; i++ {
+					acc[i] += mc[i]
+				}
+			}
+		}
+		// Signal slice completion (phase 2k+1).
+		ctl.red[rank].Store(v.opSeq*2 + 1)
+	}
+
+	// Broadcast the result from the internal root (rank 0's dst).
+	top := st.h.TopLeader()
+	if rank == top {
+		for _, l := range lead {
+			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+		}
+	} else {
+		ctl := st.groupOf(pl, rank)
+		base := v.cum[pl]
+		spinUntil(&ctl.ready, base+uint64(n))
+		final := ctl.exposedF.Load().([]float64)
+		if &dst[0] != &final[0] {
+			copy(dst, final)
+		}
+		for _, l := range lead {
+			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+		}
+	}
+
+	// Acknowledgment + counter advance.
+	if pl >= 0 {
+		ctl := st.groupOf(pl, rank)
+		ctl.acks[rank].Store(v.opSeq)
+	}
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		for m, a := range ctl.acks {
+			if m != rank {
+				spinUntil(a, v.opSeq)
+			}
+		}
+	}
+	for l := range v.cum {
+		v.cum[l] += uint64(n)
+	}
+}
+
+// Barrier blocks until every participant has arrived.
+func (c *Comm) Barrier(rank int) {
+	st, _ := c.stateFor(0)
+	v := c.views[rank]
+	v.opSeq++
+	lead := st.leadLevels(rank)
+	pl := st.pullLevel(rank)
+	for _, l := range lead {
+		ctl := st.groupOf(l, rank)
+		for m, a := range ctl.acks {
+			if m != rank {
+				spinUntil(a, v.opSeq)
+			}
+		}
+	}
+	if pl >= 0 {
+		ctl := st.groupOf(pl, rank)
+		ctl.acks[rank].Store(v.opSeq)
+		spinUntil(&ctl.ready, v.cum[pl]+1)
+	}
+	for i := len(lead) - 1; i >= 0; i-- {
+		ctl := st.groupOf(lead[i], rank)
+		ctl.ready.Store(v.cum[lead[i]] + 1)
+	}
+	for l := range v.cum {
+		v.cum[l]++
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

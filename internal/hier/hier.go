@@ -1,0 +1,369 @@
+// Package hier constructs the n-level topology-aware communication
+// hierarchies at the heart of XHC (the paper's Section III-A and Fig. 2).
+//
+// Given a node topology, a rank-to-core mapping and a "sensitivity" list
+// (e.g. numa+socket), it groups neighbouring ranks level by level: level 0
+// groups all ranks by the innermost domain, each group elects a leader, and
+// the leaders of level k become the participants of level k+1. The root
+// rank is always elected leader of every group it belongs to, so it ends up
+// as the single top-level leader (the "internal root").
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xhc/internal/topo"
+)
+
+// Domain names accepted in a Sensitivity, innermost first.
+const (
+	DomainLLC    = "llc"
+	DomainNUMA   = "numa"
+	DomainSocket = "socket"
+)
+
+// Sensitivity is an ordered (inner to outer) list of domain names that the
+// hierarchy should reflect. An empty Sensitivity yields a flat (single
+// level, single group) hierarchy.
+type Sensitivity []string
+
+// ParseSensitivity parses the paper's "numa+socket" notation. "flat" and
+// the empty string yield an empty Sensitivity.
+func ParseSensitivity(s string) (Sensitivity, error) {
+	if s == "" || s == "flat" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "+")
+	sens := make(Sensitivity, 0, len(parts))
+	for _, p := range parts {
+		switch p {
+		case DomainLLC, DomainNUMA, DomainSocket:
+			sens = append(sens, p)
+		default:
+			return nil, fmt.Errorf("hier: unknown domain %q in sensitivity %q", p, s)
+		}
+	}
+	if err := sens.validateOrder(); err != nil {
+		return nil, err
+	}
+	return sens, nil
+}
+
+// domainRank orders domains from innermost to outermost.
+func domainRank(d string) int {
+	switch d {
+	case DomainLLC:
+		return 0
+	case DomainNUMA:
+		return 1
+	case DomainSocket:
+		return 2
+	}
+	return -1
+}
+
+func (s Sensitivity) validateOrder() error {
+	for i := 1; i < len(s); i++ {
+		if domainRank(s[i-1]) >= domainRank(s[i]) {
+			return fmt.Errorf("hier: sensitivity %v not ordered inner to outer", []string(s))
+		}
+	}
+	return nil
+}
+
+// String renders the sensitivity in the paper's "numa+socket" notation.
+func (s Sensitivity) String() string {
+	if len(s) == 0 {
+		return "flat"
+	}
+	return strings.Join(s, "+")
+}
+
+// Group is one communication group at some level of the hierarchy. Members
+// are communicator ranks; the Leader is one of the Members and exchanges
+// data on behalf of the group with same-level leaders.
+type Group struct {
+	Level   int
+	Index   int
+	Members []int
+	Leader  int
+}
+
+// Hierarchy is the constructed multi-level grouping. Levels[0] is the leaf
+// level containing every rank; the last level always has exactly one group
+// whose leader is the root.
+type Hierarchy struct {
+	Sens   Sensitivity
+	Root   int
+	NRanks int
+	Levels [][]Group
+
+	// groupOf[level][rank] is the index of the group rank belongs to at
+	// that level, or -1 if the rank does not participate at that level.
+	groupOf [][]int
+}
+
+// Build constructs the hierarchy for nranks ranks mapped onto top by m,
+// honouring sens, with the given root. Domains in sens that the platform
+// does not provide (llc on ARM-N1) are skipped, matching XHC's behaviour of
+// following whatever structure hwloc actually reports.
+func Build(top *topo.Topology, m topo.Mapping, sens Sensitivity, root int) (*Hierarchy, error) {
+	nranks := len(m)
+	if nranks == 0 {
+		return nil, fmt.Errorf("hier: empty mapping")
+	}
+	if root < 0 || root >= nranks {
+		return nil, fmt.Errorf("hier: root %d out of range [0,%d)", root, nranks)
+	}
+	if err := m.Validate(top); err != nil {
+		return nil, err
+	}
+	if err := sens.validateOrder(); err != nil {
+		return nil, err
+	}
+
+	h := &Hierarchy{Sens: sens, Root: root, NRanks: nranks}
+
+	domainOf := func(dom string, rank int) int {
+		core := m.Core(rank)
+		switch dom {
+		case DomainLLC:
+			return top.LLC(core)
+		case DomainNUMA:
+			return top.NUMA(core)
+		case DomainSocket:
+			return top.Socket(core)
+		}
+		return -1
+	}
+
+	participants := make([]int, nranks)
+	for r := range participants {
+		participants[r] = r
+	}
+
+	for _, dom := range sens {
+		if dom == DomainLLC && !top.HasSharedLLC() {
+			continue // platform has no cache shared between cores
+		}
+		groups := groupBy(participants, func(r int) int { return domainOf(dom, r) }, root)
+		if len(groups) == len(participants) {
+			// Every group is a singleton: the domain adds no structure
+			// (e.g. one rank per NUMA node); skip the level.
+			continue
+		}
+		h.appendLevel(groups)
+		participants = leaders(groups)
+		if len(participants) == 1 {
+			break
+		}
+	}
+
+	// Implicit top level: all remaining leaders in one group. Also covers
+	// the flat case (no sensitivity -> one level, one group of everyone).
+	if len(h.Levels) == 0 || len(participants) > 1 {
+		top := groupBy(participants, func(int) int { return 0 }, root)
+		h.appendLevel(top)
+	}
+
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("hier: built invalid hierarchy: %w", err)
+	}
+	return h, nil
+}
+
+// groupBy partitions ranks by key, sorting groups by key and members by
+// rank, and electing as leader the root if present, else the lowest rank.
+func groupBy(ranks []int, key func(int) int, root int) []Group {
+	byKey := map[int][]int{}
+	for _, r := range ranks {
+		k := key(r)
+		byKey[k] = append(byKey[k], r)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	groups := make([]Group, 0, len(keys))
+	for i, k := range keys {
+		members := byKey[k]
+		sort.Ints(members)
+		leader := members[0]
+		for _, r := range members {
+			if r == root {
+				leader = root
+				break
+			}
+		}
+		groups = append(groups, Group{Index: i, Members: members, Leader: leader})
+	}
+	return groups
+}
+
+func leaders(groups []Group) []int {
+	out := make([]int, len(groups))
+	for i, g := range groups {
+		out[i] = g.Leader
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (h *Hierarchy) appendLevel(groups []Group) {
+	level := len(h.Levels)
+	gof := make([]int, h.NRanks)
+	for i := range gof {
+		gof[i] = -1
+	}
+	for i := range groups {
+		groups[i].Level = level
+		groups[i].Index = i
+		for _, r := range groups[i].Members {
+			gof[r] = i
+		}
+	}
+	h.Levels = append(h.Levels, groups)
+	h.groupOf = append(h.groupOf, gof)
+}
+
+// NLevels returns the number of hierarchy levels.
+func (h *Hierarchy) NLevels() int { return len(h.Levels) }
+
+// GroupsAt returns the groups of one level. The slice must not be modified.
+func (h *Hierarchy) GroupsAt(level int) []Group { return h.Levels[level] }
+
+// GroupOf returns the group that rank belongs to at level, and whether the
+// rank participates at that level at all.
+func (h *Hierarchy) GroupOf(level, rank int) (*Group, bool) {
+	gi := h.groupOf[level][rank]
+	if gi < 0 {
+		return nil, false
+	}
+	return &h.Levels[level][gi], true
+}
+
+// IsLeader reports whether rank leads its group at the given level.
+func (h *Hierarchy) IsLeader(level, rank int) bool {
+	g, ok := h.GroupOf(level, rank)
+	return ok && g.Leader == rank
+}
+
+// TopLevels returns the number of levels at which rank participates
+// (1 for pure members, up to NLevels for the root).
+func (h *Hierarchy) TopLevels(rank int) int {
+	n := 0
+	for l := 0; l < len(h.Levels); l++ {
+		if h.groupOf[l][rank] >= 0 {
+			n++
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+// TopLeader returns the single top-level leader (always the root).
+func (h *Hierarchy) TopLeader() int {
+	top := h.Levels[len(h.Levels)-1]
+	return top[0].Leader
+}
+
+// Parent returns the leader that rank pulls from during a broadcast at the
+// given level: the leader of rank's group. For the leader itself the parent
+// is its own leader one level up.
+func (h *Hierarchy) Parent(level, rank int) (int, bool) {
+	g, ok := h.GroupOf(level, rank)
+	if !ok {
+		return -1, false
+	}
+	return g.Leader, true
+}
+
+// Validate checks the structural invariants:
+//   - level 0 contains every rank exactly once,
+//   - participants of level k+1 are exactly the leaders of level k,
+//   - every leader is a member of its group,
+//   - the last level has one group and its leader is the root.
+func (h *Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("no levels")
+	}
+	seen := make([]int, h.NRanks)
+	for _, g := range h.Levels[0] {
+		for _, r := range g.Members {
+			if r < 0 || r >= h.NRanks {
+				return fmt.Errorf("level 0: rank %d out of range", r)
+			}
+			seen[r]++
+		}
+	}
+	for r, k := range seen {
+		if k != 1 {
+			return fmt.Errorf("level 0: rank %d appears %d times", r, k)
+		}
+	}
+	for l, groups := range h.Levels {
+		for _, g := range groups {
+			if len(g.Members) == 0 {
+				return fmt.Errorf("level %d: empty group", l)
+			}
+			found := false
+			for _, r := range g.Members {
+				if r == g.Leader {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("level %d group %d: leader %d not a member", l, g.Index, g.Leader)
+			}
+		}
+		if l+1 < len(h.Levels) {
+			want := leaders(groups)
+			var got []int
+			for _, g := range h.Levels[l+1] {
+				got = append(got, g.Members...)
+			}
+			sort.Ints(got)
+			if !equalInts(want, got) {
+				return fmt.Errorf("level %d participants %v != level %d leaders %v", l+1, got, l, want)
+			}
+		}
+	}
+	last := h.Levels[len(h.Levels)-1]
+	if len(last) != 1 {
+		return fmt.Errorf("top level has %d groups", len(last))
+	}
+	if last[0].Leader != h.Root {
+		return fmt.Errorf("top leader %d != root %d", last[0].Leader, h.Root)
+	}
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render draws the hierarchy as indented text, Fig. 2 style.
+func (h *Hierarchy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hierarchy %q, root %d, %d levels\n", h.Sens.String(), h.Root, len(h.Levels))
+	for l := len(h.Levels) - 1; l >= 0; l-- {
+		fmt.Fprintf(&b, "  level %d:\n", l)
+		for _, g := range h.Levels[l] {
+			fmt.Fprintf(&b, "    group %d: leader %d, members %v\n", g.Index, g.Leader, g.Members)
+		}
+	}
+	return b.String()
+}

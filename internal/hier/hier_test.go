@@ -1,0 +1,325 @@
+package hier
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xhc/internal/topo"
+)
+
+func numaSocket(t *testing.T) Sensitivity {
+	t.Helper()
+	s, err := ParseSensitivity("numa+socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseSensitivity(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"", "flat", false},
+		{"flat", "flat", false},
+		{"numa", "numa", false},
+		{"numa+socket", "numa+socket", false},
+		{"llc+numa+socket", "llc+numa+socket", false},
+		{"socket+numa", "", true}, // wrong order
+		{"numa+numa", "", true},   // duplicate
+		{"core+numa", "", true},   // unknown
+	}
+	for _, c := range cases {
+		s, err := ParseSensitivity(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSensitivity(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSensitivity(%q): %v", c.in, err)
+			continue
+		}
+		if s.String() != c.want {
+			t.Errorf("ParseSensitivity(%q) = %q, want %q", c.in, s.String(), c.want)
+		}
+	}
+}
+
+// TestFig2Hierarchy reproduces the paper's Fig. 2: a 16-core node with 2
+// sockets and 4 cores per NUMA node, numa+socket sensitivity, resulting in
+// a 3-level hierarchy.
+func TestFig2Hierarchy(t *testing.T) {
+	top := topo.Fig2Demo()
+	m := top.MustMap(topo.MapCore, 16)
+	h, err := Build(top, m, numaSocket(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NLevels() != 3 {
+		t.Fatalf("levels = %d, want 3\n%s", h.NLevels(), h.Render())
+	}
+	if got := len(h.GroupsAt(0)); got != 4 {
+		t.Errorf("level 0 groups = %d, want 4 (NUMA)", got)
+	}
+	if got := len(h.GroupsAt(1)); got != 2 {
+		t.Errorf("level 1 groups = %d, want 2 (socket)", got)
+	}
+	if got := len(h.GroupsAt(2)); got != 1 {
+		t.Errorf("level 2 groups = %d, want 1 (top)", got)
+	}
+	if h.TopLeader() != 0 {
+		t.Errorf("top leader = %d, want 0", h.TopLeader())
+	}
+	// Leaders at level 0 are the lowest rank of each NUMA node.
+	wantLeaders := []int{0, 4, 8, 12}
+	for i, g := range h.GroupsAt(0) {
+		if g.Leader != wantLeaders[i] {
+			t.Errorf("level 0 group %d leader = %d, want %d", i, g.Leader, wantLeaders[i])
+		}
+	}
+}
+
+// TestPaperLevelCounts checks Section V-C: numa+socket gives a 3-level
+// hierarchy on Epyc-2P and ARM-N1, and a 2-level one on single-socket
+// Epyc-1P.
+func TestPaperLevelCounts(t *testing.T) {
+	cases := []struct {
+		top    *topo.Topology
+		nranks int
+		want   int
+	}{
+		{topo.Epyc1P(), 32, 2},
+		{topo.Epyc2P(), 64, 3},
+		{topo.ArmN1(), 160, 3},
+	}
+	for _, c := range cases {
+		m := c.top.MustMap(topo.MapCore, c.nranks)
+		h, err := Build(c.top, m, numaSocket(t), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.top.Name, err)
+		}
+		if h.NLevels() != c.want {
+			t.Errorf("%s: levels = %d, want %d", c.top.Name, h.NLevels(), c.want)
+		}
+	}
+}
+
+func TestFlatHierarchy(t *testing.T) {
+	top := topo.Epyc1P()
+	m := top.MustMap(topo.MapCore, 32)
+	h, err := Build(top, m, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NLevels() != 1 {
+		t.Fatalf("flat levels = %d, want 1", h.NLevels())
+	}
+	g := h.GroupsAt(0)[0]
+	if len(g.Members) != 32 || g.Leader != 5 {
+		t.Errorf("flat group: %d members leader %d, want 32 members leader 5", len(g.Members), g.Leader)
+	}
+}
+
+func TestRootIsAlwaysTopLeader(t *testing.T) {
+	top := topo.Epyc2P()
+	m := top.MustMap(topo.MapCore, 64)
+	sens := numaSocket(t)
+	for _, root := range []int{0, 1, 10, 31, 32, 63} {
+		h, err := Build(top, m, sens, root)
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if h.TopLeader() != root {
+			t.Errorf("root %d: top leader = %d", root, h.TopLeader())
+		}
+		// Root leads its group at every level it participates in.
+		for l := 0; l < h.NLevels(); l++ {
+			if g, ok := h.GroupOf(l, root); ok && g.Leader != root {
+				t.Errorf("root %d not leader at level %d", root, l)
+			}
+		}
+	}
+}
+
+func TestLLCSkippedOnARM(t *testing.T) {
+	sens, err := ParseSensitivity("llc+numa+socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := topo.ArmN1()
+	m := arm.MustMap(topo.MapCore, 160)
+	h, err := Build(arm, m, sens, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// llc is skipped: same 3 levels as numa+socket.
+	if h.NLevels() != 3 {
+		t.Errorf("ARM llc+numa+socket levels = %d, want 3", h.NLevels())
+	}
+
+	epyc := topo.Epyc2P()
+	me := epyc.MustMap(topo.MapCore, 64)
+	he, err := Build(epyc, me, sens, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he.NLevels() != 4 {
+		t.Errorf("Epyc-2P llc+numa+socket levels = %d, want 4", he.NLevels())
+	}
+	if got := len(he.GroupsAt(0)); got != 16 {
+		t.Errorf("Epyc-2P llc level groups = %d, want 16", got)
+	}
+}
+
+func TestSingletonLevelsSkipped(t *testing.T) {
+	// With one rank per NUMA node, the numa level adds no structure and is
+	// skipped.
+	top := topo.Epyc2P()
+	m := top.MustMap(topo.MapNUMA, 8) // 8 ranks, one per NUMA node
+	h, err := Build(top, m, numaSocket(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < h.NLevels(); l++ {
+		groups := h.GroupsAt(l)
+		singles := 0
+		for _, g := range groups {
+			if len(g.Members) == 1 {
+				singles++
+			}
+		}
+		if singles == len(groups) {
+			t.Errorf("level %d consists only of singleton groups\n%s", l, h.Render())
+		}
+	}
+}
+
+func TestGroupOfAndIsLeader(t *testing.T) {
+	top := topo.Epyc2P()
+	m := top.MustMap(topo.MapCore, 64)
+	h, err := Build(top, m, numaSocket(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 9 is a plain member of NUMA group 1 (leader 8).
+	g, ok := h.GroupOf(0, 9)
+	if !ok || g.Leader != 8 {
+		t.Fatalf("GroupOf(0,9): ok=%v leader=%v", ok, g)
+	}
+	if h.IsLeader(0, 9) {
+		t.Error("rank 9 should not lead at level 0")
+	}
+	if !h.IsLeader(0, 8) {
+		t.Error("rank 8 should lead its NUMA group at level 0")
+	}
+	if h.IsLeader(1, 8) {
+		t.Error("rank 8 participates at level 1 but rank 0 leads that socket group")
+	}
+	if g1, ok := h.GroupOf(1, 8); !ok || g1.Leader != 0 {
+		t.Errorf("GroupOf(1,8): ok=%v, want member of group led by 0", ok)
+	}
+	if _, ok := h.GroupOf(1, 9); ok {
+		t.Error("rank 9 should not participate at level 1")
+	}
+	if h.TopLevels(9) != 1 {
+		t.Errorf("TopLevels(9) = %d, want 1", h.TopLevels(9))
+	}
+	if h.TopLevels(0) != 3 {
+		t.Errorf("TopLevels(0) = %d, want 3", h.TopLevels(0))
+	}
+	p, ok := h.Parent(0, 9)
+	if !ok || p != 8 {
+		t.Errorf("Parent(0,9) = %d,%v want 8,true", p, ok)
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	top := topo.Epyc1P()
+	m := top.MustMap(topo.MapCore, 32)
+	h, err := Build(top, m, numaSocket(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: leader not a member.
+	bad := *h
+	bad.Levels = append([][]Group{}, h.Levels...)
+	lvl0 := append([]Group{}, h.Levels[0]...)
+	lvl0[1].Leader = 0 // rank 0 is in group 0, not group 1
+	bad.Levels[0] = lvl0
+	if err := bad.Validate(); err == nil {
+		t.Error("corrupted hierarchy passed validation")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	top := topo.Epyc1P()
+	m := top.MustMap(topo.MapCore, 32)
+	if _, err := Build(top, m, numaSocket(t), -1); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := Build(top, m, numaSocket(t), 32); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := Build(top, topo.Mapping{}, nil, 0); err == nil {
+		t.Error("empty mapping accepted")
+	}
+	if _, err := Build(top, m, Sensitivity{"socket", "numa"}, 0); err == nil {
+		t.Error("mis-ordered sensitivity accepted")
+	}
+}
+
+// Property: for random rank counts, mapping policies, roots and
+// sensitivities, Build yields a hierarchy satisfying Validate, whose top
+// leader is the root.
+func TestBuildPropertyAllPlatforms(t *testing.T) {
+	sensList := []string{"flat", "numa", "socket", "numa+socket", "llc+numa+socket"}
+	for _, top := range topo.Platforms() {
+		top := top
+		f := func(nrSeed, rootSeed, sensSeed, polSeed uint32) bool {
+			nranks := 1 + int(nrSeed)%top.NCores
+			root := int(rootSeed) % nranks
+			sens, err := ParseSensitivity(sensList[int(sensSeed)%len(sensList)])
+			if err != nil {
+				return false
+			}
+			pol := topo.MapCore
+			if polSeed%2 == 1 {
+				pol = topo.MapNUMA
+			}
+			m, err := top.Map(pol, nranks)
+			if err != nil {
+				return false
+			}
+			h, err := Build(top, m, sens, root)
+			if err != nil {
+				return false
+			}
+			return h.Validate() == nil && h.TopLeader() == root
+		}
+		cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(42))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", top.Name, err)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	top := topo.Fig2Demo()
+	m := top.MustMap(topo.MapCore, 16)
+	h, err := Build(top, m, numaSocket(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Render()
+	for _, want := range []string{"3 levels", "level 0", "level 2", "leader 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// TestReadBatchOverlapsFetches: gathering K remote lines in one batch
+// costs far less than K serialized fetches, but more than one fetch.
+func TestReadBatchOverlapsFetches(t *testing.T) {
+	top := topo.Epyc2P()
+	const K = 16
+
+	mkLines := func(s *System) []*Line {
+		lines := make([]*Line, K)
+		for i := range lines {
+			lines[i] = s.NewLine(8 + i) // remote homes
+		}
+		return lines
+	}
+
+	s1 := Default(top)
+	lines1 := mkLines(s1)
+	var batch sim.Duration
+	s1.Eng.Go("w", func(p *sim.Proc) {
+		for _, l := range lines1 {
+			l.Write(p, l.Home())
+		}
+	})
+	if err := s1.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s1.Eng.Go("batch", func(p *sim.Proc) {
+		t0 := p.Now()
+		s1.ReadBatch(p, 0, lines1)
+		batch = p.Now() - t0
+	})
+	if err := s1.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := Default(top)
+	lines2 := mkLines(s2)
+	var serial sim.Duration
+	s2.Eng.Go("w", func(p *sim.Proc) {
+		for _, l := range lines2 {
+			l.Write(p, l.Home())
+		}
+	})
+	if err := s2.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Eng.Go("serial", func(p *sim.Proc) {
+		t0 := p.Now()
+		for _, l := range lines2 {
+			l.Read(p, 0)
+		}
+		serial = p.Now() - t0
+	})
+	if err := s2.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if float64(batch) > 0.5*float64(serial) {
+		t.Errorf("batch %v should be far below serial %v", batch, serial)
+	}
+	single := s1.Params.LineTransfer[topo.IntraNUMA]
+	if batch < single {
+		t.Errorf("batch %v cannot be below one fetch %v", batch, single)
+	}
+}
+
+// TestReadBatchLocalHitsAreSerialButCheap: lines already held locally cost
+// the serial local-hit sum.
+func TestReadBatchLocalHits(t *testing.T) {
+	top := topo.Epyc1P()
+	s := Default(top)
+	lines := make([]*Line, 8)
+	for i := range lines {
+		lines[i] = s.NewLine(0)
+	}
+	var first, second sim.Duration
+	s.Eng.Go("r", func(p *sim.Proc) {
+		t0 := p.Now()
+		s.ReadBatch(p, 0, lines)
+		first = p.Now() - t0
+		t1 := p.Now()
+		s.ReadBatch(p, 0, lines)
+		second = p.Now() - t1
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != 8*s.Params.LineLocalHit {
+		t.Errorf("local batch = %v, want %v", second, 8*s.Params.LineLocalHit)
+	}
+	if first <= 0 {
+		t.Errorf("first batch should cost something, got %v", first)
+	}
+}
+
+// TestDeterministicReplay: an identical multi-process copy workload yields
+// bit-identical timing on two runs (DES determinism through the memory
+// model).
+func TestDeterministicReplay(t *testing.T) {
+	run := func() string {
+		s := Default(topo.Epyc2P())
+		trace := ""
+		src := s.NewBuffer("src", 0, 1<<20)
+		for r := 1; r < 16; r++ {
+			core := r * 3 % s.Topo.NCores
+			name := fmt.Sprintf("r%d", r)
+			s.Eng.Go(name, func(p *sim.Proc) {
+				dst := s.NewBuffer("d", core, 1<<20)
+				p.Sleep(sim.Duration(core) * sim.Nanosecond)
+				s.Copy(p, core, dst, 0, src, 0, 1<<20)
+				trace += fmt.Sprintf("%d@%d;", core, p.Now())
+			})
+		}
+		if err := s.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,153 @@
+package mem
+
+import "fmt"
+
+// domainKey identifies a cache domain that can hold buffer data or cache
+// lines: a private L2, a shared LLC group, or a per-socket SLC.
+type domainKey struct {
+	kind domainKind
+	id   int
+}
+
+type domainKind uint8
+
+const (
+	domainL2 domainKind = iota
+	domainLLC
+	domainSLC
+)
+
+func (k domainKey) String() string {
+	switch k.kind {
+	case domainL2:
+		return fmt.Sprintf("L2#%d", k.id)
+	case domainLLC:
+		return fmt.Sprintf("LLC#%d", k.id)
+	case domainSLC:
+		return fmt.Sprintf("SLC#%d", k.id)
+	}
+	return "?"
+}
+
+// Buffer is a contiguous memory region owned by one rank. Data movement is
+// performed for real on Data, so simulation runs double as correctness
+// checks. Version counts writes; the residency map records which cache
+// domains hold which version, implementing the buffer-granularity cache
+// model (paper Section V-A's osu_bcast caching discussion).
+type Buffer struct {
+	ID        int
+	Label     string
+	Data      []byte
+	HomeNUMA  int // NUMA node whose memory backs the buffer
+	OwnerCore int
+
+	version  int64
+	resident map[domainKey]int64
+}
+
+// NewBuffer allocates an n-byte buffer homed on the NUMA node of core.
+func (s *System) NewBuffer(label string, core int, n int) *Buffer {
+	s.bufSeq++
+	return &Buffer{
+		ID:        s.bufSeq,
+		Label:     label,
+		Data:      make([]byte, n),
+		HomeNUMA:  s.Topo.NUMA(core),
+		OwnerCore: core,
+		resident:  make(map[domainKey]int64),
+	}
+}
+
+// Len returns the buffer length in bytes.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// Version returns the buffer's write-version counter.
+func (b *Buffer) Version() int64 { return b.version }
+
+// MarkWritten records that core wrote to the buffer: all other cached
+// copies become stale, and the writer's domains (if the buffer fits)
+// become the only holders. Application code uses this to model
+// benchmark-side buffer dirtying; internal copy/reduce paths call it
+// automatically for destinations.
+func (s *System) MarkWritten(b *Buffer, core int) {
+	b.version++
+	for k := range b.resident {
+		delete(b.resident, k)
+	}
+	for _, d := range s.coreDomains(core) {
+		if int64(len(b.Data)) <= s.domainShare(d) {
+			b.resident[d] = b.version
+		}
+	}
+}
+
+// markRead records that core pulled the buffer's current contents through
+// its caches.
+func (s *System) markRead(b *Buffer, core int) {
+	for _, d := range s.coreDomains(core) {
+		if int64(len(b.Data)) <= s.domainShare(d) {
+			b.resident[d] = b.version
+		}
+	}
+}
+
+// readSource classifies where core would read the buffer from right now.
+type readSource int
+
+const (
+	srcMemory readSource = iota
+	srcL2
+	srcLLC
+	srcSLC
+)
+
+// lookupSource finds the best cache domain of core currently holding the
+// buffer's current version, falling back to memory.
+func (s *System) lookupSource(b *Buffer, core int) readSource {
+	for _, d := range s.coreDomains(core) {
+		if v, ok := b.resident[d]; ok && v == b.version {
+			switch d.kind {
+			case domainL2:
+				return srcL2
+			case domainLLC:
+				return srcLLC
+			case domainSLC:
+				return srcSLC
+			}
+		}
+	}
+	return srcMemory
+}
+
+// coreDomains lists the cache domains of a core from innermost out.
+func (s *System) coreDomains(core int) []domainKey {
+	if s.Topo.HasSharedLLC() {
+		return []domainKey{{domainLLC, s.Topo.LLC(core)}}
+	}
+	return []domainKey{
+		{domainL2, core},
+		{domainSLC, s.Topo.Socket(core)},
+	}
+}
+
+// domainShare is the per-buffer capacity budget of a cache domain: the
+// domain capacity divided by (sharers * CacheCapacityShare).
+func (s *System) domainShare(d domainKey) int64 {
+	switch d.kind {
+	case domainLLC:
+		return s.Topo.LLCBytes / int64(s.Topo.CoresPerLLC*s.Params.CacheCapacityShare)
+	case domainSLC:
+		sharers := s.Topo.NCores / s.Topo.NSockets
+		return s.Topo.SLCBytes / int64(sharers*s.Params.CacheCapacityShare)
+	case domainL2:
+		// Neoverse N1 class: 1 MiB private L2.
+		return (1 << 20) / int64(s.Params.CacheCapacityShare)
+	}
+	return 0
+}
+
+// Residency reports whether core's innermost cache domain holds the
+// buffer's current contents (exported for tests and the trace package).
+func (s *System) Residency(b *Buffer, core int) bool {
+	return s.lookupSource(b, core) != srcMemory
+}

@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xhc/internal/sim"
+)
+
+// resource is one shared bandwidth capacity (a memory controller, fabric
+// port, link, cache port, or a core's streaming limit).
+type resource struct {
+	name     string
+	capacity float64 // bytes/sec
+
+	// scratch for the max-min solver
+	remCap    float64
+	undecided int
+}
+
+// flow is one in-flight bulk transfer crossing a set of resources.
+type flow struct {
+	id        int
+	res       []*resource
+	remaining float64 // bytes
+	rate      float64 // bytes/sec
+	last      sim.Time
+	version   uint64 // invalidates stale completion events
+	proc      *sim.Proc
+	token     uint64
+	done      bool
+	rateCap   float64 // private per-flow cap (kernel copy engines); 0 = none
+}
+
+// transfer moves n bytes for proc p (running on core) along the given
+// resources, blocking p until the flow completes under max-min fair
+// sharing with all concurrent flows.
+func (s *System) transfer(p *sim.Proc, res []*resource, n int, rateCap float64) {
+	if n <= 0 {
+		return
+	}
+	s.flowSeq++
+	f := &flow{
+		id:        s.flowSeq,
+		res:       res,
+		remaining: float64(n),
+		last:      s.Eng.Now(),
+		proc:      p,
+		rateCap:   rateCap,
+	}
+	s.active[f] = struct{}{}
+	s.Stats.FlowsStarted++
+	s.Stats.BytesMoved += int64(n)
+	if len(s.active) > s.Stats.MaxConcurrent {
+		s.Stats.MaxConcurrent = len(s.active)
+	}
+	s.reschedule()
+	f.token = p.NextSuspendToken()
+	p.Suspend(fmt.Sprintf("flow #%d: %d bytes", f.id, n))
+}
+
+// completeFlow finishes f and wakes its process.
+func (s *System) completeFlow(f *flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	delete(s.active, f)
+	s.reschedule()
+	s.Eng.Wake(f.proc, f.token, s.Eng.Now())
+}
+
+// orderedFlows snapshots the active set sorted by flow id: map iteration
+// order must never influence event ordering or floating-point summation
+// order, or the simulation stops being deterministic.
+func (s *System) orderedFlows() []*flow {
+	out := make([]*flow, 0, len(s.active))
+	for f := range s.active {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// reschedule advances all flows to now, re-solves rates, and reprograms
+// completion events. Called on every flow arrival and departure.
+func (s *System) reschedule() {
+	now := s.Eng.Now()
+	flows := s.orderedFlows()
+	for _, f := range flows {
+		if f.rate > 0 {
+			f.remaining -= f.rate * float64(now-f.last) / float64(sim.Second)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		f.last = now
+	}
+	s.solveRates(flows)
+	for _, f := range flows {
+		f.version++
+		v := f.version
+		var d sim.Duration
+		if f.rate > 0 {
+			d = sim.Duration(f.remaining / f.rate * float64(sim.Second))
+		}
+		if d < 1 && f.remaining > 0 {
+			d = 1
+		}
+		ff := f
+		s.Eng.At(now+d, func() {
+			if ff.version == v && !ff.done {
+				s.completeFlow(ff)
+			}
+		})
+	}
+}
+
+// solveRates computes max-min fair rates: repeatedly find the most
+// constrained resource, freeze the flows it bottlenecks at its fair share,
+// subtract, and continue. Per-flow rate caps are modeled as an implicit
+// private resource.
+func (s *System) solveRates(flows []*flow) {
+	if len(flows) == 0 {
+		return
+	}
+	// Resources in first-seen order over the ordered flows: deterministic.
+	var resList []*resource
+	seen := map[*resource]bool{}
+	for _, f := range flows {
+		f.rate = -1
+		for _, r := range f.res {
+			if !seen[r] {
+				seen[r] = true
+				resList = append(resList, r)
+			}
+		}
+	}
+	for _, r := range resList {
+		r.remCap = r.capacity
+		r.undecided = 0
+	}
+	for _, f := range flows {
+		for _, r := range f.res {
+			r.undecided++
+		}
+	}
+	undecided := len(flows)
+	for undecided > 0 {
+		// Most constrained resource (or flow cap) first.
+		best := math.Inf(1)
+		for _, r := range resList {
+			if r.undecided > 0 {
+				share := r.remCap / float64(r.undecided)
+				if share < best {
+					best = share
+				}
+			}
+		}
+		// A flow's private cap can be tighter than any shared resource.
+		capBound := false
+		for _, f := range flows {
+			if f.rate < 0 && f.rateCap > 0 && f.rateCap < best {
+				best = f.rateCap
+				capBound = true
+			}
+		}
+		progress := 0
+		for _, f := range flows {
+			if f.rate >= 0 {
+				continue
+			}
+			freeze := false
+			if f.rateCap > 0 && f.rateCap <= best {
+				freeze = true
+			}
+			if !freeze && !capBound {
+				for _, r := range f.res {
+					if r.undecided > 0 && r.remCap/float64(r.undecided) <= best {
+						freeze = true
+						break
+					}
+				}
+			}
+			if freeze {
+				rate := best
+				if f.rateCap > 0 && f.rateCap < rate {
+					rate = f.rateCap
+				}
+				f.rate = rate
+				for _, r := range f.res {
+					r.remCap -= rate
+					if r.remCap < 0 {
+						r.remCap = 0
+					}
+					r.undecided--
+				}
+				progress++
+				undecided--
+			}
+		}
+		if progress == 0 {
+			// Numerical corner: freeze everything at the current bound.
+			for _, f := range flows {
+				if f.rate < 0 {
+					f.rate = best
+					for _, r := range f.res {
+						r.remCap -= best
+						if r.remCap < 0 {
+							r.remCap = 0
+						}
+						r.undecided--
+					}
+					undecided--
+				}
+			}
+		}
+	}
+}
+
+// Copy moves n bytes from src[soff:] to dst[doff:] as performed by core,
+// blocking p for the modeled duration and performing the byte copy for
+// real. It updates cache residency of both buffers.
+func (s *System) Copy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer, soff, n int) {
+	if n == 0 {
+		return
+	}
+	if doff < 0 || soff < 0 || doff+n > len(dst.Data) || soff+n > len(src.Data) {
+		panic(fmt.Sprintf("mem: copy out of range: dst[%d:+%d]/%d src[%d:+%d]/%d",
+			doff, n, len(dst.Data), soff, n, len(src.Data)))
+	}
+	lat, res, cap := s.readPath(core, src)
+	res = append(res, s.writeResources(core, dst, n)...)
+	p.Sleep(s.Params.CopyOverhead + lat)
+	s.transfer(p, res, n, cap)
+	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
+	s.markRead(src, core)
+	s.MarkWritten(dst, core)
+}
+
+// KernelCopy is Copy through a kernel-mediated engine (CMA/KNEM): the
+// caller has already paid syscall/lock costs; the stream itself is capped
+// at KernelCopyBW.
+func (s *System) KernelCopy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer, soff, n int) {
+	if n == 0 {
+		return
+	}
+	lat, res, cap := s.readPath(core, src)
+	res = append(res, s.writeResources(core, dst, n)...)
+	p.Sleep(lat)
+	kcap := s.Params.KernelCopyBW
+	if cap > 0 && cap < kcap {
+		kcap = cap // the kernel's copy loop hits the same distance limits
+	}
+	s.transfer(p, res, n, kcap)
+	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
+	s.markRead(src, core)
+	s.MarkWritten(dst, core)
+}
+
+// ChargeRead accounts for core streaming n bytes of src (as a reduction
+// kernel input) without copying them anywhere.
+func (s *System) ChargeRead(p *sim.Proc, core int, src *Buffer, soff, n int) {
+	if n == 0 {
+		return
+	}
+	if soff < 0 || soff+n > len(src.Data) {
+		panic(fmt.Sprintf("mem: read out of range: src[%d:+%d]/%d", soff, n, len(src.Data)))
+	}
+	lat, res, cap := s.readPath(core, src)
+	p.Sleep(s.Params.CopyOverhead + lat)
+	s.transfer(p, res, n, cap)
+	s.markRead(src, core)
+}
+
+// ChargeCompute accounts for a streaming compute kernel over n bytes at
+// the platform's reduction rate.
+func (s *System) ChargeCompute(p *sim.Proc, n int) {
+	p.Sleep(sim.BytesOver(int64(n), s.Params.ReduceBW))
+}
+
+// ActiveFlows returns the number of in-flight transfers (for tests).
+func (s *System) ActiveFlows() int { return len(s.active) }

@@ -1,0 +1,436 @@
+package mem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// run executes body as a single simulated process and returns the virtual
+// time it took.
+func run(t *testing.T, s *System, body func(p *sim.Proc)) sim.Duration {
+	t.Helper()
+	var elapsed sim.Duration
+	s.Eng.Go("test", func(p *sim.Proc) {
+		start := p.Now()
+		body(p)
+		elapsed = p.Now() - start
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func TestCopyMovesData(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	src := s.NewBuffer("src", 0, 1024)
+	dst := s.NewBuffer("dst", 4, 1024)
+	for i := range src.Data {
+		src.Data[i] = byte(i)
+	}
+	run(t, s, func(p *sim.Proc) {
+		s.Copy(p, 4, dst, 0, src, 0, 1024)
+	})
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Error("copy did not move data")
+	}
+	if s.Stats.BytesMoved != 1024 {
+		t.Errorf("BytesMoved = %d", s.Stats.BytesMoved)
+	}
+}
+
+func TestCopyOutOfRangePanics(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	src := s.NewBuffer("src", 0, 16)
+	dst := s.NewBuffer("dst", 0, 16)
+	err := func() (err error) {
+		s.Eng.Go("t", func(p *sim.Proc) {
+			s.Copy(p, 0, dst, 8, src, 0, 16)
+		})
+		return s.Eng.Run()
+	}()
+	if err == nil {
+		t.Error("out-of-range copy should fail the engine")
+	}
+}
+
+// TestDistanceOrdering verifies the paper's Fig. 1a shape: transfer time
+// strictly increases cache-local < intra-NUMA < cross-NUMA < cross-socket.
+func TestDistanceOrdering(t *testing.T) {
+	top := topo.Epyc2P()
+	const n = 1 << 20
+	times := map[topo.DistanceClass]sim.Duration{}
+	for _, c := range []struct {
+		reader int
+		class  topo.DistanceClass
+	}{
+		{1, topo.CacheLocal},
+		{4, topo.IntraNUMA},
+		{8, topo.CrossNUMA},
+		{32, topo.CrossSocket},
+	} {
+		s := Default(top)
+		src := s.NewBuffer("src", 0, n)
+		dst := s.NewBuffer("dst", c.reader, n)
+		reader := c.reader
+		times[c.class] = run(t, s, func(p *sim.Proc) {
+			s.Copy(p, reader, dst, 0, src, 0, n)
+		})
+	}
+	// Cache-local only helps when resident; a cold 1MB copy still reads
+	// from the source's home memory, so cache-local equals intra-NUMA here
+	// and the cross classes must be strictly slower.
+	if !(times[topo.CacheLocal] <= times[topo.IntraNUMA]) {
+		t.Errorf("cache-local %v > intra-numa %v", times[topo.CacheLocal], times[topo.IntraNUMA])
+	}
+	if !(times[topo.IntraNUMA] < times[topo.CrossNUMA]) {
+		t.Errorf("intra-numa %v >= cross-numa %v", times[topo.IntraNUMA], times[topo.CrossNUMA])
+	}
+	if !(times[topo.CrossNUMA] < times[topo.CrossSocket]) {
+		t.Errorf("cross-numa %v >= cross-socket %v", times[topo.CrossNUMA], times[topo.CrossSocket])
+	}
+}
+
+// TestCachedRereadFaster: a second read of an unmodified buffer through the
+// same core is served by the cache (the osu_bcast artifact of Fig. 7).
+func TestCachedRereadFaster(t *testing.T) {
+	top := topo.Epyc1P()
+	const n = 256 << 10 // fits the 1 MiB per-buffer LLC share
+	s := Default(top)
+	src := s.NewBuffer("src", 0, n) // home NUMA 0
+	dst := s.NewBuffer("dst", 8, n) // reader core 8, NUMA 1
+	var first, second sim.Duration
+	run(t, s, func(p *sim.Proc) {
+		t0 := p.Now()
+		s.Copy(p, 8, dst, 0, src, 0, n)
+		first = p.Now() - t0
+		t1 := p.Now()
+		s.Copy(p, 8, dst, 0, src, 0, n)
+		second = p.Now() - t1
+	})
+	if second >= first {
+		t.Errorf("cached re-read not faster: first %v, second %v", first, second)
+	}
+	if !s.Residency(src, 8) {
+		t.Error("source should be LLC-resident after read")
+	}
+}
+
+// TestWriteInvalidatesRemoteCaches: dirtying the source (as the modified
+// osu_bcast_mb benchmark does) makes the next remote read slow again.
+func TestWriteInvalidatesRemoteCaches(t *testing.T) {
+	top := topo.Epyc1P()
+	const n = 256 << 10
+	s := Default(top)
+	src := s.NewBuffer("src", 0, n)
+	dst := s.NewBuffer("dst", 8, n)
+	var warm, afterDirty sim.Duration
+	run(t, s, func(p *sim.Proc) {
+		s.Copy(p, 8, dst, 0, src, 0, n)
+		t1 := p.Now()
+		s.Copy(p, 8, dst, 0, src, 0, n)
+		warm = p.Now() - t1
+		s.MarkWritten(src, 0) // owner dirties the buffer
+		t2 := p.Now()
+		s.Copy(p, 8, dst, 0, src, 0, n)
+		afterDirty = p.Now() - t2
+	})
+	if afterDirty <= warm {
+		t.Errorf("dirtied read should be slow again: warm %v, after dirty %v", warm, afterDirty)
+	}
+}
+
+// TestHugeBufferNotCached: buffers beyond the per-buffer cache share never
+// become resident (the >1 MB regime of Fig. 7).
+func TestHugeBufferNotCached(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	src := s.NewBuffer("src", 0, 4<<20)
+	dst := s.NewBuffer("dst", 8, 4<<20)
+	run(t, s, func(p *sim.Proc) {
+		s.Copy(p, 8, dst, 0, src, 0, 4<<20)
+	})
+	if s.Residency(src, 8) {
+		t.Error("4 MiB buffer should not be LLC-resident")
+	}
+}
+
+// TestFanInCongestion reproduces the Fig. 1b mechanism: N concurrent
+// readers of one home NUMA node slow each other down roughly linearly,
+// while readers of distinct NUMA-local sources do not.
+func TestFanInCongestion(t *testing.T) {
+	top := topo.Epyc1P()
+	const n = 1 << 20
+
+	measure := func(nprocs int, hierarchical bool) sim.Duration {
+		s := Default(top)
+		root := s.NewBuffer("root", 0, n)
+		// Per-NUMA leader buffers for the hierarchical variant.
+		leaders := make([]*Buffer, top.NNUMA)
+		for i := range leaders {
+			leaders[i] = s.NewBuffer(fmt.Sprintf("leader%d", i), top.NUMACores(i)[0], n)
+		}
+		var t0 sim.Duration
+		for r := 0; r < nprocs; r++ {
+			core := r
+			s.Eng.Go(fmt.Sprintf("r%d", r), func(p *sim.Proc) {
+				dst := s.NewBuffer("dst", core, n)
+				src := root
+				if hierarchical && top.NUMA(core) != 0 {
+					src = leaders[top.NUMA(core)]
+				}
+				start := p.Now()
+				s.Copy(p, core, dst, 0, src, 0, n)
+				if core == 1 { // the singled-out rank, NUMA 0 as in the paper
+					t0 = p.Now() - start
+				}
+			})
+		}
+		if err := s.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return t0
+	}
+
+	flat8 := measure(8, false)
+	flat32 := measure(32, false)
+	hier32 := measure(32, true)
+	if flat32 <= flat8 {
+		t.Errorf("flat fan-in should degrade: 8 ranks %v, 32 ranks %v", flat8, flat32)
+	}
+	if float64(flat32) < 1.5*float64(hier32) {
+		t.Errorf("hierarchical should relieve congestion: flat %v vs hier %v", flat32, hier32)
+	}
+}
+
+// TestMaxMinFairness: four flows over distinct home NUMA nodes run at each
+// core's streaming rate; four flows hammering one home NUMA node have to
+// share its memory controller and slow down.
+func TestMaxMinFairness(t *testing.T) {
+	top := topo.Epyc1P()
+	const n = 8 << 20
+	const k = 4
+
+	elapsed := func(homes, readers [k]int) [k]sim.Duration {
+		s := Default(top)
+		var out [k]sim.Duration
+		for i := 0; i < k; i++ {
+			i := i
+			src := s.NewBuffer("src", top.NUMACores(homes[i])[0], n)
+			core := readers[i]
+			s.Eng.Go(fmt.Sprintf("f%d", i), func(p *sim.Proc) {
+				dst := s.NewBuffer("dst", core, n)
+				start := p.Now()
+				s.Copy(p, core, dst, 0, src, 0, n)
+				out[i] = p.Now() - start
+			})
+		}
+		if err := s.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Disjoint: each flow reads from its own NUMA node.
+	disjoint := elapsed([k]int{0, 1, 2, 3}, [k]int{1, 9, 17, 25})
+	// Shared bottleneck: all four sources homed in NUMA 0.
+	shared := elapsed([k]int{0, 0, 0, 0}, [k]int{1, 9, 17, 25})
+	if float64(shared[0]) < 1.3*float64(disjoint[0]) {
+		t.Errorf("shared bottleneck should slow flows: disjoint %v shared %v", disjoint[0], shared[0])
+	}
+}
+
+// TestLineSingleWriterVsAtomics reproduces the Fig. 4 mechanism: N readers
+// polling a single-writer flag line cost far less than N atomic RMWs.
+func TestLineSingleWriterVsAtomics(t *testing.T) {
+	top := topo.ArmN1()
+	const N = 160
+
+	s1 := Default(top)
+	line := s1.NewLine(0)
+	var lastRead sim.Time
+	s1.Eng.Go("writer", func(p *sim.Proc) {
+		line.Write(p, 0)
+	})
+	for r := 1; r < N; r++ {
+		core := r
+		s1.Eng.Go(fmt.Sprintf("r%d", r), func(p *sim.Proc) {
+			line.Read(p, core)
+			if p.Now() > lastRead {
+				lastRead = p.Now()
+			}
+		})
+	}
+	if err := s1.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := Default(top)
+	line2 := s2.NewLine(0)
+	var lastRMW sim.Time
+	for r := 0; r < N; r++ {
+		core := r
+		s2.Eng.Go(fmt.Sprintf("a%d", r), func(p *sim.Proc) {
+			line2.FetchAdd(p, core)
+			if p.Now() > lastRMW {
+				lastRMW = p.Now()
+			}
+		})
+	}
+	if err := s2.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if float64(lastRMW) < 3*float64(lastRead) {
+		t.Errorf("atomics should be much slower under fan-in: reads done %v, RMWs done %v",
+			sim.FmtTime(lastRead), sim.FmtTime(lastRMW))
+	}
+}
+
+// TestLLCPeerAssistance: on Epyc, once one core of a CCX fetched the line,
+// its three cache peers read it locally — the implicit hierarchy of Fig. 10.
+func TestLLCPeerAssistance(t *testing.T) {
+	top := topo.Epyc1P()
+	s := Default(top)
+	line := s.NewLine(0)
+	costs := make([]sim.Duration, 4)
+	s.Eng.Go("seq", func(p *sim.Proc) {
+		line.Write(p, 0)
+		for _, core := range []int{4, 5, 6, 7} { // one CCX, remote from core 0
+			start := p.Now()
+			line.Read(p, core)
+			costs[core-4] = p.Now() - start
+		}
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if costs[1] >= costs[0] || costs[2] >= costs[0] {
+		t.Errorf("LLC peers should hit locally after first fetch: %v", costs)
+	}
+	if s.Stats.LineHits < 3 {
+		t.Errorf("expected 3 line hits, stats: %+v", s.Stats)
+	}
+}
+
+// TestARMNoPeerAssistance: on the SLC platform a fetch helps later readers
+// less: every reader still pays the mesh round-trip (SLC), never a local
+// LLC hit.
+func TestARMNoPeerAssistance(t *testing.T) {
+	top := topo.ArmN1()
+	s := Default(top)
+	line := s.NewLine(0)
+	var c1, c2 sim.Duration
+	s.Eng.Go("seq", func(p *sim.Proc) {
+		line.Write(p, 0)
+		t0 := p.Now()
+		line.Read(p, 1)
+		c1 = p.Now() - t0
+		t1 := p.Now()
+		line.Read(p, 2)
+		c2 = p.Now() - t1
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Core 2 still pays a mesh fetch (no shared LLC with core 1).
+	if c2 < s.Params.LineSLCTransfer {
+		t.Errorf("second ARM reader should still fetch via mesh: %v then %v", c1, c2)
+	}
+}
+
+// TestWaiterWake: a process polling a line via AddWaiter/Suspend is woken
+// by the owner's write.
+func TestWaiterWake(t *testing.T) {
+	top := topo.Epyc1P()
+	s := Default(top)
+	line := s.NewLine(0)
+	var wokenAt sim.Time
+	s.Eng.Go("waiter", func(p *sim.Proc) {
+		line.Read(p, 8)
+		line.AddWaiter(p)
+		p.Suspend("flag wait")
+		line.Read(p, 8)
+		wokenAt = p.Now()
+	})
+	s.Eng.Go("writer", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		line.Write(p, 0)
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt < 10*sim.Microsecond {
+		t.Errorf("waiter woke too early at %v", sim.FmtTime(wokenAt))
+	}
+}
+
+func TestQueueSerializes(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	q := NewQueue()
+	var finish [3]sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Eng.Go(fmt.Sprintf("q%d", i), func(p *sim.Proc) {
+			q.Acquire(p, 100*sim.Nanosecond)
+			finish[i] = p.Now()
+		})
+	}
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finish[0] == finish[1] || finish[1] == finish[2] {
+		t.Errorf("queued acquisitions should serialize: %v", finish)
+	}
+	if q.Waited() == 0 {
+		t.Error("queue should have recorded waiting")
+	}
+}
+
+func TestKernelCopySlowerThanUser(t *testing.T) {
+	top := topo.Epyc1P()
+	const n = 4 << 20
+	su := Default(top)
+	src1 := su.NewBuffer("s", 0, n)
+	dst1 := su.NewBuffer("d", 8, n)
+	user := run(t, su, func(p *sim.Proc) { su.Copy(p, 8, dst1, 0, src1, 0, n) })
+
+	sk := Default(top)
+	src2 := sk.NewBuffer("s", 0, n)
+	dst2 := sk.NewBuffer("d", 8, n)
+	kern := run(t, sk, func(p *sim.Proc) { sk.KernelCopy(p, 8, dst2, 0, src2, 0, n) })
+	if kern <= user {
+		t.Errorf("kernel copy should be slower: user %v kernel %v", user, kern)
+	}
+}
+
+func TestChargeComputeAndRead(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	src := s.NewBuffer("s", 0, 1<<20)
+	d := run(t, s, func(p *sim.Proc) {
+		s.ChargeRead(p, 8, src, 0, 1<<20)
+		s.ChargeCompute(p, 1<<20)
+	})
+	if d <= 0 {
+		t.Error("charges should take time")
+	}
+	if s.Residency(src, 8) != true {
+		t.Error("ChargeRead should warm the reader cache")
+	}
+}
+
+func TestZeroByteOpsFree(t *testing.T) {
+	s := Default(topo.Epyc1P())
+	src := s.NewBuffer("s", 0, 16)
+	dst := s.NewBuffer("d", 1, 16)
+	d := run(t, s, func(p *sim.Proc) {
+		s.Copy(p, 1, dst, 0, src, 0, 0)
+		s.ChargeRead(p, 1, src, 0, 0)
+	})
+	if d != 0 {
+		t.Errorf("zero-byte ops should be free, took %v", d)
+	}
+}

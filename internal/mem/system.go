@@ -1,0 +1,172 @@
+package mem
+
+import (
+	"fmt"
+
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// System is the memory-system model of one node: bandwidth resources,
+// buffers, cache lines and kernel serialization points, advanced by a
+// sim.Engine. All methods must be called from simulated processes (or the
+// engine goroutine); the engine's lockstep execution makes that safe.
+type System struct {
+	Eng    *sim.Engine
+	Topo   *topo.Topology
+	Params Params
+
+	memRes   []*resource // per NUMA node memory controller
+	numaPort []*resource // per NUMA node fabric port
+	xsLink   *resource   // inter-socket link (nil on 1-socket nodes)
+	llcPort  []*resource // per shared-LLC group (Epyc)
+	slcPort  []*resource // per socket SLC (ARM)
+	coreRes  []*resource // per core load/store streaming limit
+
+	active  map[*flow]struct{}
+	flowSeq int
+	bufSeq  int
+
+	// CMALock and KNEMLock model the kernel-internal locks of the CMA and
+	// KNEM single-copy mechanisms; concurrent callers serialize on them.
+	CMALock  *Queue
+	KNEMLock *Queue
+
+	Stats Stats
+}
+
+// Stats aggregates counters useful for tests and for the Table II /
+// registration-cache analyses.
+type Stats struct {
+	FlowsStarted  int64
+	BytesMoved    int64
+	MaxConcurrent int
+	LineFetches   int64
+	LineHits      int64
+	LineRMWs      int64
+	QueueWaitPS   int64 // accumulated line/RMW queue waiting
+}
+
+// NewSystem builds the memory model for a topology with the given params.
+func NewSystem(eng *sim.Engine, t *topo.Topology, p Params) *System {
+	s := &System{
+		Eng:    eng,
+		Topo:   t,
+		Params: p,
+		active: make(map[*flow]struct{}),
+	}
+	for i := 0; i < t.NNUMA; i++ {
+		s.memRes = append(s.memRes, &resource{name: fmt.Sprintf("mem%d", i), capacity: p.MemBW})
+		s.numaPort = append(s.numaPort, &resource{name: fmt.Sprintf("port%d", i), capacity: p.NUMAPortBW})
+	}
+	if t.NSockets > 1 {
+		s.xsLink = &resource{name: "xs", capacity: p.XSocketBW}
+	}
+	for i := 0; i < t.NLLC; i++ {
+		s.llcPort = append(s.llcPort, &resource{name: fmt.Sprintf("llc%d", i), capacity: p.LLCBW})
+	}
+	if !t.HasSharedLLC() {
+		for i := 0; i < t.NSockets; i++ {
+			s.slcPort = append(s.slcPort, &resource{name: fmt.Sprintf("slc%d", i), capacity: p.SLCBW})
+		}
+	}
+	for i := 0; i < t.NCores; i++ {
+		s.coreRes = append(s.coreRes, &resource{name: fmt.Sprintf("core%d", i), capacity: p.CoreCopyBW})
+	}
+	s.CMALock = NewQueue()
+	s.KNEMLock = NewQueue()
+	return s
+}
+
+// Default builds a System with DefaultParams on a fresh engine.
+func Default(t *topo.Topology) *System {
+	return NewSystem(sim.NewEngine(), t, DefaultParams(t))
+}
+
+// readPath resolves the fixed latency, shared resources, and the
+// single-stream rate cap that a read of src by core traverses right now,
+// given current cache residency. The cap models a core's limited number of
+// outstanding misses: remote data streams slower even on an idle machine.
+func (s *System) readPath(core int, src *Buffer) (sim.Duration, []*resource, float64) {
+	p := &s.Params
+	switch s.lookupSource(src, core) {
+	case srcL2:
+		return p.L2HitLat, []*resource{s.coreRes[core]}, 0
+	case srcLLC:
+		return p.LLCHitLat, []*resource{s.llcPort[s.Topo.LLC(core)], s.coreRes[core]}, 0
+	case srcSLC:
+		return p.SLCHitLat, []*resource{s.slcPort[s.Topo.Socket(core)], s.coreRes[core]}, p.StreamBW[topo.IntraNUMA]
+	}
+	home := src.HomeNUMA
+	rn := s.Topo.NUMA(core)
+	lat := p.MemLat
+	res := []*resource{s.memRes[home], s.coreRes[core]}
+	cap := p.StreamBW[topo.IntraNUMA]
+	if home != rn {
+		lat += p.NUMAHopLat
+		cap = p.StreamBW[topo.CrossNUMA]
+		res = append(res, s.numaPort[home], s.numaPort[rn])
+		if s.Topo.NUMASocket(home) != s.Topo.Socket(core) {
+			lat += p.SocketHopLat
+			cap = p.StreamBW[topo.CrossSocket]
+			res = append(res, s.xsLink)
+		}
+	}
+	return lat, res, cap
+}
+
+// writeResources returns the destination-side resources of a copy: the
+// destination NUMA memory controller when the data cannot stay in the
+// writer's cache, plus the fabric path if the destination is remote.
+func (s *System) writeResources(core int, dst *Buffer, n int) []*resource {
+	inner := s.coreDomains(core)[0]
+	if int64(n) <= s.domainShare(inner) {
+		return nil // write-back absorbed by the cache
+	}
+	home := dst.HomeNUMA
+	rn := s.Topo.NUMA(core)
+	res := []*resource{s.memRes[home]}
+	if home != rn {
+		res = append(res, s.numaPort[home], s.numaPort[rn])
+		if s.Topo.NUMASocket(home) != s.Topo.Socket(core) {
+			res = append(res, s.xsLink)
+		}
+	}
+	return res
+}
+
+// Queue is a serialization point with exponential-free deterministic
+// queueing: callers occupy it back to back.
+type Queue struct {
+	nextFree sim.Time
+	waits    int64
+}
+
+// NewQueue returns an idle queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Acquire blocks p until its turn, holding the queue for service time.
+// It returns the time spent waiting (excluding service).
+func (q *Queue) Acquire(p *sim.Proc, service sim.Duration) sim.Duration {
+	now := p.Now()
+	start := now
+	if q.nextFree > start {
+		start = q.nextFree
+	}
+	q.nextFree = start + service
+	wait := start - now
+	q.waits += wait
+	p.Sleep(wait + service)
+	return wait
+}
+
+// HoldUntil extends the queue's busy period to at least t, modeling a
+// lock held across an operation that was charged separately.
+func (q *Queue) HoldUntil(t sim.Time) {
+	if t > q.nextFree {
+		q.nextFree = t
+	}
+}
+
+// Waited returns the cumulative wait time observed at the queue.
+func (q *Queue) Waited() sim.Duration { return q.waits }

@@ -1,0 +1,184 @@
+// Package mpi provides the MPI-like pieces the collective frameworks
+// build on: datatypes, reduction operators, and a point-to-point transport
+// with tag matching, eager and rendezvous protocols over a selectable
+// single-copy mechanism (XPMEM, CMA, KNEM) or copy-in-copy-out.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype enumerates the element types supported by reductions.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Byte Datatype = iota
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Byte:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	}
+	panic(fmt.Sprintf("mpi: unknown datatype %d", int(d)))
+}
+
+// String names the datatype.
+func (d Datatype) String() string {
+	switch d {
+	case Byte:
+		return "byte"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("Datatype(%d)", int(d))
+}
+
+// Op enumerates reduction operators.
+type Op int
+
+// Supported reduction operators.
+const (
+	Sum Op = iota
+	Prod
+	Min
+	Max
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case Sum:
+		return "sum"
+	case Prod:
+		return "prod"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ReduceBytes applies dst[i] = dst[i] op src[i] elementwise over two
+// equally sized byte slices interpreted as dt. Lengths must be equal and a
+// multiple of the element size.
+func ReduceBytes(op Op, dt Datatype, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d != %d", len(dst), len(src)))
+	}
+	es := dt.Size()
+	if len(dst)%es != 0 {
+		panic(fmt.Sprintf("mpi: reduce length %d not a multiple of %s", len(dst), dt))
+	}
+	switch dt {
+	case Byte:
+		for i := range dst {
+			dst[i] = byte(reduceI64(op, int64(dst[i]), int64(src[i])))
+		}
+	case Int32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst[i:]))
+			b := int32(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], uint32(int32(reduceI64(op, int64(a), int64(b)))))
+		}
+	case Int64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], uint64(reduceI64(op, a, b)))
+		}
+	case Float32:
+		for i := 0; i+4 <= len(dst); i += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst[i:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src[i:]))
+			binary.LittleEndian.PutUint32(dst[i:], math.Float32bits(float32(reduceF64(op, float64(a), float64(b)))))
+		}
+	case Float64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(reduceF64(op, a, b)))
+		}
+	}
+}
+
+func reduceI64(op Op, a, b int64) int64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	case Max:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+}
+
+func reduceF64(op Op, a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Min:
+		return math.Min(a, b)
+	case Max:
+		return math.Max(a, b)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+}
+
+// EncodeFloat64s packs values into buf (for tests and applications).
+func EncodeFloat64s(buf []byte, vals []float64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+}
+
+// DecodeFloat64s unpacks len(out) values from buf.
+func DecodeFloat64s(buf []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}
+
+// EncodeInt64s packs values into buf.
+func EncodeInt64s(buf []byte, vals []int64) {
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+}
+
+// DecodeInt64s unpacks len(out) values from buf.
+func DecodeInt64s(buf []byte, out []int64) {
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+}

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatatypeSizes(t *testing.T) {
+	cases := map[Datatype]int{Byte: 1, Int32: 4, Int64: 8, Float32: 4, Float64: 8}
+	for dt, want := range cases {
+		if dt.Size() != want {
+			t.Errorf("%s.Size() = %d, want %d", dt, dt.Size(), want)
+		}
+	}
+}
+
+func TestReduceFloat64Sum(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	ab := make([]byte, 24)
+	bb := make([]byte, 24)
+	EncodeFloat64s(ab, a)
+	EncodeFloat64s(bb, b)
+	ReduceBytes(Sum, Float64, ab, bb)
+	out := make([]float64, 3)
+	DecodeFloat64s(ab, out)
+	for i, want := range []float64{11, 22, 33} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestReduceOpsInt64(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{Sum, 3, 4, 7},
+		{Prod, 3, 4, 12},
+		{Min, 3, 4, 3},
+		{Max, 3, 4, 4},
+		{Min, -5, 2, -5},
+		{Max, -5, 2, 2},
+	}
+	for _, c := range cases {
+		ab := make([]byte, 8)
+		bb := make([]byte, 8)
+		EncodeInt64s(ab, []int64{c.a})
+		EncodeInt64s(bb, []int64{c.b})
+		ReduceBytes(c.op, Int64, ab, bb)
+		out := make([]int64, 1)
+		DecodeInt64s(ab, out)
+		if out[0] != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, out[0], c.want)
+		}
+	}
+}
+
+func TestReduceInt32AndFloat32(t *testing.T) {
+	a32 := []byte{1, 0, 0, 0, 255, 255, 255, 255} // [1, -1]
+	b32 := []byte{2, 0, 0, 0, 2, 0, 0, 0}         // [2, 2]
+	ReduceBytes(Sum, Int32, a32, b32)
+	if a32[0] != 3 {
+		t.Errorf("int32 sum first elem = %d", a32[0])
+	}
+
+	af := make([]byte, 8)
+	bf := make([]byte, 8)
+	be32 := func(buf []byte, i int, v float32) {
+		bits := math.Float32bits(v)
+		buf[i] = byte(bits)
+		buf[i+1] = byte(bits >> 8)
+		buf[i+2] = byte(bits >> 16)
+		buf[i+3] = byte(bits >> 24)
+	}
+	be32(af, 0, 1.5)
+	be32(af, 4, -2)
+	be32(bf, 0, 2.5)
+	be32(bf, 4, 7)
+	ReduceBytes(Max, Float32, af, bf)
+	got := math.Float32frombits(uint32(af[0]) | uint32(af[1])<<8 | uint32(af[2])<<16 | uint32(af[3])<<24)
+	if got != 2.5 {
+		t.Errorf("float32 max = %v, want 2.5", got)
+	}
+}
+
+func TestReduceByte(t *testing.T) {
+	a := []byte{1, 200}
+	b := []byte{2, 100}
+	ReduceBytes(Sum, Byte, a, b)
+	if a[0] != 3 || a[1] != byte(300%256) {
+		t.Errorf("byte sum = %v", a)
+	}
+}
+
+func TestReduceMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ReduceBytes(Sum, Float64, make([]byte, 8), make([]byte, 16)) },
+		func() { ReduceBytes(Sum, Float64, make([]byte, 12), make([]byte, 12)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: sum-reduce is commutative and associative over int64 (exact
+// arithmetic), matching a scalar reference.
+func TestReduceProperty(t *testing.T) {
+	f := func(xs, ys []int64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		xs, ys = xs[:n], ys[:n]
+		ab := make([]byte, n*8)
+		bb := make([]byte, n*8)
+		EncodeInt64s(ab, xs)
+		EncodeInt64s(bb, ys)
+		ReduceBytes(Sum, Int64, ab, bb)
+		out := make([]int64, n)
+		DecodeInt64s(ab, out)
+		for i := range out {
+			if out[i] != xs[i]+ys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xhc/internal/env"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+func pair(t *testing.T, cfg Config) (*env.World, *P2P) {
+	t.Helper()
+	top := topo.Epyc2P()
+	w := env.NewWorld(top, top.MustMap(topo.MapCore, 64))
+	return w, NewP2P(w, cfg)
+}
+
+func fill(b []byte, seed byte) {
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+}
+
+func TestEagerExchange(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	src := w.NewBufferAt("s", 0, 512)
+	dst := w.NewBufferAt("d", 1, 512)
+	fill(src.Data, 9)
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			p.Send(ep, 1, 42, src, 0, 512)
+		case 1:
+			p.Recv(ep, 0, 42, dst, 0, 512)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Error("eager payload mismatch")
+	}
+}
+
+func TestRendezvousAllMechanisms(t *testing.T) {
+	const n = 256 << 10
+	for _, mech := range []Mechanism{XPMEM, CMA, KNEM, CICO} {
+		mech := mech
+		t.Run(string(mech), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mechanism = mech
+			w, p := pair(t, cfg)
+			src := w.NewBufferAt("s", 0, n)
+			dst := w.NewBufferAt("d", 8, n)
+			fill(src.Data, 1)
+			if err := w.Run(func(ep *env.Proc) {
+				switch ep.Rank {
+				case 0:
+					p.Send(ep, 8, 7, src, 0, n)
+				case 8:
+					p.Recv(ep, 0, 7, dst, 0, n)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(src.Data, dst.Data) {
+				t.Error("payload mismatch")
+			}
+		})
+	}
+}
+
+// TestMechanismOrdering reproduces the Fig. 3 shape for a single large
+// transfer: XPMEM (cached) < KNEM < CMA, and CICO slowest.
+func TestMechanismOrdering(t *testing.T) {
+	const n = 1 << 20
+	lat := map[Mechanism]sim.Duration{}
+	for _, mech := range []Mechanism{XPMEM, CMA, KNEM, CICO} {
+		cfg := DefaultConfig()
+		cfg.Mechanism = mech
+		w, p := pair(t, cfg)
+		src := w.NewBufferAt("s", 0, n)
+		dst := w.NewBufferAt("d", 8, n)
+		var d sim.Duration
+		if err := w.Run(func(ep *env.Proc) {
+			switch ep.Rank {
+			case 0:
+				// Warm up the mapping (registration cache), as OSU does.
+				p.Send(ep, 8, 1, src, 0, n)
+				p.Send(ep, 8, 2, src, 0, n)
+			case 8:
+				p.Recv(ep, 0, 1, dst, 0, n)
+				start := ep.Now()
+				p.Recv(ep, 0, 2, dst, 0, n)
+				d = ep.Now() - start
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		lat[mech] = d
+	}
+	if !(lat[XPMEM] < lat[KNEM] && lat[KNEM] < lat[CMA]) {
+		t.Errorf("want xpmem < knem < cma, got %v", lat)
+	}
+	if lat[CICO] <= lat[XPMEM] {
+		t.Errorf("CICO %v should be slower than XPMEM %v", lat[CICO], lat[XPMEM])
+	}
+}
+
+// TestXPMEMRegCacheMatters: without the registration cache every
+// rendezvous pays attach+detach, much slower (Fig. 3 dashed bars).
+func TestXPMEMRegCacheMatters(t *testing.T) {
+	const n = 64 << 10
+	timeFor := func(regcache bool) sim.Duration {
+		cfg := DefaultConfig()
+		cfg.RegCache = regcache
+		w, p := pair(t, cfg)
+		src := w.NewBufferAt("s", 0, n)
+		dst := w.NewBufferAt("d", 8, n)
+		var d sim.Duration
+		if err := w.Run(func(ep *env.Proc) {
+			switch ep.Rank {
+			case 0:
+				for i := 0; i < 10; i++ {
+					p.Send(ep, 8, i, src, 0, n)
+				}
+			case 8:
+				start := ep.Now()
+				for i := 0; i < 10; i++ {
+					p.Recv(ep, 0, i, dst, 0, n)
+				}
+				d = ep.Now() - start
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	with := timeFor(true)
+	without := timeFor(false)
+	if float64(without) < 1.5*float64(with) {
+		t.Errorf("no-regcache should be much slower: with %v, without %v", with, without)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	a := w.NewBufferAt("a", 0, 64)
+	b := w.NewBufferAt("b", 0, 64)
+	ra := w.NewBufferAt("ra", 1, 64)
+	rb := w.NewBufferAt("rb", 1, 64)
+	fill(a.Data, 10)
+	fill(b.Data, 77)
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			p.Send(ep, 1, 1, a, 0, 64)
+			p.Send(ep, 1, 2, b, 0, 64)
+		case 1:
+			// Receive in reverse tag order.
+			p.Recv(ep, 0, 2, rb, 0, 64)
+			p.Recv(ep, 0, 1, ra, 0, 64)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Data, ra.Data) || !bytes.Equal(b.Data, rb.Data) {
+		t.Error("out-of-order tag matching delivered wrong payloads")
+	}
+}
+
+func TestManyEagerMessagesFlowControl(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	const k = 200
+	src := w.NewBufferAt("s", 0, 256)
+	dst := w.NewBufferAt("d", 1, 256)
+	got := 0
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			for i := 0; i < k; i++ {
+				p.Send(ep, 1, i, src, 0, 256)
+			}
+		case 1:
+			for i := 0; i < k; i++ {
+				p.Recv(ep, 0, i, dst, 0, 256)
+				got++
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Errorf("received %d, want %d", got, k)
+	}
+}
+
+func TestSizeMismatchFails(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	src := w.NewBufferAt("s", 0, 64)
+	dst := w.NewBufferAt("d", 1, 64)
+	err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			p.Send(ep, 1, 1, src, 0, 64)
+		case 1:
+			p.Recv(ep, 0, 1, dst, 0, 32)
+		}
+	})
+	if err == nil {
+		t.Error("size mismatch should fail the run")
+	}
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	buf := w.NewBufferAt("b", 0, 8)
+	err := w.Run(func(ep *env.Proc) {
+		if ep.Rank == 0 {
+			p.Send(ep, 0, 0, buf, 0, 8)
+		}
+	})
+	if err == nil {
+		t.Error("self-send should fail")
+	}
+}
+
+func TestOnMessageHook(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	var events []string
+	p.OnMessage = func(src, dst, n int) {
+		events = append(events, fmt.Sprintf("%d>%d:%d", src, dst, n))
+	}
+	src := w.NewBufferAt("s", 0, 128)
+	dst := w.NewBufferAt("d", 3, 128)
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			p.Send(ep, 3, 0, src, 0, 128)
+		case 3:
+			p.Recv(ep, 0, 0, dst, 0, 128)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != "0>3:128" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+// TestBidirectionalPingPong runs the osu_latency pattern both ways.
+func TestBidirectionalPingPong(t *testing.T) {
+	w, p := pair(t, DefaultConfig())
+	b0 := w.NewBufferAt("b0", 0, 4096)
+	b1 := w.NewBufferAt("b1", 8, 4096)
+	iters := 20
+	var rtts []sim.Duration
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			for i := 0; i < iters; i++ {
+				start := ep.Now()
+				p.Send(ep, 8, i, b0, 0, 4096)
+				p.Recv(ep, 8, i, b0, 0, 4096)
+				rtts = append(rtts, ep.Now()-start)
+			}
+		case 8:
+			for i := 0; i < iters; i++ {
+				p.Recv(ep, 0, i, b1, 0, 4096)
+				p.Send(ep, 0, i, b1, 0, 4096)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rtts) != iters {
+		t.Fatalf("rtts = %d", len(rtts))
+	}
+	for _, r := range rtts {
+		if r <= 0 {
+			t.Error("non-positive RTT")
+		}
+	}
+}
+
+// TestLargeCICOPipelined moves more data than the ring size, exercising
+// wraparound and flow control.
+func TestLargeCICOPipelined(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mechanism = CICO
+	cfg.RingBytes = 64 << 10
+	cfg.ChunkBytes = 16 << 10
+	w, p := pair(t, cfg)
+	const n = 1 << 20
+	src := w.NewBufferAt("s", 0, n)
+	dst := w.NewBufferAt("d", 8, n)
+	fill(src.Data, 5)
+	if err := w.Run(func(ep *env.Proc) {
+		switch ep.Rank {
+		case 0:
+			p.Send(ep, 8, 0, src, 0, n)
+		case 8:
+			p.Recv(ep, 0, 0, dst, 0, n)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src.Data, dst.Data) {
+		t.Error("CICO pipelined payload mismatch")
+	}
+}

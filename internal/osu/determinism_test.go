@@ -1,0 +1,45 @@
+package osu
+
+import (
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+// TestBenchDeterminism: the whole stack (engine, memory model, XHC) is
+// deterministic — identical benchmark configurations produce bit-identical
+// latencies.
+func TestBenchDeterminism(t *testing.T) {
+	run := func() []Result {
+		b := Bench{Topo: topo.Epyc1P(), NRanks: 32, Component: "xhc-tree",
+			Warmup: 2, Iters: 4, Dirty: true}
+		rs, err := b.Bcast([]int{4, 16 << 10, 256 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("size %d: %+v != %+v", a[i].Size, a[i], b[i])
+		}
+	}
+}
+
+// TestAllreduceDeterminism covers the leader progress loop (polling) too.
+func TestAllreduceDeterminism(t *testing.T) {
+	run := func() []Result {
+		b := Bench{Topo: topo.Epyc1P(), NRanks: 32, Component: "xhc-tree",
+			Warmup: 1, Iters: 3, Dirty: true}
+		rs, err := b.Allreduce([]int{64 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	a, b := run(), run()
+	if a[0] != b[0] {
+		t.Errorf("%+v != %+v", a[0], b[0])
+	}
+}

@@ -1,0 +1,247 @@
+// Package osu reimplements the microbenchmark methodology of the OSU
+// suite (v5.8) as used in the paper: warmup runs plus measured iterations
+// reporting mean latency — together with the authors' "_mb" modification
+// that alters the transmitted buffer before every iteration so that cache
+// effects of repeated identical broadcasts do not flatter cache-unaware
+// implementations (paper Section V-A, Fig. 7).
+package osu
+
+import (
+	"fmt"
+
+	"xhc/internal/coll"
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+// Bench describes one microbenchmark configuration.
+type Bench struct {
+	// Topo and Policy/NRanks place the job (defaults: map-core, all cores).
+	Topo   *topo.Topology
+	Policy topo.MapPolicy
+	NRanks int
+
+	// Component is a coll registry name; Custom (if set) overrides it.
+	Component string
+	Custom    coll.Builder
+
+	// Warmup and Iters control the measurement loop.
+	Warmup, Iters int
+
+	// Dirty enables the paper's _mb variant: the source buffers are
+	// rewritten before every iteration.
+	Dirty bool
+
+	// Root is the broadcast root.
+	Root int
+
+	// Params overrides the memory model (nil: platform defaults).
+	Params *mem.Params
+}
+
+// Result is one row of an OSU-style report.
+type Result struct {
+	Size   int
+	AvgLat float64 // microseconds, mean over ranks and iterations
+	MinLat float64
+	MaxLat float64
+}
+
+// String renders the row like osu_bcast output.
+func (r Result) String() string {
+	return fmt.Sprintf("%8s %12.2f %12.2f %12.2f",
+		stats.SizeLabel(r.Size), r.AvgLat, r.MinLat, r.MaxLat)
+}
+
+// DefaultSizes is the paper's 4 B – 4 MiB sweep.
+func DefaultSizes() []int {
+	var out []int
+	for n := 4; n <= 4<<20; n *= 4 {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (b Bench) defaults() Bench {
+	if b.Policy == "" {
+		b.Policy = topo.MapCore
+	}
+	if b.NRanks == 0 {
+		b.NRanks = b.Topo.NCores
+	}
+	if b.Warmup == 0 {
+		b.Warmup = 4
+	}
+	if b.Iters == 0 {
+		b.Iters = 10
+	}
+	return b
+}
+
+// world builds a fresh world (and component) for one measurement.
+func (b Bench) world() (*env.World, coll.Component, error) {
+	m, err := b.Topo.Map(b.Policy, b.NRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w *env.World
+	if b.Params != nil {
+		w = env.NewWorldParams(b.Topo, m, *b.Params)
+	} else {
+		w = env.NewWorld(b.Topo, m)
+	}
+	builder := b.Custom
+	if builder == nil {
+		c, err := coll.New(b.Component, w)
+		return w, c, err
+	}
+	c, err := builder(w)
+	return w, c, err
+}
+
+// Bcast measures broadcast latency for each size (osu_bcast / osu_bcast_mb).
+func (b Bench) Bcast(sizes []int) ([]Result, error) {
+	b = b.defaults()
+	var out []Result
+	for _, n := range sizes {
+		w, c, err := b.world()
+		if err != nil {
+			return nil, err
+		}
+		bufs := make([]*mem.Buffer, b.NRanks)
+		for r := range bufs {
+			bufs[r] = w.NewBufferAt(fmt.Sprintf("osu.b%d", r), r, n)
+		}
+		var lats []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < b.Warmup+b.Iters; it++ {
+				if b.Dirty && p.Rank == b.Root {
+					p.Dirty(bufs[p.Rank])
+				}
+				p.HarnessBarrier()
+				t0 := p.Now()
+				c.Bcast(p, bufs[p.Rank], 0, n, b.Root)
+				d := p.Now() - t0
+				if it >= b.Warmup {
+					lats = append(lats, sim.Micros(d))
+				}
+				p.HarnessBarrier()
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu bcast %s n=%d: %w", b.Component, n, err)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
+	}
+	return out, nil
+}
+
+// Allreduce measures allreduce latency per size (osu_allreduce[_mb]).
+func (b Bench) Allreduce(sizes []int) ([]Result, error) {
+	b = b.defaults()
+	var out []Result
+	for _, n := range sizes {
+		if n%8 != 0 && n >= 8 {
+			n -= n % 8
+		}
+		dt := mpi.Float64
+		if n < 8 {
+			dt = mpi.Byte
+		}
+		w, c, err := b.world()
+		if err != nil {
+			return nil, err
+		}
+		sb := make([]*mem.Buffer, b.NRanks)
+		rb := make([]*mem.Buffer, b.NRanks)
+		for r := range sb {
+			sb[r] = w.NewBufferAt(fmt.Sprintf("osu.s%d", r), r, n)
+			rb[r] = w.NewBufferAt(fmt.Sprintf("osu.r%d", r), r, n)
+		}
+		var lats []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < b.Warmup+b.Iters; it++ {
+				if b.Dirty {
+					p.Dirty(sb[p.Rank])
+				}
+				p.HarnessBarrier()
+				t0 := p.Now()
+				c.Allreduce(p, sb[p.Rank], rb[p.Rank], n, dt, mpi.Sum)
+				d := p.Now() - t0
+				if it >= b.Warmup {
+					lats = append(lats, sim.Micros(d))
+				}
+				p.HarnessBarrier()
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu allreduce %s n=%d: %w", b.Component, n, err)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
+	}
+	return out, nil
+}
+
+// Latency measures one-way point-to-point latency between two specific
+// ranks (osu_latency: half the ping-pong round trip), with the transport
+// configured by cfg.
+func Latency(top *topo.Topology, coreA, coreB int, cfg mpi.Config, sizes []int, warmup, iters int, params *mem.Params) ([]Result, error) {
+	if warmup == 0 {
+		warmup = 4
+	}
+	if iters == 0 {
+		iters = 10
+	}
+	var out []Result
+	for _, n := range sizes {
+		m := topo.Mapping{coreA, coreB}
+		if err := m.Validate(top); err != nil {
+			return nil, err
+		}
+		var w *env.World
+		if params != nil {
+			w = env.NewWorldParams(top, m, *params)
+		} else {
+			w = env.NewWorld(top, m)
+		}
+		p2p := mpi.NewP2P(w, cfg)
+		b0 := w.NewBufferAt("lat.b0", 0, n)
+		b1 := w.NewBufferAt("lat.b1", 1, n)
+		var rtts []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < warmup+iters; it++ {
+				if p.Rank == 0 {
+					p.Dirty(b0)
+					t0 := p.Now()
+					p2p.Send(p, 1, it, b0, 0, n)
+					p2p.Recv(p, 1, it, b0, 0, n)
+					if it >= warmup {
+						rtts = append(rtts, sim.Micros(p.Now()-t0)/2)
+					}
+				} else {
+					p2p.Recv(p, 0, it, b1, 0, n)
+					p.Dirty(b1)
+					p2p.Send(p, 0, it, b1, 0, n)
+				}
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu latency n=%d: %w", n, err)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(rtts), MinLat: stats.Min(rtts), MaxLat: stats.Max(rtts)})
+	}
+	return out, nil
+}
+
+// Report renders results as an OSU-style table.
+func Report(title string, rs []Result) string {
+	t := &stats.Table{Header: []string{"Size", "Avg(us)", "Min(us)", "Max(us)"}}
+	for _, r := range rs {
+		t.Add(stats.SizeLabel(r.Size),
+			fmt.Sprintf("%.2f", r.AvgLat),
+			fmt.Sprintf("%.2f", r.MinLat),
+			fmt.Sprintf("%.2f", r.MaxLat))
+	}
+	return "# " + title + "\n" + t.String()
+}

@@ -1,0 +1,98 @@
+package osu
+
+import (
+	"strings"
+	"testing"
+
+	"xhc/internal/mpi"
+	"xhc/internal/topo"
+)
+
+func TestBcastBenchRuns(t *testing.T) {
+	b := Bench{Topo: topo.Epyc1P(), NRanks: 32, Component: "xhc-tree", Warmup: 2, Iters: 3, Dirty: true}
+	rs, err := b.Bcast([]int{4, 4096, 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.AvgLat <= 0 || r.MinLat > r.AvgLat || r.AvgLat > r.MaxLat {
+			t.Errorf("inconsistent result %+v", r)
+		}
+	}
+	if rs[2].AvgLat <= rs[0].AvgLat {
+		t.Errorf("64K (%v us) should cost more than 4B (%v us)", rs[2].AvgLat, rs[0].AvgLat)
+	}
+}
+
+func TestAllreduceBenchRuns(t *testing.T) {
+	b := Bench{Topo: topo.Epyc1P(), NRanks: 32, Component: "xhc-tree", Warmup: 1, Iters: 2, Dirty: true}
+	rs, err := b.Allreduce([]int{8, 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].AvgLat <= 0 {
+		t.Fatalf("results: %+v", rs)
+	}
+}
+
+func TestDirtyMattersForFlatBcast(t *testing.T) {
+	// The Fig. 7 effect: without dirtying, the flat tree's medium-size
+	// latency is flattered by cache hits.
+	base := Bench{Topo: topo.Epyc2P(), NRanks: 64, Component: "xhc-flat", Warmup: 3, Iters: 5}
+	sizes := []int{64 << 10}
+	clean, err := base.Bcast(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := base
+	dirty.Dirty = true
+	dirtied, err := dirty.Bcast(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtied[0].AvgLat <= clean[0].AvgLat {
+		t.Errorf("dirty (%v) should be slower than cached (%v)", dirtied[0].AvgLat, clean[0].AvgLat)
+	}
+}
+
+func TestLatencyPairs(t *testing.T) {
+	top := topo.Epyc2P()
+	cfg := mpi.DefaultConfig()
+	near, err := Latency(top, 0, 1, cfg, []int{4096}, 2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Latency(top, 0, 32, cfg, []int{4096}, 2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far[0].AvgLat <= near[0].AvgLat {
+		t.Errorf("cross-socket latency (%v) should exceed cache-local (%v)", far[0].AvgLat, near[0].AvgLat)
+	}
+}
+
+func TestUnknownComponent(t *testing.T) {
+	b := Bench{Topo: topo.Epyc1P(), NRanks: 8, Component: "bogus"}
+	if _, err := b.Bcast([]int{4}); err == nil {
+		t.Error("unknown component accepted")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	s := Report("osu_bcast", []Result{{Size: 4, AvgLat: 1.5, MinLat: 1.2, MaxLat: 1.9}})
+	for _, want := range []string{"osu_bcast", "Size", "1.50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if sizes[0] != 4 || sizes[len(sizes)-1] != 4<<20 {
+		t.Errorf("DefaultSizes = %v", sizes)
+	}
+}

@@ -1,0 +1,183 @@
+package shm
+
+import (
+	"fmt"
+	"testing"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+func TestSingleWriterEnforced(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	f := NewFlag(s, "f", 0)
+	s.Eng.Go("intruder", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-owner write should panic")
+			}
+		}()
+		f.Set(p, 3, 1)
+	})
+	_ = s.Eng.Run()
+}
+
+func TestFlagBackwardsPanics(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	f := NewFlag(s, "f", 0)
+	err := func() error {
+		s.Eng.Go("owner", func(p *sim.Proc) {
+			f.Set(p, 0, 5)
+			f.Set(p, 0, 4)
+		})
+		return s.Eng.Run()
+	}()
+	if err == nil {
+		t.Error("backwards set should fail the run")
+	}
+}
+
+func TestWaitGEWakesOnWrite(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	f := NewFlag(s, "counter", 0)
+	var observed uint64
+	var when sim.Time
+	s.Eng.Go("reader", func(p *sim.Proc) {
+		observed = f.WaitGE(p, 8, 3)
+		when = p.Now()
+	})
+	s.Eng.Go("owner", func(p *sim.Proc) {
+		for v := uint64(1); v <= 3; v++ {
+			p.Sleep(1 * sim.Microsecond)
+			f.Set(p, 0, v)
+		}
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed < 3 {
+		t.Errorf("observed %d, want >= 3", observed)
+	}
+	if when < 3*sim.Microsecond {
+		t.Errorf("reader returned at %s, before the third write", sim.FmtTime(when))
+	}
+}
+
+func TestWaitGEImmediate(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	f := NewFlag(s, "f", 0)
+	s.Eng.Go("owner", func(p *sim.Proc) {
+		f.Set(p, 0, 10)
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	s.Eng.Go("reader", func(p *sim.Proc) {
+		got = f.WaitGE(p, 5, 10)
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("got %d, want 10", got)
+	}
+}
+
+func TestManyWaitersAllWake(t *testing.T) {
+	s := mem.Default(topo.Epyc2P())
+	f := NewFlag(s, "go", 0)
+	done := 0
+	for r := 1; r < 64; r++ {
+		core := r
+		s.Eng.Go(fmt.Sprintf("w%d", r), func(p *sim.Proc) {
+			f.WaitGE(p, core, 1)
+			done++
+		})
+	}
+	s.Eng.Go("owner", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		f.Set(p, 0, 1)
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 63 {
+		t.Errorf("done = %d, want 63", done)
+	}
+}
+
+func TestAtomicFetchAddSerializesAndCounts(t *testing.T) {
+	s := mem.Default(topo.ArmN1())
+	f := NewAtomicFlag(s, "ctr", 0)
+	olds := map[uint64]bool{}
+	for r := 0; r < 40; r++ {
+		core := r
+		s.Eng.Go(fmt.Sprintf("a%d", r), func(p *sim.Proc) {
+			old := f.FetchAdd(p, core, 1)
+			if olds[old] {
+				t.Errorf("duplicate old value %d: fetch-add not serialized", old)
+			}
+			olds[old] = true
+		})
+	}
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Peek() != 40 {
+		t.Errorf("final = %d, want 40", f.Peek())
+	}
+}
+
+func TestAtomicWaitGE(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	f := NewAtomicFlag(s, "ctr", 0)
+	var done bool
+	s.Eng.Go("waiter", func(p *sim.Proc) {
+		f.WaitGE(p, 31, 8)
+		done = true
+	})
+	for r := 0; r < 8; r++ {
+		core := r
+		s.Eng.Go(fmt.Sprintf("inc%d", r), func(p *sim.Proc) {
+			p.Sleep(sim.Microsecond * sim.Duration(core+1))
+			f.FetchAdd(p, core, 1)
+		})
+	}
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("waiter did not complete")
+	}
+}
+
+// TestSharedLineFalseSharing: two flags on one line; a write to flag A
+// invalidates readers of flag B (they pay a fetch on their next read).
+func TestSharedLineFalseSharing(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	line := s.NewLine(0)
+	fa := NewFlagOnLine(s, "a", 0, line)
+	fb := NewFlagOnLine(s, "b", 0, line)
+	var cheap, costly sim.Duration
+	s.Eng.Go("seq", func(p *sim.Proc) {
+		// Reader on a far core warms the line via flag B.
+		fb.Read(p, 8)
+		t0 := p.Now()
+		fb.Read(p, 8)
+		cheap = p.Now() - t0
+		p.Sleep(sim.Microsecond)
+		// Owner writes flag A -> same line -> B's reader must refetch.
+		fa.Set(p, 0, 1)
+		t1 := p.Now()
+		fb.Read(p, 8)
+		costly = p.Now() - t1
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if costly <= cheap {
+		t.Errorf("false sharing should make re-read costly: %v vs %v", cheap, costly)
+	}
+}

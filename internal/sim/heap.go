@@ -1,0 +1,70 @@
+package sim
+
+// event is a scheduled callback. Events fire in (at, seq) order, making
+// simultaneous events deterministic: first scheduled, first fired.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events ordered by (at, seq).
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// peekTime returns the timestamp of the earliest event; ok is false when
+// the heap is empty.
+func (h *eventHeap) peekTime() (Time, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].at, true
+}

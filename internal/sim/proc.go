@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process. Its function runs on a dedicated goroutine,
+// but only while the engine has handed it control; every blocking method
+// returns control to the engine.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng    *Engine
+	resume chan struct{}
+	yield  chan struct{}
+
+	finished   bool
+	waitReason string
+
+	// suspendToken invalidates stale wakeups: each Suspend call gets a new
+	// token, and Wake calls carrying an old token are ignored.
+	suspendToken uint64
+	suspended    bool
+}
+
+// run is the goroutine body wrapping the user function.
+func (p *Proc) run(fn func(*Proc)) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.eng.fail(fmt.Errorf("sim: process %s(#%d) panicked: %v\n%s",
+				p.Name, p.ID, r, debug.Stack()))
+		}
+		p.finished = true
+		p.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// yieldToEngine parks the goroutine until the engine resumes it.
+func (p *Proc) yieldToEngine() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep advances this process's virtual time by d (elapsing simulated work
+// or latency). Other processes run in the meantime.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %d", d))
+	}
+	p.waitReason = fmt.Sprintf("sleeping %s until %s", FmtTime(d), FmtTime(p.eng.now+d))
+	p.eng.At(p.eng.now+d, func() { p.eng.step(p) })
+	p.yieldToEngine()
+	p.waitReason = ""
+}
+
+// Until sleeps until absolute virtual time t (no-op if t <= Now).
+func (p *Proc) Until(t Time) {
+	if t <= p.eng.now {
+		return
+	}
+	p.Sleep(t - p.eng.now)
+}
+
+// YieldStep reschedules the process behind all events already pending at
+// the current timestamp, without advancing time.
+func (p *Proc) YieldStep() {
+	p.waitReason = "yield"
+	p.eng.At(p.eng.now, func() { p.eng.step(p) })
+	p.yieldToEngine()
+	p.waitReason = ""
+}
+
+// Suspend parks the process indefinitely; some other party must call Wake.
+// The reason string appears in deadlock reports. It returns a token that
+// identifies this particular suspension.
+func (p *Proc) Suspend(reason string) uint64 {
+	p.suspendToken++
+	p.suspended = true
+	p.waitReason = reason
+	tok := p.suspendToken
+	p.yieldToEngine()
+	p.suspended = false
+	p.waitReason = ""
+	return tok
+}
+
+// NextSuspendToken returns the token that the process's *next* Suspend
+// call will receive. A signaler may capture it before the process suspends
+// (while the process still holds control) to arm a wake for precisely that
+// suspension.
+func (p *Proc) NextSuspendToken() uint64 { return p.suspendToken + 1 }
+
+// Wake schedules p to resume at time t, if it is still in the suspension
+// identified by token. Stale or duplicate wakeups are ignored, so several
+// signalers may race to wake the same process.
+func (e *Engine) Wake(p *Proc, token uint64, t Time) {
+	e.At(t, func() {
+		if p.suspended && p.suspendToken == token {
+			p.suspended = false // consume before stepping: step may re-suspend
+			e.step(p)
+		}
+	})
+}
+
+// Finished reports whether the process function has returned.
+func (p *Proc) Finished() bool { return p.finished }

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := FmtTime(c.t); got != c.want {
+			t.Errorf("FmtTime(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	// 1 GiB/s, 1 byte -> ~0.93 ns, rounded up from exact ps math.
+	d := BytesOver(1, 1<<30)
+	if d <= 0 {
+		t.Fatalf("BytesOver(1, 1GiB/s) = %d", d)
+	}
+	// 20 GB/s, 20 bytes -> exactly 1 ns.
+	if d := BytesOver(20, 20e9); d != Nanosecond {
+		t.Errorf("BytesOver(20, 20GB/s) = %d, want %d", d, Nanosecond)
+	}
+	if BytesOver(0, 1e9) != 0 || BytesOver(5, 0) != 0 {
+		t.Error("degenerate BytesOver should be 0")
+	}
+	// Never undercounts (beyond float epsilon): d must be at least the
+	// exact real-valued duration, up to 1 ps of rounding.
+	f := func(n uint32, bwExp uint8) bool {
+		bw := float64(uint64(1) << (10 + bwExp%25)) // 1KiB/s .. 32TiB/s
+		d := BytesOver(int64(n), bw)
+		return float64(d)+1 >= float64(n)/bw*float64(Second)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same time: later seq fires later
+	e.At(20, func() { order = append(order, 4) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("final time = %d, want 20", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleepInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, fmt.Sprintf("a0@%d", p.Now()))
+		p.Sleep(10)
+		trace = append(trace, fmt.Sprintf("a1@%d", p.Now()))
+		p.Sleep(20)
+		trace = append(trace, fmt.Sprintf("a2@%d", p.Now()))
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(15)
+		trace = append(trace, fmt.Sprintf("b1@%d", p.Now()))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a0@0 a1@10 b1@15 a2@30"
+	if got := strings.Join(trace, " "); got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	e := NewEngine()
+	var woken Time = -1
+	var token uint64
+	// The waiter is spawned first, so it publishes its upcoming suspend
+	// token (via NextSuspendToken, before blocking) before the signaler
+	// ever runs.
+	waiter := e.Go("waiter", func(p *Proc) {
+		token = p.NextSuspendToken()
+		got := p.Suspend("waiting for signal")
+		if got != token {
+			t.Errorf("suspend token = %d, want %d", got, token)
+		}
+		woken = p.Now()
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(100)
+		p.Engine().Wake(waiter, token, p.Now()+7)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 107 {
+		t.Errorf("woken at %d, want 107", woken)
+	}
+}
+
+func TestStaleWakeIgnored(t *testing.T) {
+	e := NewEngine()
+	var wakes int
+	var tok1, tok2 uint64
+	waiter := e.Go("waiter", func(p *Proc) {
+		tok1 = p.NextSuspendToken()
+		p.Suspend("first wait")
+		wakes++
+		tok2 = p.NextSuspendToken()
+		p.Suspend("second wait")
+		wakes++
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(10)
+		// Wake twice with the same token: the second fires while the
+		// waiter is already in its next suspension and must be ignored.
+		p.Engine().Wake(waiter, tok1, p.Now()+1)
+		p.Engine().Wake(waiter, tok1, p.Now()+2)
+		p.Sleep(10)
+		if tok2 == tok1 {
+			t.Error("suspend tokens should differ")
+		}
+		p.Engine().Wake(waiter, tok2, p.Now()+1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 2 {
+		t.Errorf("wakes = %d, want 2", wakes)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Go("stuck", func(p *Proc) {
+		p.Suspend("waiting for a signal that never comes")
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	if !strings.Contains(err.Error(), "never comes") {
+		t.Errorf("deadlock error should carry wait reason: %v", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Go("bomb", func(p *Proc) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestYieldStepOrdersBehindPending(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a-before")
+		p.YieldStep()
+		order = append(order, "a-after")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a-before b a-after"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("order = %q, want %q", got, want)
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childTime Time = -1
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(50)
+		p.Engine().Go("child", func(c *Proc) {
+			c.Sleep(5)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 55 {
+		t.Errorf("child finished at %d, want 55", childTime)
+	}
+}
+
+// TestDeterminism runs a randomized workload twice with the same seed and
+// requires identical event traces.
+func TestDeterminism(t *testing.T) {
+	runOnce := func(seed int64) string {
+		e := NewEngine()
+		var trace strings.Builder
+		rng := rand.New(rand.NewSource(seed))
+		delays := make([][]Duration, 8)
+		for i := range delays {
+			for j := 0; j < 20; j++ {
+				delays[i] = append(delays[i], Duration(rng.Intn(100)))
+			}
+		}
+		for i := 0; i < 8; i++ {
+			i := i
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for _, d := range delays[i] {
+					p.Sleep(d)
+					fmt.Fprintf(&trace, "%d@%d;", i, p.Now())
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace.String()
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		a, b := runOnce(seed), runOnce(seed)
+		if a != b {
+			t.Fatalf("seed %d: non-deterministic traces:\n%s\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestManyProcs exercises the handshake at scale (as many procs as the
+// largest platform has cores).
+func TestManyProcs(t *testing.T) {
+	e := NewEngine()
+	var sum atomic.Int64
+	for i := 0; i < 160; i++ {
+		i := i
+		e.Go(fmt.Sprintf("r%d", i), func(p *Proc) {
+			p.Sleep(Duration(i))
+			sum.Add(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 160 {
+		t.Errorf("completed %d procs, want 160", sum.Load())
+	}
+	if e.Now() != 159 {
+		t.Errorf("final time %d, want 159", e.Now())
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	// Pushing random events and popping yields nondecreasing (at, seq).
+	f := func(times []uint16) bool {
+		var h eventHeap
+		for i, tt := range times {
+			h.push(event{at: Time(tt), seq: uint64(i)})
+		}
+		var prev event
+		first := true
+		for h.Len() > 0 {
+			ev := h.pop()
+			if !first {
+				if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
+					return false
+				}
+			}
+			prev, first = ev, false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var h eventHeap
+	if _, ok := h.peekTime(); ok {
+		t.Error("empty heap peek should report !ok")
+	}
+	h.push(event{at: 42})
+	if at, ok := h.peekTime(); !ok || at != 42 {
+		t.Errorf("peekTime = %d,%v", at, ok)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	e.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep should panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	_ = e.Run()
+}
+
+func TestUntil(t *testing.T) {
+	e := NewEngine()
+	e.Go("p", func(p *Proc) {
+		p.Until(100)
+		if p.Now() != 100 {
+			t.Errorf("Until(100): now = %d", p.Now())
+		}
+		p.Until(50) // in the past: no-op
+		if p.Now() != 100 {
+			t.Errorf("Until(50) moved time to %d", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Errorf("odd Median = %v", Median([]float64{5, 1, 3}))
+	}
+	sd := Stddev(xs)
+	if math.Abs(sd-1.2909944487) > 1e-9 {
+		t.Errorf("Stddev = %v", sd)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 5) != 2 {
+		t.Errorf("Speedup(10,5) = %v", Speedup(10, 5))
+	}
+	if Speedup(10, 0) != 0 {
+		t.Errorf("Speedup(10,0) = %v", Speedup(10, 0))
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{4: "4", 1024: "1K", 4096: "4K", 1 << 20: "1M", 4 << 20: "4M", 1500: "1500"}
+	for in, want := range cases {
+		if got := SizeLabel(in); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMaxBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Map inputs into a bounded range: the invariant is about ordinary
+		// measurements, not float-overflow edge cases.
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = math.Mod(x, 1e6)
+		}
+		mn, mx, mean := Min(xs), Max(xs), Mean(xs)
+		return mn <= mean && mean <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Size", "Lat"}}
+	tb.Add("4", "1.25")
+	tb.Add("1M", "310.00")
+	s := tb.String()
+	if !strings.Contains(s, "Size") || !strings.Contains(s, "310.00") {
+		t.Errorf("table:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}

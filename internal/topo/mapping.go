@@ -1,0 +1,90 @@
+package topo
+
+import "fmt"
+
+// A Mapping assigns MPI ranks to cores: Mapping[rank] == core id.
+// The paper's Fig. 9a compares two launch-time policies: sequential
+// ("map-core", OpenMPI --map-by core) and NUMA-round-robin ("map-numa",
+// --map-by numa).
+type Mapping []int
+
+// MapPolicy names a rank-to-core mapping policy.
+type MapPolicy string
+
+const (
+	// MapCore assigns ranks to cores sequentially: rank i -> core i.
+	MapCore MapPolicy = "map-core"
+	// MapNUMA assigns ranks to NUMA nodes round-robin: consecutive ranks
+	// land on different NUMA nodes.
+	MapNUMA MapPolicy = "map-numa"
+)
+
+// Map builds a Mapping of nranks ranks onto t with the given policy.
+// It returns an error for unknown policies or if nranks exceeds the number
+// of cores (the paper never oversubscribes).
+func (t *Topology) Map(policy MapPolicy, nranks int) (Mapping, error) {
+	if nranks <= 0 || nranks > t.NCores {
+		return nil, fmt.Errorf("topo: cannot map %d ranks onto %d cores", nranks, t.NCores)
+	}
+	m := make(Mapping, nranks)
+	switch policy {
+	case MapCore:
+		for r := 0; r < nranks; r++ {
+			m[r] = r
+		}
+	case MapNUMA:
+		// Round-robin over NUMA nodes, taking the next free core of each.
+		next := make([]int, t.NNUMA)
+		r := 0
+		for r < nranks {
+			placed := false
+			for n := 0; n < t.NNUMA && r < nranks; n++ {
+				cores := t.numaCores[n]
+				if next[n] < len(cores) {
+					m[r] = cores[next[n]]
+					next[n]++
+					r++
+					placed = true
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("topo: map-numa ran out of cores at rank %d", r)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("topo: unknown mapping policy %q", policy)
+	}
+	return m, nil
+}
+
+// MustMap is Map that panics on error, for statically valid shapes.
+func (t *Topology) MustMap(policy MapPolicy, nranks int) Mapping {
+	m, err := t.Map(policy, nranks)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Validate checks that the mapping targets distinct, in-range cores.
+func (m Mapping) Validate(t *Topology) error {
+	seen := make(map[int]bool, len(m))
+	for r, c := range m {
+		if c < 0 || c >= t.NCores {
+			return fmt.Errorf("topo: rank %d mapped to out-of-range core %d", r, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("topo: core %d assigned to more than one rank", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Core returns the core that rank r runs on.
+func (m Mapping) Core(r int) int { return m[r] }
+
+// RankDistance classifies the distance between the cores of two ranks.
+func (m Mapping) RankDistance(t *Topology, a, b int) DistanceClass {
+	return t.Distance(m[a], m[b])
+}

@@ -1,0 +1,110 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapCoreSequential(t *testing.T) {
+	top := Epyc2P()
+	m := top.MustMap(MapCore, 64)
+	for r := 0; r < 64; r++ {
+		if m.Core(r) != r {
+			t.Fatalf("map-core rank %d -> core %d", r, m.Core(r))
+		}
+	}
+	if err := m.Validate(top); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapNUMARoundRobin(t *testing.T) {
+	top := Epyc2P() // 8 NUMA nodes of 8 cores
+	m := top.MustMap(MapNUMA, 64)
+	if err := m.Validate(top); err != nil {
+		t.Fatal(err)
+	}
+	// First 8 ranks land on 8 distinct NUMA nodes.
+	seen := map[int]bool{}
+	for r := 0; r < 8; r++ {
+		n := top.NUMA(m.Core(r))
+		if seen[n] {
+			t.Errorf("rank %d reuses NUMA %d within first round", r, n)
+		}
+		seen[n] = true
+	}
+	// Consecutive ranks are never NUMA-local in the first full rounds.
+	for r := 0; r+1 < 16; r++ {
+		if top.NUMA(m.Core(r)) == top.NUMA(m.Core(r+1)) {
+			t.Errorf("map-numa ranks %d,%d share a NUMA node", r, r+1)
+		}
+	}
+}
+
+func TestMapNUMAFullOccupancy(t *testing.T) {
+	for _, top := range Platforms() {
+		m, err := top.Map(MapNUMA, top.NCores)
+		if err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+		if err := m.Validate(top); err != nil {
+			t.Fatalf("%s: %v", top.Name, err)
+		}
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	top := Epyc1P()
+	if _, err := top.Map(MapCore, 0); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := top.Map(MapCore, top.NCores+1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := top.Map(MapPolicy("bogus"), 4); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestMappingsArePermutations(t *testing.T) {
+	for _, top := range Platforms() {
+		for _, pol := range []MapPolicy{MapCore, MapNUMA} {
+			f := func(nr uint8) bool {
+				n := 1 + int(nr)%top.NCores
+				m, err := top.Map(pol, n)
+				if err != nil {
+					return false
+				}
+				return m.Validate(top) == nil && len(m) == n
+			}
+			if err := quick.Check(f, nil); err != nil {
+				t.Errorf("%s/%s: %v", top.Name, pol, err)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadMappings(t *testing.T) {
+	top := Epyc1P()
+	if err := (Mapping{0, 0}).Validate(top); err == nil {
+		t.Error("duplicate core accepted")
+	}
+	if err := (Mapping{-1}).Validate(top); err == nil {
+		t.Error("negative core accepted")
+	}
+	if err := (Mapping{top.NCores}).Validate(top); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}
+
+func TestRankDistance(t *testing.T) {
+	top := Epyc2P()
+	m := top.MustMap(MapCore, 64)
+	if d := m.RankDistance(top, 0, 32); d != CrossSocket {
+		t.Errorf("ranks 0,32 distance = %v, want cross-socket", d)
+	}
+	mn := top.MustMap(MapNUMA, 64)
+	if d := mn.RankDistance(top, 0, 1); d == CacheLocal || d == SelfCore {
+		t.Errorf("map-numa ranks 0,1 distance = %v, want distant", d)
+	}
+}

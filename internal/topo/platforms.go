@@ -1,0 +1,86 @@
+package topo
+
+// The three evaluation platforms of the paper's Table I.
+//
+//	Codename  Processor            Arch    Cores  NUMA  Sockets
+//	Epyc-1P   1x AMD Epyc 7551P    x86_64  32     4     1
+//	Epyc-2P   2x AMD Epyc 7501     x86_64  64     8     2
+//	ARM-N1    2x ARM Neoverse N1   arm64   160    8     2
+//
+// The Epyc "Naples" parts group 4 cores per CCX sharing an 8 MB L3 slice;
+// the ARM-N1 (Ampere Altra class) system has only private per-core L1/L2
+// and a 32 MB per-socket system-level cache behind the CMN-600 mesh.
+
+// Epyc1P returns the single-socket AMD Epyc 7551P platform.
+func Epyc1P() *Topology {
+	return MustNew(Config{
+		Name:          "Epyc-1P",
+		Arch:          "x86_64",
+		Sockets:       1,
+		NUMAPerSocket: 4,
+		CoresPerNUMA:  8,
+		CoresPerLLC:   4,
+		LLCBytes:      8 << 20,
+	})
+}
+
+// Epyc2P returns the dual-socket AMD Epyc 7501 platform.
+func Epyc2P() *Topology {
+	return MustNew(Config{
+		Name:          "Epyc-2P",
+		Arch:          "x86_64",
+		Sockets:       2,
+		NUMAPerSocket: 4,
+		CoresPerNUMA:  8,
+		CoresPerLLC:   4,
+		LLCBytes:      8 << 20,
+	})
+}
+
+// ArmN1 returns the dual-socket ARM Neoverse N1 platform (160 cores, no
+// shared LLC, per-socket system-level cache).
+func ArmN1() *Topology {
+	return MustNew(Config{
+		Name:          "ARM-N1",
+		Arch:          "arm64",
+		Sockets:       2,
+		NUMAPerSocket: 4,
+		CoresPerNUMA:  20,
+		CoresPerLLC:   0,
+		SLCBytes:      32 << 20,
+	})
+}
+
+// Fig2Demo returns the hypothetical 16-core, 2-socket, 4-cores-per-NUMA
+// system used for the paper's Fig. 2 hierarchy illustration.
+func Fig2Demo() *Topology {
+	return MustNew(Config{
+		Name:          "Fig2-Demo",
+		Arch:          "x86_64",
+		Sockets:       2,
+		NUMAPerSocket: 2,
+		CoresPerNUMA:  4,
+		CoresPerLLC:   4,
+		LLCBytes:      8 << 20,
+	})
+}
+
+// Platforms returns the three Table I evaluation platforms in paper order.
+func Platforms() []*Topology {
+	return []*Topology{Epyc1P(), Epyc2P(), ArmN1()}
+}
+
+// ByName returns the platform with the given codename, or nil.
+func ByName(name string) *Topology {
+	switch name {
+	case "Epyc-1P", "epyc-1p", "epyc1p":
+		return Epyc1P()
+	case "Epyc-2P", "epyc-2p", "epyc2p":
+		return Epyc2P()
+	case "ARM-N1", "arm-n1", "armn1":
+		return ArmN1()
+	case "Fig2-Demo", "fig2", "fig2-demo":
+		return Fig2Demo()
+	}
+	return nil
+}

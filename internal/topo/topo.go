@@ -1,0 +1,299 @@
+// Package topo models the internal structure of a multicore node: the
+// socket / NUMA-node / last-level-cache / core containment tree, distances
+// between cores, and rank-to-core mapping policies.
+//
+// It plays the role that hwloc (Portable Hardware Locality) plays for the
+// paper's XHC component: discovering where each core sits so that the
+// hierarchy construction in package hier can group neighbouring cores.
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DistanceClass classifies the topological distance between two cores.
+// The paper's Fig. 1a measures transfer performance per class: transfers
+// between cores sharing a last-level cache are fastest, then intra-NUMA,
+// then cross-NUMA, and cross-socket transfers are slowest.
+type DistanceClass int
+
+const (
+	// SelfCore is the distance from a core to itself.
+	SelfCore DistanceClass = iota
+	// CacheLocal means the two cores share a last-level cache (e.g. an
+	// AMD Epyc CCX). Not present on systems without shared LLCs (ARM-N1).
+	CacheLocal
+	// IntraNUMA means same NUMA node but no shared LLC.
+	IntraNUMA
+	// CrossNUMA means same socket, different NUMA nodes.
+	CrossNUMA
+	// CrossSocket means different sockets (not applicable on 1-socket nodes).
+	CrossSocket
+)
+
+// String returns the paper's name for the distance class.
+func (d DistanceClass) String() string {
+	switch d {
+	case SelfCore:
+		return "self"
+	case CacheLocal:
+		return "cache-local"
+	case IntraNUMA:
+		return "intra-numa"
+	case CrossNUMA:
+		return "cross-numa"
+	case CrossSocket:
+		return "cross-socket"
+	}
+	return fmt.Sprintf("DistanceClass(%d)", int(d))
+}
+
+// Topology describes one multicore node. Cores are identified by dense ids
+// in [0, NCores). The containment tree is regular: every socket has the
+// same number of NUMA nodes, every NUMA node the same number of cores, and
+// (when present) every shared LLC group the same number of cores.
+type Topology struct {
+	// Name is the platform codename (e.g. "Epyc-2P").
+	Name string
+	// Arch is the ISA name, as in the paper's Table I.
+	Arch string
+
+	// NCores, NNUMA, NSockets give the totals of Table I.
+	NCores   int
+	NNUMA    int
+	NSockets int
+
+	// NLLC is the number of shared-LLC core groups, 0 when the platform
+	// has no cache level shared between neighbouring cores (ARM-N1).
+	NLLC int
+
+	// CoresPerLLC is the size of a shared-LLC group (0 when NLLC == 0).
+	CoresPerLLC int
+
+	// CacheLineBytes is the coherence granule (64 on all three platforms).
+	CacheLineBytes int
+
+	// LLCBytes is the capacity of one shared LLC group, 0 when absent.
+	LLCBytes int64
+	// SLCBytes is the capacity of the per-socket system-level cache on
+	// mesh-based platforms (ARM-N1); 0 when the platform has shared LLCs.
+	SLCBytes int64
+
+	coreSocket []int
+	coreNUMA   []int
+	coreLLC    []int // -1 entries when NLLC == 0
+	numaSocket []int
+	numaCores  [][]int
+	llcCores   [][]int
+	sockCores  [][]int
+}
+
+// Config is the input to New: a regular description of a node.
+type Config struct {
+	Name           string
+	Arch           string
+	Sockets        int
+	NUMAPerSocket  int
+	CoresPerNUMA   int
+	CoresPerLLC    int // 0: no cache shared between cores
+	CacheLineBytes int
+	LLCBytes       int64
+	SLCBytes       int64
+}
+
+// New builds a Topology from a regular Config. It returns an error if the
+// configuration is not internally consistent (e.g. an LLC group size that
+// does not divide the NUMA node size).
+func New(cfg Config) (*Topology, error) {
+	if cfg.Sockets <= 0 || cfg.NUMAPerSocket <= 0 || cfg.CoresPerNUMA <= 0 {
+		return nil, fmt.Errorf("topo: non-positive shape %d/%d/%d",
+			cfg.Sockets, cfg.NUMAPerSocket, cfg.CoresPerNUMA)
+	}
+	if cfg.CoresPerLLC < 0 {
+		return nil, fmt.Errorf("topo: negative CoresPerLLC %d", cfg.CoresPerLLC)
+	}
+	if cfg.CoresPerLLC > 0 && cfg.CoresPerNUMA%cfg.CoresPerLLC != 0 {
+		return nil, fmt.Errorf("topo: CoresPerLLC %d does not divide CoresPerNUMA %d",
+			cfg.CoresPerLLC, cfg.CoresPerNUMA)
+	}
+	if cfg.CacheLineBytes <= 0 {
+		cfg.CacheLineBytes = 64
+	}
+
+	t := &Topology{
+		Name:           cfg.Name,
+		Arch:           cfg.Arch,
+		NSockets:       cfg.Sockets,
+		NNUMA:          cfg.Sockets * cfg.NUMAPerSocket,
+		NCores:         cfg.Sockets * cfg.NUMAPerSocket * cfg.CoresPerNUMA,
+		CoresPerLLC:    cfg.CoresPerLLC,
+		CacheLineBytes: cfg.CacheLineBytes,
+		LLCBytes:       cfg.LLCBytes,
+		SLCBytes:       cfg.SLCBytes,
+	}
+	if cfg.CoresPerLLC > 0 {
+		t.NLLC = t.NCores / cfg.CoresPerLLC
+	}
+
+	t.coreSocket = make([]int, t.NCores)
+	t.coreNUMA = make([]int, t.NCores)
+	t.coreLLC = make([]int, t.NCores)
+	t.numaSocket = make([]int, t.NNUMA)
+	t.numaCores = make([][]int, t.NNUMA)
+	t.sockCores = make([][]int, t.NSockets)
+	if t.NLLC > 0 {
+		t.llcCores = make([][]int, t.NLLC)
+	}
+
+	for c := 0; c < t.NCores; c++ {
+		numa := c / cfg.CoresPerNUMA
+		sock := numa / cfg.NUMAPerSocket
+		t.coreNUMA[c] = numa
+		t.coreSocket[c] = sock
+		t.numaCores[numa] = append(t.numaCores[numa], c)
+		t.sockCores[sock] = append(t.sockCores[sock], c)
+		if t.NLLC > 0 {
+			llc := c / cfg.CoresPerLLC
+			t.coreLLC[c] = llc
+			t.llcCores[llc] = append(t.llcCores[llc], c)
+		} else {
+			t.coreLLC[c] = -1
+		}
+	}
+	for n := 0; n < t.NNUMA; n++ {
+		t.numaSocket[n] = n / cfg.NUMAPerSocket
+	}
+	return t, nil
+}
+
+// MustNew is New for statically-known configurations; it panics on error.
+func MustNew(cfg Config) *Topology {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// HasSharedLLC reports whether neighbouring cores share a last-level cache.
+func (t *Topology) HasSharedLLC() bool { return t.NLLC > 0 }
+
+// Socket returns the socket index of core c.
+func (t *Topology) Socket(c int) int { return t.coreSocket[c] }
+
+// NUMA returns the NUMA node index of core c.
+func (t *Topology) NUMA(c int) int { return t.coreNUMA[c] }
+
+// LLC returns the shared-LLC group index of core c, or -1 when the
+// platform has no cache shared between cores.
+func (t *Topology) LLC(c int) int { return t.coreLLC[c] }
+
+// NUMASocket returns the socket that NUMA node n belongs to.
+func (t *Topology) NUMASocket(n int) int { return t.numaSocket[n] }
+
+// NUMACores returns the cores of NUMA node n. The slice must not be modified.
+func (t *Topology) NUMACores(n int) []int { return t.numaCores[n] }
+
+// SocketCores returns the cores of socket s. The slice must not be modified.
+func (t *Topology) SocketCores(s int) []int { return t.sockCores[s] }
+
+// LLCCores returns the cores of shared-LLC group l. Nil when NLLC == 0.
+func (t *Topology) LLCCores(l int) []int {
+	if t.NLLC == 0 {
+		return nil
+	}
+	return t.llcCores[l]
+}
+
+// Distance classifies the topological distance between cores a and b.
+func (t *Topology) Distance(a, b int) DistanceClass {
+	switch {
+	case a == b:
+		return SelfCore
+	case t.coreLLC[a] >= 0 && t.coreLLC[a] == t.coreLLC[b]:
+		return CacheLocal
+	case t.coreNUMA[a] == t.coreNUMA[b]:
+		return IntraNUMA
+	case t.coreSocket[a] == t.coreSocket[b]:
+		return CrossNUMA
+	default:
+		return CrossSocket
+	}
+}
+
+// DomainCores returns the cores of the given domain level containing core c:
+// "llc", "numa" or "socket".
+func (t *Topology) DomainCores(level string, c int) ([]int, error) {
+	switch level {
+	case "llc":
+		if t.NLLC == 0 {
+			return nil, fmt.Errorf("topo: %s has no shared LLC", t.Name)
+		}
+		return t.llcCores[t.coreLLC[c]], nil
+	case "numa":
+		return t.numaCores[t.coreNUMA[c]], nil
+	case "socket":
+		return t.sockCores[t.coreSocket[c]], nil
+	}
+	return nil, fmt.Errorf("topo: unknown domain level %q", level)
+}
+
+// String renders a compact one-line summary, Table I style.
+func (t *Topology) String() string {
+	llc := "none"
+	if t.NLLC > 0 {
+		llc = fmt.Sprintf("%d groups of %d", t.NLLC, t.CoresPerLLC)
+	}
+	return fmt.Sprintf("%s (%s): %d cores, %d NUMA, %d sockets, shared LLC: %s",
+		t.Name, t.Arch, t.NCores, t.NNUMA, t.NSockets, llc)
+}
+
+// Render draws the containment tree as indented text (used by cmd/xhctopo).
+func (t *Topology) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.String())
+	for s := 0; s < t.NSockets; s++ {
+		fmt.Fprintf(&b, "  socket %d\n", s)
+		for n := 0; n < t.NNUMA; n++ {
+			if t.numaSocket[n] != s {
+				continue
+			}
+			fmt.Fprintf(&b, "    numa %d: cores %s\n", n, rangeString(t.numaCores[n]))
+			if t.NLLC > 0 {
+				seen := map[int]bool{}
+				for _, c := range t.numaCores[n] {
+					l := t.coreLLC[c]
+					if seen[l] {
+						continue
+					}
+					seen[l] = true
+					fmt.Fprintf(&b, "      llc %d: cores %s\n", l, rangeString(t.llcCores[l]))
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// rangeString renders a sorted dense core list as "lo-hi" or a comma list.
+func rangeString(cores []int) string {
+	if len(cores) == 0 {
+		return "(none)"
+	}
+	dense := true
+	for i := 1; i < len(cores); i++ {
+		if cores[i] != cores[i-1]+1 {
+			dense = false
+			break
+		}
+	}
+	if dense && len(cores) > 1 {
+		return fmt.Sprintf("%d-%d", cores[0], cores[len(cores)-1])
+	}
+	parts := make([]string, len(cores))
+	for i, c := range cores {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,242 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Platforms(t *testing.T) {
+	// The paper's Table I: codename, arch, cores, NUMA, sockets.
+	cases := []struct {
+		top                  *Topology
+		arch                 string
+		cores, numa, sockets int
+		sharedLLC            bool
+	}{
+		{Epyc1P(), "x86_64", 32, 4, 1, true},
+		{Epyc2P(), "x86_64", 64, 8, 2, true},
+		{ArmN1(), "arm64", 160, 8, 2, false},
+	}
+	for _, c := range cases {
+		if c.top.Arch != c.arch {
+			t.Errorf("%s: arch = %s, want %s", c.top.Name, c.top.Arch, c.arch)
+		}
+		if c.top.NCores != c.cores {
+			t.Errorf("%s: cores = %d, want %d", c.top.Name, c.top.NCores, c.cores)
+		}
+		if c.top.NNUMA != c.numa {
+			t.Errorf("%s: NUMA = %d, want %d", c.top.Name, c.top.NNUMA, c.numa)
+		}
+		if c.top.NSockets != c.sockets {
+			t.Errorf("%s: sockets = %d, want %d", c.top.Name, c.top.NSockets, c.sockets)
+		}
+		if c.top.HasSharedLLC() != c.sharedLLC {
+			t.Errorf("%s: shared LLC = %v, want %v", c.top.Name, c.top.HasSharedLLC(), c.sharedLLC)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Sockets: 0, NUMAPerSocket: 1, CoresPerNUMA: 1}); err == nil {
+		t.Error("zero sockets accepted")
+	}
+	if _, err := New(Config{Sockets: 1, NUMAPerSocket: 1, CoresPerNUMA: 6, CoresPerLLC: 4}); err == nil {
+		t.Error("non-dividing LLC group size accepted")
+	}
+	if _, err := New(Config{Sockets: 1, NUMAPerSocket: 1, CoresPerNUMA: 4, CoresPerLLC: -1}); err == nil {
+		t.Error("negative LLC group size accepted")
+	}
+}
+
+func TestDefaultCacheLine(t *testing.T) {
+	top := MustNew(Config{Sockets: 1, NUMAPerSocket: 1, CoresPerNUMA: 2})
+	if top.CacheLineBytes != 64 {
+		t.Errorf("default cache line = %d, want 64", top.CacheLineBytes)
+	}
+}
+
+func TestContainmentPartition(t *testing.T) {
+	for _, top := range Platforms() {
+		// Every core appears in exactly one NUMA node and one socket.
+		seenNUMA := make([]int, top.NCores)
+		for n := 0; n < top.NNUMA; n++ {
+			for _, c := range top.NUMACores(n) {
+				seenNUMA[c]++
+				if top.NUMA(c) != n {
+					t.Errorf("%s: core %d in NUMACores(%d) but NUMA()=%d", top.Name, c, n, top.NUMA(c))
+				}
+			}
+		}
+		for c, k := range seenNUMA {
+			if k != 1 {
+				t.Errorf("%s: core %d appears in %d NUMA nodes", top.Name, c, k)
+			}
+		}
+		seenSock := make([]int, top.NCores)
+		for s := 0; s < top.NSockets; s++ {
+			for _, c := range top.SocketCores(s) {
+				seenSock[c]++
+			}
+		}
+		for c, k := range seenSock {
+			if k != 1 {
+				t.Errorf("%s: core %d appears in %d sockets", top.Name, c, k)
+			}
+		}
+		if top.NLLC > 0 {
+			seenLLC := make([]int, top.NCores)
+			for l := 0; l < top.NLLC; l++ {
+				cores := top.LLCCores(l)
+				if len(cores) != top.CoresPerLLC {
+					t.Errorf("%s: LLC %d has %d cores, want %d", top.Name, l, len(cores), top.CoresPerLLC)
+				}
+				for _, c := range cores {
+					seenLLC[c]++
+				}
+			}
+			for c, k := range seenLLC {
+				if k != 1 {
+					t.Errorf("%s: core %d appears in %d LLC groups", top.Name, c, k)
+				}
+			}
+		}
+	}
+}
+
+func TestLLCWithinNUMA(t *testing.T) {
+	// A shared-LLC group never spans NUMA nodes.
+	for _, top := range []*Topology{Epyc1P(), Epyc2P()} {
+		for l := 0; l < top.NLLC; l++ {
+			cores := top.LLCCores(l)
+			for _, c := range cores[1:] {
+				if top.NUMA(c) != top.NUMA(cores[0]) {
+					t.Errorf("%s: LLC %d spans NUMA nodes", top.Name, l)
+				}
+			}
+		}
+	}
+}
+
+func TestDistanceClasses(t *testing.T) {
+	top := Epyc2P() // 4 cores/LLC, 8 cores/NUMA, 32 cores/socket
+	cases := []struct {
+		a, b int
+		want DistanceClass
+	}{
+		{0, 0, SelfCore},
+		{0, 1, CacheLocal},   // same CCX
+		{0, 3, CacheLocal},   // same CCX boundary
+		{0, 4, IntraNUMA},    // next CCX, same NUMA
+		{0, 7, IntraNUMA},    // NUMA boundary
+		{0, 8, CrossNUMA},    // next NUMA, same socket
+		{0, 31, CrossNUMA},   // socket boundary
+		{0, 32, CrossSocket}, // second socket
+		{0, 63, CrossSocket},
+	}
+	for _, c := range cases {
+		if got := top.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	for _, top := range Platforms() {
+		f := func(a, b uint16) bool {
+			x := int(a) % top.NCores
+			y := int(b) % top.NCores
+			return top.Distance(x, y) == top.Distance(y, x)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: distance not symmetric: %v", top.Name, err)
+		}
+	}
+}
+
+func TestARMHasNoCacheLocal(t *testing.T) {
+	top := ArmN1()
+	for a := 0; a < top.NCores; a += 7 {
+		for b := 0; b < top.NCores; b += 11 {
+			if a != b && top.Distance(a, b) == CacheLocal {
+				t.Fatalf("ARM-N1 reports cache-local distance between %d and %d", a, b)
+			}
+		}
+	}
+	if top.LLC(0) != -1 {
+		t.Errorf("ARM-N1 core 0 LLC = %d, want -1", top.LLC(0))
+	}
+}
+
+func TestDomainCores(t *testing.T) {
+	top := Epyc1P()
+	llc, err := top.DomainCores("llc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(llc) != 4 {
+		t.Errorf("llc domain of core 5 has %d cores, want 4", len(llc))
+	}
+	numa, err := top.DomainCores("numa", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(numa) != 8 {
+		t.Errorf("numa domain of core 5 has %d cores, want 8", len(numa))
+	}
+	sock, err := top.DomainCores("socket", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sock) != 32 {
+		t.Errorf("socket domain of core 5 has %d cores, want 32", len(sock))
+	}
+	if _, err := top.DomainCores("llc", 0); err != nil {
+		t.Errorf("Epyc-1P should have llc domains: %v", err)
+	}
+	if _, err := ArmN1().DomainCores("llc", 0); err == nil {
+		t.Error("ARM-N1 llc domain lookup should fail")
+	}
+	if _, err := top.DomainCores("bogus", 0); err == nil {
+		t.Error("bogus domain accepted")
+	}
+}
+
+func TestRenderAndString(t *testing.T) {
+	top := Fig2Demo()
+	s := top.Render()
+	for _, want := range []string{"socket 0", "socket 1", "numa 3", "cores 12-15"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q in:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(ArmN1().String(), "shared LLC: none") {
+		t.Errorf("ARM-N1 String: %s", ArmN1().String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Epyc-1P", "epyc-2p", "armn1", "fig2"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if got := rangeString(nil); got != "(none)" {
+		t.Errorf("rangeString(nil) = %q", got)
+	}
+	if got := rangeString([]int{3}); got != "3" {
+		t.Errorf("rangeString([3]) = %q", got)
+	}
+	if got := rangeString([]int{1, 2, 3}); got != "1-3" {
+		t.Errorf("rangeString dense = %q", got)
+	}
+	if got := rangeString([]int{1, 3, 5}); got != "1,3,5" {
+		t.Errorf("rangeString sparse = %q", got)
+	}
+}

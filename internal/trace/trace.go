@@ -1,0 +1,70 @@
+// Package trace accounts for data-movement edges by topological distance,
+// producing the paper's Table II (number and distance of exchanged
+// messages per broadcast).
+package trace
+
+import (
+	"fmt"
+
+	"xhc/internal/topo"
+)
+
+// Collector tallies messages between ranks by the distance class of their
+// cores.
+type Collector struct {
+	top *topo.Topology
+	m   topo.Mapping
+
+	counts [5]int64 // indexed by topo.DistanceClass
+	bytes  [5]int64
+	total  int64
+}
+
+// New creates a collector for a world's topology and mapping.
+func New(top *topo.Topology, m topo.Mapping) *Collector {
+	return &Collector{top: top, m: m}
+}
+
+// Record tallies one message of n bytes from rank src to rank dst.
+func (c *Collector) Record(src, dst, n int) {
+	d := c.m.RankDistance(c.top, src, dst)
+	c.counts[d]++
+	c.bytes[d] += int64(n)
+	c.total++
+}
+
+// Hook returns a callback suitable for mpi.P2P.OnMessage / core.Comm.OnPull.
+func (c *Collector) Hook() func(src, dst, n int) {
+	return c.Record
+}
+
+// Total returns the number of recorded messages.
+func (c *Collector) Total() int64 { return c.total }
+
+// Count returns the message count in one distance class.
+func (c *Collector) Count(d topo.DistanceClass) int64 { return c.counts[d] }
+
+// Bytes returns the byte volume in one distance class.
+func (c *Collector) Bytes(d topo.DistanceClass) int64 { return c.bytes[d] }
+
+// Table2Row aggregates to the paper's Table II columns: inter-socket,
+// inter-NUMA (same socket), and intra-NUMA (cache-local + intra-numa).
+func (c *Collector) Table2Row() (interSocket, interNUMA, intraNUMA int64) {
+	interSocket = c.counts[topo.CrossSocket]
+	interNUMA = c.counts[topo.CrossNUMA]
+	intraNUMA = c.counts[topo.CacheLocal] + c.counts[topo.IntraNUMA] + c.counts[topo.SelfCore]
+	return
+}
+
+// Reset clears all tallies.
+func (c *Collector) Reset() {
+	c.counts = [5]int64{}
+	c.bytes = [5]int64{}
+	c.total = 0
+}
+
+// String renders the Table II row.
+func (c *Collector) String() string {
+	s, n, i := c.Table2Row()
+	return fmt.Sprintf("inter-socket=%d inter-numa=%d intra-numa=%d", s, n, i)
+}

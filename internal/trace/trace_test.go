@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	top := topo.Epyc2P()
+	m := top.MustMap(topo.MapCore, 64)
+	c := New(top, m)
+	c.Record(0, 1, 100)  // cache-local
+	c.Record(0, 4, 100)  // intra-numa
+	c.Record(0, 8, 100)  // cross-numa
+	c.Record(0, 32, 100) // cross-socket
+	c.Record(0, 33, 100) // cross-socket
+	s, n, i := c.Table2Row()
+	if s != 2 || n != 1 || i != 2 {
+		t.Errorf("Table2Row = %d/%d/%d, want 2/1/2", s, n, i)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Bytes(topo.CrossSocket) != 200 {
+		t.Errorf("Bytes(cross-socket) = %d", c.Bytes(topo.CrossSocket))
+	}
+	if !strings.Contains(c.String(), "inter-socket=2") {
+		t.Errorf("String = %s", c.String())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestHook(t *testing.T) {
+	top := topo.Epyc1P()
+	m := top.MustMap(topo.MapCore, 32)
+	c := New(top, m)
+	h := c.Hook()
+	h(0, 8, 64)
+	if c.Count(topo.CrossNUMA) != 1 {
+		t.Error("hook did not record")
+	}
+}

@@ -1,0 +1,186 @@
+// Package xpmem simulates the XPMEM (Cross-Partition Memory) kernel
+// module: a process exposes an address range, peers attach to it and then
+// access the remote memory with plain loads and stores (single-copy).
+//
+// It models the overheads the paper discusses in Section II-B — attach
+// syscalls, first-touch page faults, detach — and the registration cache
+// that amortizes them (Fig. 3's dashed bars show what happens without it).
+package xpmem
+
+import (
+	"fmt"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+)
+
+// Handle identifies an exposed address range (the result of xpmem_make +
+// xpmem_get, which are cheap and done once at communicator setup).
+type Handle struct {
+	buf *mem.Buffer
+}
+
+// Expose publishes a buffer for cross-process attachment.
+func Expose(b *mem.Buffer) Handle { return Handle{buf: b} }
+
+// Buffer returns the underlying buffer (nil for the zero Handle).
+func (h Handle) Buffer() *mem.Buffer { return h.buf }
+
+// Valid reports whether the handle refers to an exposed buffer.
+func (h Handle) Valid() bool { return h.buf != nil }
+
+// CacheStats counts registration-cache behaviour; the paper reports >99%
+// hit ratios for its applications.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 for an unused cache.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is one rank's registration cache of established attachments,
+// with LRU eviction. With Enabled == false it degenerates to
+// attach-use-detach per operation, reproducing the paper's
+// no-registration-cache experiment.
+type Cache struct {
+	Enabled  bool
+	Capacity int // max cached attachments; <= 0 means unbounded
+
+	sys   *mem.System
+	stats CacheStats
+
+	entries map[int]*entry // keyed by buffer ID
+	// LRU list: head = most recent.
+	head, tail *entry
+}
+
+type entry struct {
+	bufID      int
+	buf        *mem.Buffer
+	prev, next *entry
+}
+
+// NewCache creates a registration cache for one rank.
+func NewCache(sys *mem.System, capacity int, enabled bool) *Cache {
+	return &Cache{
+		Enabled:  enabled,
+		Capacity: capacity,
+		sys:      sys,
+		entries:  make(map[int]*entry),
+	}
+}
+
+// Stats returns a copy of the cache counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Len returns the number of cached attachments.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Attach returns a directly accessible view of the exposed range, charging
+// p for whatever the mapping costs right now: a registration-cache lookup
+// on a hit; attach syscall plus per-page first-touch faults on a miss.
+// With the cache disabled, the full cost is paid every time and the caller
+// should Release afterwards.
+func (c *Cache) Attach(p *sim.Proc, h Handle) *mem.Buffer {
+	if !h.Valid() {
+		panic("xpmem: attach to invalid handle")
+	}
+	if !c.Enabled {
+		c.stats.Misses++
+		c.chargeAttach(p, h.buf.Len())
+		return h.buf
+	}
+	p.Sleep(c.sys.Params.RegCacheLookup)
+	if e, ok := c.entries[h.buf.ID]; ok {
+		c.stats.Hits++
+		c.touch(e)
+		return e.buf
+	}
+	c.stats.Misses++
+	c.chargeAttach(p, h.buf.Len())
+	e := &entry{bufID: h.buf.ID, buf: h.buf}
+	c.entries[h.buf.ID] = e
+	c.pushFront(e)
+	if c.Capacity > 0 && len(c.entries) > c.Capacity {
+		c.evict(p)
+	}
+	return h.buf
+}
+
+// Release ends one use of an attachment. With the registration cache
+// enabled this is free (the mapping stays cached); otherwise it pays the
+// detach cost, as the paper describes for cache-less operation.
+func (c *Cache) Release(p *sim.Proc, h Handle) {
+	if !c.Enabled {
+		p.Sleep(c.sys.Params.XPMEMDetach)
+	}
+}
+
+// chargeAttach pays the syscall plus one page fault per page of the range.
+func (c *Cache) chargeAttach(p *sim.Proc, n int) {
+	pages := (n + c.sys.Params.PageBytes - 1) / c.sys.Params.PageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	p.Sleep(c.sys.Params.XPMEMAttachBase + sim.Duration(pages)*c.sys.Params.PageFault)
+}
+
+// evict drops the least recently used attachment, paying detach.
+func (c *Cache) evict(p *sim.Proc) {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.entries, e.bufID)
+	c.stats.Evictions++
+	p.Sleep(c.sys.Params.XPMEMDetach)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// String summarizes the cache state.
+func (c *Cache) String() string {
+	return fmt.Sprintf("xpmem.Cache{enabled=%v n=%d hits=%d misses=%d evictions=%d}",
+		c.Enabled, len(c.entries), c.stats.Hits, c.stats.Misses, c.stats.Evictions)
+}

@@ -1,0 +1,143 @@
+package xpmem
+
+import (
+	"testing"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+func runOne(t *testing.T, s *mem.System, body func(p *sim.Proc)) sim.Duration {
+	t.Helper()
+	var d sim.Duration
+	s.Eng.Go("t", func(p *sim.Proc) {
+		start := p.Now()
+		body(p)
+		d = p.Now() - start
+	})
+	if err := s.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAttachHitMuchCheaperThanMiss(t *testing.T) {
+	s := mem.Default(topo.Epyc2P())
+	buf := s.NewBuffer("b", 0, 1<<20)
+	h := Expose(buf)
+	c := NewCache(s, 0, true)
+	var miss, hit sim.Duration
+	runOne(t, s, func(p *sim.Proc) {
+		t0 := p.Now()
+		c.Attach(p, h)
+		miss = p.Now() - t0
+		t1 := p.Now()
+		c.Attach(p, h)
+		hit = p.Now() - t1
+	})
+	if hit*5 >= miss {
+		t.Errorf("hit %v should be far cheaper than miss %v", hit, miss)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Errorf("hit ratio = %f", st.HitRatio())
+	}
+}
+
+func TestAttachCostScalesWithPages(t *testing.T) {
+	s := mem.Default(topo.Epyc2P())
+	small := Expose(s.NewBuffer("s", 0, 4096))
+	big := Expose(s.NewBuffer("b", 0, 1<<20))
+	c := NewCache(s, 0, true)
+	var ds, db sim.Duration
+	runOne(t, s, func(p *sim.Proc) {
+		t0 := p.Now()
+		c.Attach(p, small)
+		ds = p.Now() - t0
+		t1 := p.Now()
+		c.Attach(p, big)
+		db = p.Now() - t1
+	})
+	if db <= ds {
+		t.Errorf("1MiB attach %v should cost more than 4KiB %v", db, ds)
+	}
+}
+
+func TestDisabledCachePaysEveryTime(t *testing.T) {
+	s := mem.Default(topo.Epyc2P())
+	h := Expose(s.NewBuffer("b", 0, 64<<10))
+	c := NewCache(s, 0, false)
+	var first, second sim.Duration
+	runOne(t, s, func(p *sim.Proc) {
+		t0 := p.Now()
+		c.Attach(p, h)
+		c.Release(p, h)
+		first = p.Now() - t0
+		t1 := p.Now()
+		c.Attach(p, h)
+		c.Release(p, h)
+		second = p.Now() - t1
+	})
+	if second != first {
+		t.Errorf("disabled cache: costs differ: %v vs %v", first, second)
+	}
+	if c.Stats().Hits != 0 {
+		t.Errorf("disabled cache recorded hits: %+v", c.Stats())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := mem.Default(topo.Epyc2P())
+	c := NewCache(s, 2, true)
+	h1 := Expose(s.NewBuffer("1", 0, 4096))
+	h2 := Expose(s.NewBuffer("2", 0, 4096))
+	h3 := Expose(s.NewBuffer("3", 0, 4096))
+	runOne(t, s, func(p *sim.Proc) {
+		c.Attach(p, h1)
+		c.Attach(p, h2)
+		c.Attach(p, h1) // h1 most recent
+		c.Attach(p, h3) // evicts h2
+		c.Attach(p, h1) // hit
+		c.Attach(p, h2) // miss again
+	})
+	st := c.Stats()
+	if st.Evictions < 1 {
+		t.Errorf("expected evictions, got %+v", st)
+	}
+	if st.Hits != 2 { // h1 twice
+		t.Errorf("hits = %d, want 2 (%+v)", st.Hits, st)
+	}
+	if c.Len() > 2 {
+		t.Errorf("cache over capacity: %d", c.Len())
+	}
+}
+
+func TestInvalidHandlePanics(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	c := NewCache(s, 0, true)
+	err := func() error {
+		s.Eng.Go("t", func(p *sim.Proc) {
+			c.Attach(p, Handle{})
+		})
+		return s.Eng.Run()
+	}()
+	if err == nil {
+		t.Error("attach to zero handle should fail")
+	}
+}
+
+func TestHandleAccessors(t *testing.T) {
+	s := mem.Default(topo.Epyc1P())
+	b := s.NewBuffer("b", 0, 8)
+	h := Expose(b)
+	if !h.Valid() || h.Buffer() != b {
+		t.Error("handle accessors broken")
+	}
+	if (Handle{}).Valid() {
+		t.Error("zero handle should be invalid")
+	}
+}

@@ -1,0 +1,216 @@
+// Package xhc is a Go reproduction of "A framework for hierarchical
+// single-copy MPI collectives on multicore nodes" (Katevenis, Ploumidis,
+// Marazakis — IEEE CLUSTER 2022).
+//
+// It provides:
+//
+//   - a deterministic simulation of a multicore node (topology, NUMA/LLC
+//     memory system, cache-line coherence, simulated XPMEM) on which the
+//     paper's XHC collectives and all of its comparison frameworks run
+//     (the data movement is performed for real, so every simulation is
+//     also a correctness check);
+//   - the XHC algorithms themselves — hierarchical, pipelined, single-copy
+//     Broadcast / Allreduce / Reduce / Barrier;
+//   - an OSU-style microbenchmark harness and models of the paper's three
+//     applications (PiSvM, miniAMR, CNTK);
+//   - a regenerable version of every table and figure in the paper's
+//     evaluation (package-level Experiments API, cmd/xhcrepro);
+//   - a native goroutine-level implementation of the XHC design (GoComm)
+//     for real in-process collective operations.
+//
+// The entry points below are thin aliases over the implementation
+// packages; see DESIGN.md for the system inventory.
+package xhc
+
+import (
+	"xhc/internal/apps"
+	"xhc/internal/baselines"
+	"xhc/internal/coll"
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/exper"
+	"xhc/internal/gxhc"
+	"xhc/internal/hier"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/osu"
+	"xhc/internal/topo"
+)
+
+// Topology describes a multicore node (sockets / NUMA / LLC / cores).
+type Topology = topo.Topology
+
+// MapPolicy selects the rank-to-core mapping (MapCore / MapNUMA).
+type MapPolicy = topo.MapPolicy
+
+// Mapping policies.
+const (
+	MapCore = topo.MapCore
+	MapNUMA = topo.MapNUMA
+)
+
+// The paper's three evaluation platforms (Table I).
+var (
+	Epyc1P = topo.Epyc1P
+	Epyc2P = topo.Epyc2P
+	ArmN1  = topo.ArmN1
+)
+
+// Platforms returns the Table I systems in paper order.
+func Platforms() []*Topology { return topo.Platforms() }
+
+// PlatformByName resolves a platform codename ("Epyc-2P", "arm-n1", ...).
+func PlatformByName(name string) *Topology { return topo.ByName(name) }
+
+// World is an intra-node MPI job on a simulated platform.
+type World = env.World
+
+// Proc is one rank's execution context inside World.Run.
+type Proc = env.Proc
+
+// Buffer is a simulated (but real-data) memory region.
+type Buffer = mem.Buffer
+
+// NewWorld places nranks ranks (0 = all cores) on a platform.
+func NewWorld(t *Topology, policy MapPolicy, nranks int) (*World, error) {
+	if nranks == 0 {
+		nranks = t.NCores
+	}
+	m, err := t.Map(policy, nranks)
+	if err != nil {
+		return nil, err
+	}
+	return env.NewWorld(t, m), nil
+}
+
+// Component is a collectives implementation (XHC or a baseline).
+type Component = coll.Component
+
+// NewComponent builds a registered component ("xhc-tree", "xhc-flat",
+// "tuned", "ucc", "sm", "smhc-flat", "smhc-tree", "xbrc") over a world.
+func NewComponent(name string, w *World) (Component, error) { return coll.New(name, w) }
+
+// ComponentNames lists the registered components.
+func ComponentNames() []string { return coll.Names() }
+
+// Comm is the XHC communicator (the paper's contribution), giving access
+// to configuration beyond the registry defaults.
+type Comm = core.Comm
+
+// Config tunes an XHC communicator.
+type Config = core.Config
+
+// XHC configuration helpers.
+var (
+	DefaultConfig = core.DefaultConfig
+	FlatConfig    = core.FlatConfig
+	NewXHC        = core.New
+)
+
+// ParseSensitivity parses hierarchy specifications like "numa+socket".
+var ParseSensitivity = hier.ParseSensitivity
+
+// FlagScheme selects the progress-flag cache-line placement (Fig. 10).
+type FlagScheme = core.FlagScheme
+
+// Flag placement schemes.
+const (
+	SingleFlag         = core.SingleFlag
+	MultiSharedLine    = core.MultiSharedLine
+	MultiSeparateLines = core.MultiSeparateLines
+)
+
+// TunedConfig tunes the OpenMPI-tuned-like baseline (exposed so ablations
+// can vary its transport mechanism, as the paper's Fig. 3 does).
+type TunedConfig = baselines.TunedConfig
+
+// Baseline constructors.
+var (
+	NewTuned           = baselines.NewTuned
+	DefaultTunedConfig = baselines.DefaultTunedConfig
+)
+
+// Datatypes and reduction operators.
+type (
+	// Datatype enumerates reduction element types.
+	Datatype = mpi.Datatype
+	// Op enumerates reduction operators.
+	Op = mpi.Op
+)
+
+// Reduction datatypes and operators.
+const (
+	Byte    = mpi.Byte
+	Int32   = mpi.Int32
+	Int64   = mpi.Int64
+	Float32 = mpi.Float32
+	Float64 = mpi.Float64
+
+	Sum  = mpi.Sum
+	Prod = mpi.Prod
+	Min  = mpi.Min
+	Max  = mpi.Max
+)
+
+// MicroBench is the OSU-style benchmark harness (osu_bcast / osu_allreduce
+// with the paper's buffer-dirtying _mb variant).
+type MicroBench = osu.Bench
+
+// BenchResult is one microbenchmark row.
+type BenchResult = osu.Result
+
+// DefaultSizes is the paper's 4 B – 4 MiB message-size sweep.
+var DefaultSizes = osu.DefaultSizes
+
+// BenchReport renders results as an OSU-style table.
+var BenchReport = osu.Report
+
+// Application models (paper Section V-D3).
+type (
+	// AppConfig places an application run.
+	AppConfig = apps.Config
+	// AppResult summarizes an application run.
+	AppResult = apps.Result
+)
+
+// Application constructors and runners.
+var (
+	DefaultPiSvM       = apps.DefaultPiSvM
+	RunPiSvM           = apps.PiSvM
+	DefaultMiniAMR     = apps.DefaultMiniAMR
+	ChallengingMiniAMR = apps.ChallengingMiniAMR
+	RunMiniAMR         = apps.MiniAMR
+	DefaultCNTK        = apps.DefaultCNTK
+	RunCNTK            = apps.CNTK
+)
+
+// Experiment regenerates one of the paper's tables/figures.
+type Experiment = exper.Experiment
+
+// ExperimentReport is an experiment's output.
+type ExperimentReport = exper.Report
+
+// ExperimentOptions controls fidelity (Quick trims sweeps).
+type ExperimentOptions = exper.Options
+
+// Experiment access.
+var (
+	Experiments       = exper.All
+	ExperimentByID    = exper.ByID
+	RunAllExperiments = exper.RenderAll
+)
+
+// GoComm is the native goroutine-level implementation of the XHC design:
+// real collective operations among goroutines sharing slices, with
+// hierarchical groups and single-writer synchronization (package gxhc).
+type GoComm = gxhc.Comm
+
+// GoConfig tunes a GoComm.
+type GoConfig = gxhc.Config
+
+// Goroutine-collectives constructors.
+var (
+	NewGoComm       = gxhc.New
+	MustNewGoComm   = gxhc.MustNew
+	DefaultGoConfig = gxhc.DefaultConfig
+)

@@ -1,0 +1,138 @@
+package xhc_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xhc"
+)
+
+// TestPublicAPISurface exercises the root package the way a downstream
+// user would: build a platform, a world, a component, run a collective.
+func TestPublicAPISurface(t *testing.T) {
+	if len(xhc.Platforms()) != 3 {
+		t.Fatalf("platforms = %d", len(xhc.Platforms()))
+	}
+	if xhc.PlatformByName("Epyc-2P") == nil || xhc.PlatformByName("nope") != nil {
+		t.Error("PlatformByName broken")
+	}
+	if len(xhc.ComponentNames()) < 8 {
+		t.Errorf("components = %v", xhc.ComponentNames())
+	}
+
+	top := xhc.Epyc1P()
+	w, err := xhc.NewWorld(top, xhc.MapCore, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := xhc.NewXHC(w, xhc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*xhc.Buffer, 8)
+	for r := range bufs {
+		bufs[r] = w.NewBufferAt(fmt.Sprintf("b%d", r), r, 1024)
+	}
+	for i := range bufs[0].Data {
+		bufs[0].Data[i] = byte(i)
+	}
+	if err := w.Run(func(p *xhc.Proc) {
+		comm.Bcast(p, bufs[p.Rank], 0, 1024, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := range bufs {
+		if !bytes.Equal(bufs[r].Data, bufs[0].Data) {
+			t.Fatalf("rank %d wrong data", r)
+		}
+	}
+}
+
+func TestPublicAllreduceViaComponent(t *testing.T) {
+	top := xhc.Epyc1P()
+	w, err := xhc.NewWorld(top, xhc.MapCore, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := xhc.NewComponent("xhc-tree", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := make([]*xhc.Buffer, 8)
+	rb := make([]*xhc.Buffer, 8)
+	for r := range sb {
+		sb[r] = w.NewBufferAt("s", r, 64)
+		rb[r] = w.NewBufferAt("r", r, 64)
+		for i := 0; i < 8; i++ {
+			sb[r].Data[i*8] = byte(1) // int64 little-endian value 1
+		}
+	}
+	if err := w.Run(func(p *xhc.Proc) {
+		c.Allreduce(p, sb[p.Rank], rb[p.Rank], 64, xhc.Int64, xhc.Sum)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rb[3].Data[0] != 8 {
+		t.Errorf("allreduce sum = %d, want 8", rb[3].Data[0])
+	}
+}
+
+func TestPublicMicroBench(t *testing.T) {
+	b := xhc.MicroBench{Topo: xhc.Epyc1P(), NRanks: 8, Component: "xhc-tree", Warmup: 1, Iters: 2, Dirty: true}
+	rs, err := b.Bcast([]int{4, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].AvgLat <= 0 {
+		t.Fatalf("results: %+v", rs)
+	}
+	if !bytes.Contains([]byte(xhc.BenchReport("t", rs)), []byte("Size")) {
+		t.Error("report missing header")
+	}
+}
+
+func TestPublicApps(t *testing.T) {
+	cfg := xhc.DefaultMiniAMR(xhc.AppConfig{Topo: xhc.Epyc1P(), NRanks: 8, Component: "xhc-tree"})
+	cfg.Steps = 4
+	res, err := xhc.RunMiniAMR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 {
+		t.Error("zero total")
+	}
+}
+
+func TestPublicExperimentsRegistry(t *testing.T) {
+	if len(xhc.Experiments()) < 14 {
+		t.Errorf("experiments = %d", len(xhc.Experiments()))
+	}
+	if _, ok := xhc.ExperimentByID("fig8"); !ok {
+		t.Error("fig8 missing")
+	}
+}
+
+func TestPublicGoComm(t *testing.T) {
+	comm := xhc.MustNewGoComm(4, xhc.DefaultGoConfig())
+	bufs := make([][]byte, 4)
+	for r := range bufs {
+		bufs[r] = make([]byte, 128)
+	}
+	bufs[0][5] = 99
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		go func(rank int) {
+			comm.Bcast(rank, bufs[rank], 0)
+			done <- struct{}{}
+		}(r)
+	}
+	for r := 0; r < 4; r++ {
+		<-done
+	}
+	for r := range bufs {
+		if bufs[r][5] != 99 {
+			t.Fatalf("participant %d missing data", r)
+		}
+	}
+}
