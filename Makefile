@@ -1,0 +1,37 @@
+# Development entry points. `make check` is the tier-1 gate (ROADMAP.md)
+# plus vet and a race pass over the concurrency-bearing packages; run it
+# before every commit.
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-sim quick-report
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator itself is single-threaded per world, but gxhc (the real
+# goroutine-backed library) and env (cross-world harness plumbing) exercise
+# real concurrency, and exper fans independent experiment cells out across
+# worker goroutines — so those run under the race detector.
+race:
+	$(GO) test -race ./internal/gxhc/ ./internal/env/
+
+check: build vet test race
+
+# Simulator performance benchmarks (see DESIGN.md section 8 and
+# BENCH_flowsolver.json for the recorded before/after numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkFlowSolver|BenchmarkReschedule' -benchmem ./internal/mem/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig08Bcast/ARM-N1/xhc-tree$$|BenchmarkFig11Allreduce/ARM-N1/(xhc-tree|xbrc)$$' -benchtime 10x -benchmem .
+
+quick-report:
+	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

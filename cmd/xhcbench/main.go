@@ -6,20 +6,39 @@
 //	xhcbench -platform Epyc-2P -coll bcast -comp xhc-tree
 //	xhcbench -platform ARM-N1 -coll allreduce -comp tuned,ucc,xhc-tree -sizes 4,1024,1048576
 //	xhcbench -platform Epyc-2P -coll bcast -comp xhc-tree -policy map-numa -root 10
+//	xhcbench -platform ARM-N1 -coll allreduce -comp xhc-tree -json cells.json -cpuprofile cpu.prof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"xhc/internal/coll"
 	"xhc/internal/osu"
 	"xhc/internal/stats"
 	"xhc/internal/topo"
 )
+
+// cellRecord is one (component, size) measurement in the -json output:
+// the simulated latency plus how long the simulator itself took to produce
+// it, which is what BENCH_flowsolver.json-style perf comparisons track.
+type cellRecord struct {
+	Platform   string  `json:"platform"`
+	Collective string  `json:"collective"`
+	Component  string  `json:"component"`
+	Size       int     `json:"size"`
+	AvgLatUS   float64 `json:"avg_lat_us"`
+	MinLatUS   float64 `json:"min_lat_us"`
+	MaxLatUS   float64 `json:"max_lat_us"`
+	WallMS     float64 `json:"wall_ms"`
+}
 
 func main() {
 	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1")
@@ -33,11 +52,41 @@ func main() {
 	iterations := flag.Int("iters", 10, "measured iterations")
 	stock := flag.Bool("stock", false, "stock OSU behaviour (no buffer dirtying)")
 	listComp := flag.Bool("listcomp", false, "list components and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonOut := flag.String("json", "", "also write per-cell results (sim latency + wall-clock) as JSON to this file")
 	flag.Parse()
 
 	if *listComp {
 		fmt.Println(strings.Join(coll.Names(), "\n"))
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	top := topo.ByName(*platform)
@@ -60,30 +109,50 @@ func main() {
 
 	names := strings.Split(*comps, ",")
 	all := map[string]map[int]float64{}
+	var records []cellRecord
 	for _, name := range names {
 		b := osu.Bench{
 			Topo: top, NRanks: *nranks, Component: strings.TrimSpace(name),
 			Policy: topo.MapPolicy(*policy), Root: *root,
 			Warmup: *warmup, Iters: *iterations, Dirty: !*stock,
 		}
-		var rs []osu.Result
-		var err error
-		switch *collective {
-		case "bcast":
-			rs, err = b.Bcast(sizes)
-		case "allreduce":
-			rs, err = b.Allreduce(sizes)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown collective %q\n", *collective)
-			os.Exit(2)
+		all[name] = map[int]float64{}
+		for _, size := range sizes {
+			start := time.Now()
+			var rs []osu.Result
+			var err error
+			switch *collective {
+			case "bcast":
+				rs, err = b.Bcast([]int{size})
+			case "allreduce":
+				rs, err = b.Allreduce([]int{size})
+			default:
+				fmt.Fprintf(os.Stderr, "unknown collective %q\n", *collective)
+				os.Exit(2)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			wall := time.Since(start)
+			r := rs[0]
+			all[name][r.Size] = r.AvgLat
+			records = append(records, cellRecord{
+				Platform: top.Name, Collective: *collective, Component: name,
+				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
+				WallMS: float64(wall.Microseconds()) / 1e3,
+			})
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		all[name] = map[int]float64{}
-		for _, r := range rs {
-			all[name][r.Size] = r.AvgLat
 		}
 	}
 

@@ -2,16 +2,20 @@
 //
 // Usage:
 //
-//	xhcrepro [-quick] [-exp id] [-list] [-o file]
+//	xhcrepro [-quick] [-exp id] [-list] [-o file] [-parallel n]
 //
 // Without -exp it runs every experiment in paper order and prints (or
-// writes) a combined report, the data behind EXPERIMENTS.md.
+// writes) a combined report, the data behind EXPERIMENTS.md. Independent
+// experiment cells (one simulated world each) run across -parallel worker
+// goroutines; the report is byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"xhc/internal/exper"
@@ -22,7 +26,38 @@ func main() {
 	expID := flag.String("exp", "", "run a single experiment (e.g. fig8); empty = all")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent experiment cells (1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exper.All() {
@@ -31,7 +66,7 @@ func main() {
 		return
 	}
 
-	opts := exper.Options{Quick: *quick}
+	opts := exper.Options{Quick: *quick, Parallel: *parallel}
 	var doc string
 	if *expID != "" {
 		e, ok := exper.ByID(*expID)

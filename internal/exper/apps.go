@@ -28,21 +28,50 @@ func appComponents(top *topo.Topology) []string {
 
 // appSweep runs one app model across components and platforms, reporting
 // totals and collective-time breakdowns, plus next-best speedup metrics.
+// Every (platform, component) pair is a self-contained app simulation, so
+// the pairs run concurrently under Options.Parallel.
 func appSweep(o Options, r *Report, runOne func(base apps.Config, quick bool) (apps.Result, error)) error {
+	type job struct {
+		top  *topo.Topology
+		name string
+	}
+	var jobs []job
+	for _, top := range topo.Platforms() {
+		for _, name := range appComponents(top) {
+			jobs = append(jobs, job{top, name})
+		}
+	}
+	cells := make([]apps.Result, len(jobs))
+	err := runCells(o, len(jobs), func(i int) error {
+		j := jobs[i]
+		nranks := j.top.NCores
+		if o.Quick {
+			nranks = nranks / 2 // halve occupancy to keep the suite quick
+		}
+		res, err := runOne(apps.Config{Topo: j.top, NRanks: nranks, Component: j.name}, o.Quick)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", j.name, j.top.Name, err)
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
 	var b strings.Builder
+	next := 0
 	for _, top := range topo.Platforms() {
 		nranks := top.NCores
 		if o.Quick {
-			nranks = nranks / 2 // halve occupancy to keep the suite quick
+			nranks = nranks / 2
 		}
 		comps := appComponents(top)
 		t := &stats.Table{Header: []string{"Component", "Total(ms)", "Coll(ms)"}}
 		totals := map[string]float64{}
 		for _, name := range comps {
-			res, err := runOne(apps.Config{Topo: top, NRanks: nranks, Component: name}, o.Quick)
-			if err != nil {
-				return fmt.Errorf("%s on %s: %w", name, top.Name, err)
-			}
+			res := cells[next]
+			next++
 			totals[name] = float64(res.Total) / float64(sim.Millisecond)
 			t.Add(name,
 				fmt.Sprintf("%.2f", float64(res.Total)/float64(sim.Millisecond)),

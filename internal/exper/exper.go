@@ -6,8 +6,10 @@ package exper
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Options controls experiment fidelity.
@@ -16,6 +18,67 @@ type Options struct {
 	// in seconds (used by tests); the default (false) uses the full
 	// paper-style sweeps.
 	Quick bool
+
+	// Parallel is the number of worker goroutines used to run independent
+	// experiment cells (0: GOMAXPROCS, 1: fully sequential). Each cell is
+	// one self-contained simulation — its own engine, memory system and
+	// processes — so cells never share mutable state and the rendered
+	// reports are byte-identical at any worker count: results land in
+	// pre-sized slots and are assembled in the original loop order.
+	Parallel int
+}
+
+// workers resolves the worker count for n independent cells.
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runCells executes cell(0..n-1) across o.workers(n) goroutines. Every cell
+// runs regardless of other cells' failures; the reported error is the one
+// with the lowest cell index, which keeps failure output deterministic.
+func runCells(o Options, n int, cell func(int) error) error {
+	w := o.workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Report is one experiment's output.

@@ -38,25 +38,59 @@ func runTab1(o Options) (*Report, error) {
 func runFig1a(o Options) (*Report, error) {
 	warm, it := iters(o)
 	r := &Report{ID: "fig1a", Title: "One-way latency across topological domains"}
+	sizes := []int{1 << 20, 4}
+	classes := []topo.DistanceClass{topo.CacheLocal, topo.IntraNUMA, topo.CrossNUMA, topo.CrossSocket}
+
+	// Flatten the (size, platform, class) cells that have a representative
+	// pair, measure them concurrently, then render in the original order.
+	type job struct {
+		size  int
+		top   *topo.Topology
+		class topo.DistanceClass
+		pair  [2]int
+	}
+	var jobs []job
+	for _, size := range sizes {
+		for _, top := range topo.Platforms() {
+			pairs := classPairs(top)
+			for _, class := range classes {
+				if pair, ok := pairs[class]; ok {
+					jobs = append(jobs, job{size, top, class, pair})
+				}
+			}
+		}
+	}
+	lats := make([]float64, len(jobs))
+	err := runCells(o, len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := osu.Latency(j.top, j.pair[0], j.pair[1], mpi.DefaultConfig(), []int{j.size}, warm, it, nil)
+		if err != nil {
+			return err
+		}
+		lats[i] = res[0].AvgLat
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var b strings.Builder
-	for _, size := range []int{1 << 20, 4} {
+	next := 0
+	for _, size := range sizes {
 		t := &stats.Table{Header: []string{"Platform", "cache-local", "intra-numa", "cross-numa", "cross-socket"}}
 		for _, top := range topo.Platforms() {
 			pairs := classPairs(top)
 			row := []string{top.Name}
-			for _, class := range []topo.DistanceClass{topo.CacheLocal, topo.IntraNUMA, topo.CrossNUMA, topo.CrossSocket} {
-				pair, ok := pairs[class]
-				if !ok {
+			for _, class := range classes {
+				if _, ok := pairs[class]; !ok {
 					row = append(row, "n/a")
 					continue
 				}
-				res, err := osu.Latency(top, pair[0], pair[1], mpi.DefaultConfig(), []int{size}, warm, it, nil)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.2f", res[0].AvgLat))
+				lat := lats[next]
+				next++
+				row = append(row, fmt.Sprintf("%.2f", lat))
 				if size == 1<<20 {
-					r.Metric(fmt.Sprintf("%s_%s_us", top.Name, class), res[0].AvgLat)
+					r.Metric(fmt.Sprintf("%s_%s_us", top.Name, class), lat)
 				}
 			}
 			t.Add(row...)
@@ -123,16 +157,18 @@ func runFig1b(o Options) (*Report, error) {
 
 	t := &stats.Table{Header: []string{"ranks", "flat(us)", "hier(us)"}}
 	r := &Report{ID: "fig1b", Title: "Memory-copy congestion: flat vs hierarchical"}
+	cells := make([]float64, 2*len(counts))
+	err := runCells(o, len(cells), func(i int) error {
+		v, err := measure(counts[i/2], i%2 == 1)
+		cells[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var flatLast, hierLast, flatFirst float64
 	for i, k := range counts {
-		f, err := measure(k, false)
-		if err != nil {
-			return nil, err
-		}
-		h, err := measure(k, true)
-		if err != nil {
-			return nil, err
-		}
+		f, h := cells[2*i], cells[2*i+1]
 		t.Add(fmt.Sprint(k), fmt.Sprintf("%.2f", f), fmt.Sprintf("%.2f", h))
 		if i == 0 {
 			flatFirst = f

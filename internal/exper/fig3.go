@@ -75,22 +75,50 @@ func runFig3(o Options) (*Report, error) {
 		colNames = append(colNames, c.name)
 	}
 
-	// (a) Point-to-point: cores 0 and 8 (different NUMA, same socket).
-	t := &stats.Table{Header: append([]string{"size"}, colNames...)}
-	lat := map[string]map[int]float64{}
-	for _, c := range cases {
-		cfg := mpi.DefaultConfig()
-		cfg.Mechanism = c.mech
-		cfg.RegCache = c.regCache
-		rs, err := osu.Latency(top, 0, 8, cfg, sizes, warm, it, nil)
-		if err != nil {
-			return nil, err
+	// Both halves of the figure — (a) p2p latency between cores 0 and 8
+	// (different NUMA, same socket) and (b) 64-rank broadcast through tuned
+	// — share one cell pool: cell i < half is p2p, the rest broadcast.
+	half := len(cases) * len(sizes)
+	cells := make([]osu.Result, 2*half)
+	err := runCells(o, len(cells), func(i int) error {
+		c, size := cases[(i%half)/len(sizes)], sizes[(i%half)%len(sizes)]
+		if i < half {
+			cfg := mpi.DefaultConfig()
+			cfg.Mechanism = c.mech
+			cfg.RegCache = c.regCache
+			rs, err := osu.Latency(top, 0, 8, cfg, []int{size}, warm, it, nil)
+			if err != nil {
+				return err
+			}
+			cells[i] = rs[0]
+			return nil
 		}
+		bench := osu.Bench{Topo: top, NRanks: 64, Custom: tunedWith(c.mech, c.regCache),
+			Warmup: warm, Iters: it, Dirty: true}
+		rs, err := bench.Bcast([]int{size})
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		cells[i] = rs[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lat := map[string]map[int]float64{}
+	blat := map[string]map[int]float64{}
+	for ci, c := range cases {
 		lat[c.name] = map[int]float64{}
-		for _, x := range rs {
+		blat[c.name] = map[int]float64{}
+		for si := range sizes {
+			x := cells[ci*len(sizes)+si]
 			lat[c.name][x.Size] = x.AvgLat
+			x = cells[half+ci*len(sizes)+si]
+			blat[c.name][x.Size] = x.AvgLat
 		}
 	}
+
+	t := &stats.Table{Header: append([]string{"size"}, colNames...)}
 	for _, n := range sizes {
 		row := []string{stats.SizeLabel(n)}
 		for _, c := range cases {
@@ -100,21 +128,7 @@ func runFig3(o Options) (*Report, error) {
 	}
 	fmt.Fprintf(&b, "(a) osu_latency, 2 ranks cross-NUMA same-socket (us):\n%s\n", t.String())
 
-	// (b) Broadcast through tuned, 64 ranks.
 	tb := &stats.Table{Header: append([]string{"size"}, colNames...)}
-	blat := map[string]map[int]float64{}
-	for _, c := range cases {
-		bench := osu.Bench{Topo: top, NRanks: 64, Custom: tunedWith(c.mech, c.regCache),
-			Warmup: warm, Iters: it, Dirty: true}
-		rs, err := bench.Bcast(sizes)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		blat[c.name] = map[int]float64{}
-		for _, x := range rs {
-			blat[c.name][x.Size] = x.AvgLat
-		}
-	}
 	for _, n := range sizes {
 		row := []string{stats.SizeLabel(n)}
 		for _, c := range cases {
@@ -145,19 +159,28 @@ func runFig4(o Options) (*Report, error) {
 	}
 	t := &stats.Table{Header: []string{"ranks", "single-writer(us)", "atomics(us)", "ratio"}}
 	r := &Report{ID: "fig4", Title: "Atomics vs single-writer synchronization"}
+	cells := make([]float64, 2*len(counts))
+	err := runCells(o, len(cells), func(i int) error {
+		comp := "smhc-flat"
+		if i%2 == 1 {
+			comp = "sm"
+		}
+		rs, err := (osu.Bench{Topo: top, NRanks: counts[i/2], Component: comp, Warmup: warm, Iters: it, Dirty: true}).Bcast([]int{4})
+		if err != nil {
+			return err
+		}
+		cells[i] = rs[0].AvgLat
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var lastRatio float64
-	for _, k := range counts {
-		sw, err := (osu.Bench{Topo: top, NRanks: k, Component: "smhc-flat", Warmup: warm, Iters: it, Dirty: true}).Bcast([]int{4})
-		if err != nil {
-			return nil, err
-		}
-		at, err := (osu.Bench{Topo: top, NRanks: k, Component: "sm", Warmup: warm, Iters: it, Dirty: true}).Bcast([]int{4})
-		if err != nil {
-			return nil, err
-		}
-		ratio := at[0].AvgLat / sw[0].AvgLat
+	for i, k := range counts {
+		sw, at := cells[2*i], cells[2*i+1]
+		ratio := at / sw
 		lastRatio = ratio
-		t.Add(fmt.Sprint(k), fmt.Sprintf("%.2f", sw[0].AvgLat), fmt.Sprintf("%.2f", at[0].AvgLat),
+		t.Add(fmt.Sprint(k), fmt.Sprintf("%.2f", sw), fmt.Sprintf("%.2f", at),
 			fmt.Sprintf("%.1fx", ratio))
 	}
 	r.Text = t.String()

@@ -25,29 +25,42 @@ func init() {
 }
 
 // sweep runs one collective benchmark for several components and renders
-// a size-by-component latency table.
+// a size-by-component latency table. Each (component, size) pair is an
+// independent simulation — the benchmark builds a fresh world per size —
+// so the cells run concurrently under Options.Parallel and the results
+// are reassembled in loop order.
 func sweep(o Options, top *topo.Topology, nranks int, comps []string,
 	kind string, sizes []int, pol topo.MapPolicy, root int) (string, map[string]map[int]float64, error) {
 	warm, it := iters(o)
-	lat := map[string]map[int]float64{}
-	for _, name := range comps {
+	cells := make([]osu.Result, len(comps)*len(sizes))
+	err := runCells(o, len(cells), func(i int) error {
+		name, size := comps[i/len(sizes)], sizes[i%len(sizes)]
 		b := osu.Bench{Topo: top, NRanks: nranks, Component: name, Policy: pol,
 			Warmup: warm, Iters: it, Dirty: true, Root: root}
 		var rs []osu.Result
 		var err error
 		switch kind {
 		case "bcast":
-			rs, err = b.Bcast(sizes)
+			rs, err = b.Bcast([]int{size})
 		case "allreduce":
-			rs, err = b.Allreduce(sizes)
+			rs, err = b.Allreduce([]int{size})
 		default:
-			return "", nil, fmt.Errorf("unknown kind %q", kind)
+			return fmt.Errorf("unknown kind %q", kind)
 		}
 		if err != nil {
-			return "", nil, fmt.Errorf("%s on %s: %w", name, top.Name, err)
+			return fmt.Errorf("%s on %s: %w", name, top.Name, err)
 		}
+		cells[i] = rs[0]
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	lat := map[string]map[int]float64{}
+	for ci, name := range comps {
 		lat[name] = map[int]float64{}
-		for _, x := range rs {
+		for si := range sizes {
+			x := cells[ci*len(sizes)+si]
 			lat[name][x.Size] = x.AvgLat
 		}
 	}
@@ -69,22 +82,36 @@ func runFig7(o Options) (*Report, error) {
 	warm, it := iters(o)
 	sizes := sweepSizes(o)
 	r := &Report{ID: "fig7", Title: "osu_bcast vs osu_bcast_mb (Epyc-2P)"}
+	variants := []struct {
+		key   string
+		comp  string
+		dirty bool
+	}{
+		{"xhc-flat", "xhc-flat", false},
+		{"xhc-flat+mb", "xhc-flat", true},
+		{"xhc-tree", "xhc-tree", false},
+		{"xhc-tree+mb", "xhc-tree", true},
+	}
+	cells := make([]osu.Result, len(variants)*len(sizes))
+	err := runCells(o, len(cells), func(i int) error {
+		v, size := variants[i/len(sizes)], sizes[i%len(sizes)]
+		b := osu.Bench{Topo: top, NRanks: 64, Component: v.comp, Warmup: warm, Iters: it, Dirty: v.dirty}
+		rs, err := b.Bcast([]int{size})
+		if err != nil {
+			return err
+		}
+		cells[i] = rs[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	lat := map[string]map[int]float64{}
-	for _, comp := range []string{"xhc-flat", "xhc-tree"} {
-		for _, dirty := range []bool{false, true} {
-			key := comp
-			if dirty {
-				key += "+mb"
-			}
-			b := osu.Bench{Topo: top, NRanks: 64, Component: comp, Warmup: warm, Iters: it, Dirty: dirty}
-			rs, err := b.Bcast(sizes)
-			if err != nil {
-				return nil, err
-			}
-			lat[key] = map[int]float64{}
-			for _, x := range rs {
-				lat[key][x.Size] = x.AvgLat
-			}
+	for vi, v := range variants {
+		lat[v.key] = map[int]float64{}
+		for si := range sizes {
+			x := cells[vi*len(sizes)+si]
+			lat[v.key][x.Size] = x.AvgLat
 		}
 	}
 	cols := []string{"xhc-flat", "xhc-flat+mb", "xhc-tree", "xhc-tree+mb"}
@@ -292,15 +319,25 @@ func runFig10(o Options) (*Report, error) {
 		{"tree/shared", false, core.MultiSharedLine},
 		{"tree/separated", false, core.MultiSeparateLines},
 	}
-	lat := map[string]map[int]float64{}
-	for _, c := range cases {
+	cells := make([]osu.Result, len(cases)*len(sizes))
+	err := runCells(o, len(cells), func(i int) error {
+		c, size := cases[i/len(sizes)], sizes[i%len(sizes)]
 		b := osu.Bench{Topo: top, NRanks: 32, Custom: build(c.flat, c.scheme), Warmup: warm, Iters: it, Dirty: true}
-		rs, err := b.Bcast(sizes)
+		rs, err := b.Bcast([]int{size})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
+			return fmt.Errorf("%s: %w", c.name, err)
 		}
+		cells[i] = rs[0]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lat := map[string]map[int]float64{}
+	for ci, c := range cases {
 		lat[c.name] = map[int]float64{}
-		for _, x := range rs {
+		for si := range sizes {
+			x := cells[ci*len(sizes)+si]
 			lat[c.name][x.Size] = x.AvgLat
 		}
 	}

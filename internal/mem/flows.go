@@ -3,7 +3,6 @@ package mem
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"xhc/internal/sim"
 )
@@ -17,16 +16,25 @@ type resource struct {
 	// scratch for the max-min solver
 	remCap    float64
 	undecided int
+	seenGen   uint64 // generation stamp replacing a per-solve seen map
 }
 
-// flow is one in-flight bulk transfer crossing a set of resources.
+// maxFlowRes bounds the resources one flow can cross: read path (memory
+// controller, two fabric ports, inter-socket link, core) plus write path
+// (memory controller, two ports, link) is at most 9; 12 leaves slack.
+const maxFlowRes = 12
+
+// flow is one in-flight bulk transfer crossing a set of resources. Flows
+// are pooled per System: completeFlow returns them for reuse so the
+// steady-state hot loop does not allocate.
 type flow struct {
 	id        int
-	res       []*resource
+	res       []*resource // aliases resArr except for degenerate cases
+	resArr    [maxFlowRes]*resource
 	remaining float64 // bytes
 	rate      float64 // bytes/sec
 	last      sim.Time
-	version   uint64 // invalidates stale completion events
+	deadline  sim.Time // completion time computed at the last reschedule
 	proc      *sim.Proc
 	token     uint64
 	done      bool
@@ -41,15 +49,19 @@ func (s *System) transfer(p *sim.Proc, res []*resource, n int, rateCap float64) 
 		return
 	}
 	s.flowSeq++
-	f := &flow{
-		id:        s.flowSeq,
-		res:       res,
-		remaining: float64(n),
-		last:      s.Eng.Now(),
-		proc:      p,
-		rateCap:   rateCap,
-	}
-	s.active[f] = struct{}{}
+	f := s.getFlow()
+	f.id = s.flowSeq
+	f.res = append(f.resArr[:0], res...)
+	f.remaining = float64(n)
+	f.rate = 0
+	f.last = s.Eng.Now()
+	f.deadline = 0
+	f.proc = p
+	f.token = 0
+	f.done = false
+	f.rateCap = rateCap
+	// flowSeq increases monotonically, so appending keeps active id-ordered.
+	s.active = append(s.active, f)
 	s.Stats.FlowsStarted++
 	s.Stats.BytesMoved += int64(n)
 	if len(s.active) > s.Stats.MaxConcurrent {
@@ -57,38 +69,56 @@ func (s *System) transfer(p *sim.Proc, res []*resource, n int, rateCap float64) 
 	}
 	s.reschedule()
 	f.token = p.NextSuspendToken()
-	p.Suspend(fmt.Sprintf("flow #%d: %d bytes", f.id, n))
+	p.Suspend("flow")
 }
 
-// completeFlow finishes f and wakes its process.
+// getFlow pops a pooled flow (or allocates the pool's first tenants).
+func (s *System) getFlow() *flow {
+	if n := len(s.flowPool); n > 0 {
+		f := s.flowPool[n-1]
+		s.flowPool = s.flowPool[:n-1]
+		return f
+	}
+	return &flow{}
+}
+
+// completeFlow finishes f, wakes its process, and recycles the flow.
 func (s *System) completeFlow(f *flow) {
 	if f.done {
 		return
 	}
 	f.done = true
-	delete(s.active, f)
+	proc, token := f.proc, f.token
+	i := flowIndex(s.active, f.id)
+	copy(s.active[i:], s.active[i+1:])
+	s.active[len(s.active)-1] = nil
+	s.active = s.active[:len(s.active)-1]
+	f.proc = nil
+	f.res = nil
+	s.flowPool = append(s.flowPool, f)
 	s.reschedule()
-	s.Eng.Wake(f.proc, f.token, s.Eng.Now())
+	s.Eng.Wake(proc, token, s.Eng.Now())
 }
 
-// orderedFlows snapshots the active set sorted by flow id: map iteration
-// order must never influence event ordering or floating-point summation
-// order, or the simulation stops being deterministic.
-func (s *System) orderedFlows() []*flow {
-	out := make([]*flow, 0, len(s.active))
-	for f := range s.active {
-		out = append(out, f)
+// flowIndex finds the position of flow id in the id-ordered slice.
+func flowIndex(flows []*flow, id int) int {
+	lo, hi := 0, len(flows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if flows[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
+	return lo
 }
 
-// reschedule advances all flows to now, re-solves rates, and reprograms
-// completion events. Called on every flow arrival and departure.
+// reschedule advances all flows to now, re-solves rates, and re-arms the
+// single completion event. Called on every flow arrival and departure.
 func (s *System) reschedule() {
 	now := s.Eng.Now()
-	flows := s.orderedFlows()
-	for _, f := range flows {
+	for _, f := range s.active {
 		if f.rate > 0 {
 			f.remaining -= f.rate * float64(now-f.last) / float64(sim.Second)
 			if f.remaining < 0 {
@@ -97,10 +127,9 @@ func (s *System) reschedule() {
 		}
 		f.last = now
 	}
-	s.solveRates(flows)
-	for _, f := range flows {
-		f.version++
-		v := f.version
+	s.solveRates(s.active)
+	earliest := sim.Time(-1)
+	for _, f := range s.active {
 		var d sim.Duration
 		if f.rate > 0 {
 			d = sim.Duration(f.remaining / f.rate * float64(sim.Second))
@@ -108,39 +137,98 @@ func (s *System) reschedule() {
 		if d < 1 && f.remaining > 0 {
 			d = 1
 		}
-		ff := f
-		s.Eng.At(now+d, func() {
-			if ff.version == v && !ff.done {
-				s.completeFlow(ff)
-			}
-		})
+		f.deadline = now + d
+		if earliest < 0 || f.deadline < earliest {
+			earliest = f.deadline
+		}
+	}
+	if earliest >= 0 {
+		s.armCompletion(earliest)
+	}
+}
+
+// armCompletion schedules the single completion event at t, invalidating
+// whatever was armed before. A fresh event is pushed on every reschedule —
+// exactly when the old per-flow closures were pushed — so same-timestamp
+// event ordering (and therefore determinism) is bit-identical to the
+// previous scheme, while the heap gains one entry per reschedule instead
+// of one per flow per reschedule. The version rides on the event (AtTag),
+// so arming allocates nothing.
+func (s *System) armCompletion(t sim.Time) {
+	s.cmplVersion++
+	s.Eng.AtTag(t, s.cmplVersion, s.cmplFired)
+}
+
+// completionFired is the single completion handler: a stale version means
+// a reschedule re-armed since this event was pushed. A valid firing
+// completes the first due flow in id order; completeFlow reschedules and
+// re-arms, continuing the cascade for simultaneous completions exactly
+// like the old per-flow events did.
+func (s *System) completionFired(v uint64) {
+	if v != s.cmplVersion {
+		return
+	}
+	now := s.Eng.Now()
+	for _, f := range s.active {
+		if f.deadline <= now {
+			s.completeFlow(f)
+			return
+		}
 	}
 }
 
 // solveRates computes max-min fair rates: repeatedly find the most
 // constrained resource, freeze the flows it bottlenecks at its fair share,
 // subtract, and continue. Per-flow rate caps are modeled as an implicit
-// private resource.
+// private resource. All scratch state lives on the System and the
+// resources themselves (generation-stamped), so steady-state solving does
+// not allocate.
 func (s *System) solveRates(flows []*flow) {
 	if len(flows) == 0 {
 		return
 	}
-	// Resources in first-seen order over the ordered flows: deterministic.
-	var resList []*resource
-	seen := map[*resource]bool{}
+	if len(flows) == 1 {
+		// Fast path: a lone flow runs at its most constrained resource (or
+		// its private cap) — no scratch setup, no iteration.
+		f := flows[0]
+		if len(f.res) > 0 || f.rateCap > 0 {
+			best := math.Inf(1)
+			for _, r := range f.res {
+				if r.capacity < best {
+					best = r.capacity
+				}
+			}
+			if f.rateCap > 0 && f.rateCap < best {
+				best = f.rateCap
+			}
+			f.rate = best
+			s.Stats.SolverFastPath++
+			return
+		}
+	}
+	// Note: no multi-flow early exit here, even when every flow shares one
+	// bottleneck. The freeze loop below mutates remCap/undecided as it goes,
+	// and in floating point (C - k*best)/(n-k) can land an ulp above best,
+	// deferring a flow to a later round at a slightly different rate.
+	// Assigning best to everyone is algebraically equal but not bit-equal,
+	// and the reproduction gate requires bit-identical outputs.
+	//
+	// Resources in first-seen order over the id-ordered flows: deterministic.
+	s.solveGen++
+	gen := s.solveGen
+	resList := s.solveRes[:0]
 	for _, f := range flows {
 		f.rate = -1
 		for _, r := range f.res {
-			if !seen[r] {
-				seen[r] = true
+			if r.seenGen != gen {
+				r.seenGen = gen
+				r.remCap = r.capacity
+				r.undecided = 0
 				resList = append(resList, r)
 			}
 		}
 	}
-	for _, r := range resList {
-		r.remCap = r.capacity
-		r.undecided = 0
-	}
+	s.solveRes = resList
 	for _, f := range flows {
 		for _, r := range f.res {
 			r.undecided++
@@ -202,6 +290,9 @@ func (s *System) solveRates(flows []*flow) {
 		}
 		if progress == 0 {
 			// Numerical corner: freeze everything at the current bound.
+			// Counted in Stats so calibration drift is observable instead
+			// of silently absorbed (see DESIGN.md §8).
+			s.Stats.SolverFallbacks++
 			for _, f := range flows {
 				if f.rate < 0 {
 					f.rate = best
@@ -230,8 +321,9 @@ func (s *System) Copy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer,
 		panic(fmt.Sprintf("mem: copy out of range: dst[%d:+%d]/%d src[%d:+%d]/%d",
 			doff, n, len(dst.Data), soff, n, len(src.Data)))
 	}
-	lat, res, cap := s.readPath(core, src)
-	res = append(res, s.writeResources(core, dst, n)...)
+	var rbuf [maxFlowRes]*resource
+	lat, res, cap := s.readPath(core, src, rbuf[:0])
+	res = s.appendWriteResources(res, core, dst, n)
 	p.Sleep(s.Params.CopyOverhead + lat)
 	s.transfer(p, res, n, cap)
 	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
@@ -246,8 +338,9 @@ func (s *System) KernelCopy(p *sim.Proc, core int, dst *Buffer, doff int, src *B
 	if n == 0 {
 		return
 	}
-	lat, res, cap := s.readPath(core, src)
-	res = append(res, s.writeResources(core, dst, n)...)
+	var rbuf [maxFlowRes]*resource
+	lat, res, cap := s.readPath(core, src, rbuf[:0])
+	res = s.appendWriteResources(res, core, dst, n)
 	p.Sleep(lat)
 	kcap := s.Params.KernelCopyBW
 	if cap > 0 && cap < kcap {
@@ -268,7 +361,8 @@ func (s *System) ChargeRead(p *sim.Proc, core int, src *Buffer, soff, n int) {
 	if soff < 0 || soff+n > len(src.Data) {
 		panic(fmt.Sprintf("mem: read out of range: src[%d:+%d]/%d", soff, n, len(src.Data)))
 	}
-	lat, res, cap := s.readPath(core, src)
+	var rbuf [maxFlowRes]*resource
+	lat, res, cap := s.readPath(core, src, rbuf[:0])
 	p.Sleep(s.Params.CopyOverhead + lat)
 	s.transfer(p, res, n, cap)
 	s.markRead(src, core)

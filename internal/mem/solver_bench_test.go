@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// solverFixture fills s.active with n synthetic flows. In the shared
+// variant every flow crosses the same memory controller (one common
+// bottleneck, the hard case for the max-min solver); in the disjoint
+// variant each flow only crosses its own core's streaming limit (the
+// trivially separable case).
+func solverFixture(s *System, n int, shared bool) {
+	s.active = s.active[:0]
+	for i := 0; i < n; i++ {
+		f := &flow{id: i + 1, remaining: 1 << 20}
+		if shared {
+			f.res = append(f.resArr[:0], s.memRes[0], s.coreRes[i%len(s.coreRes)])
+		} else {
+			f.res = append(f.resArr[:0], s.coreRes[i%len(s.coreRes)])
+		}
+		s.active = append(s.active, f)
+	}
+}
+
+// BenchmarkFlowSolver measures one max-min rate solve at several active
+// flow counts (ARM-N1 peaks at 160 concurrent flows, one per core).
+func BenchmarkFlowSolver(b *testing.B) {
+	for _, n := range []int{1, 8, 64, 160} {
+		for _, shared := range []bool{true, false} {
+			kind := "disjoint"
+			if shared {
+				kind = "shared"
+			}
+			b.Run(fmt.Sprintf("%s-%d", kind, n), func(b *testing.B) {
+				s := Default(topo.ArmN1())
+				solverFixture(s, n, shared)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.solveRates(s.active)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReschedule measures the full reschedule path (advance flows,
+// solve rates, re-arm the completion event) at ARM-N1 scale.
+func BenchmarkReschedule(b *testing.B) {
+	s := Default(topo.ArmN1())
+	solverFixture(s, 160, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.reschedule()
+	}
+}
+
+// TestRescheduleZeroAllocs pins the steady-state allocation count of the
+// scheduling hot path to zero: with the flow list, the solver scratch and
+// the completion event all pooled, reschedule must not allocate at all.
+//
+// The one unavoidable amortized allocation is the event heap's backing
+// array growing past a capacity boundary. The test pads the heap first and
+// measures twice: append growth adds at least 25% slack, so two back-to-
+// back 100-call windows cannot both cross a boundary, and the smaller of
+// the two measurements is the true steady-state count.
+func TestRescheduleZeroAllocs(t *testing.T) {
+	s := Default(topo.ArmN1())
+	solverFixture(s, 160, true)
+	for i := 0; i < 10000; i++ {
+		s.Eng.At(sim.Time(1)<<50, func() {})
+	}
+	s.reschedule() // warm the solver scratch
+	a1 := testing.AllocsPerRun(100, func() { s.reschedule() })
+	a2 := testing.AllocsPerRun(100, func() { s.reschedule() })
+	if min := minF(a1, a2); min != 0 {
+		t.Fatalf("reschedule allocates in steady state: %.2f allocs/op (runs: %.2f, %.2f)", min, a1, a2)
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

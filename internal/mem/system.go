@@ -23,9 +23,20 @@ type System struct {
 	slcPort  []*resource // per socket SLC (ARM)
 	coreRes  []*resource // per core load/store streaming limit
 
-	active  map[*flow]struct{}
-	flowSeq int
-	bufSeq  int
+	// active is the in-flight flow set, kept ordered by flow id (ids are
+	// assigned monotonically, so arrival order IS id order and no per-event
+	// sort is needed). flowPool recycles completed flow objects; solveRes
+	// and solveGen are the rate solver's pooled scratch; cmplVersion and
+	// cmplFired implement the single per-System completion event
+	// (see flows.go).
+	active      []*flow
+	flowPool    []*flow
+	solveRes    []*resource
+	solveGen    uint64
+	cmplVersion uint64
+	cmplFired   func(uint64)
+	flowSeq     int
+	bufSeq      int
 
 	// CMALock and KNEMLock model the kernel-internal locks of the CMA and
 	// KNEM single-copy mechanisms; concurrent callers serialize on them.
@@ -45,6 +56,13 @@ type Stats struct {
 	LineHits      int64
 	LineRMWs      int64
 	QueueWaitPS   int64 // accumulated line/RMW queue waiting
+
+	// SolverFastPath counts rate solves resolved by the single-flow fast
+	// path; SolverFallbacks counts times the
+	// numerical-corner fallback froze flows at the current bound — nonzero
+	// values there signal calibration drift worth investigating.
+	SolverFastPath  int64
+	SolverFallbacks int64
 }
 
 // NewSystem builds the memory model for a topology with the given params.
@@ -53,8 +71,8 @@ func NewSystem(eng *sim.Engine, t *topo.Topology, p Params) *System {
 		Eng:    eng,
 		Topo:   t,
 		Params: p,
-		active: make(map[*flow]struct{}),
 	}
+	s.cmplFired = s.completionFired
 	for i := 0; i < t.NNUMA; i++ {
 		s.memRes = append(s.memRes, &resource{name: fmt.Sprintf("mem%d", i), capacity: p.MemBW})
 		s.numaPort = append(s.numaPort, &resource{name: fmt.Sprintf("port%d", i), capacity: p.NUMAPortBW})
@@ -87,20 +105,22 @@ func Default(t *topo.Topology) *System {
 // single-stream rate cap that a read of src by core traverses right now,
 // given current cache residency. The cap models a core's limited number of
 // outstanding misses: remote data streams slower even on an idle machine.
-func (s *System) readPath(core int, src *Buffer) (sim.Duration, []*resource, float64) {
+// Resources are appended to buf so callers can pass stack scratch and keep
+// the copy hot path allocation-free.
+func (s *System) readPath(core int, src *Buffer, buf []*resource) (sim.Duration, []*resource, float64) {
 	p := &s.Params
 	switch s.lookupSource(src, core) {
 	case srcL2:
-		return p.L2HitLat, []*resource{s.coreRes[core]}, 0
+		return p.L2HitLat, append(buf, s.coreRes[core]), 0
 	case srcLLC:
-		return p.LLCHitLat, []*resource{s.llcPort[s.Topo.LLC(core)], s.coreRes[core]}, 0
+		return p.LLCHitLat, append(buf, s.llcPort[s.Topo.LLC(core)], s.coreRes[core]), 0
 	case srcSLC:
-		return p.SLCHitLat, []*resource{s.slcPort[s.Topo.Socket(core)], s.coreRes[core]}, p.StreamBW[topo.IntraNUMA]
+		return p.SLCHitLat, append(buf, s.slcPort[s.Topo.Socket(core)], s.coreRes[core]), p.StreamBW[topo.IntraNUMA]
 	}
 	home := src.HomeNUMA
 	rn := s.Topo.NUMA(core)
 	lat := p.MemLat
-	res := []*resource{s.memRes[home], s.coreRes[core]}
+	res := append(buf, s.memRes[home], s.coreRes[core])
 	cap := p.StreamBW[topo.IntraNUMA]
 	if home != rn {
 		lat += p.NUMAHopLat
@@ -115,17 +135,17 @@ func (s *System) readPath(core int, src *Buffer) (sim.Duration, []*resource, flo
 	return lat, res, cap
 }
 
-// writeResources returns the destination-side resources of a copy: the
-// destination NUMA memory controller when the data cannot stay in the
+// appendWriteResources appends the destination-side resources of a copy:
+// the destination NUMA memory controller when the data cannot stay in the
 // writer's cache, plus the fabric path if the destination is remote.
-func (s *System) writeResources(core int, dst *Buffer, n int) []*resource {
+func (s *System) appendWriteResources(res []*resource, core int, dst *Buffer, n int) []*resource {
 	inner := s.coreDomains(core)[0]
 	if int64(n) <= s.domainShare(inner) {
-		return nil // write-back absorbed by the cache
+		return res // write-back absorbed by the cache
 	}
 	home := dst.HomeNUMA
 	rn := s.Topo.NUMA(core)
-	res := []*resource{s.memRes[home]}
+	res = append(res, s.memRes[home])
 	if home != rn {
 		res = append(res, s.numaPort[home], s.numaPort[rn])
 		if s.Topo.NUMASocket(home) != s.Topo.Socket(core) {

@@ -1,0 +1,64 @@
+package osu
+
+import (
+	"fmt"
+	"testing"
+
+	"xhc/internal/coll"
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/topo"
+)
+
+// TestEventHeapStaysBounded is a regression test for the stale-event leak:
+// the flow scheduler used to push one completion event per active flow on
+// every reschedule, leaving the superseded ones to rot in the event heap
+// until their timestamps passed. During a chunked 160-rank broadcast that
+// made the heap grow with flows x reschedules instead of staying
+// proportional to the live population (one step event per process, one
+// wake per suspended flow, one completion event per reschedule whose armed
+// time has not yet passed).
+//
+// The bound below is deliberately generous — about 4 entries per process —
+// but the leaking scheduler blows far past it (thousands of stale events
+// at 160 ranks), so a reintroduction fails loudly.
+func TestEventHeapStaysBounded(t *testing.T) {
+	top := topo.ArmN1()
+	nranks := top.NCores // 160
+	m, err := top.Map(topo.MapCore, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.NewWorld(top, m)
+	c, err := coll.New("xhc-tree", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256 << 10 // large enough to be chunked and pipelined
+	bufs := make([]*mem.Buffer, nranks)
+	for r := range bufs {
+		bufs[r] = w.NewBufferAt(fmt.Sprintf("hp%d", r), r, n)
+	}
+	if err := w.Run(func(p *env.Proc) {
+		for it := 0; it < 3; it++ {
+			if p.Rank == 0 {
+				p.Dirty(bufs[p.Rank])
+			}
+			p.HarnessBarrier()
+			c.Bcast(p, bufs[p.Rank], 0, n, 0)
+			p.HarnessBarrier()
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Sys.Eng.Stats()
+	limit := 4 * nranks
+	if st.MaxHeapLen > limit {
+		t.Fatalf("event heap high-water mark %d exceeds %d (4x%d ranks): stale completion events are leaking",
+			st.MaxHeapLen, limit, nranks)
+	}
+	if st.MaxHeapLen == 0 || st.EventsScheduled == 0 {
+		t.Fatalf("engine stats not populated: %+v", st)
+	}
+	t.Logf("MaxHeapLen=%d scheduled=%d run=%d", st.MaxHeapLen, st.EventsScheduled, st.EventsRun)
+}

@@ -18,7 +18,23 @@ type Engine struct {
 	live     int // procs that have not finished
 	failure  error
 	stopping bool
+
+	stats EngineStats
 }
+
+// EngineStats counts scheduler work, for perf regression tests and the
+// simulator benchmarks (DESIGN.md §8).
+type EngineStats struct {
+	EventsScheduled int64 // total At/After/Go/Wake pushes
+	EventsRun       int64 // events popped and executed
+	MaxHeapLen      int   // high-water mark of pending events
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// HeapLen returns the number of currently pending events.
+func (e *Engine) HeapLen() int { return e.heap.Len() }
 
 // NewEngine returns an empty engine at virtual time 0.
 func NewEngine() *Engine { return &Engine{} }
@@ -34,6 +50,25 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	e.heap.push(event{at: t, seq: e.seq, fn: fn})
+	e.stats.EventsScheduled++
+	if n := e.heap.Len(); n > e.stats.MaxHeapLen {
+		e.stats.MaxHeapLen = n
+	}
+}
+
+// AtTag schedules fn(tag) at virtual time t. It behaves exactly like At
+// but lets callers reuse one long-lived closure for many events, keeping
+// allocation out of the scheduling hot path.
+func (e *Engine) AtTag(t Time, tag uint64, fn func(uint64)) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %s before now %s", FmtTime(t), FmtTime(e.now)))
+	}
+	e.seq++
+	e.heap.push(event{at: t, seq: e.seq, tagFn: fn, tag: tag})
+	e.stats.EventsScheduled++
+	if n := e.heap.Len(); n > e.stats.MaxHeapLen {
+		e.stats.MaxHeapLen = n
+	}
 }
 
 // After schedules fn to run d picoseconds from now.
@@ -48,6 +83,16 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		eng:    e,
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
+	}
+	// One reusable closure per process: Sleep/YieldStep re-arm stepFn and
+	// Wake re-arms wakeFn on every call, so the simulation hot loop
+	// schedules events without allocating.
+	p.stepFn = func() { e.step(p) }
+	p.wakeFn = func(token uint64) {
+		if p.suspended && p.suspendToken == token {
+			p.suspended = false // consume before stepping: step may re-suspend
+			e.step(p)
+		}
 	}
 	e.procs = append(e.procs, p)
 	e.live++
@@ -93,7 +138,12 @@ func (e *Engine) Run() error {
 		}
 		ev := e.heap.pop()
 		e.now = ev.at
-		ev.fn()
+		e.stats.EventsRun++
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.tagFn(ev.tag)
+		}
 	}
 }
 
@@ -110,7 +160,11 @@ func (e *Engine) deadlockError() error {
 	var stuck []string
 	for _, p := range e.procs {
 		if !p.finished {
-			stuck = append(stuck, fmt.Sprintf("%s(#%d): %s", p.Name, p.ID, p.waitReason))
+			reason := p.waitReason
+			if p.waitUntil != 0 {
+				reason = fmt.Sprintf("%s until %s", reason, FmtTime(p.waitUntil))
+			}
+			stuck = append(stuck, fmt.Sprintf("%s(#%d): %s", p.Name, p.ID, reason))
 		}
 	}
 	sort.Strings(stuck)

@@ -1,11 +1,16 @@
 package sim
 
 // event is a scheduled callback. Events fire in (at, seq) order, making
-// simultaneous events deterministic: first scheduled, first fired.
+// simultaneous events deterministic: first scheduled, first fired. An
+// event carries either fn or tagFn(tag): the tagged form lets hot paths
+// reuse one long-lived closure and pass the varying datum (a version, a
+// wake token) through the event itself instead of allocating a capture.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	tagFn func(uint64)
+	tag   uint64
 }
 
 // eventHeap is a binary min-heap of events ordered by (at, seq).

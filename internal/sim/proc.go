@@ -15,9 +15,12 @@ type Proc struct {
 	eng    *Engine
 	resume chan struct{}
 	yield  chan struct{}
+	stepFn func()       // reusable e.step(p) closure, set by Engine.Go
+	wakeFn func(uint64) // reusable token-checked wake closure, set by Engine.Go
 
 	finished   bool
 	waitReason string
+	waitUntil  Time // nonzero while sleeping: formatted lazily for reports
 
 	// suspendToken invalidates stale wakeups: each Suspend call gets a new
 	// token, and Wake calls carrying an old token are ignored.
@@ -57,10 +60,15 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
 	}
-	p.waitReason = fmt.Sprintf("sleeping %s until %s", FmtTime(d), FmtTime(p.eng.now+d))
-	p.eng.At(p.eng.now+d, func() { p.eng.step(p) })
+	// The reason is kept as a constant string plus a timestamp and only
+	// formatted in deadlock reports: Sleep is the hottest path in the
+	// simulator and must not allocate.
+	p.waitReason = "sleeping"
+	p.waitUntil = p.eng.now + d
+	p.eng.At(p.eng.now+d, p.stepFn)
 	p.yieldToEngine()
 	p.waitReason = ""
+	p.waitUntil = 0
 }
 
 // Until sleeps until absolute virtual time t (no-op if t <= Now).
@@ -75,7 +83,7 @@ func (p *Proc) Until(t Time) {
 // the current timestamp, without advancing time.
 func (p *Proc) YieldStep() {
 	p.waitReason = "yield"
-	p.eng.At(p.eng.now, func() { p.eng.step(p) })
+	p.eng.At(p.eng.now, p.stepFn)
 	p.yieldToEngine()
 	p.waitReason = ""
 }
@@ -102,14 +110,10 @@ func (p *Proc) NextSuspendToken() uint64 { return p.suspendToken + 1 }
 
 // Wake schedules p to resume at time t, if it is still in the suspension
 // identified by token. Stale or duplicate wakeups are ignored, so several
-// signalers may race to wake the same process.
+// signalers may race to wake the same process. The token rides on the
+// event itself (AtTag), so waking does not allocate a closure.
 func (e *Engine) Wake(p *Proc, token uint64, t Time) {
-	e.At(t, func() {
-		if p.suspended && p.suspendToken == token {
-			p.suspended = false // consume before stepping: step may re-suspend
-			e.step(p)
-		}
-	})
+	e.AtTag(t, token, p.wakeFn)
 }
 
 // Finished reports whether the process function has returned.

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 gate (ROADMAP.md) plus vet and a race pass over the packages that
+# exercise real concurrency: gxhc (goroutine-backed library), env (harness
+# plumbing) — exper's parallel experiment cells are covered transitively.
+# Equivalent to `make check`; kept as a script for environments without make.
+set -eux
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/gxhc/ ./internal/env/
