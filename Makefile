@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-sim quick-report
+.PHONY: build test vet race harness-checks check bench bench-sim quick-report
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,16 @@ test:
 race:
 	$(GO) test -race ./internal/gxhc/ ./internal/env/
 
-check: build vet test race
+# Oversubscription regression (spinUntil starvation) and the pin that
+# reports stay byte-identical with observability compiled in but disabled;
+# scripts/check.sh carries the same steps for environments without make.
+harness-checks:
+	GOMAXPROCS=2 $(GO) test -timeout 120s -run TestOversubscribedProgress ./internal/gxhc/
+	$(GO) run ./cmd/xhcrepro -quick -parallel 1 -o /tmp/xhc_check_seq.md
+	$(GO) run ./cmd/xhcrepro -quick -parallel 4 -o /tmp/xhc_check_par.md
+	cmp /tmp/xhc_check_seq.md /tmp/xhc_check_par.md
+
+check: build vet test race harness-checks
 
 # Simulator performance benchmarks (see DESIGN.md section 8 and
 # BENCH_flowsolver.json for the recorded before/after numbers).

@@ -16,6 +16,8 @@ import (
 	"strings"
 
 	"xhc/internal/apps"
+	"xhc/internal/env"
+	"xhc/internal/obs"
 	"xhc/internal/topo"
 )
 
@@ -25,7 +27,15 @@ func main() {
 	config := flag.String("config", "default", "miniamr: default | challenging")
 	comps := flag.String("comp", "xhc-tree,tuned,ucc,smhc-tree,xbrc", "components to compare")
 	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
+	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *traceOut != "" || *metrics {
+		reg = obs.NewRegistry(*traceOut != "")
+		env.ObserveWorlds(reg)
+	}
 
 	top := topo.ByName(*platform)
 	if top == nil {
@@ -61,4 +71,24 @@ func main() {
 		np = top.NCores
 	}
 	fmt.Printf("# %s on %s (%d ranks)\n%s", *app, top.Name, np, report)
+
+	if reg != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = reg.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *metrics {
+			fmt.Print(reg.Snapshot().String())
+		}
+	}
 }

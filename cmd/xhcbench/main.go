@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"xhc/internal/coll"
+	"xhc/internal/env"
+	"xhc/internal/obs"
 	"xhc/internal/osu"
 	"xhc/internal/stats"
 	"xhc/internal/topo"
@@ -55,7 +57,15 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.String("json", "", "also write per-cell results (sim latency + wall-clock) as JSON to this file")
+	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *traceOut != "" || *metrics {
+		reg = obs.NewRegistry(*traceOut != "")
+		env.ObserveWorlds(reg)
+	}
 
 	if *listComp {
 		fmt.Println(strings.Join(coll.Names(), "\n"))
@@ -110,6 +120,11 @@ func main() {
 	names := strings.Split(*comps, ",")
 	all := map[string]map[int]float64{}
 	var records []cellRecord
+	// rowSizes tracks the sizes actually measured, in sweep order: allreduce
+	// normalizes sizes to whole elements, so the report must key its rows on
+	// the returned sizes, not the requested ones.
+	var rowSizes []int
+	seenSize := map[int]bool{}
 	for _, name := range names {
 		b := osu.Bench{
 			Topo: top, NRanks: *nranks, Component: strings.TrimSpace(name),
@@ -134,9 +149,16 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			if len(rs) == 0 {
+				continue
+			}
 			wall := time.Since(start)
 			r := rs[0]
 			all[name][r.Size] = r.AvgLat
+			if !seenSize[r.Size] {
+				seenSize[r.Size] = true
+				rowSizes = append(rowSizes, r.Size)
+			}
 			records = append(records, cellRecord{
 				Platform: top.Name, Collective: *collective, Component: name,
 				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
@@ -163,7 +185,7 @@ func main() {
 	fmt.Printf("# %s on %s, %d ranks, %s, root %d (latency us, mean of %d iters)\n",
 		*collective, top.Name, np, *policy, *root, *iterations)
 	t := &stats.Table{Header: append([]string{"size"}, names...)}
-	for _, n := range sizes {
+	for _, n := range rowSizes {
 		row := []string{stats.SizeLabel(n)}
 		for _, name := range names {
 			row = append(row, fmt.Sprintf("%.2f", all[name][n]))
@@ -171,4 +193,24 @@ func main() {
 		t.Add(row...)
 	}
 	fmt.Print(t.String())
+
+	if reg != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = reg.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *metrics {
+			fmt.Print(reg.Snapshot().String())
+		}
+	}
 }

@@ -18,7 +18,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"xhc/internal/env"
 	"xhc/internal/exper"
+	"xhc/internal/obs"
 )
 
 func main() {
@@ -30,7 +32,18 @@ func main() {
 		"worker goroutines for independent experiment cells (1 = sequential)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
+	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	flag.Parse()
+
+	// With neither flag set no Observer is installed and every world takes
+	// the exact pre-observability construction path: reports stay
+	// byte-identical (scripts/check.sh pins this).
+	var reg *obs.Registry
+	if *traceOut != "" || *metrics {
+		reg = obs.NewRegistry(*traceOut != "")
+		env.ObserveWorlds(reg)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -104,7 +117,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *out)
-		return
+	} else {
+		fmt.Print(doc)
 	}
-	fmt.Print(doc)
+
+	if reg != nil {
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = reg.WriteChromeTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
+		}
+		if *metrics {
+			fmt.Print(reg.Snapshot().String())
+		}
+	}
 }

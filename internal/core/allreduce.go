@@ -7,6 +7,7 @@ import (
 	"xhc/internal/env"
 	"xhc/internal/mem"
 	"xhc/internal/mpi"
+	"xhc/internal/obs"
 	"xhc/internal/shm"
 	"xhc/internal/sim"
 	"xhc/internal/xpmem"
@@ -40,8 +41,14 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 	if p.Rank == 0 {
 		c.Ops++
 	}
+	opName := "allreduce"
+	if !bcast {
+		opName = "reduce"
+	}
+	pc := c.newPhaseClock(p, opName, view.opSeq)
 	if n == 0 {
-		c.ackPhase(p, st, view)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
 		return
 	}
 
@@ -54,9 +61,9 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 
 	cico := n <= c.Cfg.CICOThreshold
 	if cico {
-		c.cicoAllreduce(p, st, view, sbuf, acc, rbuf, n, dt, op, bcast, root)
+		c.cicoAllreduce(p, st, view, sbuf, acc, rbuf, n, dt, op, bcast, root, pc)
 	} else {
-		c.xpmemAllreduce(p, st, view, sbuf, acc, rbuf, n, dt, op, bcast, root)
+		c.xpmemAllreduce(p, st, view, sbuf, acc, rbuf, n, dt, op, bcast, root, pc)
 	}
 
 	// Advance the monotonic counter mirrors for the next operation.
@@ -75,7 +82,8 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 			view.bumpRedDone(l, m, uint64(sl[1]-sl[0]))
 		}
 	}
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
+	pc.finish()
 }
 
 // scratchFor returns (growing on demand) rank's internal accumulator.
@@ -151,7 +159,7 @@ func (c *Comm) pollInterval(n int) sim.Duration {
 }
 
 // xpmemAllreduce is the single-copy path.
-func (c *Comm) xpmemAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, bcast bool, root int) {
+func (c *Comm) xpmemAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, bcast bool, root int, pc *phaseClock) {
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 	es := dt.Size()
@@ -189,22 +197,23 @@ func (c *Comm) xpmemAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, 
 			gs.redReady[p.Rank].Set(p.S, p.Core, view.redCum[0]+uint64(n))
 		}
 	}
+	pc.mark(-1, obs.PhaseExpose, 0)
 
 	if len(lead) == 0 {
 		// Pure member: blocking reduction work, then blocking broadcast.
-		c.memberReduceSlice(p, st, view, pl, n, es, dt, op)
+		c.memberReduceSlice(p, st, view, pl, n, es, dt, op, pc)
 		if bcast {
-			c.bcastPull(p, st, view, rbuf, n, nil)
+			c.bcastPull(p, st, view, rbuf, n, nil, pc)
 		}
 		return
 	}
-	c.leaderProgressLoop(p, st, view, sbuf, acc, rbuf, n, es, dt, op, bcast, root, lead, pl)
+	c.leaderProgressLoop(p, st, view, sbuf, acc, rbuf, n, es, dt, op, bcast, root, lead, pl, pc)
 }
 
 // memberReduceSlice performs this rank's share of the intra-group
 // reduction at level pl (paper step 2a), blocking on the participants'
 // reduce_ready counters chunk by chunk.
-func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl, n, es int, dt mpi.Datatype, op mpi.Op) {
+func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl, n, es int, dt mpi.Datatype, op mpi.Op, pc *phaseClock) {
 	gs, _ := st.groupOf(pl, p.Rank)
 	part := c.reducePartition(gs, n, es, c.Cfg.ReduceMinChunk)
 	slice := part[p.Rank]
@@ -212,6 +221,7 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 	doneBase := view.redDoneBase(pl)
 	if s == e {
 		gs.redDone[p.Rank].Set(p.S, p.Core, doneBase)
+		pc.mark(pl, obs.PhaseReduceSlice, 0)
 		return
 	}
 	redBase := view.redCum[pl]
@@ -219,6 +229,7 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 
 	// Attach the accumulator and every participant's contribution.
 	gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
+	pc.mark(pl, obs.PhaseFlagWait, 0)
 	accB := c.caches[p.Rank].Attach(p.S, gs.accExposed)
 	accOff := gs.accExposedOff
 	srcs := make(map[int]*mem.Buffer, len(gs.g.Members))
@@ -228,6 +239,7 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 		srcs[m] = c.caches[p.Rank].Attach(p.S, h)
 		offs[m] = o
 	}
+	pc.mark(pl, obs.PhaseExpose, 0)
 
 	var readyFlags []*shm.Flag
 	for _, m := range gs.g.Members {
@@ -236,9 +248,11 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 	for cur := s; cur < e; {
 		step := min(chunk, e-cur)
 		shm.WaitAllGE(p.S, p.Core, readyFlags, redBase+uint64(cur+step))
+		pc.mark(pl, obs.PhaseFlagWait, 0)
 		c.reduceChunk(p, gs, accB, accOff, srcs, offs, cur, step, dt, op)
 		cur += step
 		gs.redDone[p.Rank].Set(p.S, p.Core, doneBase+uint64(cur-s))
+		pc.mark(pl, obs.PhaseReduceSlice, int64(step))
 	}
 }
 
@@ -266,12 +280,14 @@ func (c *Comm) reduceChunk(p *env.Proc, gs *groupState, acc *mem.Buffer, accOff 
 
 // bcastPull is the broadcast-phase receive of a pure member: wait for the
 // parent's counter, copy available chunks into rbuf.
-func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.Buffer, n int, after func(copied int)) {
+func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.Buffer, n int, after func(copied int), pc *phaseClock) {
 	pl := st.pullLevel(p.Rank)
 	gs, _ := st.groupOf(pl, p.Rank)
 	gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+	pc.mark(pl, obs.PhaseFlagWait, 0)
 	src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 	soff := gs.exposedOff
+	pc.mark(pl, obs.PhaseExpose, 0)
 	base := view.cumBytes[pl]
 	chunk := c.chunkAt(pl)
 	copied := 0
@@ -281,6 +297,8 @@ func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.B
 		if avail > n {
 			avail = n
 		}
+		pc.mark(pl, obs.PhaseFlagWait, 0)
+		before := copied
 		for copied < avail {
 			take := min(chunk, avail-copied)
 			p.Copy(rbuf, copied, src, soff+copied, take)
@@ -289,11 +307,11 @@ func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.B
 				after(copied)
 			}
 		}
+		pc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
 	}
 	c.caches[p.Rank].Release(p.S, gs.exposed)
-	if c.OnPull != nil {
-		c.OnPull(gs.leader, p.Rank, n)
-	}
+	pc.mark(pl, obs.PhaseExpose, 0)
+	c.recordPull(gs.leader, p.Rank, n)
 }
 
 // leaderProgressLoop interleaves every role a leader has during an
@@ -301,7 +319,7 @@ func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.B
 // its own reduce_ready upward (step 2b), its own reduction slice at its
 // pull level, triggering/forwarding the broadcast (step 3) — in a polling
 // loop, the way the paper describes leaders operating.
-func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n, es int, dt mpi.Datatype, op mpi.Op, bcast bool, root int, lead []int, pl int) {
+func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n, es int, dt mpi.Datatype, op mpi.Op, bcast bool, root int, lead []int, pl int, pc *phaseClock) {
 	type monitorState struct {
 		gs        *groupState
 		part      map[int][2]int
@@ -384,6 +402,10 @@ func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sb
 	for {
 		progressed := false
 		done := true
+		// Phase attribution: a leader interleaves its roles, so each loop
+		// iteration's segment is attributed to the dominant activity —
+		// reduction work, chunk forwarding, or (otherwise) flag polling.
+		reducedIter, copiedIter := 0, 0
 
 		// Role: monitor led groups, publish reduce_ready upward (or the
 		// broadcast counters when this rank is the internal root).
@@ -400,6 +422,7 @@ func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sb
 					ms.prefix = n
 					ms.seeded = true
 					progressed = true
+					reducedIter += n
 				} else {
 					// Contribution is acc itself; prefix follows the level
 					// below, handled by the monitor of level l-1 publishing
@@ -514,6 +537,7 @@ func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sb
 					sl.cur += step
 					sl.gs.redDone[p.Rank].Set(p.S, p.Core, view.redDoneBase(pl)+uint64(sl.cur-sl.s))
 					progressed = true
+					reducedIter += step
 				}
 			}
 		}
@@ -542,14 +566,13 @@ func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sb
 						take := min(chunk, avail-bcCopied)
 						p.Copy(rbuf, bcCopied, bcSrc, bcSoff+bcCopied, take)
 						bcCopied += take
+						copiedIter += take
 						publishBcast(bcCopied)
 					}
 					progressed = true
 					if bcCopied >= n {
 						c.caches[p.Rank].Release(p.S, gs.exposed)
-						if c.OnPull != nil {
-							c.OnPull(gs.leader, p.Rank, n)
-						}
+						c.recordPull(gs.leader, p.Rank, n)
 					}
 				}
 			}
@@ -563,11 +586,22 @@ func (c *Comm) leaderProgressLoop(p *env.Proc, st *commState, view *rankView, sb
 			}
 		}
 
+		if pc != nil {
+			switch {
+			case reducedIter > 0:
+				pc.mark(pl, obs.PhaseReduceSlice, int64(reducedIter))
+			case copiedIter > 0:
+				pc.mark(pl, obs.PhaseChunkCopy, int64(copiedIter))
+			default:
+				pc.mark(-1, obs.PhaseFlagWait, 0)
+			}
+		}
 		if done {
 			break
 		}
 		if !progressed {
 			p.S.Sleep(poll)
+			pc.mark(-1, obs.PhaseFlagWait, 0)
 		}
 	}
 	_ = bcastExposed
@@ -584,7 +618,7 @@ func (gs *groupState) readyValue(p *env.Proc) uint64 {
 
 // cicoAllreduce is the small-message path: contributions staged in the
 // per-rank CICO buffers, one reducer per group, CICO broadcast back.
-func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, bcast bool, root int) {
+func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, acc, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, bcast bool, root int, pc *phaseClock) {
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2)
@@ -594,6 +628,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 	p.Copy(c.cico[p.Rank], slot, sbuf, 0, n)
 	gs0, _ := st.groupOf(0, p.Rank)
 	gs0.redReady[p.Rank].Set(p.S, p.Core, view.redCum[0]+uint64(n))
+	pc.mark(0, obs.PhaseChunkCopy, int64(n))
 
 	// Bottom-up: monitor led groups (wait for every active reducer's
 	// slice), then publish upward; do own reduction duty at the pull level.
@@ -614,6 +649,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 			}
 		}
 		shm.WaitAllTargets(p.S, p.Core, doneFlags, doneTargets)
+		pc.mark(l, obs.PhaseFlagWait, 0)
 		// This group's result now sits in this leader's CICO slot; it is
 		// the leader's contribution one level up.
 		if l+1 < st.h.NLevels() {
@@ -635,6 +671,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 				readyFlags = append(readyFlags, gs.redReady[m])
 			}
 			shm.WaitAllGE(p.S, p.Core, readyFlags, view.redCum[pl]+uint64(n))
+			pc.mark(pl, obs.PhaseFlagWait, 0)
 			dst := c.cico[gs.leader]
 			for _, m := range gs.g.Members {
 				if m == gs.leader {
@@ -647,6 +684,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 			}
 			p.Dirty(dst)
 			gs.redDone[p.Rank].Set(p.S, p.Core, view.redDoneBase(pl)+uint64(e0-s0))
+			pc.mark(pl, obs.PhaseReduceSlice, int64(e0-s0))
 		}
 	}
 
@@ -654,6 +692,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 		// Reduce: the root drains its CICO accumulator into rbuf.
 		if p.Rank == root {
 			p.Copy(rbuf, 0, c.cico[p.Rank], slot, n)
+			pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 		}
 		return
 	}
@@ -665,10 +704,12 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 			gs, _ := st.groupOf(l, p.Rank)
 			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
 		}
+		pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else {
 		gs, _ := st.groupOf(pl, p.Rank)
 		base := view.cumBytes[pl]
 		c.waitReady(p, gs, base+uint64(n))
+		pc.mark(pl, obs.PhaseFlagWait, 0)
 		src := c.cico[gs.leader]
 		p.Copy(rbuf, 0, src, slot, n)
 		if len(lead) > 0 {
@@ -678,9 +719,8 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 				c.setReady(p, lgs, view.cumBytes[l]+uint64(n))
 			}
 		}
-		if c.OnPull != nil {
-			c.OnPull(gs.leader, p.Rank, n)
-		}
+		pc.mark(pl, obs.PhaseChunkCopy, int64(n))
+		c.recordPull(gs.leader, p.Rank, n)
 	}
 }
 
@@ -693,6 +733,7 @@ func (c *Comm) Barrier(p *env.Proc) {
 	if p.Rank == 0 {
 		c.Ops++
 	}
+	pc := c.newPhaseClock(p, "barrier", view.opSeq)
 
 	// Gather: each rank signals arrival at its pull group; leaders wait
 	// for their members bottom-up before signalling their own arrival.
@@ -724,4 +765,6 @@ func (c *Comm) Barrier(p *env.Proc) {
 	for l := range view.cumBytes {
 		view.cumBytes[l]++
 	}
+	pc.mark(-1, obs.PhaseFlagWait, 0)
+	pc.finish()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"xhc/internal/env"
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/shm"
 	"xhc/internal/xpmem"
 )
@@ -20,19 +21,20 @@ func (c *Comm) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	if n == 0 {
-		c.ackPhase(p, st, view)
-		return
+	pc := c.newPhaseClock(p, "bcast", view.opSeq)
+	switch {
+	case n == 0:
+		c.ackPhase(p, st, view, pc)
+	case n <= c.Cfg.CICOThreshold:
+		c.cicoBcast(p, st, view, buf, off, n, root, pc)
+	default:
+		c.xpmemBcast(p, st, view, buf, off, n, root, pc)
 	}
-	if n <= c.Cfg.CICOThreshold {
-		c.cicoBcast(p, st, view, buf, off, n, root)
-		return
-	}
-	c.xpmemBcast(p, st, view, buf, off, n, root)
+	pc.finish()
 }
 
 // xpmemBcast is the single-copy path.
-func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int, pc *phaseClock) {
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 
@@ -44,6 +46,7 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 		gs.exposedOff = off
 		gs.expSeq.Set(p.S, p.Core, view.opSeq)
 	}
+	pc.mark(-1, obs.PhaseExpose, 0)
 
 	if p.Rank == root {
 		// The root's data is fully available from the start.
@@ -51,12 +54,15 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 			gs, _ := st.groupOf(l, p.Rank)
 			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
 		}
+		pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else {
 		gs, _ := st.groupOf(pl, p.Rank)
 		// Wait for this op's exposure, then attach (registration cached).
 		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+		pc.mark(pl, obs.PhaseFlagWait, 0)
 		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 		soff := gs.exposedOff
+		pc.mark(pl, obs.PhaseExpose, 0)
 		base := view.cumBytes[pl]
 		chunk := c.chunkAt(pl)
 		copied := 0
@@ -66,6 +72,8 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 			if avail > n {
 				avail = n
 			}
+			pc.mark(pl, obs.PhaseFlagWait, 0)
+			before := copied
 			// Copy chunk by chunk (not everything available at once): the
 			// chunk granule is what lets children overlap with this rank's
 			// own progress (Fig. 5).
@@ -78,23 +86,23 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 					c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
 				}
 			}
+			pc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
 		}
 		c.caches[p.Rank].Release(p.S, gs.exposed)
-		if c.OnPull != nil {
-			c.OnPull(gs.leader, p.Rank, n)
-		}
+		pc.mark(pl, obs.PhaseExpose, 0)
+		c.recordPull(gs.leader, p.Rank, n)
 	}
 
 	for l := range view.cumBytes {
 		view.cumBytes[l] += uint64(n)
 	}
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
 }
 
 // cicoBcast is the small-message copy-in-copy-out path: the same
 // algorithm, with the leaders' CICO buffers in place of attached user
 // buffers (paper Section IV-C).
-func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int, pc *phaseClock) {
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2) // double-buffered slots
@@ -106,10 +114,12 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 			gs, _ := st.groupOf(l, p.Rank)
 			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
 		}
+		pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else {
 		gs, _ := st.groupOf(pl, p.Rank)
 		base := view.cumBytes[pl]
 		c.waitReady(p, gs, base+uint64(n))
+		pc.mark(pl, obs.PhaseFlagWait, 0)
 		src := c.cico[gs.leader]
 		// Copy-out into the user buffer.
 		p.Copy(buf, off, src, slot, n)
@@ -121,22 +131,21 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 				c.setReady(p, lgs, view.cumBytes[l]+uint64(n))
 			}
 		}
-		if c.OnPull != nil {
-			c.OnPull(gs.leader, p.Rank, n)
-		}
+		pc.mark(pl, obs.PhaseChunkCopy, int64(n))
+		c.recordPull(gs.leader, p.Rank, n)
 	}
 
 	for l := range view.cumBytes {
 		view.cumBytes[l] += uint64(n)
 	}
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
 }
 
 // ackPhase implements the hierarchical acknowledgment: each rank marks the
 // op complete at the group it pulls in; leaders wait for their members
 // before returning, guaranteeing their buffers and control structures are
 // no longer in use (paper Section IV-A, finalization).
-func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView) {
+func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView, pc *phaseClock) {
 	if pl := st.pullLevel(p.Rank); pl >= 0 {
 		gs, _ := st.groupOf(pl, p.Rank)
 		gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
@@ -151,6 +160,7 @@ func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView) {
 		}
 		shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
 	}
+	pc.mark(-1, obs.PhaseAck, 0)
 }
 
 func min(a, b int) int {

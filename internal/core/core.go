@@ -16,6 +16,7 @@ import (
 	"xhc/internal/env"
 	"xhc/internal/hier"
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/shm"
 	"xhc/internal/xpmem"
 )
@@ -111,6 +112,16 @@ type Comm struct {
 	// operation (Table II accounting).
 	OnPull func(from, to, bytes int)
 
+	// Trace records per-rank phase spans when the world is observed with
+	// tracing enabled; nil otherwise. Everything that consults it does so
+	// through nil-checked helpers (phaseClock), so the disabled path costs
+	// one pointer comparison per operation.
+	Trace *obs.Tracer
+	// obsPull mirrors OnPull for the observability registry. It is a
+	// separate hook so experiments that install their own OnPull collector
+	// after construction don't silence registry accounting (and vice versa).
+	obsPull func(from, to, bytes int)
+
 	scratch []*mem.Buffer              // per-rank internal accumulators for Reduce
 	agFlags map[*commState][]*shm.Flag // allgather push-completion flags
 
@@ -159,7 +170,27 @@ func New(w *env.World, cfg Config) (*Comm, error) {
 	if _, err := c.stateForChecked(0); err != nil {
 		return nil, err
 	}
+	if w.Obs != nil {
+		c.Trace = w.Obs.Tracer
+		c.obsPull = w.Obs.RecordPull
+		w.OnObsFlush(func(wo *obs.World) {
+			for _, ca := range c.caches {
+				wo.AddCacheStats(ca.Stats())
+			}
+			wo.AddOps(c.Ops)
+		})
+	}
 	return c, nil
+}
+
+// recordPull fires both pull observers (experiment collector and registry).
+func (c *Comm) recordPull(from, to, n int) {
+	if c.OnPull != nil {
+		c.OnPull(from, to, n)
+	}
+	if c.obsPull != nil {
+		c.obsPull(from, to, n)
+	}
 }
 
 // MustNew panics on configuration errors.

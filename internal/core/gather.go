@@ -5,6 +5,7 @@ import (
 
 	"xhc/internal/env"
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/shm"
 	"xhc/internal/xpmem"
 )
@@ -28,8 +29,10 @@ func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 	if p.Rank == 0 {
 		c.Ops++
 	}
+	pc := c.newPhaseClock(p, "scatter", view.opSeq)
 	if blockLen == 0 {
-		c.ackPhase(p, st, view)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
 		return
 	}
 	gs := st.groups[st.h.NLevels()-1][0] // top group carries the exposure
@@ -38,18 +41,23 @@ func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 		gs.exposed = xpmem.Expose(buf)
 		gs.exposedOff = 0
 		gs.expSeq.Set(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(out, 0, buf, blockLen*root, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 	} else {
 		sizeCheck(out, 0, blockLen)
 		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseFlagWait, 0)
 		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(out, 0, src, gs.exposedOff+blockLen*p.Rank, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 		c.caches[p.Rank].Release(p.S, gs.exposed)
-		if c.OnPull != nil {
-			c.OnPull(root, p.Rank, blockLen)
-		}
+		pc.mark(-1, obs.PhaseExpose, 0)
+		c.recordPull(root, p.Rank, blockLen)
 	}
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
+	pc.finish()
 }
 
 // Gather collects blockLen bytes from each rank's in buffer into root's
@@ -63,8 +71,10 @@ func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, ro
 	if p.Rank == 0 {
 		c.Ops++
 	}
+	pc := c.newPhaseClock(p, "gather", view.opSeq)
 	if blockLen == 0 {
-		c.ackPhase(p, st, view)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
 		return
 	}
 	gs := st.groups[st.h.NLevels()-1][0]
@@ -73,20 +83,25 @@ func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, ro
 		gs.accExposed = xpmem.Expose(buf)
 		gs.accExposedOff = 0
 		gs.accExpSeq.Set(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(buf, blockLen*root, in, 0, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 	} else {
 		sizeCheck(in, 0, blockLen)
 		gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseFlagWait, 0)
 		dst := c.caches[p.Rank].Attach(p.S, gs.accExposed)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(dst, gs.accExposedOff+blockLen*p.Rank, in, 0, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 		c.caches[p.Rank].Release(p.S, gs.accExposed)
-		if c.OnPull != nil {
-			c.OnPull(p.Rank, root, blockLen)
-		}
+		pc.mark(-1, obs.PhaseExpose, 0)
+		c.recordPull(p.Rank, root, blockLen)
 	}
 	// The ack phase doubles as the completion notification: the root's
 	// return is gated on every rank having pushed its block.
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
+	pc.finish()
 }
 
 // Allgather concatenates every rank's blockLen-byte in block into each
@@ -98,7 +113,9 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 		st := c.stateFor(0)
 		view := st.views[p.Rank]
 		view.opSeq++
-		c.ackPhase(p, st, view)
+		pc := c.newPhaseClock(p, "allgather", view.opSeq)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
 		return
 	}
 	n := blockLen * c.W.N
@@ -110,6 +127,7 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 	if p.Rank == 0 {
 		c.Ops++
 	}
+	pc := c.newPhaseClock(p, "allgather", view.opSeq)
 
 	// Phase 1: every rank pushes its block into the internal root's out
 	// buffer (rank 0), which assembles the full vector. Leaders are not
@@ -119,7 +137,9 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 		gs.accExposed = xpmem.Expose(out)
 		gs.accExposedOff = 0
 		gs.accExpSeq.Set(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(out, 0, in, 0, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 		// Wait for all pushes (push counters reuse the redReady flags of
 		// the top group's members plus a shared arrival account below).
 		var flags []*shm.Flag
@@ -127,21 +147,27 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 			flags = append(flags, c.agDone(st, r))
 		}
 		shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
+		pc.mark(-1, obs.PhaseFlagWait, 0)
 	} else {
 		gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseFlagWait, 0)
 		dst := c.caches[p.Rank].Attach(p.S, gs.accExposed)
+		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(dst, gs.accExposedOff+blockLen*p.Rank, in, 0, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 		c.caches[p.Rank].Release(p.S, gs.accExposed)
 		c.agDone(st, p.Rank).Set(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseExpose, 0)
 	}
 
 	// Phase 2: hierarchical pipelined broadcast of the assembled vector.
 	// Reuse the bcast machinery (root = 0 has the data in `out`).
-	c.bcastBody(p, st, view, out, 0, n, 0)
+	c.bcastBody(p, st, view, out, 0, n, 0, pc)
 	for l := range view.cumBytes {
 		view.cumBytes[l] += uint64(n)
 	}
-	c.ackPhase(p, st, view)
+	c.ackPhase(p, st, view, pc)
+	pc.finish()
 }
 
 // agDone returns rank's allgather push-completion flag (lazily created at
@@ -164,7 +190,7 @@ func (c *Comm) agDone(st *commState, rank int) *shm.Flag {
 // bcastBody runs the data-movement part of the hierarchical broadcast for
 // an operation whose bookkeeping (opSeq, cum advance, acks) the caller
 // manages. Used by Allgather's distribution phase.
-func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int) {
+func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, off, n, root int, pc *phaseClock) {
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 	for _, l := range lead {
@@ -173,17 +199,21 @@ func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 		gs.exposedOff = off
 		gs.expSeq.Set(p.S, p.Core, view.opSeq)
 	}
+	pc.mark(-1, obs.PhaseExpose, 0)
 	if p.Rank == root {
 		for _, l := range lead {
 			gs, _ := st.groupOf(l, p.Rank)
 			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
 		}
+		pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 		return
 	}
 	gs, _ := st.groupOf(pl, p.Rank)
 	gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+	pc.mark(pl, obs.PhaseFlagWait, 0)
 	src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 	soff := gs.exposedOff
+	pc.mark(pl, obs.PhaseExpose, 0)
 	base := view.cumBytes[pl]
 	chunk := c.chunkAt(pl)
 	copied := 0
@@ -193,6 +223,8 @@ func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 		if avail > n {
 			avail = n
 		}
+		pc.mark(pl, obs.PhaseFlagWait, 0)
+		before := copied
 		for copied < avail {
 			take := min(chunk, avail-copied)
 			p.Copy(buf, off+copied, src, soff+copied, take)
@@ -202,9 +234,9 @@ func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 				c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
 			}
 		}
+		pc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
 	}
 	c.caches[p.Rank].Release(p.S, gs.exposed)
-	if c.OnPull != nil {
-		c.OnPull(gs.leader, p.Rank, n)
-	}
+	pc.mark(pl, obs.PhaseExpose, 0)
+	c.recordPull(gs.leader, p.Rank, n)
 }

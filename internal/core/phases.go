@@ -1,0 +1,57 @@
+package core
+
+import (
+	"xhc/internal/env"
+	"xhc/internal/obs"
+)
+
+// phaseClock attributes one rank's time inside one collective operation to
+// phases. It is a segment clock: each mark closes the interval from the
+// previous mark (or the operation start) to now and records it as the given
+// phase, so the phase spans partition the operation exactly — their
+// durations sum to the operation's latency with no gaps or overlaps.
+//
+// With tracing disabled newPhaseClock returns nil and every method is a
+// nil-receiver no-op, keeping the hot loop free of allocations and of any
+// timing perturbation (the byte-identical-report constraint).
+type phaseClock struct {
+	t    *obs.Tracer
+	lane int
+	op   string
+	seq  uint64
+
+	start int64
+	last  int64
+}
+
+// newPhaseClock starts phase attribution for one operation on one rank.
+// It returns nil when the communicator has no tracer.
+func (c *Comm) newPhaseClock(p *env.Proc, op string, seq uint64) *phaseClock {
+	if c.Trace == nil {
+		return nil
+	}
+	now := c.Trace.Now()
+	return &phaseClock{t: c.Trace, lane: p.Core, op: op, seq: seq, start: now, last: now}
+}
+
+// mark closes the segment since the previous mark as phase ph at the given
+// hierarchy level (-1 when the segment spans levels). Zero-length segments
+// are dropped.
+func (pc *phaseClock) mark(level int, ph obs.Phase, bytes int64) {
+	if pc == nil {
+		return
+	}
+	now := pc.t.Now()
+	if now > pc.last {
+		pc.t.Record(pc.lane, level, ph, pc.op, pc.seq, pc.last, now, bytes)
+	}
+	pc.last = now
+}
+
+// finish records the umbrella collective span covering the whole operation.
+func (pc *phaseClock) finish() {
+	if pc == nil {
+		return
+	}
+	pc.t.Record(pc.lane, -1, obs.PhaseCollective, pc.op, pc.seq, pc.start, pc.t.Now(), 0)
+}

@@ -9,9 +9,18 @@ import (
 	"fmt"
 
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/sim"
 	"xhc/internal/topo"
 )
+
+// Observer, when set, is invoked on every newly constructed World. It is
+// the process-wide observability hook: binaries that want tracing/metrics
+// install it once (before any worlds exist, typically via ObserveWorlds)
+// and every world built afterwards — including the fresh world each
+// benchmark size sweep creates — reports into the same registry. When nil
+// (the default), world construction takes the exact same path as before.
+var Observer func(*World)
 
 // World is one intra-node MPI job: N ranks mapped onto the cores of a
 // simulated platform.
@@ -21,7 +30,13 @@ type World struct {
 	Map  topo.Mapping
 	N    int
 
-	barrier *barrierState
+	// Obs is this world's observability sink, nil unless an Observer
+	// installed one. Components check it for nil at wiring time only;
+	// nothing on the simulation hot path reads it.
+	Obs *obs.World
+
+	barrier  *barrierState
+	obsFlush []func(*obs.World)
 }
 
 // NewWorld creates a world of len(m) ranks on a fresh engine with default
@@ -36,13 +51,42 @@ func NewWorldParams(t *topo.Topology, m topo.Mapping, params mem.Params) *World 
 		panic(err)
 	}
 	eng := sim.NewEngine()
-	return &World{
+	w := &World{
 		Sys:     mem.NewSystem(eng, t, params),
 		Topo:    t,
 		Map:     m,
 		N:       len(m),
 		barrier: &barrierState{},
 	}
+	if Observer != nil {
+		Observer(w)
+	}
+	return w
+}
+
+// ObserveWorlds installs the process-wide Observer so every World built
+// afterwards feeds the given registry: each world gets a per-rank span
+// tracer on the engine's virtual clock (when the registry has tracing
+// enabled), a per-distance message tally, and a flow-attribution hook on
+// the memory system. Call it once at program start, before any worlds are
+// created; the Observer runs during construction, before rank goroutines
+// exist, so no synchronization is needed on the World side.
+func ObserveWorlds(reg *obs.Registry) {
+	Observer = func(w *World) {
+		wo := reg.NewWorld(w.Topo.Name, w.Topo.NCores, obs.SimTicksPerUS, w.Sys.Eng.Clock())
+		wo.InitDistance(w.Topo, w.Map)
+		w.Obs = wo
+		w.Sys.OnFlow = wo.FlowHook()
+	}
+}
+
+// OnObsFlush registers fn to run once after the engine drains, just before
+// the world folds its counters into the registry. Components (the XHC
+// communicator, most notably) use it to contribute end-of-run state such
+// as registration-cache statistics. No-op ordering hazards: flush functions
+// run on the caller of Run, after all rank goroutines have finished.
+func (w *World) OnObsFlush(fn func(*obs.World)) {
+	w.obsFlush = append(w.obsFlush, fn)
 }
 
 // Core returns the core that rank runs on.
@@ -65,7 +109,14 @@ func (w *World) Run(body func(p *Proc)) error {
 			body(&Proc{S: sp, W: w, Rank: r, Core: w.Map.Core(r)})
 		})
 	}
-	return w.Sys.Eng.Run()
+	err := w.Sys.Eng.Run()
+	if w.Obs != nil {
+		for _, fn := range w.obsFlush {
+			fn(w.Obs)
+		}
+		w.Obs.Finish(w.Sys.Stats, w.Sys.Eng.Stats())
+	}
+	return err
 }
 
 // Now returns the rank's current virtual time.
@@ -121,6 +172,10 @@ type waiter struct {
 }
 
 // HarnessBarrier blocks until all N ranks of the world have arrived.
+// Benchmarks cross it twice per measured iteration, so it must stay off the
+// allocation profile: the waiter slice's backing array is reused across
+// epochs and the suspend reason is formatted lazily (only if a deadlock
+// report ever needs it).
 func (p *Proc) HarnessBarrier() {
 	b := p.W.barrier
 	b.arrived++
@@ -131,9 +186,9 @@ func (p *Proc) HarnessBarrier() {
 		for _, w := range b.waiters {
 			p.W.Sys.Eng.Wake(w.p, w.token, now)
 		}
-		b.waiters = nil
+		b.waiters = b.waiters[:0]
 		return
 	}
 	b.waiters = append(b.waiters, waiter{p: p.S, token: p.S.NextSuspendToken()})
-	p.S.Suspend(fmt.Sprintf("harness barrier (epoch %d)", b.epoch))
+	p.S.SuspendLazy("harness barrier (epoch %d)", b.epoch)
 }

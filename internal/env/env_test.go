@@ -1,6 +1,7 @@
 package env
 
 import (
+	"runtime"
 	"testing"
 
 	"xhc/internal/sim"
@@ -127,4 +128,45 @@ func TestInvalidMappingPanics(t *testing.T) {
 	}()
 	top := topo.Epyc1P()
 	NewWorld(top, topo.Mapping{0, 0})
+}
+
+// TestHarnessBarrierZeroAllocs pins the steady-state allocation profile of
+// the harness barrier near zero. Benchmarks cross it twice per measured
+// iteration with all ranks suspending; the previous code formatted a
+// Sprintf suspend reason per waiter (~2 allocations x N-1 ranks per epoch).
+// With lazy reasons and the waiter slice's backing array reused, a barrier
+// epoch must not allocate beyond amortized event-heap growth.
+//
+// The engine is lockstep (one simulated process runs at a time), so rank 0
+// can read runtime.MemStats at barrier-aligned points without racing the
+// other ranks.
+func TestHarnessBarrierZeroAllocs(t *testing.T) {
+	const ranks = 16
+	const warm = 200 // grow waiter slice + event heap backing arrays
+	const iters = 200
+	w := newWorld(t, ranks)
+	var before, after runtime.MemStats
+	if err := w.Run(func(p *Proc) {
+		for i := 0; i < warm; i++ {
+			p.HarnessBarrier()
+		}
+		if p.Rank == 0 {
+			runtime.ReadMemStats(&before)
+		}
+		for i := 0; i < iters; i++ {
+			p.HarnessBarrier()
+		}
+		p.HarnessBarrier() // align all ranks before the final read
+		if p.Rank == 0 {
+			runtime.ReadMemStats(&after)
+		}
+		p.HarnessBarrier() // hold everyone until the read is done
+	}); err != nil {
+		t.Fatal(err)
+	}
+	perEpoch := float64(after.Mallocs-before.Mallocs) / iters
+	if perEpoch >= 4 {
+		t.Fatalf("harness barrier allocates %.2f objects per epoch (%d ranks); want ~0",
+			perEpoch, ranks)
+	}
 }

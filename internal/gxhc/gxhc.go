@@ -15,8 +15,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xhc/internal/hier"
+	"xhc/internal/obs"
 	"xhc/internal/topo"
 )
 
@@ -42,6 +44,66 @@ type Comm struct {
 	mu     sync.Mutex
 	states map[int]*state // per root
 	views  []*view
+
+	// trace, when enabled, records per-participant phase spans on wall
+	// time. Nil by default; every instrumentation point nil-checks it, so
+	// the untraced path costs one pointer comparison per collective.
+	trace *obs.Tracer
+}
+
+// EnableTrace attaches a wall-time span tracer (one lane per participant)
+// and returns it. Call it before spawning participant goroutines; the
+// clock starts at the call. Repeated calls return the same tracer.
+func (c *Comm) EnableTrace() *obs.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.trace == nil {
+		c.trace = obs.NewTracer("gxhc", 0, c.n, obs.WallTicksPerUS, obs.WallClock())
+	}
+	return c.trace
+}
+
+// Tracer returns the attached tracer (nil unless EnableTrace was called).
+func (c *Comm) Tracer() *obs.Tracer { return c.trace }
+
+// wallClock is gxhc's segment clock, the wall-time mirror of core's
+// phaseClock: consecutive marks partition one collective into phase spans.
+// A nil receiver is a no-op, so untraced runs take no extra branches beyond
+// the constructor's nil check.
+type wallClock struct {
+	t    *obs.Tracer
+	lane int
+	op   string
+	seq  uint64
+
+	start int64
+	last  int64
+}
+
+func (c *Comm) newWallClock(rank int, op string, seq uint64) *wallClock {
+	if c.trace == nil {
+		return nil
+	}
+	now := c.trace.Now()
+	return &wallClock{t: c.trace, lane: rank, op: op, seq: seq, start: now, last: now}
+}
+
+func (wc *wallClock) mark(level int, ph obs.Phase, bytes int64) {
+	if wc == nil {
+		return
+	}
+	now := wc.t.Now()
+	if now > wc.last {
+		wc.t.Record(wc.lane, level, ph, wc.op, wc.seq, wc.last, now, bytes)
+	}
+	wc.last = now
+}
+
+func (wc *wallClock) finish() {
+	if wc == nil {
+		return
+	}
+	wc.t.Record(wc.lane, -1, obs.PhaseCollective, wc.op, wc.seq, wc.start, wc.t.Now(), 0)
 }
 
 // view is one participant's mirror of the monotonic counters.
@@ -166,15 +228,30 @@ func (c *Comm) stateFor(root int) (*state, error) {
 	return st, nil
 }
 
-// spinUntil polls an atomic counter with cooperative yielding.
+// spinUntil polls an atomic counter with cooperative yielding and capped
+// exponential backoff. A short pure spin covers the common low-latency
+// case; after that every probe yields, and sustained waiting falls back to
+// sleeping. The previous version yielded only every 64th probe and never
+// slept, which starved the counter's writer when participants outnumber
+// GOMAXPROCS: spinning goroutines held every P for whole scheduler quanta
+// and progress slowed to the preemption rate (or stopped).
 func spinUntil(a *atomic.Uint64, v uint64) uint64 {
 	for i := 0; ; i++ {
 		got := a.Load()
 		if got >= v {
 			return got
 		}
-		if i%64 == 63 {
+		switch {
+		case i < 32:
+			// Tight spin: value is usually already (or imminently) there.
+		case i < 4096:
 			runtime.Gosched()
+		default:
+			shift := (i - 4096) / 1024
+			if shift > 6 {
+				shift = 6 // cap backoff at 64us to bound wakeup latency
+			}
+			time.Sleep(time.Microsecond << shift)
 		}
 	}
 }
@@ -222,6 +299,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 	v := c.views[rank]
 	v.opSeq++
 	n := len(buf)
+	wc := c.newWallClock(rank, "bcast", v.opSeq)
 
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
@@ -231,14 +309,17 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 		ctl.exposed.Store(buf)
 		ctl.expSeq.Store(v.opSeq)
 	}
+	wc.mark(-1, obs.PhaseExpose, 0)
 	if rank == root {
 		for _, l := range lead {
 			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
 		}
+		wc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else if n > 0 {
 		ctl := st.groupOf(pl, rank)
 		spinUntil(&ctl.expSeq, v.opSeq)
 		src := ctl.exposed.Load().([]byte)
+		wc.mark(pl, obs.PhaseFlagWait, 0)
 		base := v.cum[pl]
 		copied := 0
 		for copied < n {
@@ -247,11 +328,14 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 			if avail > n {
 				avail = n
 			}
+			wc.mark(pl, obs.PhaseFlagWait, 0)
+			before := copied
 			copy(buf[copied:avail], src[copied:avail])
 			copied = avail
 			for _, l := range lead {
 				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(copied))
 			}
+			wc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
 		}
 	}
 
@@ -267,9 +351,11 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 			}
 		}
 	}
+	wc.mark(-1, obs.PhaseAck, 0)
 	for l := range v.cum {
 		v.cum[l] += uint64(n)
 	}
+	wc.finish()
 }
 
 // AllreduceFloat64 sums src element-wise across all participants into
@@ -283,6 +369,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 	v := c.views[rank]
 	v.opSeq++
 	n := len(src)
+	wc := c.newWallClock(rank, "allreduce", v.opSeq)
 
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
@@ -309,6 +396,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 	// Leaf contributions are ready immediately.
 	gs0 := st.groupOf(0, rank)
 	gs0.red[rank].Store(v.opSeq * 2) // phase counter: 2k = ready, 2k+1 unused
+	wc.mark(-1, obs.PhaseExpose, 0)
 
 	// Bottom-up walk. A rank first completes its duties as a leader of
 	// the levels below (wait for the group's reducers, then publish its
@@ -333,6 +421,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 			st.groupOf(l+1, rank).red[rank].Store(v.opSeq * 2)
 		}
 	}
+	wc.mark(-1, obs.PhaseFlagWait, 0)
 	if pl >= 0 && !st.h.IsLeader(pl, rank) {
 		ctl := st.groupOf(pl, rank)
 		// Partition [0,n) among non-leader members.
@@ -359,6 +448,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 			for _, m := range g.Members {
 				spinUntil(ctl.red[m], v.opSeq*2)
 			}
+			wc.mark(pl, obs.PhaseFlagWait, 0)
 			leaderContrib := ctl.contrib[ctl.leader].Load().([]float64)
 			if &leaderContrib[0] != &acc[0] {
 				copy(acc[lo:hi], leaderContrib[lo:hi])
@@ -372,6 +462,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 					acc[i] += mc[i]
 				}
 			}
+			wc.mark(pl, obs.PhaseReduceSlice, int64(hi-lo)*8)
 		}
 		// Signal slice completion (phase 2k+1).
 		ctl.red[rank].Store(v.opSeq*2 + 1)
@@ -387,6 +478,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		ctl := st.groupOf(pl, rank)
 		base := v.cum[pl]
 		spinUntil(&ctl.ready, base+uint64(n))
+		wc.mark(pl, obs.PhaseFlagWait, 0)
 		final := ctl.exposedF.Load().([]float64)
 		if &dst[0] != &final[0] {
 			copy(dst, final)
@@ -394,6 +486,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		for _, l := range lead {
 			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
 		}
+		wc.mark(pl, obs.PhaseChunkCopy, int64(n)*8)
 	}
 
 	// Acknowledgment + counter advance.
@@ -409,9 +502,11 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 			}
 		}
 	}
+	wc.mark(-1, obs.PhaseAck, 0)
 	for l := range v.cum {
 		v.cum[l] += uint64(n)
 	}
+	wc.finish()
 }
 
 // Barrier blocks until every participant has arrived.
@@ -419,6 +514,7 @@ func (c *Comm) Barrier(rank int) {
 	st, _ := c.stateFor(0)
 	v := c.views[rank]
 	v.opSeq++
+	wc := c.newWallClock(rank, "barrier", v.opSeq)
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
 	for _, l := range lead {
@@ -441,6 +537,8 @@ func (c *Comm) Barrier(rank int) {
 	for l := range v.cum {
 		v.cum[l]++
 	}
+	wc.mark(-1, obs.PhaseFlagWait, 0)
+	wc.finish()
 }
 
 func max(a, b int) int {

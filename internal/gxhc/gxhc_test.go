@@ -2,8 +2,10 @@ package gxhc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // runAll spawns n goroutines executing body concurrently.
@@ -225,4 +227,107 @@ func TestFlatConfig(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint(c)
+}
+
+// TestOversubscribedProgress is the regression test for spinUntil
+// starvation: with more spinning participants than OS threads, a pure
+// busy-wait loop can livelock because the ranks holding the next counter
+// update never get scheduled. 64 ranks on GOMAXPROCS=2 must still finish a
+// broadcast, an allreduce and a barrier promptly.
+func TestOversubscribedProgress(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	const n = 64
+	const elems = 256
+	c := MustNew(n, Config{GroupSize: 8, ChunkBytes: 1024})
+	bufs := make([][]byte, n)
+	src := make([][]float64, n)
+	dst := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		bufs[r] = make([]byte, 4096)
+		src[r] = make([]float64, elems)
+		dst[r] = make([]float64, elems)
+		for i := range src[r] {
+			src[r][i] = 1
+		}
+	}
+	for i := range bufs[0] {
+		bufs[0][i] = byte(i * 3)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		runAll(n, func(rank int) {
+			c.Bcast(rank, bufs[rank], 0)
+			c.AllreduceFloat64(rank, dst[rank], src[rank])
+			c.Barrier(rank)
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("collectives stalled with 64 ranks on GOMAXPROCS=2 (spin starvation)")
+	}
+	for r := 0; r < n; r++ {
+		if bufs[r][100] != byte(300%256) {
+			t.Fatalf("rank %d bcast data wrong", r)
+		}
+		if dst[r][0] != float64(n) {
+			t.Fatalf("rank %d allreduce = %v, want %v", r, dst[r][0], float64(n))
+		}
+	}
+}
+
+// TestTraceRecordsPhases checks the wall-clock tracer: spans are recorded
+// per rank, each operation gets a collective umbrella span, and the
+// attribution spans never exceed it.
+func TestTraceRecordsPhases(t *testing.T) {
+	const n = 8
+	c := MustNew(n, Config{GroupSize: 4, ChunkBytes: 512})
+	tr := c.EnableTrace()
+	if tr == nil || c.Tracer() != tr {
+		t.Fatal("EnableTrace did not install a tracer")
+	}
+	if again := c.EnableTrace(); again != tr {
+		t.Fatal("EnableTrace not idempotent")
+	}
+
+	bufs := make([][]byte, n)
+	src := make([][]float64, n)
+	dst := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		bufs[r] = make([]byte, 2048)
+		src[r] = make([]float64, 32)
+		dst[r] = make([]float64, 32)
+	}
+	runAll(n, func(rank int) {
+		c.Bcast(rank, bufs[rank], 0)
+		c.AllreduceFloat64(rank, dst[rank], src[rank])
+		c.Barrier(rank)
+	})
+
+	for rank := 0; rank < n; rank++ {
+		spans := tr.LaneSpans(rank)
+		if len(spans) == 0 {
+			t.Fatalf("rank %d recorded no spans", rank)
+		}
+		ops := map[string]bool{}
+		for _, s := range spans {
+			if s.Phase == 0 { // obs.PhaseCollective
+				ops[s.Op] = true
+				covered := tr.CoveredTotal(rank, int64(s.Seq))
+				if covered <= 0 || covered > s.Dur() {
+					t.Errorf("rank %d %s seq %d: covered %d ns outside collective %d ns",
+						rank, s.Op, s.Seq, covered, s.Dur())
+				}
+			}
+		}
+		for _, op := range []string{"bcast", "allreduce", "barrier"} {
+			if !ops[op] {
+				t.Errorf("rank %d missing collective span for %s", rank, op)
+			}
+		}
+	}
 }

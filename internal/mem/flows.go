@@ -321,6 +321,10 @@ func (s *System) Copy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer,
 		panic(fmt.Sprintf("mem: copy out of range: dst[%d:+%d]/%d src[%d:+%d]/%d",
 			doff, n, len(dst.Data), soff, n, len(src.Data)))
 	}
+	var t0 sim.Time
+	if s.OnFlow != nil {
+		t0 = s.Eng.Now()
+	}
 	var rbuf [maxFlowRes]*resource
 	lat, res, cap := s.readPath(core, src, rbuf[:0])
 	res = s.appendWriteResources(res, core, dst, n)
@@ -329,6 +333,9 @@ func (s *System) Copy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer,
 	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
 	s.markRead(src, core)
 	s.MarkWritten(dst, core)
+	if s.OnFlow != nil {
+		s.OnFlow(core, n, t0, s.Eng.Now())
+	}
 }
 
 // KernelCopy is Copy through a kernel-mediated engine (CMA/KNEM): the
@@ -337,6 +344,10 @@ func (s *System) Copy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer,
 func (s *System) KernelCopy(p *sim.Proc, core int, dst *Buffer, doff int, src *Buffer, soff, n int) {
 	if n == 0 {
 		return
+	}
+	var t0 sim.Time
+	if s.OnFlow != nil {
+		t0 = s.Eng.Now()
 	}
 	var rbuf [maxFlowRes]*resource
 	lat, res, cap := s.readPath(core, src, rbuf[:0])
@@ -350,6 +361,9 @@ func (s *System) KernelCopy(p *sim.Proc, core int, dst *Buffer, doff int, src *B
 	copy(dst.Data[doff:doff+n], src.Data[soff:soff+n])
 	s.markRead(src, core)
 	s.MarkWritten(dst, core)
+	if s.OnFlow != nil {
+		s.OnFlow(core, n, t0, s.Eng.Now())
+	}
 }
 
 // ChargeRead accounts for core streaming n bytes of src (as a reduction
@@ -361,11 +375,18 @@ func (s *System) ChargeRead(p *sim.Proc, core int, src *Buffer, soff, n int) {
 	if soff < 0 || soff+n > len(src.Data) {
 		panic(fmt.Sprintf("mem: read out of range: src[%d:+%d]/%d", soff, n, len(src.Data)))
 	}
+	var t0 sim.Time
+	if s.OnFlow != nil {
+		t0 = s.Eng.Now()
+	}
 	var rbuf [maxFlowRes]*resource
 	lat, res, cap := s.readPath(core, src, rbuf[:0])
 	p.Sleep(s.Params.CopyOverhead + lat)
 	s.transfer(p, res, n, cap)
 	s.markRead(src, core)
+	if s.OnFlow != nil {
+		s.OnFlow(core, n, t0, s.Eng.Now())
+	}
 }
 
 // ChargeCompute accounts for a streaming compute kernel over n bytes at

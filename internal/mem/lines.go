@@ -188,6 +188,10 @@ func (s *System) ReadBatch(p *sim.Proc, core int, lines []*Line) {
 // so a wake can never hit an unrelated wait.
 func (l *Line) AddWaiter(p *sim.Proc) {
 	l.waiters = append(l.waiters, lineWaiter{p: p, token: p.NextSuspendToken()})
+	l.sys.Stats.LineWaits++
+	if n := len(l.waiters); n > l.sys.Stats.MaxLineWaiters {
+		l.sys.Stats.MaxLineWaiters = n
+	}
 }
 
 // wakeWaiters schedules every registered waiter to re-check shortly after

@@ -43,6 +43,13 @@ type System struct {
 	CMALock  *Queue
 	KNEMLock *Queue
 
+	// OnFlow, when set, observes every completed bulk transfer: the
+	// initiating core, the byte count, and the flow's start/end virtual
+	// times (including fixed read latency and copy overhead). It is a
+	// nil-checked function pointer so the disabled path costs one branch
+	// and the hot loop stays allocation-free.
+	OnFlow func(core, bytes int, start, end sim.Time)
+
 	Stats Stats
 }
 
@@ -56,6 +63,12 @@ type Stats struct {
 	LineHits      int64
 	LineRMWs      int64
 	QueueWaitPS   int64 // accumulated line/RMW queue waiting
+
+	// LineWaits counts blocked-reader registrations on coherence lines;
+	// MaxLineWaiters is the deepest fan-in queue observed on any single
+	// line (the Fig. 10 congestion signal).
+	LineWaits      int64
+	MaxLineWaiters int
 
 	// SolverFastPath counts rate solves resolved by the single-flow fast
 	// path; SolverFallbacks counts times the

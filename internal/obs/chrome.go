@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON that
+// chrome://tracing and Perfetto load directly).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the tracers' spans as one Chrome-trace JSON
+// document: each tracer becomes a process (pid), each lane a thread (tid),
+// each span a complete ("X") event with ts/dur in microseconds.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, t := range tracers {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: t.PID,
+			Args: map[string]any{"name": t.Label},
+		})
+		for lane := range t.lanes {
+			if len(t.lanes[lane]) == 0 {
+				continue
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: t.PID, TID: lane,
+				Args: map[string]any{"name": laneName(t, lane)},
+			})
+		}
+		for _, s := range t.Spans() {
+			dur := float64(s.Dur()) / t.TicksPerUS
+			args := map[string]any{"seq": s.Seq}
+			if s.Level >= 0 {
+				args["level"] = s.Level
+			}
+			if s.Bytes > 0 {
+				args["bytes"] = s.Bytes
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Phase.String(), Cat: s.Op, Ph: "X",
+				PID: t.PID, TID: s.Lane,
+				TS: float64(s.Start) / t.TicksPerUS, Dur: &dur,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// laneName labels a lane in trace viewers. Flow spans live on core lanes;
+// everything else is a rank. With the default map-core policy the two
+// coincide, so a single label serves.
+func laneName(t *Tracer, lane int) string {
+	return fmt.Sprintf("rank/core %d", lane)
+}

@@ -1,0 +1,182 @@
+// Package obs is the observability layer of the repository: a span-based
+// phase tracer (exported as Chrome-trace JSON for chrome://tracing /
+// Perfetto) and a unified metrics registry that gathers the counters
+// previously scattered across mem.Stats, xpmem.CacheStats, sim.EngineStats
+// and trace.Collector behind a single Snapshot call.
+//
+// The design constraint that shapes every hook in this package: with
+// observability disabled the simulator's hot loop must stay allocation-free
+// and every report byte-identical. All instrumentation points are therefore
+// nil-checked pointers (a *Tracer field, a function-pointer hook on
+// mem.System, a nil phase-clock receiver) rather than always-on closures or
+// interfaces — a nil check is the entire disabled-path cost.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Phase identifies what a rank was doing during a span. The phases mirror
+// the paper's description of one collective operation: buffer exposure and
+// attachment, waiting on progress flags, copying pipelined chunks, reducing
+// an index-partitioned slice, and the hierarchical acknowledgment.
+type Phase uint8
+
+const (
+	// PhaseCollective is the umbrella span of one whole operation on one
+	// rank; the other phases partition it.
+	PhaseCollective Phase = iota
+	// PhaseExpose covers publishing a buffer handle and attaching to a
+	// peer's exposed buffer (registration-cache lookup or attach+fault).
+	PhaseExpose
+	// PhaseFlagWait covers time blocked on (or polling) a progress flag.
+	PhaseFlagWait
+	// PhaseChunkCopy covers copying pipelined broadcast chunks, including
+	// forwarding the availability counter to led groups.
+	PhaseChunkCopy
+	// PhaseReduceSlice covers a rank's share of the intra-group reduction.
+	PhaseReduceSlice
+	// PhaseAck covers the hierarchical acknowledgment closing an operation.
+	PhaseAck
+	// PhaseFlow is memory-system attribution: one bulk transfer (flow)
+	// through the bandwidth model, recorded on the initiating core's lane.
+	PhaseFlow
+
+	nPhases
+)
+
+var phaseNames = [nPhases]string{
+	"collective", "expose", "flag-wait", "chunk-copy", "reduce-slice", "ack", "flow",
+}
+
+// String names the phase the way the Chrome-trace output does.
+func (ph Phase) String() string {
+	if int(ph) < len(phaseNames) {
+		return phaseNames[ph]
+	}
+	return fmt.Sprintf("Phase(%d)", int(ph))
+}
+
+// Span is one recorded phase interval on one lane. Times are in the
+// tracer's clock ticks: virtual picoseconds for simulated worlds, wall
+// nanoseconds for gxhc.
+type Span struct {
+	Lane  int // rank, or core for PhaseFlow
+	Level int // hierarchy level, -1 when not applicable
+	Phase Phase
+	Op    string // "bcast", "allreduce", "barrier", ...
+	Seq   uint64 // the lane's operation sequence number
+	Start int64
+	End   int64
+	Bytes int64
+}
+
+// Dur returns the span length in clock ticks.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// Tick rates for converting span times to the microseconds Chrome-trace
+// expects: simulated worlds record in picoseconds, gxhc in nanoseconds.
+const (
+	SimTicksPerUS  = 1e6
+	WallTicksPerUS = 1e3
+)
+
+// Tracer records phase spans for the lanes (ranks/cores) of one world or
+// one gxhc communicator. Each lane has its own buffer and must only be
+// written by that lane's goroutine, so recording takes no lock — which is
+// what lets gxhc trace real concurrent participants.
+type Tracer struct {
+	Label      string
+	PID        int     // process id in the merged Chrome trace
+	TicksPerUS float64 // clock ticks per microsecond
+	// Now reads the tracer's clock: virtual time for simulated worlds
+	// (sim.Engine.Clock), wall time for gxhc (WallClock).
+	Now func() int64
+
+	lanes [][]Span
+}
+
+// NewTracer creates a tracer with the given number of lanes.
+func NewTracer(label string, pid, lanes int, ticksPerUS float64, now func() int64) *Tracer {
+	return &Tracer{
+		Label:      label,
+		PID:        pid,
+		TicksPerUS: ticksPerUS,
+		Now:        now,
+		lanes:      make([][]Span, lanes),
+	}
+}
+
+// WallClock returns a wall-time clock (nanoseconds since the call) for
+// tracers over real goroutines.
+func WallClock() func() int64 {
+	start := time.Now()
+	return func() int64 { return time.Since(start).Nanoseconds() }
+}
+
+// Record appends one complete span to lane's buffer. Safe for concurrent
+// use as long as each lane is written by a single goroutine.
+func (t *Tracer) Record(lane, level int, ph Phase, op string, seq uint64, start, end, bytes int64) {
+	if lane < 0 || lane >= len(t.lanes) {
+		return
+	}
+	t.lanes[lane] = append(t.lanes[lane], Span{
+		Lane: lane, Level: level, Phase: ph, Op: op, Seq: seq,
+		Start: start, End: end, Bytes: bytes,
+	})
+}
+
+// Lanes returns the number of lanes.
+func (t *Tracer) Lanes() int { return len(t.lanes) }
+
+// LaneSpans returns the spans recorded on one lane, in record order.
+func (t *Tracer) LaneSpans(lane int) []Span { return t.lanes[lane] }
+
+// Spans returns all spans merged across lanes, ordered by start time, then
+// lane, then record order — the order the Chrome-trace export uses.
+func (t *Tracer) Spans() []Span {
+	var out []Span
+	for _, l := range t.lanes {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Lane < out[j].Lane
+	})
+	return out
+}
+
+// PhaseTotal sums the durations of a lane's spans of the given phase,
+// optionally restricted to one operation sequence number (seq < 0 matches
+// all).
+func (t *Tracer) PhaseTotal(lane int, ph Phase, seq int64) int64 {
+	var sum int64
+	for _, s := range t.lanes[lane] {
+		if s.Phase == ph && (seq < 0 || s.Seq == uint64(seq)) {
+			sum += s.Dur()
+		}
+	}
+	return sum
+}
+
+// CoveredTotal sums the durations of every attribution span on a lane for
+// one operation — all phases except the umbrella PhaseCollective and the
+// memory-level PhaseFlow (which overlaps the core phases). For the
+// simulated collectives the attribution spans partition the operation, so
+// this equals the operation's latency.
+func (t *Tracer) CoveredTotal(lane int, seq int64) int64 {
+	var sum int64
+	for _, s := range t.lanes[lane] {
+		if s.Phase == PhaseCollective || s.Phase == PhaseFlow {
+			continue
+		}
+		if seq < 0 || s.Seq == uint64(seq) {
+			sum += s.Dur()
+		}
+	}
+	return sum
+}

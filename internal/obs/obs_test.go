@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a manually advanced tick source for tracer tests.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64 { return c.t }
+
+func TestTracerRecordAndTotals(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracer("test", 0, 4, SimTicksPerUS, c.now)
+	if tr.Lanes() != 4 {
+		t.Fatalf("Lanes = %d", tr.Lanes())
+	}
+	tr.Record(1, -1, PhaseCollective, "bcast", 1, 0, 100, 0)
+	tr.Record(1, 0, PhaseExpose, "bcast", 1, 0, 10, 0)
+	tr.Record(1, 0, PhaseFlagWait, "bcast", 1, 10, 40, 0)
+	tr.Record(1, 0, PhaseChunkCopy, "bcast", 1, 40, 100, 4096)
+	tr.Record(1, -1, PhaseFlow, "flow", 0, 40, 90, 4096)
+	tr.Record(1, 0, PhaseFlagWait, "bcast", 2, 100, 130, 0)
+
+	if got := tr.PhaseTotal(1, PhaseFlagWait, 1); got != 30 {
+		t.Errorf("PhaseTotal(flag-wait, seq 1) = %d, want 30", got)
+	}
+	if got := tr.PhaseTotal(1, PhaseFlagWait, -1); got != 60 {
+		t.Errorf("PhaseTotal(flag-wait, all) = %d, want 60", got)
+	}
+	// Covered = expose + flag-wait + chunk-copy; collective and flow are
+	// excluded, so the attribution spans sum exactly to the op latency.
+	if got := tr.CoveredTotal(1, 1); got != 100 {
+		t.Errorf("CoveredTotal(seq 1) = %d, want 100", got)
+	}
+	if got := len(tr.LaneSpans(1)); got != 6 {
+		t.Errorf("LaneSpans = %d spans, want 6", got)
+	}
+}
+
+func TestTracerIgnoresOutOfRangeLanes(t *testing.T) {
+	tr := NewTracer("test", 0, 2, SimTicksPerUS, (&fakeClock{}).now)
+	tr.Record(-1, 0, PhaseExpose, "bcast", 1, 0, 1, 0)
+	tr.Record(2, 0, PhaseExpose, "bcast", 1, 0, 1, 0)
+	if n := len(tr.Spans()); n != 0 {
+		t.Errorf("out-of-range records kept: %d spans", n)
+	}
+}
+
+func TestTracerSpansSortedByStart(t *testing.T) {
+	tr := NewTracer("test", 0, 3, SimTicksPerUS, (&fakeClock{}).now)
+	tr.Record(2, 0, PhaseExpose, "bcast", 1, 50, 60, 0)
+	tr.Record(0, 0, PhaseExpose, "bcast", 1, 20, 30, 0)
+	tr.Record(1, 0, PhaseExpose, "bcast", 1, 20, 25, 0)
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("Spans = %d", len(spans))
+	}
+	if spans[0].Lane != 0 || spans[1].Lane != 1 || spans[2].Lane != 2 {
+		t.Errorf("span order wrong: %+v", spans)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for ph, want := range map[Phase]string{
+		PhaseCollective:  "collective",
+		PhaseExpose:      "expose",
+		PhaseFlagWait:    "flag-wait",
+		PhaseChunkCopy:   "chunk-copy",
+		PhaseReduceSlice: "reduce-slice",
+		PhaseAck:         "ack",
+		PhaseFlow:        "flow",
+	} {
+		if got := ph.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", ph, got, want)
+		}
+	}
+	if got := Phase(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown phase = %q", got)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	clk := WallClock()
+	a := clk()
+	b := clk()
+	if a < 0 || b < a {
+		t.Errorf("wall clock not monotone: %d then %d", a, b)
+	}
+}
+
+func TestSnapshotGetValueString(t *testing.T) {
+	s := Snapshot{Metrics: []Metric{
+		{Name: "ops", Value: 42},
+		{Name: "regcache.hit_ratio", Value: 0.75},
+	}}
+	if v, ok := s.Get("ops"); !ok || v != 42 {
+		t.Errorf("Get(ops) = %v, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("Get(missing) found")
+	}
+	if s.Value("regcache.hit_ratio") != 0.75 {
+		t.Error("Value wrong")
+	}
+	out := s.String()
+	for _, want := range []string{"# observability snapshot", "ops", "42", "0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshotEmpty(t *testing.T) {
+	reg := NewRegistry(false)
+	snap := reg.Snapshot()
+	if v := snap.Value("worlds"); v != 0 {
+		t.Errorf("empty registry worlds = %v", v)
+	}
+	// Every advertised metric family must be present even with no worlds.
+	for _, name := range []string{
+		"ops", "engine.events_run", "mem.solver_fastpath", "mem.solver_fallbacks",
+		"regcache.hit_ratio", "msgs.self.count",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Errorf("metric %q absent from empty snapshot", name)
+		}
+	}
+	if reg.TraceEnabled() {
+		t.Error("TraceEnabled on metrics-only registry")
+	}
+	if w := reg.NewWorld("x", 4, SimTicksPerUS, (&fakeClock{}).now); w.Tracer != nil {
+		t.Error("tracer created with tracing disabled")
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	c := &fakeClock{}
+	tr := NewTracer("Epyc-2P #0", 0, 2, SimTicksPerUS, c.now)
+	tr.Record(0, -1, PhaseCollective, "bcast", 1, 0, 2e6, 0)
+	tr.Record(0, 0, PhaseChunkCopy, "bcast", 1, 0, 2e6, 4096)
+	tr.Record(1, 0, PhaseFlagWait, "bcast", 1, 1e6, 2e6, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Dur < 0 {
+				t.Errorf("negative duration: %+v", e)
+			}
+		}
+	}
+	if meta < 3 { // process_name + 2 thread_names
+		t.Errorf("metadata events = %d, want >= 3", meta)
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	// Span times are picoseconds; the export must be microseconds.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "chunk-copy" && e.Dur != 2.0 {
+			t.Errorf("chunk-copy dur = %v us, want 2", e.Dur)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+	"xhc/internal/trace"
+	"xhc/internal/xpmem"
+)
+
+// Metric is one named counter or ratio in a snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is a point-in-time view of every counter a Registry has
+// gathered, obtained from a single Snapshot() call.
+type Snapshot struct {
+	Metrics []Metric
+}
+
+// Get returns the named metric and whether it exists.
+func (s Snapshot) Get(name string) (float64, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Value returns the named metric (0 if absent).
+func (s Snapshot) Value(name string) float64 {
+	v, _ := s.Get(name)
+	return v
+}
+
+// String renders the snapshot as an aligned two-column report.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	b.WriteString("# observability snapshot\n")
+	w := 0
+	for _, m := range s.Metrics {
+		if len(m.Name) > w {
+			w = len(m.Name)
+		}
+	}
+	for _, m := range s.Metrics {
+		if m.Value == float64(int64(m.Value)) {
+			fmt.Fprintf(&b, "%-*s %d\n", w+2, m.Name, int64(m.Value))
+		} else {
+			fmt.Fprintf(&b, "%-*s %.4f\n", w+2, m.Name, m.Value)
+		}
+	}
+	return b.String()
+}
+
+// Registry is the unified metrics (and tracer) collection point of one
+// process: every observed world folds its counters in when its run
+// finishes, and Snapshot exposes the totals. All methods are safe for
+// concurrent use — xhcrepro's parallel experiment cells create and finish
+// worlds from many goroutines at once.
+type Registry struct {
+	mu      sync.Mutex
+	trace   bool
+	nextPID int
+	tracers []*Tracer
+	agg     aggregate
+}
+
+// aggregate is the folded counter state across all finished worlds.
+type aggregate struct {
+	worlds int64
+	ops    int64
+
+	mem              mem.Stats
+	cache            xpmem.CacheStats
+	eventsScheduled  int64
+	eventsRun        int64
+	maxHeapLen       int
+	distCounts [5]int64
+	distBytes  [5]int64
+	flowCount  int64
+	flowTimePS int64
+}
+
+// NewRegistry creates an empty registry. With traceEnabled, every world
+// observed through NewWorld also gets a span tracer; otherwise Tracer
+// fields stay nil and the instrumented code paths cost one nil check.
+func NewRegistry(traceEnabled bool) *Registry {
+	return &Registry{trace: traceEnabled}
+}
+
+// TraceEnabled reports whether per-world tracers are being created.
+func (r *Registry) TraceEnabled() bool { return r.trace }
+
+// NewWorld registers one observed world (or gxhc communicator) and returns
+// its observation handle. lanes is the number of trace lanes (cores for
+// simulated worlds, participants for gxhc); clock is the time source spans
+// are recorded against.
+func (r *Registry) NewWorld(label string, lanes int, ticksPerUS float64, clock func() int64) *World {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := &World{reg: r}
+	if r.trace {
+		w.Tracer = NewTracer(fmt.Sprintf("%s #%d", label, r.nextPID), r.nextPID, lanes, ticksPerUS, clock)
+		r.tracers = append(r.tracers, w.Tracer)
+	}
+	r.nextPID++
+	return w
+}
+
+// Tracers returns every tracer created so far (empty when tracing is off).
+func (r *Registry) Tracers() []*Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Tracer(nil), r.tracers...)
+}
+
+// WriteChromeTrace exports all tracers as one Chrome-trace JSON document.
+func (r *Registry) WriteChromeTrace(w interface{ Write([]byte) (int, error) }) error {
+	return WriteChromeTrace(w, r.Tracers()...)
+}
+
+// Snapshot returns every gathered counter from a single call: flow-solver
+// stats, registration-cache hit ratios, coherence fan-in queue depths,
+// per-distance message counts, engine and flow attribution totals.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	a := r.agg
+	r.mu.Unlock()
+
+	var ms []Metric
+	add := func(name string, v float64) { ms = append(ms, Metric{Name: name, Value: v}) }
+	add("worlds", float64(a.worlds))
+	add("ops", float64(a.ops))
+	add("engine.events_scheduled", float64(a.eventsScheduled))
+	add("engine.events_run", float64(a.eventsRun))
+	add("engine.max_heap_len", float64(a.maxHeapLen))
+	add("mem.flows_started", float64(a.mem.FlowsStarted))
+	add("mem.bytes_moved", float64(a.mem.BytesMoved))
+	add("mem.max_concurrent_flows", float64(a.mem.MaxConcurrent))
+	add("mem.flow_spans", float64(a.flowCount))
+	add("mem.flow_time_us", float64(a.flowTimePS)/SimTicksPerUS)
+	add("mem.solver_fastpath", float64(a.mem.SolverFastPath))
+	add("mem.solver_fallbacks", float64(a.mem.SolverFallbacks))
+	add("mem.line_fetches", float64(a.mem.LineFetches))
+	add("mem.line_hits", float64(a.mem.LineHits))
+	add("mem.line_rmws", float64(a.mem.LineRMWs))
+	add("mem.line_queue_wait_us", float64(a.mem.QueueWaitPS)/SimTicksPerUS)
+	add("mem.line_waits", float64(a.mem.LineWaits))
+	add("mem.max_line_waiters", float64(a.mem.MaxLineWaiters))
+	add("regcache.hits", float64(a.cache.Hits))
+	add("regcache.misses", float64(a.cache.Misses))
+	add("regcache.evictions", float64(a.cache.Evictions))
+	add("regcache.hit_ratio", a.cache.HitRatio())
+	for d := topo.SelfCore; d <= topo.CrossSocket; d++ {
+		add("msgs."+d.String()+".count", float64(a.distCounts[d]))
+		add("msgs."+d.String()+".bytes", float64(a.distBytes[d]))
+	}
+	return Snapshot{Metrics: ms}
+}
+
+// World is the observation handle of one simulated world (or gxhc
+// communicator): a tracer (nil when tracing is disabled) plus world-local
+// accumulation that Finish folds into the registry. The world-local state
+// is only touched from the world's engine goroutine, so no lock is needed
+// until Finish.
+type World struct {
+	reg *Registry
+
+	// Tracer records phase spans; nil when the registry was created with
+	// tracing disabled. Instrumented code must nil-check it.
+	Tracer *Tracer
+
+	dist       *trace.Collector
+	cache      xpmem.CacheStats
+	ops        int64
+	flowCount  int64
+	flowTimePS int64
+	finished   bool
+}
+
+// InitDistance arms Table II-style per-distance message accounting for the
+// world's topology and rank mapping.
+func (w *World) InitDistance(top *topo.Topology, m topo.Mapping) {
+	w.dist = trace.New(top, m)
+}
+
+// RecordPull tallies one member<-leader data edge (core.Comm obsPull hook).
+func (w *World) RecordPull(from, to, n int) {
+	if w.dist != nil {
+		w.dist.Record(from, to, n)
+	}
+}
+
+// FlowHook returns the mem.System.OnFlow callback: it accumulates flow
+// attribution and, when tracing, records a PhaseFlow span on the
+// initiating core's lane.
+func (w *World) FlowHook() func(core, bytes int, start, end sim.Time) {
+	return func(core, bytes int, start, end sim.Time) {
+		w.flowCount++
+		w.flowTimePS += end - start
+		if w.Tracer != nil {
+			w.Tracer.Record(core, -1, PhaseFlow, "flow", 0, start, end, int64(bytes))
+		}
+	}
+}
+
+// AddCacheStats folds one registration cache's counters in (called by a
+// component's flush hook after the run).
+func (w *World) AddCacheStats(st xpmem.CacheStats) {
+	w.cache.Hits += st.Hits
+	w.cache.Misses += st.Misses
+	w.cache.Evictions += st.Evictions
+}
+
+// AddOps folds a component's completed-operation count in.
+func (w *World) AddOps(n int64) { w.ops += n }
+
+// Finish folds the world's counters into the registry. It is idempotent
+// per world and safe to call from any goroutine.
+func (w *World) Finish(ms mem.Stats, es sim.EngineStats) {
+	w.reg.mu.Lock()
+	defer w.reg.mu.Unlock()
+	if w.finished {
+		return
+	}
+	w.finished = true
+	a := &w.reg.agg
+	a.worlds++
+	a.ops += w.ops
+	a.mem.FlowsStarted += ms.FlowsStarted
+	a.mem.BytesMoved += ms.BytesMoved
+	a.mem.MaxConcurrent = max(a.mem.MaxConcurrent, ms.MaxConcurrent)
+	a.mem.LineFetches += ms.LineFetches
+	a.mem.LineHits += ms.LineHits
+	a.mem.LineRMWs += ms.LineRMWs
+	a.mem.QueueWaitPS += ms.QueueWaitPS
+	a.mem.LineWaits += ms.LineWaits
+	a.mem.MaxLineWaiters = max(a.mem.MaxLineWaiters, ms.MaxLineWaiters)
+	a.mem.SolverFastPath += ms.SolverFastPath
+	a.mem.SolverFallbacks += ms.SolverFallbacks
+	a.cache.Hits += w.cache.Hits
+	a.cache.Misses += w.cache.Misses
+	a.cache.Evictions += w.cache.Evictions
+	a.eventsScheduled += es.EventsScheduled
+	a.eventsRun += es.EventsRun
+	a.maxHeapLen = max(a.maxHeapLen, es.MaxHeapLen)
+	a.flowCount += w.flowCount
+	a.flowTimePS += w.flowTimePS
+	if w.dist != nil {
+		for d := topo.SelfCore; d <= topo.CrossSocket; d++ {
+			a.distCounts[d] += w.dist.Count(d)
+			a.distBytes[d] += w.dist.Bytes(d)
+		}
+	}
+}

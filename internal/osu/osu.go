@@ -103,6 +103,37 @@ func (b Bench) world() (*env.World, coll.Component, error) {
 	return w, c, err
 }
 
+// normalizeAllreduceSizes maps a requested size sweep to the sizes an
+// allreduce actually measures: sizes >= 8 are rounded down to a multiple of
+// 8 (whole float64 elements), smaller sizes are kept as byte reductions,
+// and duplicates produced by the rounding are dropped (first occurrence
+// wins, order preserved). Normalizing up front keeps the report's rows in
+// one-to-one correspondence with the measurements — the previous in-loop
+// `n -= n % 8` mutated the loop variable, so e.g. sizes 12 and 9 both
+// measured n=8 and produced duplicate, mislabeled rows.
+func normalizeAllreduceSizes(sizes []int) []int {
+	out := make([]int, 0, len(sizes))
+	seen := make(map[int]bool, len(sizes))
+	for _, n := range sizes {
+		if n >= 8 {
+			n -= n % 8
+		}
+		if n < 0 || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// errNoSamples reports a measurement loop that produced zero measured
+// samples (e.g. Iters <= 0 after defaults): stats.Mean/Min/Max would
+// silently render such a row as 0.00 latency.
+func errNoSamples(what string, n, warmup, iters int) error {
+	return fmt.Errorf("osu %s n=%d: no measured samples (warmup=%d iters=%d)", what, n, warmup, iters)
+}
+
 // Bcast measures broadcast latency for each size (osu_bcast / osu_bcast_mb).
 func (b Bench) Bcast(sizes []int) ([]Result, error) {
 	b = b.defaults()
@@ -134,19 +165,21 @@ func (b Bench) Bcast(sizes []int) ([]Result, error) {
 		}); err != nil {
 			return nil, fmt.Errorf("osu bcast %s n=%d: %w", b.Component, n, err)
 		}
+		if len(lats) == 0 {
+			return nil, errNoSamples("bcast "+b.Component, n, b.Warmup, b.Iters)
+		}
 		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
 	}
 	return out, nil
 }
 
 // Allreduce measures allreduce latency per size (osu_allreduce[_mb]).
+// Sizes are normalized to whole-element multiples up front (see
+// normalizeAllreduceSizes); the returned rows carry the measured sizes.
 func (b Bench) Allreduce(sizes []int) ([]Result, error) {
 	b = b.defaults()
 	var out []Result
-	for _, n := range sizes {
-		if n%8 != 0 && n >= 8 {
-			n -= n % 8
-		}
+	for _, n := range normalizeAllreduceSizes(sizes) {
 		dt := mpi.Float64
 		if n < 8 {
 			dt = mpi.Byte
@@ -178,6 +211,9 @@ func (b Bench) Allreduce(sizes []int) ([]Result, error) {
 			}
 		}); err != nil {
 			return nil, fmt.Errorf("osu allreduce %s n=%d: %w", b.Component, n, err)
+		}
+		if len(lats) == 0 {
+			return nil, errNoSamples("allreduce "+b.Component, n, b.Warmup, b.Iters)
 		}
 		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
 	}
@@ -228,6 +264,9 @@ func Latency(top *topo.Topology, coreA, coreB int, cfg mpi.Config, sizes []int, 
 			}
 		}); err != nil {
 			return nil, fmt.Errorf("osu latency n=%d: %w", n, err)
+		}
+		if len(rtts) == 0 {
+			return nil, errNoSamples("latency", n, warmup, iters)
 		}
 		out = append(out, Result{Size: n, AvgLat: stats.Mean(rtts), MinLat: stats.Min(rtts), MaxLat: stats.Max(rtts)})
 	}

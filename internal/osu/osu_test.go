@@ -96,3 +96,52 @@ func TestDefaultSizes(t *testing.T) {
 		t.Errorf("DefaultSizes = %v", sizes)
 	}
 }
+
+func TestNormalizeAllreduceSizes(t *testing.T) {
+	// 9, 12, 15 all round down to 8; the explicit 8 is a duplicate too.
+	// Sub-element sizes (4, 0) stay byte reductions; negatives are dropped.
+	got := normalizeAllreduceSizes([]int{4, 9, 12, 8, 15, 1024, -3, 0, 1027})
+	want := []int{4, 8, 1024, 0}
+	if len(got) != len(want) {
+		t.Fatalf("normalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalize = %v, want %v", got, want)
+		}
+	}
+	if out := normalizeAllreduceSizes(nil); len(out) != 0 {
+		t.Errorf("normalize(nil) = %v", out)
+	}
+}
+
+func TestAllreduceNormalizesAndDedupesRows(t *testing.T) {
+	// Before the fix the in-loop `n -= n % 8` mutated the loop variable:
+	// sizes 12 and 9 each measured n=8 but reported their requested size,
+	// yielding duplicate mislabeled rows.
+	b := Bench{Topo: topo.Epyc1P(), NRanks: 8, Component: "xhc-tree", Warmup: 1, Iters: 2}
+	rs, err := b.Allreduce([]int{12, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Size != 8 {
+		t.Fatalf("rows = %+v, want a single size-8 row", rs)
+	}
+}
+
+func TestNoSamplesIsAnError(t *testing.T) {
+	// Iters < 0 survives defaults() (only 0 is replaced), so the measure
+	// loop runs warmup-only and records nothing; stats.Mean would silently
+	// report 0.00 us. All three measurement loops must refuse instead.
+	b := Bench{Topo: topo.Epyc1P(), NRanks: 8, Component: "xhc-tree", Warmup: 4, Iters: -1}
+	if _, err := b.Bcast([]int{64}); err == nil || !strings.Contains(err.Error(), "no measured samples") {
+		t.Errorf("bcast with no samples: err = %v", err)
+	}
+	if _, err := b.Allreduce([]int{64}); err == nil || !strings.Contains(err.Error(), "no measured samples") {
+		t.Errorf("allreduce with no samples: err = %v", err)
+	}
+	if _, err := Latency(topo.Epyc1P(), 0, 1, mpi.DefaultConfig(), []int{64}, 4, -1, nil); err == nil ||
+		!strings.Contains(err.Error(), "no measured samples") {
+		t.Errorf("latency with no samples: err = %v", err)
+	}
+}

@@ -42,6 +42,11 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Clock returns a reusable closure reading the engine's virtual time — the
+// clock hook span tracers record against. One closure serves any number of
+// spans, so handing it out keeps tracing off the allocation paths.
+func (e *Engine) Clock() func() int64 { return func() int64 { return e.now } }
+
 // At schedules fn to run at virtual time t (>= Now). Scheduling in the past
 // panics: it would make the clock non-monotonic.
 func (e *Engine) At(t Time, fn func()) {
@@ -161,6 +166,9 @@ func (e *Engine) deadlockError() error {
 	for _, p := range e.procs {
 		if !p.finished {
 			reason := p.waitReason
+			if p.waitFmt != "" {
+				reason = fmt.Sprintf(p.waitFmt, p.waitArg)
+			}
 			if p.waitUntil != 0 {
 				reason = fmt.Sprintf("%s until %s", reason, FmtTime(p.waitUntil))
 			}

@@ -21,6 +21,11 @@ type Proc struct {
 	finished   bool
 	waitReason string
 	waitUntil  Time // nonzero while sleeping: formatted lazily for reports
+	// waitFmt/waitArg are the lazy form of waitReason: deadlock reports
+	// render fmt.Sprintf(waitFmt, waitArg), so hot suspend paths never pay
+	// for formatting (the same discipline Sleep follows with waitUntil).
+	waitFmt string
+	waitArg uint64
 
 	// suspendToken invalidates stale wakeups: each Suspend call gets a new
 	// token, and Wake calls carrying an old token are ignored.
@@ -99,6 +104,23 @@ func (p *Proc) Suspend(reason string) uint64 {
 	p.yieldToEngine()
 	p.suspended = false
 	p.waitReason = ""
+	return tok
+}
+
+// SuspendLazy parks the process like Suspend, but defers formatting the
+// wait reason until a deadlock report actually needs it: the reason renders
+// as fmt.Sprintf(format, arg). Use it on hot paths (the harness barrier
+// every rank crosses twice per iteration) where a fmt.Sprintf per suspend
+// would put allocation back into the measurement loop.
+func (p *Proc) SuspendLazy(format string, arg uint64) uint64 {
+	p.suspendToken++
+	p.suspended = true
+	p.waitFmt = format
+	p.waitArg = arg
+	tok := p.suspendToken
+	p.yieldToEngine()
+	p.suspended = false
+	p.waitFmt = ""
 	return tok
 }
 

@@ -9,3 +9,17 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/gxhc/ ./internal/env/
+
+# The oversubscription regression (spinUntil starvation) under a thread
+# budget far below the rank count; the test sets GOMAXPROCS itself, but the
+# env var makes the whole process thread-starved as in the original report.
+GOMAXPROCS=2 go test -timeout 120s -run TestOversubscribedProgress ./internal/gxhc/
+
+# With observability compiled in but disabled (no -trace/-metrics), reports
+# must stay byte-identical: no Observer is installed, so world construction
+# takes the exact pre-observability path at any worker count.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/xhcrepro -quick -parallel 1 -o "$tmpdir/seq.md"
+go run ./cmd/xhcrepro -quick -parallel 4 -o "$tmpdir/par.md"
+cmp "$tmpdir/seq.md" "$tmpdir/par.md"
