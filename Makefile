@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race harness-checks check bench bench-sim quick-report
+.PHONY: build test vet race verify fuzz-smoke harness-checks check bench bench-sim quick-report
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,27 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The simulator itself is single-threaded per world, but gxhc (the real
-# goroutine-backed library) and env (cross-world harness plumbing) exercise
-# real concurrency, and exper fans independent experiment cells out across
+# goroutine-backed library), env (cross-world harness plumbing) and verify
+# (the schedule-exploration checker, which drives gxhc) exercise real
+# concurrency, and exper fans independent experiment cells out across
 # worker goroutines — so those run under the race detector.
 race:
-	$(GO) test -race ./internal/gxhc/ ./internal/env/
+	$(GO) test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
+
+# Schedule-exploration checker: randomized configurations x seeded
+# schedules with fault injection, invariant checks on every run, plus the
+# mutation self-test proving seeded protocol bugs are detected. See
+# DESIGN.md section 10; failures print an xhcverify -replay seed pair.
+verify:
+	$(GO) run ./cmd/xhcverify -quick
+
+# Seed corpora plus a few seconds of coverage-guided mutation.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$$' ./internal/gxhc/
+	$(GO) test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$$' ./internal/hier/
 
 # Oversubscription regression (spinUntil starvation) and the pin that
 # reports stay byte-identical with observability compiled in but disabled;
@@ -31,7 +44,7 @@ harness-checks:
 	$(GO) run ./cmd/xhcrepro -quick -parallel 4 -o /tmp/xhc_check_par.md
 	cmp /tmp/xhc_check_seq.md /tmp/xhc_check_par.md
 
-check: build vet test race harness-checks
+check: build vet test race verify fuzz-smoke harness-checks
 
 # Simulator performance benchmarks (see DESIGN.md section 8 and
 # BENCH_flowsolver.json for the recorded before/after numbers).

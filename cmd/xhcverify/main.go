@@ -1,0 +1,141 @@
+// Command xhcverify explores many distinct schedules of the XHC protocols
+// under fault injection, checking protocol invariants (single-writer
+// discipline, data correctness, termination, bounded control memory) and
+// cross-checking the simulated communicator against a registry baseline and
+// the real-concurrency gxhc backend on every run.
+//
+// Examples:
+//
+//	xhcverify -quick                      # tier-1 gate: sweep + mutation self-test
+//	xhcverify -configs 50 -schedules 32   # a longer hunt
+//	xhcverify -replay 0x1d35be3e7a2e4c5a:0x00f3a9c2b1d40e77
+//	xhcverify -selftest                   # mutation self-test only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"xhc/internal/verify"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "default sweep (20 configs x 12 schedules) plus the mutation self-test; fails if fewer than 200 distinct schedules are explored")
+	configs := flag.Int("configs", 0, "number of randomized configurations (0 = default 20)")
+	schedules := flag.Int("schedules", 0, "schedules per configuration (0 = default 12)")
+	seed := flag.Uint64("seed", 0, "sweep seed (varies the whole sweep)")
+	replay := flag.String("replay", "", "replay one failing run: cfgseed:schedseed (hex, as printed on failure)")
+	selftest := flag.Bool("selftest", false, "run only the mutation self-test")
+	verbose := flag.Bool("v", false, "per-configuration progress")
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		os.Exit(doReplay(*replay))
+	case *selftest:
+		os.Exit(doSelfTest())
+	default:
+		code := doSweep(*configs, *schedules, *seed, *quick, *verbose)
+		if *quick && code == 0 {
+			code = doSelfTest()
+		}
+		os.Exit(code)
+	}
+}
+
+func doSweep(configs, schedules int, seed uint64, quick, verbose bool) int {
+	o := verify.Options{Configs: configs, Schedules: schedules, Seed: seed}
+	if verbose {
+		o.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	sum := verify.Explore(o)
+	fmt.Printf("explored %d runs over %d configurations: %d distinct schedules in %v\n",
+		sum.Runs, sum.Configs, sum.DistinctSchedules, time.Since(start).Round(time.Millisecond))
+	for _, f := range sum.Failures {
+		fmt.Printf("FAIL %s\n  schedule %s\n  %s\n  replay: xhcverify -replay %#016x:%#016x\n",
+			f.Case, f.Sched, f.Err, f.CfgSeed, f.SchedSeed)
+	}
+	if len(sum.Failures) > 0 {
+		fmt.Printf("%d failing run(s)\n", len(sum.Failures))
+		return 1
+	}
+	if quick && sum.DistinctSchedules < 200 {
+		fmt.Printf("quick gate: only %d distinct schedules (< 200)\n", sum.DistinctSchedules)
+		return 1
+	}
+	fmt.Println("all runs passed")
+	return 0
+}
+
+func doSelfTest() int {
+	bad := 0
+	for _, o := range verify.RunMutationSelfTest(true) {
+		status := "ok"
+		if !o.OK {
+			status = "MISSED"
+			if !o.Mutant {
+				status = "FAIL"
+			}
+			bad++
+		}
+		fmt.Printf("selftest %-18s %s", o.Name, status)
+		if o.Mutant && o.OK {
+			fmt.Printf("  (%s)", firstLine(o.Detail))
+		}
+		fmt.Println()
+	}
+	if bad > 0 {
+		fmt.Printf("mutation self-test: %d problem(s)\n", bad)
+		return 1
+	}
+	fmt.Println("mutation self-test passed: every seeded bug detected")
+	return 0
+}
+
+func doReplay(arg string) int {
+	cfg, sched, err := parseReplay(arg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	c, s := verify.DeriveCase(cfg), verify.DeriveSchedule(sched)
+	fmt.Printf("replaying %s\n  schedule %s\n", c, s)
+	hash, rerr := verify.Replay(cfg, sched)
+	fmt.Printf("schedule fingerprint %#016x\n", hash)
+	if rerr != nil {
+		fmt.Printf("FAIL %s\n", rerr)
+		return 1
+	}
+	fmt.Println("replay passed")
+	return 0
+}
+
+func parseReplay(arg string) (uint64, uint64, error) {
+	parts := strings.SplitN(arg, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -replay %q: want cfgseed:schedseed", arg)
+	}
+	var seeds [2]uint64
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimPrefix(p, "0x"), 16, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad -replay seed %q: %v", p, err)
+		}
+		seeds[i] = v
+	}
+	return seeds[0], seeds[1], nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -65,6 +65,7 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 		pc.mark(pl, obs.PhaseExpose, 0)
 		base := view.cumBytes[pl]
 		chunk := c.chunkAt(pl)
+		early := c.chaos().EarlyReady
 		copied := 0
 		for copied < n {
 			want := min(chunk, n-copied)
@@ -79,11 +80,20 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 			// own progress (Fig. 5).
 			for copied < avail {
 				take := min(chunk, avail-copied)
+				if early {
+					// Mutation: announce the chunk before copying it.
+					for _, l := range lead {
+						lgs, _ := st.groupOf(l, p.Rank)
+						c.setReady(p, lgs, view.cumBytes[l]+uint64(copied+take))
+					}
+				}
 				p.Copy(buf, off+copied, src, soff+copied, take)
 				copied += take
-				for _, l := range lead {
-					lgs, _ := st.groupOf(l, p.Rank)
-					c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
+				if !early {
+					for _, l := range lead {
+						lgs, _ := st.groupOf(l, p.Rank)
+						c.setReady(p, lgs, view.cumBytes[l]+uint64(copied))
+					}
 				}
 			}
 			pc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
@@ -106,13 +116,23 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
 	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2) // double-buffered slots
+	early := c.chaos().EarlyReady
+	announce := func() {
+		for _, l := range lead {
+			lgs, _ := st.groupOf(l, p.Rank)
+			c.setReady(p, lgs, view.cumBytes[l]+uint64(n))
+		}
+	}
 
 	if p.Rank == root {
-		// Copy-in, then announce to all led groups.
+		// Copy-in, then announce to all led groups (the mutation announces
+		// before the copy-in lands).
+		if early {
+			announce()
+		}
 		p.Copy(c.cico[p.Rank], slot, buf, off, n)
-		for _, l := range lead {
-			gs, _ := st.groupOf(l, p.Rank)
-			c.setReady(p, gs, view.cumBytes[l]+uint64(n))
+		if !early {
+			announce()
 		}
 		pc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else {
@@ -121,14 +141,19 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 		c.waitReady(p, gs, base+uint64(n))
 		pc.mark(pl, obs.PhaseFlagWait, 0)
 		src := c.cico[gs.leader]
+		if early && len(lead) > 0 {
+			// Mutation: a forwarding leader announces its staged copy
+			// before performing it; children pull the previous slot
+			// contents.
+			announce()
+		}
 		// Copy-out into the user buffer.
 		p.Copy(buf, off, src, slot, n)
 		// Leaders also stage into their own CICO buffer for their children.
 		if len(lead) > 0 {
 			p.Copy(c.cico[p.Rank], slot, src, slot, n)
-			for _, l := range lead {
-				lgs, _ := st.groupOf(l, p.Rank)
-				c.setReady(p, lgs, view.cumBytes[l]+uint64(n))
+			if !early {
+				announce()
 			}
 		}
 		pc.mark(pl, obs.PhaseChunkCopy, int64(n))
@@ -148,7 +173,18 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView, pc *phaseClock) {
 	if pl := st.pullLevel(p.Rank); pl >= 0 {
 		gs, _ := st.groupOf(pl, p.Rank)
-		gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+		ch := c.chaos()
+		switch {
+		case ch.SkipAck && len(st.leadLevels(p.Rank)) == 0:
+			// Mutation: a pure member forgets its ack; its leader's
+			// WaitAllGE below never completes.
+		case ch.AckRegression && view.opSeq >= 2:
+			// Mutation: republish a stale counter value; shm rejects the
+			// non-monotone store.
+			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq-2)
+		default:
+			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+		}
 	}
 	for _, l := range st.leadLevels(p.Rank) {
 		gs, _ := st.groupOf(l, p.Rank)

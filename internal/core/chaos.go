@@ -1,0 +1,40 @@
+package core
+
+// ChaosConfig seeds deliberate protocol bugs for the verify harness's
+// mutation self-test (DESIGN.md Section 10). Each field reintroduces one
+// bug class that the XHC design rules out; internal/verify asserts that
+// its invariant checkers catch every one of them. A nil Config.Chaos (the
+// default) leaves the protocol untouched.
+type ChaosConfig struct {
+	// SkipAck makes pure members (ranks that lead no group) skip
+	// publishing their completion ack, so their leaders wait forever in
+	// the finalization phase: a termination bug, caught by the engine's
+	// deadlock detector.
+	SkipAck bool
+
+	// EarlyReady publishes chunk availability before the copy that backs
+	// it — the store/publish reordering the single-writer flag ordering
+	// exists to prevent. Children pull bytes the parent has not written
+	// yet; caught by the data-correctness check.
+	EarlyReady bool
+
+	// SharedAckLine packs every member-owned ack flag of a group onto one
+	// shared cache line, silently dropping the per-writer line placement
+	// of Fig. 10. Each flag still has a single writer, so shm's per-flag
+	// owner check passes — only the write-tracker's per-line discipline
+	// catches it.
+	SharedAckLine bool
+
+	// AckRegression republishes a stale (rewound) cumulative ack counter
+	// on the second and later operations. The shm layer itself rejects
+	// the non-monotone store; caught as an engine failure.
+	AckRegression bool
+}
+
+// chaos returns the active mutation set (the zero value when none).
+func (c *Comm) chaos() ChaosConfig {
+	if c.Cfg.Chaos == nil {
+		return ChaosConfig{}
+	}
+	return *c.Cfg.Chaos
+}

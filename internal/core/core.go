@@ -75,6 +75,10 @@ type Config struct {
 	Flags FlagScheme
 	// RegCache enables the per-rank XPMEM registration cache.
 	RegCache bool
+	// Chaos, when non-nil, enables deliberate protocol mutations for the
+	// verify harness's self-test (see ChaosConfig). Production code leaves
+	// it nil.
+	Chaos *ChaosConfig
 }
 
 // DefaultConfig returns the paper's defaults on the numa+socket hierarchy.
@@ -356,9 +360,21 @@ func (c *Comm) stateForChecked(root int) (*commState, error) {
 						fmt.Sprintf("xhc.r%d.l%d.g%d.ready.%d", root, l, gi, m), lc)
 				}
 			}
+			// Mutation: drop the per-writer line placement and pack every
+			// member's ack flag onto one shared line. Each flag keeps its
+			// single writer, so only the per-line write-tracker notices.
+			var ackLine *mem.Line
+			if c.chaos().SharedAckLine {
+				ackLine = c.W.Sys.NewLine(lc)
+			}
 			for _, m := range g.Members {
 				mc := c.W.Core(m)
-				gs.acks[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.ack.%d", root, l, gi, m), mc)
+				ackName := fmt.Sprintf("xhc.r%d.l%d.g%d.ack.%d", root, l, gi, m)
+				if ackLine != nil {
+					gs.acks[m] = shm.NewFlagOnLine(c.W.Sys, ackName, mc, ackLine)
+				} else {
+					gs.acks[m] = shm.NewFlag(c.W.Sys, ackName, mc)
+				}
 				gs.redReady[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rr.%d", root, l, gi, m), mc)
 				gs.redDone[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rd.%d", root, l, gi, m), mc)
 				gs.redExpSeq[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rexp.%d", root, l, gi, m), mc)

@@ -1,0 +1,63 @@
+package gxhc
+
+import (
+	"testing"
+)
+
+// FuzzGoCommAllreduce drives the goroutine-backed allreduce with fuzzed
+// communicator shapes and vector lengths, comparing against an exact
+// reference sum. Contributions are small integers, so every reduction
+// order yields bit-identical float64 results and the comparison can be
+// exact. The seed corpus pins the awkward shapes: zero-length vectors,
+// lengths that are not a multiple of the chunk, a chunk smaller than one
+// element, singleton and flat communicators.
+func FuzzGoCommAllreduce(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint32(64<<10), uint16(1000), uint64(1))
+	f.Add(uint8(8), uint8(4), uint32(4096), uint16(0), uint64(2))   // zero-length vector
+	f.Add(uint8(7), uint8(3), uint32(4096), uint16(777), uint64(3)) // 6216 B, not a chunk multiple
+	f.Add(uint8(1), uint8(8), uint32(1024), uint16(5), uint64(4))   // singleton communicator
+	f.Add(uint8(16), uint8(2), uint32(8), uint16(33), uint64(5))    // one element per chunk
+	f.Add(uint8(12), uint8(1), uint32(3), uint16(9), uint64(6))     // chunk smaller than an element
+	f.Add(uint8(9), uint8(20), uint32(0), uint16(100), uint64(7))   // flat (group >= n), default chunk
+
+	f.Fuzz(func(t *testing.T, nSeed, gsSeed uint8, chunk uint32, countSeed uint16, seed uint64) {
+		n := 1 + int(nSeed)%16
+		count := int(countSeed) % 4096
+		cfg := Config{
+			GroupSize:  int(gsSeed) % (n + 2),
+			ChunkBytes: int(chunk % (256 << 10)),
+		}
+		c, err := New(n, cfg)
+		if err != nil {
+			t.Fatalf("New(%d, %+v): %v", n, cfg, err)
+		}
+
+		src := make([][]float64, n)
+		dst := make([][]float64, n)
+		want := make([]float64, count)
+		state := seed
+		for r := 0; r < n; r++ {
+			src[r] = make([]float64, count)
+			dst[r] = make([]float64, count)
+			for i := range src[r] {
+				state = state*6364136223846793005 + 1442695040888963407
+				v := float64(int(state>>33)%201 - 100)
+				src[r][i] = v
+				want[i] += v
+			}
+		}
+
+		runAll(n, func(rank int) {
+			c.AllreduceFloat64(rank, dst[rank], src[rank])
+		})
+
+		for r := 0; r < n; r++ {
+			for i, got := range dst[r] {
+				if got != want[i] {
+					t.Fatalf("n=%d cfg=%+v count=%d: rank %d elem %d = %v, want %v",
+						n, cfg, count, r, i, got, want[i])
+				}
+			}
+		}
+	})
+}

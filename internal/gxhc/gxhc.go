@@ -30,6 +30,9 @@ type Config struct {
 	GroupSize int
 	// ChunkBytes is the broadcast pipelining granule.
 	ChunkBytes int
+	// Chaos, when non-nil, seeds a deliberate synchronization bug for the
+	// verify harness's mutation self-test (see ChaosConfig).
+	Chaos *ChaosConfig
 }
 
 // DefaultConfig groups participants by 8 with 64 KiB chunks.
@@ -323,10 +326,16 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 		base := v.cum[pl]
 		copied := 0
 		for copied < n {
-			want := copied + min(c.cfg.ChunkBytes, n-copied)
-			avail := int(spinUntil(&ctl.ready, base+uint64(want)) - base)
-			if avail > n {
+			var avail int
+			if c.cfg.Chaos != nil && c.cfg.Chaos.StaleReady {
+				// Mutation: skip the ready wait and trust the exposure.
 				avail = n
+			} else {
+				want := copied + min(c.cfg.ChunkBytes, n-copied)
+				avail = int(spinUntil(&ctl.ready, base+uint64(want)) - base)
+				if avail > n {
+					avail = n
+				}
 			}
 			wc.mark(pl, obs.PhaseFlagWait, 0)
 			before := copied
@@ -474,7 +483,9 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		for _, l := range lead {
 			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
 		}
-	} else {
+	} else if n > 0 {
+		// n == 0 publishes nothing, so the ready counter cannot order this
+		// pull against the leader's expose; skip it — there is no data.
 		ctl := st.groupOf(pl, rank)
 		base := v.cum[pl]
 		spinUntil(&ctl.ready, base+uint64(n))

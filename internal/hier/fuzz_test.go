@@ -1,0 +1,56 @@
+package hier
+
+import (
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+// FuzzHierarchyBuild throws arbitrary sensitivity strings, rank counts,
+// roots and mapping policies at Build on the Table I platforms. Invalid
+// inputs must be rejected with an error (never a panic); accepted inputs
+// must produce a hierarchy that passes Validate with the root as top
+// leader. The seed corpus covers each platform, both policies, the paper's
+// sensitivity lists and some malformed ones.
+func FuzzHierarchyBuild(f *testing.F) {
+	f.Add(uint8(0), uint16(32), uint16(0), "llc+numa+socket", false)
+	f.Add(uint8(1), uint16(64), uint16(10), "numa+socket", true)
+	f.Add(uint8(2), uint16(160), uint16(159), "llc+numa+socket", false) // llc skipped on ARM-N1
+	f.Add(uint8(0), uint16(1), uint16(0), "flat", false)
+	f.Add(uint8(1), uint16(7), uint16(3), "", true)
+	f.Add(uint8(2), uint16(40), uint16(0), "socket+numa", false) // wrong order: must error
+	f.Add(uint8(0), uint16(9), uint16(2), "numa+numa", true)     // duplicate: must error
+	f.Add(uint8(1), uint16(13), uint16(5), "rack", false)        // unknown domain: must error
+
+	f.Fuzz(func(t *testing.T, platSeed uint8, nrSeed, rootSeed uint16, sensStr string, mapNUMA bool) {
+		plats := topo.Platforms()
+		top := plats[int(platSeed)%len(plats)]
+		nranks := 1 + int(nrSeed)%top.NCores
+		root := int(rootSeed) % nranks
+
+		sens, err := ParseSensitivity(sensStr)
+		if err != nil {
+			return // malformed sensitivity rejected before Build
+		}
+
+		pol := topo.MapCore
+		if mapNUMA {
+			pol = topo.MapNUMA
+		}
+		m, err := top.Map(pol, nranks)
+		if err != nil {
+			t.Fatalf("%s.Map(%v, %d): %v", top.Name, pol, nranks, err)
+		}
+
+		h, err := Build(top, m, sens, root)
+		if err != nil {
+			t.Fatalf("Build(%s, np=%d, root=%d, sens=%q): %v", top.Name, nranks, root, sensStr, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("Build(%s, np=%d, root=%d, sens=%q): invalid: %v", top.Name, nranks, root, sensStr, err)
+		}
+		if h.TopLeader() != root {
+			t.Fatalf("Build(%s, np=%d, root=%d, sens=%q): top leader %d", top.Name, nranks, root, sensStr, h.TopLeader())
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+// TestHierarchyStructuralProperties checks three structural invariants of
+// Build over randomized (platform, sensitivity, rank count, root, policy)
+// configurations:
+//
+//  1. Partition: every rank is a member of exactly one leaf group.
+//  2. Root-following leaders: at every level, the group containing the
+//     root is led by the root (so the result lands at the root without a
+//     final move, §III-B).
+//  3. Locality monotone: the worst pairwise core distance inside any group
+//     never decreases going up the hierarchy — leaf groups are the most
+//     local, exactly what makes the level ordering profitable.
+func TestHierarchyStructuralProperties(t *testing.T) {
+	sensList := []string{"", "flat", "llc", "numa", "socket", "llc+numa",
+		"llc+socket", "numa+socket", "llc+numa+socket"}
+	rnd := rand.New(rand.NewSource(20260806))
+	for iter := 0; iter < 400; iter++ {
+		plats := topo.Platforms()
+		top := plats[rnd.Intn(len(plats))]
+		nranks := 1 + rnd.Intn(top.NCores)
+		root := rnd.Intn(nranks)
+		sensStr := sensList[rnd.Intn(len(sensList))]
+		pol := topo.MapCore
+		if rnd.Intn(2) == 1 {
+			pol = topo.MapNUMA
+		}
+
+		sens, err := ParseSensitivity(sensStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := top.Map(pol, nranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Build(top, m, sens, root)
+		if err != nil {
+			t.Fatalf("%s np=%d root=%d sens=%q: %v", top.Name, nranks, root, sensStr, err)
+		}
+		name := func() string {
+			return top.Name + " " + sensStr + " " + string(pol)
+		}
+
+		// 1. Leaf partition.
+		seen := make([]int, nranks)
+		for _, g := range h.GroupsAt(0) {
+			for _, r := range g.Members {
+				seen[r]++
+			}
+		}
+		for r, k := range seen {
+			if k != 1 {
+				t.Fatalf("%s np=%d: rank %d in %d leaf groups", name(), nranks, r, k)
+			}
+		}
+
+		// 2. Root leads its group at every level it appears in.
+		for l := 0; l < h.NLevels(); l++ {
+			if g, ok := h.GroupOf(l, root); ok && g.Leader != root {
+				t.Fatalf("%s np=%d root=%d: level %d group led by %d", name(), nranks, root, l, g.Leader)
+			}
+		}
+		if h.TopLeader() != root {
+			t.Fatalf("%s np=%d: top leader %d != root %d", name(), nranks, h.TopLeader(), root)
+		}
+
+		// 3. Worst in-group distance is non-decreasing with level. Levels
+		// whose groups are all singletons carry no distance information;
+		// Build skips all-singleton domain levels, and the top level always
+		// holds every remaining leader in one group.
+		prev := topo.SelfCore
+		for l := 0; l < h.NLevels(); l++ {
+			worst, multi := topo.SelfCore, false
+			for _, g := range h.GroupsAt(l) {
+				for i, a := range g.Members {
+					for _, b := range g.Members[i+1:] {
+						multi = true
+						if d := top.Distance(m.Core(a), m.Core(b)); d > worst {
+							worst = d
+						}
+					}
+				}
+			}
+			if !multi {
+				continue
+			}
+			if worst < prev {
+				t.Fatalf("%s np=%d root=%d: level %d worst distance %v below level below (%v)",
+					name(), nranks, root, l, worst, prev)
+			}
+			prev = worst
+		}
+	}
+}

@@ -58,6 +58,10 @@ func (s *System) NewBuffer(label string, core int, n int) *Buffer {
 	}
 }
 
+// BuffersAllocated returns how many buffers this system has handed out
+// (the bounded-control-memory invariant tracks it across operations).
+func (s *System) BuffersAllocated() int { return s.bufSeq }
+
 // Len returns the buffer length in bytes.
 func (b *Buffer) Len() int { return len(b.Data) }
 

@@ -32,6 +32,7 @@ type lineWaiter struct {
 
 // NewLine allocates a coherence line homed at (owned by) the given core.
 func (s *System) NewLine(home int) *Line {
+	s.Stats.LinesAllocated++
 	return &Line{
 		sys:        s,
 		home:       home,

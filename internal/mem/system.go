@@ -50,6 +50,15 @@ type System struct {
 	// and the hot loop stays allocation-free.
 	OnFlow func(core, bytes int, start, end sim.Time)
 
+	// OnFlagWrite, when set, observes every store to a single-writer
+	// control flag (package shm routes Flag.Set through it): the flag
+	// name, the coherence line it lives on, the writing core, and the
+	// stored value. The protocol checker's write-tracker hangs off this
+	// hook to detect any line written by more than one core — the
+	// discipline the paper's Section III-E design rests on. Nil (the
+	// default) costs one branch per flag store.
+	OnFlagWrite func(name string, line *Line, core int, v uint64)
+
 	Stats Stats
 }
 
@@ -69,6 +78,11 @@ type Stats struct {
 	// line (the Fig. 10 congestion signal).
 	LineWaits      int64
 	MaxLineWaiters int
+
+	// LinesAllocated counts NewLine calls. The protocol checker compares
+	// it across operations to assert that control structures are
+	// per-communicator, not per-operation (bounded control memory).
+	LinesAllocated int64
 
 	// SolverFastPath counts rate solves resolved by the single-flow fast
 	// path; SolverFallbacks counts times the

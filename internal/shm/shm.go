@@ -51,6 +51,9 @@ func (f *Flag) Set(p *sim.Proc, core int, v uint64) {
 	if v < f.val {
 		panic(fmt.Sprintf("shm: flag %q set backwards: %d -> %d", f.Name, f.val, v))
 	}
+	if f.sys.OnFlagWrite != nil {
+		f.sys.OnFlagWrite(f.Name, f.line, core, v)
+	}
 	f.line.Write(p, core)
 	f.val = v
 }

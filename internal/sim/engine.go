@@ -19,6 +19,15 @@ type Engine struct {
 	failure  error
 	stopping bool
 
+	// Schedule-exploration hooks (schedule.go): tie orders simultaneous
+	// events, wakeJitter delays wakeups, schedHash fingerprints the
+	// executed schedule. All nil/zero by default: the FIFO path is
+	// unchanged.
+	tie        TieBreaker
+	wakeJitter func() Duration
+	hashOn     bool
+	schedHash  uint64
+
 	stats EngineStats
 }
 
@@ -54,11 +63,20 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %s before now %s", FmtTime(t), FmtTime(e.now)))
 	}
 	e.seq++
-	e.heap.push(event{at: t, seq: e.seq, fn: fn})
+	e.heap.push(event{at: t, prio: e.eventPrio(), seq: e.seq, fn: fn})
 	e.stats.EventsScheduled++
 	if n := e.heap.Len(); n > e.stats.MaxHeapLen {
 		e.stats.MaxHeapLen = n
 	}
+}
+
+// eventPrio consults the installed tie-breaker (0, the FIFO priority,
+// without one). Must run after e.seq is advanced.
+func (e *Engine) eventPrio() uint64 {
+	if e.tie == nil {
+		return 0
+	}
+	return e.tie.Priority(e.seq)
 }
 
 // AtTag schedules fn(tag) at virtual time t. It behaves exactly like At
@@ -69,7 +87,7 @@ func (e *Engine) AtTag(t Time, tag uint64, fn func(uint64)) {
 		panic(fmt.Sprintf("sim: scheduling event at %s before now %s", FmtTime(t), FmtTime(e.now)))
 	}
 	e.seq++
-	e.heap.push(event{at: t, seq: e.seq, tagFn: fn, tag: tag})
+	e.heap.push(event{at: t, prio: e.eventPrio(), seq: e.seq, tagFn: fn, tag: tag})
 	e.stats.EventsScheduled++
 	if n := e.heap.Len(); n > e.stats.MaxHeapLen {
 		e.stats.MaxHeapLen = n
@@ -144,6 +162,9 @@ func (e *Engine) Run() error {
 		ev := e.heap.pop()
 		e.now = ev.at
 		e.stats.EventsRun++
+		if e.hashOn {
+			e.hashEvent(ev.at, ev.seq)
+		}
 		if ev.fn != nil {
 			ev.fn()
 		} else {

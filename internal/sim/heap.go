@@ -1,19 +1,22 @@
 package sim
 
-// event is a scheduled callback. Events fire in (at, seq) order, making
-// simultaneous events deterministic: first scheduled, first fired. An
-// event carries either fn or tagFn(tag): the tagged form lets hot paths
-// reuse one long-lived closure and pass the varying datum (a version, a
-// wake token) through the event itself instead of allocating a capture.
+// event is a scheduled callback. Events fire in (at, prio, seq) order:
+// prio is 0 for every event unless a TieBreaker is installed (see
+// schedule.go), so the default order is the deterministic first-scheduled,
+// first-fired FIFO. An event carries either fn or tagFn(tag): the tagged
+// form lets hot paths reuse one long-lived closure and pass the varying
+// datum (a version, a wake token) through the event itself instead of
+// allocating a capture.
 type event struct {
 	at    Time
+	prio  uint64
 	seq   uint64
 	fn    func()
 	tagFn func(uint64)
 	tag   uint64
 }
 
-// eventHeap is a binary min-heap of events ordered by (at, seq).
+// eventHeap is a binary min-heap of events ordered by (at, prio, seq).
 type eventHeap struct {
 	items []event
 }
@@ -24,6 +27,9 @@ func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
 	return a.seq < b.seq
 }

@@ -133,8 +133,14 @@ func (p *Proc) NextSuspendToken() uint64 { return p.suspendToken + 1 }
 // Wake schedules p to resume at time t, if it is still in the suspension
 // identified by token. Stale or duplicate wakeups are ignored, so several
 // signalers may race to wake the same process. The token rides on the
-// event itself (AtTag), so waking does not allocate a closure.
+// event itself (AtTag), so waking does not allocate a closure. An
+// installed wake-jitter hook (fault injection) pushes the wakeup later.
 func (e *Engine) Wake(p *Proc, token uint64, t Time) {
+	if e.wakeJitter != nil {
+		if d := e.wakeJitter(); d > 0 {
+			t += d
+		}
+	}
 	e.AtTag(t, token, p.wakeFn)
 }
 

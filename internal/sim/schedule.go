@@ -1,0 +1,133 @@
+package sim
+
+// Schedule control. By default the engine is FIFO-deterministic: events
+// with equal timestamps fire in creation order. That determinism is what
+// makes reports reproducible — and it also means every test run explores
+// exactly ONE interleaving of each configuration. The protocol checker
+// (internal/verify) needs the opposite: many distinct, replayable
+// interleavings per configuration. A TieBreaker provides that. It only
+// reorders events that share a timestamp, so virtual time stays monotone
+// and the memory model's timing stays intact; what changes is which of the
+// logically-concurrent parties runs first — exactly the freedom a real
+// machine's scheduler and cache fabric have.
+
+// TieBreaker assigns a priority to each newly scheduled event. Among
+// events with equal timestamps, lower priority fires first; equal
+// priorities fall back to creation order. Implementations must be
+// deterministic functions of their seed so failing schedules replay
+// exactly.
+type TieBreaker interface {
+	// Priority returns the priority for the event with the given creation
+	// sequence number.
+	Priority(seq uint64) uint64
+}
+
+// splitmix64 is the PRNG behind the seeded tie-breakers. A local
+// implementation (rather than math/rand) pins the exact stream to this
+// repository: replay seeds stay valid across Go releases.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randomTieBreaker draws an independent priority per event: uniform
+// shuffling of every simultaneous-event set.
+type randomTieBreaker struct{ rng splitmix64 }
+
+// NewRandomTieBreaker returns a tie-breaker that orders simultaneous
+// events uniformly at random, deterministically from seed.
+func NewRandomTieBreaker(seed uint64) TieBreaker {
+	return &randomTieBreaker{rng: splitmix64{state: seed}}
+}
+
+func (r *randomTieBreaker) Priority(uint64) uint64 { return r.rng.next() }
+
+// pctTieBreaker is a PCT-style schedule (Burckhardt et al., "A Randomized
+// Scheduler with Probabilistic Guarantees of Finding Bugs"), adapted to
+// event granularity: instead of fresh randomness per event it holds one
+// priority for a whole burst of consecutively scheduled events and changes
+// it at randomly drawn points. Long runs of same-priority events keep
+// causally related work together (like PCT's per-thread priorities), while
+// the change points inject the small number of targeted preemptions that
+// expose ordering bugs depth-first randomness tends to miss.
+type pctTieBreaker struct {
+	rng   splitmix64
+	cur   uint64
+	left  uint64
+	burst uint64
+}
+
+// NewPCTTieBreaker returns a PCT-style tie-breaker: priorities constant
+// over bursts of 1..maxBurst events, re-drawn at each change point.
+// maxBurst <= 0 defaults to 64.
+func NewPCTTieBreaker(seed uint64, maxBurst int) TieBreaker {
+	if maxBurst <= 0 {
+		maxBurst = 64
+	}
+	return &pctTieBreaker{rng: splitmix64{state: seed}, burst: uint64(maxBurst)}
+}
+
+func (t *pctTieBreaker) Priority(uint64) uint64 {
+	if t.left == 0 {
+		t.cur = t.rng.next()
+		t.left = 1 + t.rng.next()%t.burst
+	}
+	t.left--
+	return t.cur
+}
+
+// SetTieBreaker installs tb for all subsequently scheduled events (nil
+// restores FIFO). Install it before spawning processes: events already in
+// the heap keep the priorities they were assigned.
+func (e *Engine) SetTieBreaker(tb TieBreaker) { e.tie = tb }
+
+// SetWakeJitter installs a fault-injection hook that delays every Wake by
+// the returned (non-negative) duration. Monotone-counter protocols must
+// tolerate arbitrarily late wakeups — a waiter that wakes late simply
+// observes a larger counter value — so any failure under jitter is a real
+// protocol bug. nil disables jitter.
+func (e *Engine) SetWakeJitter(fn func() Duration) { e.wakeJitter = fn }
+
+// EnableScheduleHash starts fingerprinting the executed schedule: an
+// FNV-1a hash over the (time, seq) stream of fired events. Two runs with
+// the same hash executed the same interleaving; the checker counts
+// distinct hashes to prove it is exploring genuinely different schedules
+// rather than re-running one.
+func (e *Engine) EnableScheduleHash() {
+	e.hashOn = true
+	e.schedHash = fnvOffset
+}
+
+// ScheduleHash returns the fingerprint accumulated so far (0 if disabled).
+func (e *Engine) ScheduleHash() uint64 {
+	if !e.hashOn {
+		return 0
+	}
+	return e.schedHash
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashEvent folds one fired event into the schedule fingerprint.
+func (e *Engine) hashEvent(at Time, seq uint64) {
+	h := e.schedHash
+	x := uint64(at)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
+	}
+	x = seq
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
+	}
+	e.schedHash = h
+}

@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+// raceOrder runs nProcs processes that all wake at the same instants and
+// records the order in which they got to run.
+func raceOrder(tb TieBreaker) []int {
+	e := NewEngine()
+	e.SetTieBreaker(tb)
+	e.EnableScheduleHash()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Go("p", func(p *Proc) {
+			for step := 0; step < 4; step++ {
+				p.Sleep(100) // all procs sleep to the same timestamps
+				order = append(order, i)
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return order
+}
+
+func TestTieBreakerReplaysExactly(t *testing.T) {
+	a := raceOrder(NewRandomTieBreaker(42))
+	b := raceOrder(NewRandomTieBreaker(42))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestTieBreakersExploreDistinctOrders(t *testing.T) {
+	fifo := raceOrder(nil)
+	seen := map[string]bool{key(fifo): true}
+	for seed := uint64(1); seed <= 20; seed++ {
+		seen[key(raceOrder(NewRandomTieBreaker(seed)))] = true
+		seen[key(raceOrder(NewPCTTieBreaker(seed, 16)))] = true
+	}
+	// 41 runs over 8 procs x 4 steps: collisions are possible but most
+	// orders must differ, or the breakers are not actually reordering.
+	if len(seen) < 20 {
+		t.Fatalf("only %d distinct orders out of 41 runs", len(seen))
+	}
+}
+
+func key(order []int) string {
+	b := make([]byte, len(order))
+	for i, v := range order {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func TestScheduleHashDistinguishesSchedules(t *testing.T) {
+	hash := func(tb TieBreaker) uint64 {
+		e := NewEngine()
+		e.SetTieBreaker(tb)
+		e.EnableScheduleHash()
+		for i := 0; i < 6; i++ {
+			e.Go("p", func(p *Proc) {
+				for s := 0; s < 3; s++ {
+					p.Sleep(50)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.ScheduleHash()
+	}
+	h1, h1b := hash(NewRandomTieBreaker(7)), hash(NewRandomTieBreaker(7))
+	if h1 != h1b {
+		t.Fatalf("same seed, different hash: %x vs %x", h1, h1b)
+	}
+	if h2 := hash(NewRandomTieBreaker(8)); h2 == h1 {
+		t.Fatalf("seeds 7 and 8 produced the same schedule hash %x", h1)
+	}
+	if hf := hash(nil); hf == h1 {
+		t.Fatalf("FIFO and random schedules hashed identically: %x", h1)
+	}
+}
+
+func TestWakeJitterDelaysButCompletes(t *testing.T) {
+	e := NewEngine()
+	jit := &splitmix64{state: 3}
+	e.SetWakeJitter(func() Duration { return Duration(jit.next() % 1000) })
+	var waiter *Proc
+	var tok uint64
+	done := false
+	waiter = e.Go("waiter", func(p *Proc) {
+		tok = p.NextSuspendToken()
+		p.Suspend("test wait")
+		done = true
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(10)
+		e.Wake(waiter, tok, e.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("waiter never resumed")
+	}
+	if e.Now() < 10 {
+		t.Fatalf("clock did not advance past the signal: %d", e.Now())
+	}
+}
+
+func TestFIFODefaultUnchanged(t *testing.T) {
+	// Without a tie-breaker the order must be exactly creation order.
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO order broken: %v", got)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import (
+	"testing"
+
+	"xhc/internal/core"
+	"xhc/internal/mpi"
+)
+
+// TestCrossBackendEquivalence pins a grid of configurations and byte-
+// compares the XHC communicator, a registry baseline and the gxhc backend
+// against the exact reference on each — the differential check as a plain
+// go-test, independent of the randomized sweep.
+func TestCrossBackendEquivalence(t *testing.T) {
+	type row struct {
+		plat     int // index into platforms
+		ranks    int
+		sens     string
+		kind     OpKind
+		bytes    int
+		dt       mpi.Datatype
+		op       mpi.Op
+		baseline string
+	}
+	grid := []row{
+		{0, 8, "", KindBcast, 0, mpi.Byte, mpi.Sum, "tuned"},
+		{0, 8, "numa", KindBcast, 1 << 10, mpi.Byte, mpi.Sum, "ucc"},
+		{1, 8, "numa", KindBcast, 100, mpi.Byte, mpi.Sum, "sm"},
+		{1, 7, "numa", KindBcast, 64 << 10, mpi.Byte, mpi.Sum, "smhc-tree"},
+		{2, 16, "numa+socket", KindBcast, 40000, mpi.Byte, mpi.Sum, "xbrc"},
+		{4, 12, "numa", KindBcast, 16 << 10, mpi.Byte, mpi.Sum, "tuned"},
+		{0, 8, "numa", KindAllreduce, 1 << 10, mpi.Float64, mpi.Sum, "tuned"},
+		{1, 8, "numa", KindAllreduce, 4 << 10, mpi.Float32, mpi.Prod, "ucc"},
+		{2, 16, "numa+socket", KindAllreduce, 64 << 10, mpi.Float64, mpi.Sum, "smhc-flat"},
+		{2, 13, "socket", KindAllreduce, 1000, mpi.Int32, mpi.Max, "sm"},
+		{4, 16, "numa", KindAllreduce, 16 << 10, mpi.Int64, mpi.Min, "xbrc"},
+		{4, 9, "", KindAllreduce, 8, mpi.Float64, mpi.Sum, "ucc"},
+	}
+	for _, g := range grid {
+		c := Case{
+			CfgSeed:       uint64(g.plat)<<8 | uint64(g.ranks),
+			Plat:          platforms[g.plat],
+			Ranks:         g.ranks,
+			Root:          0,
+			Sens:          g.sens,
+			Kind:          g.kind,
+			Bytes:         g.bytes,
+			Dt:            g.dt,
+			Op:            g.op,
+			Chunk:         4 << 10,
+			CICOThreshold: 1 << 10,
+			Flags:         core.SingleFlag,
+			RegCache:      true,
+			Baseline:      g.baseline,
+			Ops:           3,
+		}
+		if _, err := RunCase(c, Schedule{}); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+}

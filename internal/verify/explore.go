@@ -1,0 +1,85 @@
+package verify
+
+// Options parameterizes an exploration sweep.
+type Options struct {
+	// Configs is the number of randomized configurations (default 20).
+	Configs int
+	// Schedules is the number of schedules per configuration (default 12);
+	// the first is always the unperturbed FIFO schedule.
+	Schedules int
+	// Seed varies the whole sweep; the default sweep uses 0.
+	Seed uint64
+	// Log, when non-nil, receives one progress line per configuration.
+	Log func(format string, args ...any)
+}
+
+// Failure records one failing run with the pair of seeds that replays it.
+type Failure struct {
+	CfgSeed   uint64
+	SchedSeed uint64
+	Case      string
+	Sched     string
+	Err       string
+}
+
+// Summary is the result of an exploration sweep.
+type Summary struct {
+	Configs int
+	Runs    int
+	// DistinctSchedules counts distinct schedule fingerprints observed
+	// across all XHC runs — proof the sweep explored genuinely different
+	// interleavings rather than re-running one.
+	DistinctSchedules int
+	Failures          []Failure
+}
+
+// Explore sweeps Configs randomized configurations, running each under
+// Schedules distinct schedules (FIFO first, then seeded random/PCT
+// tie-breaking with jitter and fault injection), cross-checking XHC, a
+// baseline component and the gxhc backend on every run. Failures carry the
+// (config, schedule) seed pair for exact replay.
+func Explore(o Options) Summary {
+	if o.Configs <= 0 {
+		o.Configs = 20
+	}
+	if o.Schedules <= 0 {
+		o.Schedules = 12
+	}
+	base := rng{state: o.Seed ^ 0xda3e39cb94b95bdb}
+	hashes := make(map[uint64]struct{})
+	sum := Summary{Configs: o.Configs}
+	for ci := 0; ci < o.Configs; ci++ {
+		cfgSeed := base.next()
+		c := DeriveCase(cfgSeed)
+		if o.Log != nil {
+			o.Log("config %d/%d seed %#016x: %s", ci+1, o.Configs, cfgSeed, c)
+		}
+		for si := 0; si < o.Schedules; si++ {
+			var schedSeed uint64
+			if si > 0 {
+				schedSeed = mix(cfgSeed, uint64(si))
+			}
+			s := DeriveSchedule(schedSeed)
+			hash, err := RunCase(c, s)
+			sum.Runs++
+			hashes[hash] = struct{}{}
+			if err != nil {
+				sum.Failures = append(sum.Failures, Failure{
+					CfgSeed:   cfgSeed,
+					SchedSeed: schedSeed,
+					Case:      c.String(),
+					Sched:     s.String(),
+					Err:       err.Error(),
+				})
+			}
+		}
+	}
+	sum.DistinctSchedules = len(hashes)
+	return sum
+}
+
+// Replay re-runs the (config, schedule) pair of a reported failure
+// bit-exactly and returns its fingerprint and verdict.
+func Replay(cfgSeed, schedSeed uint64) (uint64, error) {
+	return RunCase(DeriveCase(cfgSeed), DeriveSchedule(schedSeed))
+}

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"xhc/internal/gxhc"
+	"xhc/internal/mpi"
+)
+
+// runGoComm cross-checks the case on the real-concurrency Go backend.
+// Broadcast runs for every case; allreduce only for float64 sum (the one
+// reduction gxhc implements). Real goroutine scheduling supplies the
+// schedule variation here; when the schedule enables faults the root is
+// made a straggler before every op. chaos seeds the StaleReady mutant for
+// the self-test (which also forces the straggler, the condition under
+// which the mutant's junk copy is certain).
+func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
+	bcastOnly := c.Kind == KindBcast
+	if !bcastOnly && (c.Dt != mpi.Float64 || c.Op != mpi.Sum) {
+		return nil
+	}
+	gcfg := gxhc.Config{
+		GroupSize:  2 + int(c.CfgSeed%3),
+		ChunkBytes: c.Chunk,
+		Chaos:      chaos,
+	}
+	comm, err := gxhc.New(c.Ranks, gcfg)
+	if err != nil {
+		return err
+	}
+	ref := buildRef(c)
+	var delay time.Duration
+	if s.Faults || chaos != nil {
+		delay = 200 * time.Microsecond
+	}
+
+	errs := make([]error, c.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < c.Ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if bcastOnly {
+				buf := make([]byte, c.Bytes)
+				for op := 0; op < c.Ops; op++ {
+					copy(buf, ref.fill[op][rank])
+					if rank == c.Root && delay > 0 {
+						time.Sleep(delay)
+					}
+					comm.Bcast(rank, buf, c.Root)
+					if errs[rank] == nil && c.Bytes > 0 && diffBytes(buf, ref.want[op]) >= 0 {
+						got := append([]byte(nil), buf...)
+						errs[rank] = dataError("gxhc bcast", op, rank, got, ref.want[op])
+					}
+				}
+				return
+			}
+			n := c.Bytes / 8
+			src := make([]float64, n)
+			dst := make([]float64, n)
+			want := make([]float64, n)
+			for op := 0; op < c.Ops; op++ {
+				mpi.DecodeFloat64s(ref.fill[op][rank], src)
+				mpi.DecodeFloat64s(ref.want[op], want)
+				for i := range dst {
+					dst[i] = math.NaN()
+				}
+				if rank == 0 && delay > 0 {
+					time.Sleep(delay)
+				}
+				comm.AllreduceFloat64(rank, dst, src)
+				if errs[rank] == nil {
+					for i := range want {
+						if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+							got := make([]byte, c.Bytes)
+							mpi.EncodeFloat64s(got, dst)
+							errs[rank] = dataError("gxhc allreduce", op, rank, got, ref.want[op])
+							break
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

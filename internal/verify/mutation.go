@@ -1,0 +1,145 @@
+package verify
+
+import (
+	"fmt"
+
+	"xhc/internal/coll"
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/gxhc"
+	"xhc/internal/sim"
+)
+
+// MutationOutcome reports one self-test entry: whether the run behaved as
+// expected (clean variants pass, every seeded bug is caught).
+type MutationOutcome struct {
+	Name   string
+	Mutant bool // false for the clean control runs
+	OK     bool
+	Detail string
+}
+
+// mutationCase is the base configuration the seeded bugs run on: a
+// two-NUMA node with a two-level hierarchy, so there are pure members,
+// intermediate (forwarding) leaders, and multi-member leaf groups — every
+// role a mutant needs.
+func mutationCase() Case {
+	return Case{
+		CfgSeed:       1,
+		Plat:          platforms[1], // 1 socket x 2 NUMA x 4 cores
+		Ranks:         8,
+		Root:          0,
+		Sens:          "numa",
+		Kind:          KindBcast,
+		Bytes:         32 << 10,
+		Dt:            0,
+		Op:            0,
+		Chunk:         4 << 10,
+		CICOThreshold: 1 << 10,
+		Flags:         core.SingleFlag,
+		RegCache:      true,
+		Baseline:      "tuned",
+		Ops:           4,
+	}
+}
+
+// faultSchedule is the perturbed schedule the clean control runs under:
+// random tie-breaking, wake jitter and the full fault set. The unmutated
+// protocol must survive it.
+func faultSchedule() Schedule {
+	return Schedule{SchedSeed: 0x5eed, Tie: 1, WakeJitterPS: int64(200 * sim.Nanosecond), Faults: true}
+}
+
+// runMutant runs the base case with the given seeded bug under the plain
+// FIFO schedule (the mutants are constructed to be caught without needing
+// schedule luck).
+func runMutant(c Case, chaos *core.ChaosConfig) error {
+	c.Chaos = chaos
+	cfg, err := c.coreConfig()
+	if err != nil {
+		return err
+	}
+	_, err = runSim(c, Schedule{}, "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+		cc, err := core.New(w, cfg)
+		return cc, cc, err
+	})
+	return err
+}
+
+// RunMutationSelfTest exercises the checker against its seeded protocol
+// bugs (DESIGN.md Section 10): the unmutated tree must pass — including
+// under fault injection — and every mutant must be caught. includeGoComm
+// adds the gxhc StaleReady mutant, which injects a genuine data race and
+// therefore must be skipped under the race detector.
+func RunMutationSelfTest(includeGoComm bool) []MutationOutcome {
+	var out []MutationOutcome
+	record := func(name string, mutant bool, err error) {
+		o := MutationOutcome{Name: name, Mutant: mutant}
+		if mutant {
+			o.OK = err != nil
+			if err != nil {
+				o.Detail = err.Error()
+			} else {
+				o.Detail = "NOT CAUGHT"
+			}
+		} else {
+			o.OK = err == nil
+			if err != nil {
+				o.Detail = err.Error()
+			}
+		}
+		out = append(out, o)
+	}
+
+	base := mutationCase()
+
+	// Clean controls: FIFO and the full fault schedule.
+	record("clean/fifo", false, runMutant(base, nil))
+	c := base
+	c.Chaos = nil
+	cfg, _ := c.coreConfig()
+	_, err := runSim(c, faultSchedule(), "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+		cc, err := core.New(w, cfg)
+		return cc, cc, err
+	})
+	record("clean/faults", false, err)
+
+	// Termination: pure members never ack, leaders deadlock.
+	record("skip-ack", true, runMutant(base, &core.ChaosConfig{SkipAck: true}))
+
+	// Data: a forwarding leader announces its staged CICO copy before
+	// performing it; its children pull the previous slot contents. The
+	// CICO sizing makes the stale read certain (the child's copy lands
+	// before the leader's two back-to-back copies can).
+	early := base
+	early.Bytes = 2 << 10
+	early.CICOThreshold = 4 << 10
+	record("early-ready", true, runMutant(early, &core.ChaosConfig{EarlyReady: true}))
+
+	// Single-writer line discipline: member acks packed onto one line.
+	record("shared-ack-line", true, runMutant(base, &core.ChaosConfig{SharedAckLine: true}))
+
+	// Monotonicity: a rewound ack counter; shm's own defense fires.
+	record("ack-regression", true, runMutant(base, &core.ChaosConfig{AckRegression: true}))
+
+	if includeGoComm {
+		gc := base
+		gc.Ranks = 9
+		gc.Chunk = 4 << 10
+		gc.Bytes = 64 << 10
+		fs := faultSchedule() // the straggling root is what exposes the mutant
+		record("gocomm/clean", false, runGoComm(gc, fs, nil))
+		record("gocomm/stale-ready", true, runGoComm(gc, fs, &gxhc.ChaosConfig{StaleReady: true}))
+	}
+	return out
+}
+
+// SelfTestError folds outcomes into a single error (nil when all OK).
+func SelfTestError(outs []MutationOutcome) error {
+	for _, o := range outs {
+		if !o.OK {
+			return fmt.Errorf("mutation self-test: %s: %s", o.Name, o.Detail)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package verify
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xhc/internal/mpi"
+)
+
+// Reference data for one case. All backends reduce in different orders, so
+// element values are chosen to make every reduction order produce the same
+// bytes: small integers (sums, mins and maxes of a few thousand of them
+// are exact in float32), and {1, 2} factors for products (powers of two
+// stay exact, and integer products wrap deterministically). That makes an
+// element-wise byte comparison a sound oracle across backends.
+type refData struct {
+	// fill[op][rank] is rank's input buffer for the op (for broadcast only
+	// fill[op][root] matters; the rest is the junk receivers start with).
+	fill [][][]byte
+	// want[op] is the expected content of every rank's result buffer.
+	want [][]byte
+}
+
+// buildRef precomputes fills and expected results for every op of a case.
+func buildRef(c Case) *refData {
+	rd := &refData{
+		fill: make([][][]byte, c.Ops),
+		want: make([][]byte, c.Ops),
+	}
+	for op := 0; op < c.Ops; op++ {
+		rd.fill[op] = make([][]byte, c.Ranks)
+		for rk := 0; rk < c.Ranks; rk++ {
+			b := make([]byte, c.Bytes)
+			if c.Kind == KindBcast && rk != c.Root {
+				// Receivers start with junk the checker must see replaced.
+				fillJunk(b, uint64(op))
+			} else {
+				fillPattern(b, c.Dt, c.Op, mix(c.CfgSeed, uint64(op)<<8|uint64(rk)))
+			}
+			rd.fill[op][rk] = b
+		}
+		switch c.Kind {
+		case KindBcast:
+			rd.want[op] = rd.fill[op][c.Root]
+		case KindAllreduce:
+			acc := bytes.Clone(rd.fill[op][0])
+			for rk := 1; rk < c.Ranks; rk++ {
+				mpi.ReduceBytes(c.Op, c.Dt, acc, rd.fill[op][rk])
+			}
+			rd.want[op] = acc
+		}
+	}
+	return rd
+}
+
+// fillJunk writes a recognizable non-zero pattern (receivers must not pass
+// the data check by luck of starting zeroed).
+func fillJunk(dst []byte, salt uint64) {
+	for i := range dst {
+		dst[i] = byte(0xE0 ^ salt ^ uint64(i))
+	}
+}
+
+// fillPattern writes order-independent-reducible element values.
+func fillPattern(dst []byte, dt mpi.Datatype, op mpi.Op, seed uint64) {
+	r := rng{state: seed}
+	es := dt.Size()
+	n := len(dst) / es
+	for i := 0; i < n; i++ {
+		var v int64
+		if op == mpi.Prod {
+			v = 1 + int64(r.next()%2) // {1,2}: products stay exact
+		} else {
+			v = int64(r.next()%201) - 100
+		}
+		switch dt {
+		case mpi.Byte:
+			dst[i] = byte(v)
+		case mpi.Int32:
+			binary.LittleEndian.PutUint32(dst[i*4:], uint32(int32(v)))
+		case mpi.Int64:
+			binary.LittleEndian.PutUint64(dst[i*8:], uint64(v))
+		case mpi.Float32:
+			binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(float32(v)))
+		case mpi.Float64:
+			binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(float64(v)))
+		}
+	}
+	// Tail bytes beyond the last whole element (byte datatype never has
+	// any) are zero; broadcast moves them verbatim either way.
+}
+
+// diffBytes reports the first mismatching index, or -1.
+func diffBytes(got, want []byte) int {
+	for i := range want {
+		if got[i] != want[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// dataError formats a mismatch.
+func dataError(what string, op, rank int, got, want []byte) error {
+	i := diffBytes(got, want)
+	return fmt.Errorf("%s: op %d rank %d: byte %d = %#02x, want %#02x",
+		what, op, rank, i, got[i], want[i])
+}

@@ -1,0 +1,195 @@
+package verify
+
+import (
+	"fmt"
+
+	"xhc/internal/coll"
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// applyEngine installs the schedule's tie-breaker and wake jitter on a
+// fresh engine. Everything derives from SchedSeed, so a replay installs
+// bit-identical streams.
+func applyEngine(eng *sim.Engine, s Schedule) {
+	switch s.Tie {
+	case 1:
+		eng.SetTieBreaker(sim.NewRandomTieBreaker(mix(s.SchedSeed, 1)))
+	case 2:
+		eng.SetTieBreaker(sim.NewPCTTieBreaker(mix(s.SchedSeed, 2), 0))
+	}
+	if s.WakeJitterPS > 0 {
+		jr := rng{state: mix(s.SchedSeed, 3)}
+		span := uint64(s.WakeJitterPS)
+		eng.SetWakeJitter(func() sim.Duration { return sim.Duration(jr.next() % span) })
+	}
+}
+
+// opDelay is the fault-injected compute perturbation of one rank before
+// one op: roughly a quarter of the ranks become stragglers (tens to
+// hundreds of microseconds late); everyone else gets nanosecond-scale
+// jitter. Zero without faults.
+func (s Schedule) opDelay(rank, op int) sim.Duration {
+	if !s.Faults {
+		return 0
+	}
+	h := mix(s.SchedSeed, uint64(rank)<<16|uint64(op))
+	if h%4 == 0 {
+		us := 10 + (h>>8)%490
+		return sim.Duration(us) * sim.Microsecond
+	}
+	ns := (h >> 8) % 2000
+	return sim.Duration(ns) * sim.Nanosecond
+}
+
+// memSnap is the bounded-control-memory measurement after one op.
+type memSnap struct {
+	lines int64
+	bufs  int
+}
+
+// runSim executes one case on the simulated node and checks every
+// invariant: the engine terminates (no deadlock, no panicking process),
+// every rank ends every op with the reference bytes, no coherence line
+// holding control flags is written by two cores, and control-structure
+// allocation stops growing after the first operation. It returns the
+// schedule fingerprint alongside the verdict.
+func runSim(c Case, s Schedule, what string,
+	build func(w *env.World) (coll.Component, *core.Comm, error)) (uint64, error) {
+
+	t, err := topo.New(c.Plat)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	m, err := t.Map(topo.MapCore, c.Ranks)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	w := env.NewWorld(t, m)
+	eng := w.Sys.Eng
+	applyEngine(eng, s)
+	eng.EnableScheduleHash()
+	tracker := installTracker(w.Sys)
+
+	comp, xc, err := build(w)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	ref := buildRef(c)
+
+	rbufs := make([]*mem.Buffer, c.Ranks)
+	var sbufs []*mem.Buffer
+	for r := 0; r < c.Ranks; r++ {
+		rbufs[r] = w.NewBufferAt(fmt.Sprintf("vrf.r.%d", r), r, c.Bytes)
+	}
+	if c.Kind == KindAllreduce {
+		sbufs = make([]*mem.Buffer, c.Ranks)
+		for r := 0; r < c.Ranks; r++ {
+			sbufs[r] = w.NewBufferAt(fmt.Sprintf("vrf.s.%d", r), r, c.Bytes)
+		}
+	}
+
+	// Registration-cache eviction faults: drop random ranks' caches at
+	// fixed virtual times mid-run, as an adversarial stand-in for capacity
+	// evictions. Only the XHC communicator exposes its caches.
+	if s.Faults && xc != nil {
+		dr := rng{state: mix(s.SchedSeed, 7)}
+		for i := 0; i < 3; i++ {
+			at := sim.Time(10+dr.next()%990) * sim.Time(sim.Microsecond)
+			rank := int(dr.next() % uint64(c.Ranks))
+			eng.At(at, func() { xc.Cache(rank).Drop() })
+		}
+	}
+
+	var checkErr error
+	snaps := make([]memSnap, c.Ops)
+	runErr := w.Run(func(p *env.Proc) {
+		for op := 0; op < c.Ops; op++ {
+			p.HarnessBarrier()
+			// Refill this rank's buffers (harness scaffolding: direct
+			// writes plus a residency mark, no model time).
+			if c.Kind == KindBcast {
+				copy(rbufs[p.Rank].Data, ref.fill[op][p.Rank])
+				p.Dirty(rbufs[p.Rank])
+			} else {
+				copy(sbufs[p.Rank].Data, ref.fill[op][p.Rank])
+				p.Dirty(sbufs[p.Rank])
+				fillJunk(rbufs[p.Rank].Data, uint64(op))
+				p.Dirty(rbufs[p.Rank])
+			}
+			p.HarnessBarrier()
+			if d := s.opDelay(p.Rank, op); d > 0 {
+				p.Compute(d)
+			}
+			if c.Kind == KindBcast {
+				comp.Bcast(p, rbufs[p.Rank], 0, c.Bytes, c.Root)
+			} else {
+				comp.Allreduce(p, sbufs[p.Rank], rbufs[p.Rank], c.Bytes, c.Dt, c.Op)
+			}
+			p.HarnessBarrier()
+			if p.Rank == 0 {
+				if checkErr == nil {
+					for rk := 0; rk < c.Ranks; rk++ {
+						if diffBytes(rbufs[rk].Data[:c.Bytes], ref.want[op]) >= 0 {
+							checkErr = dataError(what, op, rk, rbufs[rk].Data[:c.Bytes], ref.want[op])
+							break
+						}
+					}
+				}
+				snaps[op] = memSnap{lines: w.Sys.Stats.LinesAllocated, bufs: w.Sys.BuffersAllocated()}
+			}
+		}
+	})
+	hash := eng.ScheduleHash()
+	if runErr != nil {
+		return hash, fmt.Errorf("%s: %w", what, runErr)
+	}
+	if checkErr != nil {
+		return hash, checkErr
+	}
+	if err := tracker.err(); err != nil {
+		return hash, fmt.Errorf("%s: %w", what, err)
+	}
+	// Control structures are per-communicator: lazily built state may be
+	// allocated during the first op, but from then on the counts must not
+	// move.
+	for op := 2; op < c.Ops; op++ {
+		if snaps[op] != snaps[1] {
+			return hash, fmt.Errorf("%s: control memory grows per operation: %d lines/%d buffers after op 2, %d/%d after op %d",
+				what, snaps[1].lines, snaps[1].bufs, snaps[op].lines, snaps[op].bufs, op+1)
+		}
+	}
+	return hash, nil
+}
+
+// RunCase checks one (case, schedule) pair across backends: the XHC
+// communicator under the full invariant set, the case's baseline
+// component, and the real-concurrency gxhc backend, all against the same
+// reference bytes. The returned fingerprint identifies the XHC run's
+// schedule.
+func RunCase(c Case, s Schedule) (uint64, error) {
+	cfg, err := c.coreConfig()
+	if err != nil {
+		return 0, err
+	}
+	hash, err := runSim(c, s, "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+		cc, err := core.New(w, cfg)
+		return cc, cc, err
+	})
+	if err != nil {
+		return hash, err
+	}
+	if _, err := runSim(c, s, c.Baseline, func(w *env.World) (coll.Component, *core.Comm, error) {
+		comp, err := coll.New(c.Baseline, w)
+		return comp, nil, err
+	}); err != nil {
+		return hash, err
+	}
+	if err := runGoComm(c, s, nil); err != nil {
+		return hash, err
+	}
+	return hash, nil
+}

@@ -1,0 +1,53 @@
+package verify
+
+import (
+	"fmt"
+
+	"xhc/internal/mem"
+)
+
+// writeTracker enforces the single-writer-per-line discipline of paper
+// Section III-E at the coherence-line level. shm.Flag already rejects a
+// wrong-core store to a single flag; what it cannot see is two flags with
+// different owners packed onto one line — the "dropped cache-line pad"
+// bug. The tracker hangs off mem.System.OnFlagWrite and records, per line,
+// the first core that stored to it; any second writing core is a
+// violation.
+type writeTracker struct {
+	owner map[*mem.Line]int    // line -> first writing core
+	name  map[*mem.Line]string // line -> first flag name (for the report)
+	bad   map[*mem.Line]bool   // already reported
+	viol  []string
+}
+
+// installTracker hooks a fresh tracker into the system's flag-write path.
+func installTracker(sys *mem.System) *writeTracker {
+	t := &writeTracker{
+		owner: map[*mem.Line]int{},
+		name:  map[*mem.Line]string{},
+		bad:   map[*mem.Line]bool{},
+	}
+	sys.OnFlagWrite = func(name string, line *mem.Line, core int, v uint64) {
+		first, seen := t.owner[line]
+		if !seen {
+			t.owner[line] = core
+			t.name[line] = name
+			return
+		}
+		if first != core && !t.bad[line] {
+			t.bad[line] = true
+			t.viol = append(t.viol, fmt.Sprintf(
+				"line of flag %q written by core %d and core %d (flag %q)",
+				t.name[line], first, core, name))
+		}
+	}
+	return t
+}
+
+// err returns the first violation (nil when the discipline held).
+func (t *writeTracker) err() error {
+	if len(t.viol) == 0 {
+		return nil
+	}
+	return fmt.Errorf("single-writer violation: %s (%d total)", t.viol[0], len(t.viol))
+}

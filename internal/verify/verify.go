@@ -1,0 +1,215 @@
+// Package verify is the protocol checker and fault-injection harness for
+// the XHC implementations. It drives the simulated collectives through
+// many distinct, replayable schedules per configuration (seeded random and
+// PCT-style tie-breaking at the event-heap level, plus wake-delay jitter),
+// checks protocol invariants on every schedule — single-writer line
+// discipline, data correctness against an exact reference, termination,
+// bounded control-structure memory — and cross-checks the simulated
+// components against the real-concurrency gxhc backend on identical
+// configurations. A mutation self-test (DESIGN.md Section 10) asserts the
+// checkers actually catch seeded protocol bugs.
+//
+// Every run is addressed by a (config seed, schedule seed) pair; a failing
+// run prints the pair, and Replay reproduces it bit-exactly.
+package verify
+
+import (
+	"fmt"
+
+	"xhc/internal/core"
+	"xhc/internal/hier"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// rng is the checker's own splitmix64 stream. Like the sim tie-breakers it
+// avoids math/rand so replay seeds stay valid across Go releases.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix folds two seeds into one, so derived streams are independent.
+func mix(a, b uint64) uint64 {
+	r := rng{state: a ^ (b * 0x9e3779b97f4a7c15)}
+	return r.next()
+}
+
+// OpKind selects the collective a case exercises.
+type OpKind int
+
+// Checked collectives.
+const (
+	KindBcast OpKind = iota
+	KindAllreduce
+)
+
+func (k OpKind) String() string {
+	if k == KindBcast {
+		return "bcast"
+	}
+	return "allreduce"
+}
+
+// Case is one randomized configuration: platform shape, rank count,
+// hierarchy sensitivity, collective, message size, datatype, operator and
+// tuning knobs. All of it derives deterministically from CfgSeed.
+type Case struct {
+	CfgSeed uint64
+
+	Plat  topo.Config
+	Ranks int
+	Root  int
+	Sens  string
+
+	Kind  OpKind
+	Bytes int
+	Dt    mpi.Datatype
+	Op    mpi.Op
+
+	Chunk         int
+	CICOThreshold int
+	Flags         core.FlagScheme
+	RegCache      bool
+
+	// Baseline is the registry component cross-checked alongside XHC.
+	Baseline string
+
+	// Ops is how many back-to-back operations the run performs (>= 3, so
+	// the bounded-control-memory invariant has settled state to compare).
+	Ops int
+
+	// Chaos carries a seeded protocol bug for the mutation self-test;
+	// nil during normal exploration.
+	Chaos *core.ChaosConfig
+}
+
+// platforms are the small synthetic node shapes cases draw from: shared-LLC
+// parts (Epyc-like) and a cache-less mesh part (ARM-N1-like), one and two
+// sockets, one and two NUMA nodes per socket.
+var platforms = []topo.Config{
+	{Name: "v1n8", Arch: "x86", Sockets: 1, NUMAPerSocket: 1, CoresPerNUMA: 8, CoresPerLLC: 4, LLCBytes: 16 << 20},
+	{Name: "v2n8", Arch: "x86", Sockets: 1, NUMAPerSocket: 2, CoresPerNUMA: 4, CoresPerLLC: 4, LLCBytes: 16 << 20},
+	{Name: "v2s16", Arch: "x86", Sockets: 2, NUMAPerSocket: 2, CoresPerNUMA: 4, CoresPerLLC: 4, LLCBytes: 16 << 20},
+	{Name: "v2s16w", Arch: "x86", Sockets: 2, NUMAPerSocket: 1, CoresPerNUMA: 8, CoresPerLLC: 8, LLCBytes: 32 << 20},
+	{Name: "vmesh16", Arch: "arm", Sockets: 1, NUMAPerSocket: 2, CoresPerNUMA: 8, CoresPerLLC: 0, SLCBytes: 32 << 20},
+}
+
+var sensitivities = []string{"", "numa", "socket", "numa+socket"}
+
+var baselineNames = []string{"tuned", "ucc", "sm", "smhc-flat", "smhc-tree", "xbrc"}
+
+// messageSizes deliberately includes zero, single-element, non-power-of-two
+// and non-multiple-of-chunk sizes next to the round ones.
+var messageSizes = []int{0, 8, 64, 100, 1000, 1 << 10, 4000, 4 << 10, 16 << 10, 40000, 64 << 10}
+
+var chunkSizes = []int{256, 1 << 10, 4 << 10, 16 << 10}
+
+var cicoThresholds = []int{0, 512, 1 << 10, 4 << 10}
+
+// DeriveCase expands a config seed into a full Case. The same seed always
+// yields the same case.
+func DeriveCase(seed uint64) Case {
+	r := rng{state: seed}
+	c := Case{CfgSeed: seed, Ops: 4}
+	c.Plat = platforms[r.next()%uint64(len(platforms))]
+	ncores := c.Plat.Sockets * c.Plat.NUMAPerSocket * c.Plat.CoresPerNUMA
+	c.Ranks = 2 + int(r.next()%uint64(ncores-1))
+	c.Root = int(r.next() % uint64(c.Ranks))
+	c.Sens = sensitivities[r.next()%uint64(len(sensitivities))]
+	if r.next()%2 == 0 {
+		c.Kind = KindBcast
+	} else {
+		c.Kind = KindAllreduce
+	}
+	c.Bytes = messageSizes[r.next()%uint64(len(messageSizes))]
+	c.Dt = mpi.Datatype(r.next() % 5)
+	c.Op = mpi.Op(r.next() % 4)
+	if c.Kind == KindAllreduce {
+		// Element-aligned, at least one element; the root plays no role.
+		es := c.Dt.Size()
+		c.Bytes -= c.Bytes % es
+		if c.Bytes == 0 {
+			c.Bytes = es
+		}
+		c.Root = 0
+	}
+	c.Chunk = chunkSizes[r.next()%uint64(len(chunkSizes))]
+	c.CICOThreshold = cicoThresholds[r.next()%uint64(len(cicoThresholds))]
+	c.Flags = core.FlagScheme(r.next() % 3)
+	c.RegCache = r.next()%2 == 0
+	c.Baseline = baselineNames[r.next()%uint64(len(baselineNames))]
+	return c
+}
+
+// String identifies a case in failure reports.
+func (c Case) String() string {
+	return fmt.Sprintf("%s ranks=%d root=%d sens=%q %s n=%d dt=%s op=%s chunk=%d cico<=%d flags=%s regcache=%v vs %s",
+		c.Plat.Name, c.Ranks, c.Root, c.Sens, c.Kind, c.Bytes, c.Dt, c.Op,
+		c.Chunk, c.CICOThreshold, c.Flags, c.RegCache, c.Baseline)
+}
+
+// coreConfig builds the XHC configuration a case describes.
+func (c Case) coreConfig() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	sens, err := hier.ParseSensitivity(c.Sens)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Sensitivity = sens
+	cfg.CICOThreshold = c.CICOThreshold
+	cfg.ChunkBytes = []int{c.Chunk}
+	cfg.CICOBytes = 0 // auto-sized from the threshold
+	cfg.Flags = c.Flags
+	cfg.RegCache = c.RegCache
+	cfg.Chaos = c.Chaos
+	return cfg, nil
+}
+
+// Schedule is one replayable perturbation of the event order: a seeded
+// tie-breaker over simultaneous events, optional wake-delay jitter, and
+// optional fault injection (stragglers, compute jitter, registration-cache
+// eviction). SchedSeed zero is the unperturbed FIFO schedule.
+type Schedule struct {
+	SchedSeed uint64
+
+	// Tie: 0 FIFO, 1 uniform random, 2 PCT-style bursts.
+	Tie int
+	// WakeJitterPS, when positive, delays every wake by up to this many
+	// picoseconds (drawn per wake from the schedule's stream).
+	WakeJitterPS int64
+	// Faults enables stragglers, per-op compute jitter and mid-collective
+	// registration-cache drops.
+	Faults bool
+}
+
+// DeriveSchedule expands a schedule seed. Seed zero is the plain FIFO
+// schedule with no faults — every configuration is checked on it first.
+func DeriveSchedule(seed uint64) Schedule {
+	if seed == 0 {
+		return Schedule{}
+	}
+	r := rng{state: seed}
+	s := Schedule{SchedSeed: seed}
+	s.Tie = 1 + int(r.next()%2)
+	if r.next()%2 == 0 {
+		s.WakeJitterPS = int64(200 * sim.Nanosecond)
+	}
+	s.Faults = r.next()%3 != 0
+	return s
+}
+
+// String identifies a schedule in failure reports.
+func (s Schedule) String() string {
+	if s.SchedSeed == 0 {
+		return "fifo"
+	}
+	tie := [...]string{"fifo", "random", "pct"}[s.Tie]
+	return fmt.Sprintf("%s jitter=%dns faults=%v", tie, s.WakeJitterPS/int64(sim.Nanosecond), s.Faults)
+}

@@ -1,0 +1,53 @@
+package verify
+
+import (
+	"testing"
+)
+
+// TestDerivationDeterministic pins that case and schedule derivation are
+// pure functions of their seeds (replay depends on it).
+func TestDerivationDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 50; seed++ {
+		a, b := DeriveCase(seed), DeriveCase(seed)
+		if a != b {
+			t.Fatalf("DeriveCase(%d) not deterministic: %+v vs %+v", seed, a, b)
+		}
+		sa, sb := DeriveSchedule(seed), DeriveSchedule(seed)
+		if sa != sb {
+			t.Fatalf("DeriveSchedule(%d) not deterministic: %+v vs %+v", seed, sa, sb)
+		}
+	}
+}
+
+// TestExploreSmallSweep runs a reduced sweep: it must pass clean and must
+// visit genuinely distinct schedules.
+func TestExploreSmallSweep(t *testing.T) {
+	sum := Explore(Options{Configs: 4, Schedules: 4, Seed: 7})
+	for _, f := range sum.Failures {
+		t.Errorf("case %s / %s failed: %s (replay %#x:%#x)", f.Case, f.Sched, f.Err, f.CfgSeed, f.SchedSeed)
+	}
+	if sum.Runs != 16 {
+		t.Errorf("Runs = %d, want 16", sum.Runs)
+	}
+	if sum.DistinctSchedules < 10 {
+		t.Errorf("DistinctSchedules = %d, want >= 10", sum.DistinctSchedules)
+	}
+}
+
+// TestReplayReproducesFingerprint asserts a (config, schedule) pair replays
+// to the same schedule fingerprint, run to run.
+func TestReplayReproducesFingerprint(t *testing.T) {
+	for _, pair := range [][2]uint64{{3, 0}, {3, 0x9a1f}, {11, 0x77}} {
+		h1, err1 := Replay(pair[0], pair[1])
+		h2, err2 := Replay(pair[0], pair[1])
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("replay %#x:%#x verdict flapped: %v vs %v", pair[0], pair[1], err1, err2)
+		}
+		if err1 != nil {
+			t.Fatalf("replay %#x:%#x failed: %v", pair[0], pair[1], err1)
+		}
+		if h1 != h2 {
+			t.Errorf("replay %#x:%#x fingerprint flapped: %#x vs %#x", pair[0], pair[1], h1, h2)
+		}
+	}
+}

@@ -115,6 +115,21 @@ func (c *Cache) Attach(p *sim.Proc, h Handle) *mem.Buffer {
 	return h.buf
 }
 
+// Drop discards every cached attachment without charging model time. The
+// protocol checker calls it mid-collective as an adversarial stand-in for
+// capacity evictions: already-attached views stay valid (as real XPMEM
+// mappings do until detach), but every later Attach must re-register.
+// Returns the number of entries dropped; they are counted as evictions.
+func (c *Cache) Drop() int {
+	n := len(c.entries)
+	for id := range c.entries {
+		delete(c.entries, id)
+	}
+	c.head, c.tail = nil, nil
+	c.stats.Evictions += int64(n)
+	return n
+}
+
 // Release ends one use of an attachment. With the registration cache
 // enabled this is free (the mapping stays cached); otherwise it pays the
 // detach cost, as the paper describes for cache-less operation.

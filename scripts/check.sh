@@ -1,14 +1,26 @@
 #!/bin/sh
 # Tier-1 gate (ROADMAP.md) plus vet and a race pass over the packages that
 # exercise real concurrency: gxhc (goroutine-backed library), env (harness
-# plumbing) — exper's parallel experiment cells are covered transitively.
+# plumbing), verify (schedule-exploration checker, which drives gxhc) —
+# exper's parallel experiment cells are covered transitively.
 # Equivalent to `make check`; kept as a script for environments without make.
 set -eux
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/gxhc/ ./internal/env/
+go test -shuffle=on ./...
+go test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
+
+# Schedule-exploration gate: sweep randomized configurations under seeded
+# random/PCT schedules with fault injection, cross-checking XHC against a
+# baseline and gxhc on every run, then prove the checker catches seeded
+# protocol bugs (mutation self-test). Prints a replay seed pair on failure.
+go run ./cmd/xhcverify -quick
+
+# Short fuzz smoke: the seed corpora plus a few seconds of mutation on the
+# goroutine-backed allreduce and the hierarchy builder.
+go test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$' ./internal/gxhc/
+go test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$' ./internal/hier/
 
 # The oversubscription regression (spinUntil starvation) under a thread
 # budget far below the rank count; the test sets GOMAXPROCS itself, but the
