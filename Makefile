@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify fuzz-smoke harness-checks check bench bench-sim quick-report
+.PHONY: build test vet race verify fuzz-smoke harness-checks telemetry-check check bench bench-sim quick-report
 
 build:
 	$(GO) build ./...
@@ -44,7 +44,19 @@ harness-checks:
 	$(GO) run ./cmd/xhcrepro -quick -parallel 4 -o /tmp/xhc_check_par.md
 	cmp /tmp/xhc_check_seq.md /tmp/xhc_check_par.md
 
-check: build vet test race verify fuzz-smoke harness-checks
+# Telemetry invariance + regression-gate sanity: serving live telemetry
+# must not change benchmark stdout by a byte, and xhcstat must pass a
+# self-diff of freshly measured cells (see DESIGN.md section 11).
+telemetry-check:
+	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
+	    -sizes 4,1024,65536 -json /tmp/xhc_check_cells.json > /tmp/xhc_check_tel_off.txt
+	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
+	    -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > /tmp/xhc_check_tel_on.txt 2>/dev/null
+	cmp /tmp/xhc_check_tel_off.txt /tmp/xhc_check_tel_on.txt
+	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cells.json \
+	    -current /tmp/xhc_check_cells.json > /dev/null
+
+check: build vet test race verify fuzz-smoke harness-checks telemetry-check
 
 # Simulator performance benchmarks (see DESIGN.md section 8 and
 # BENCH_flowsolver.json for the recorded before/after numbers).

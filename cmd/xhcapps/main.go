@@ -29,12 +29,21 @@ func main() {
 	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
+	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
 	flag.Parse()
 
 	var reg *obs.Registry
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *telemetry != "" {
 		reg = obs.NewRegistry(*traceOut != "")
 		env.ObserveWorlds(reg)
+	}
+	if *telemetry != "" {
+		addr, err := obs.StartTelemetry(reg, *telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
 	}
 
 	top := topo.ByName(*platform)

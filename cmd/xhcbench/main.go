@@ -59,12 +59,23 @@ func main() {
 	jsonOut := flag.String("json", "", "also write per-cell results (sim latency + wall-clock) as JSON to this file")
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
+	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
 	flag.Parse()
 
 	var reg *obs.Registry
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *telemetry != "" {
 		reg = obs.NewRegistry(*traceOut != "")
 		env.ObserveWorlds(reg)
+	}
+	if *telemetry != "" {
+		addr, err := obs.StartTelemetry(reg, *telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Report on stderr: stdout is the benchmark report and must stay
+		// byte-identical with telemetry off.
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
 	}
 
 	if *listComp {

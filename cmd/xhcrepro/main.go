@@ -34,15 +34,24 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
+	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
 	flag.Parse()
 
-	// With neither flag set no Observer is installed and every world takes
-	// the exact pre-observability construction path: reports stay
-	// byte-identical (scripts/check.sh pins this).
+	// With none of the observability flags set no Observer is installed and
+	// every world takes the exact pre-observability construction path:
+	// reports stay byte-identical (scripts/check.sh pins this).
 	var reg *obs.Registry
-	if *traceOut != "" || *metrics {
+	if *traceOut != "" || *metrics || *telemetry != "" {
 		reg = obs.NewRegistry(*traceOut != "")
 		env.ObserveWorlds(reg)
+	}
+	if *telemetry != "" {
+		addr, err := obs.StartTelemetry(reg, *telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
 	}
 
 	if *cpuProfile != "" {

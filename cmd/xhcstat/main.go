@@ -1,0 +1,199 @@
+// Command xhcstat is the benchmark regression gate: it diffs two latency
+// measurement files cell by cell and renders a machine-readable verdict.
+//
+// Inputs may be xhcbench -json cell arrays (keyed by
+// platform/collective/component/size, compared on avg_lat_us) or
+// BENCH_*.json trajectory files (keyed by benchmark name, compared on
+// ns_per_op). A cell regresses when its latency grows by more than
+// -threshold relative AND more than -floor-us absolute — the floor keeps
+// sub-microsecond noise on tiny cells from failing the gate.
+//
+// Examples:
+//
+//	xhcbench -json new.json && xhcstat -baseline old.json -current new.json
+//	xhcstat -baseline BENCH_flowsolver.json -current BENCH_new.json -threshold 0.10
+//
+// Exit status: 0 all cells within threshold, 1 at least one regression,
+// 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// cell is one comparable measurement: a stable key and a latency in us.
+type cell struct {
+	Key string
+	US  float64
+}
+
+// benchCell mirrors xhcbench's -json cell record (fields it keys/compares).
+type benchCell struct {
+	Platform   string  `json:"platform"`
+	Collective string  `json:"collective"`
+	Component  string  `json:"component"`
+	Size       int     `json:"size"`
+	AvgLatUS   float64 `json:"avg_lat_us"`
+}
+
+// trajFile mirrors the BENCH_*.json trajectory shape.
+type trajFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// loadCells parses either supported format into keyed cells.
+func loadCells(path string) ([]cell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bench []benchCell
+	if err := json.Unmarshal(data, &bench); err == nil {
+		out := make([]cell, 0, len(bench))
+		for _, b := range bench {
+			out = append(out, cell{
+				Key: fmt.Sprintf("%s/%s/%s/%d", b.Platform, b.Collective, b.Component, b.Size),
+				US:  b.AvgLatUS,
+			})
+		}
+		return out, nil
+	}
+	var traj trajFile
+	if err := json.Unmarshal(data, &traj); err != nil {
+		return nil, fmt.Errorf("%s: not an xhcbench cell array or BENCH trajectory: %w", path, err)
+	}
+	if len(traj.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	out := make([]cell, 0, len(traj.Benchmarks))
+	for _, b := range traj.Benchmarks {
+		out = append(out, cell{Key: b.Name, US: b.NsPerOp / 1e3})
+	}
+	return out, nil
+}
+
+// cellVerdict is one compared cell in the verdict document.
+type cellVerdict struct {
+	Key        string  `json:"key"`
+	BaseUS     float64 `json:"base_us"`
+	CurrentUS  float64 `json:"current_us"`
+	DeltaUS    float64 `json:"delta_us"`
+	DeltaRatio float64 `json:"delta_ratio"`
+	Status     string  `json:"status"` // "ok" | "improved" | "regressed"
+}
+
+// verdict is xhcstat's machine-readable output document.
+type verdict struct {
+	Baseline    string        `json:"baseline"`
+	Current     string        `json:"current"`
+	Threshold   float64       `json:"threshold"`
+	FloorUS     float64       `json:"floor_us"`
+	Compared    int           `json:"compared"`
+	OnlyBase    []string      `json:"only_in_baseline,omitempty"`
+	OnlyCurrent []string      `json:"only_in_current,omitempty"`
+	Regressions int           `json:"regressions"`
+	Improved    int           `json:"improved"`
+	Verdict     string        `json:"verdict"` // "pass" | "fail"
+	Cells       []cellVerdict `json:"cells"`
+}
+
+// compare builds the verdict for two cell sets.
+func compare(basePath, curPath string, base, cur []cell, threshold, floorUS float64) verdict {
+	v := verdict{
+		Baseline: basePath, Current: curPath,
+		Threshold: threshold, FloorUS: floorUS,
+		Verdict: "pass",
+	}
+	baseBy := make(map[string]float64, len(base))
+	for _, c := range base {
+		baseBy[c.Key] = c.US
+	}
+	curSeen := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		curSeen[c.Key] = true
+		b, ok := baseBy[c.Key]
+		if !ok {
+			v.OnlyCurrent = append(v.OnlyCurrent, c.Key)
+			continue
+		}
+		v.Compared++
+		d := c.US - b
+		cv := cellVerdict{Key: c.Key, BaseUS: b, CurrentUS: c.US, DeltaUS: d, Status: "ok"}
+		if b > 0 {
+			cv.DeltaRatio = d / b
+		}
+		switch {
+		case d > floorUS && (b <= 0 || cv.DeltaRatio > threshold):
+			cv.Status = "regressed"
+			v.Regressions++
+		case -d > floorUS && b > 0 && -cv.DeltaRatio > threshold:
+			cv.Status = "improved"
+			v.Improved++
+		}
+		v.Cells = append(v.Cells, cv)
+	}
+	for _, c := range base {
+		if !curSeen[c.Key] {
+			v.OnlyBase = append(v.OnlyBase, c.Key)
+		}
+	}
+	sort.Slice(v.Cells, func(i, j int) bool { return v.Cells[i].DeltaRatio > v.Cells[j].DeltaRatio })
+	if v.Regressions > 0 {
+		v.Verdict = "fail"
+	}
+	return v
+}
+
+// run is the testable entry point: parses args, writes the verdict JSON to
+// stdout and a summary line to errw, and returns the exit code.
+func run(args []string, stdout, errw io.Writer) int {
+	fs := flag.NewFlagSet("xhcstat", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	baseline := fs.String("baseline", "", "baseline JSON (xhcbench -json cells or BENCH_*.json)")
+	current := fs.String("current", "", "current JSON to gate against the baseline")
+	threshold := fs.Float64("threshold", 0.05, "relative latency growth allowed per cell")
+	floorUS := fs.Float64("floor-us", 1.0, "absolute growth (us) a cell must exceed to count")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(errw, "xhcstat: -baseline and -current are required")
+		fs.Usage()
+		return 2
+	}
+	base, err := loadCells(*baseline)
+	if err != nil {
+		fmt.Fprintln(errw, "xhcstat:", err)
+		return 2
+	}
+	cur, err := loadCells(*current)
+	if err != nil {
+		fmt.Fprintln(errw, "xhcstat:", err)
+		return 2
+	}
+	v := compare(*baseline, *current, base, cur, *threshold, *floorUS)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(errw, "xhcstat:", err)
+		return 2
+	}
+	fmt.Fprintf(errw, "xhcstat: %d cells compared, %d regressed, %d improved: %s\n",
+		v.Compared, v.Regressions, v.Improved, v.Verdict)
+	if v.Verdict != "pass" {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const cellsBase = `[
+ {"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":10.0},
+ {"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":4096,"avg_lat_us":20.0}
+]`
+
+func runStat(t *testing.T, args ...string) (int, verdict, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	var v verdict
+	if out.Len() > 0 {
+		if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+			t.Fatalf("verdict is not JSON: %v\n%s", err, out.String())
+		}
+	}
+	return code, v, errb.String()
+}
+
+func TestSelfDiffPasses(t *testing.T) {
+	p := writeTemp(t, "base.json", cellsBase)
+	code, v, _ := runStat(t, "-baseline", p, "-current", p)
+	if code != 0 {
+		t.Fatalf("self-diff exit = %d", code)
+	}
+	if v.Verdict != "pass" || v.Compared != 2 || v.Regressions != 0 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestSyntheticRegressionFails(t *testing.T) {
+	base := writeTemp(t, "base.json", cellsBase)
+	cur := writeTemp(t, "cur.json", `[
+ {"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":15.0},
+ {"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":4096,"avg_lat_us":20.0}
+]`)
+	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
+	if code != 1 {
+		t.Fatalf("regression exit = %d, want 1", code)
+	}
+	if v.Verdict != "fail" || v.Regressions != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.Cells[0].Key != "ARM-N1/bcast/xhc-tree/1024" || v.Cells[0].Status != "regressed" {
+		t.Fatalf("worst cell = %+v", v.Cells[0])
+	}
+}
+
+func TestFloorSuppressesNoise(t *testing.T) {
+	base := writeTemp(t, "base.json", `[{"platform":"P","collective":"bcast","component":"c","size":4,"avg_lat_us":0.5}]`)
+	cur := writeTemp(t, "cur.json", `[{"platform":"P","collective":"bcast","component":"c","size":4,"avg_lat_us":1.0}]`)
+	// 100% relative growth but only 0.5us absolute: under the 1us floor.
+	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
+	if code != 0 || v.Regressions != 0 {
+		t.Fatalf("floor failed: exit %d, %+v", code, v)
+	}
+	// With the floor lowered it must regress.
+	code, _, _ = runStat(t, "-baseline", base, "-current", cur, "-floor-us", "0.1")
+	if code != 1 {
+		t.Fatalf("low floor exit = %d, want 1", code)
+	}
+}
+
+func TestBenchTrajectoryFormat(t *testing.T) {
+	base := writeTemp(t, "b.json", `{"description":"x","benchmarks":[
+	 {"name":"BenchmarkA","ns_per_op":1000},{"name":"BenchmarkB","ns_per_op":50000}]}`)
+	cur := writeTemp(t, "c.json", `{"description":"x","benchmarks":[
+	 {"name":"BenchmarkA","ns_per_op":1000},{"name":"BenchmarkB","ns_per_op":90000}]}`)
+	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
+	if code != 1 || v.Regressions != 1 {
+		t.Fatalf("trajectory diff: exit %d, %+v", code, v)
+	}
+	if v.Cells[0].Key != "BenchmarkB" {
+		t.Fatalf("regressed cell = %q", v.Cells[0].Key)
+	}
+}
+
+func TestDisjointCellsReported(t *testing.T) {
+	base := writeTemp(t, "b.json", cellsBase)
+	cur := writeTemp(t, "c.json", `[{"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":10.0},
+	 {"platform":"ARM-N1","collective":"bcast","component":"tuned","size":1024,"avg_lat_us":5.0}]`)
+	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if len(v.OnlyBase) != 1 || len(v.OnlyCurrent) != 1 || v.Compared != 1 {
+		t.Fatalf("cell accounting = %+v", v)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runStat(t); code != 2 {
+		t.Fatalf("missing flags exit = %d, want 2", code)
+	}
+	p := writeTemp(t, "bad.json", "not json")
+	if code, _, _ := runStat(t, "-baseline", p, "-current", p); code != 2 {
+		t.Fatalf("bad input exit = %d, want 2", code)
+	}
+}

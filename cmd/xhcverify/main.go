@@ -10,16 +10,19 @@
 //	xhcverify -configs 50 -schedules 32   # a longer hunt
 //	xhcverify -replay 0x1d35be3e7a2e4c5a:0x00f3a9c2b1d40e77
 //	xhcverify -selftest                   # mutation self-test only
+//	xhcverify -configs 50 -telemetry :8080 -flightdir /tmp/dumps
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"xhc/internal/obs"
 	"xhc/internal/verify"
 )
 
@@ -31,24 +34,69 @@ func main() {
 	replay := flag.String("replay", "", "replay one failing run: cfgseed:schedseed (hex, as printed on failure)")
 	selftest := flag.Bool("selftest", false, "run only the mutation self-test")
 	verbose := flag.Bool("v", false, "per-configuration progress")
+	metrics := flag.Bool("metrics", false, "print the unified observability snapshot (latency quantiles, fault counters) on exit")
+	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
+	flightDir := flag.String("flightdir", "", "write every flight-recorder dump as JSON into this directory")
 	flag.Parse()
 
+	// Every run is observed: latencies feed the registry's histograms,
+	// injected faults its counters, and failures/stragglers dump the flight
+	// recorder with the run's replay token attached.
+	reg := obs.NewRegistry(false)
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		n := 0
+		reg.SetDumpSink(func(d *obs.FlightDump) {
+			n++
+			path := filepath.Join(*flightDir, fmt.Sprintf("flight-%03d-%s.json", n, d.Kind))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			werr := d.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "flight dump: %s (%s)\n", path, d.Reason)
+		})
+	}
+	if *telemetry != "" {
+		addr, err := obs.StartTelemetry(reg, *telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
+	}
+
+	var code int
 	switch {
 	case *replay != "":
-		os.Exit(doReplay(*replay))
+		code = doReplay(*replay, reg)
 	case *selftest:
-		os.Exit(doSelfTest())
+		code = doSelfTest()
 	default:
-		code := doSweep(*configs, *schedules, *seed, *quick, *verbose)
+		code = doSweep(*configs, *schedules, *seed, *quick, *verbose, reg)
 		if *quick && code == 0 {
 			code = doSelfTest()
 		}
-		os.Exit(code)
 	}
+	if *metrics {
+		fmt.Print(reg.Snapshot().String())
+	}
+	os.Exit(code)
 }
 
-func doSweep(configs, schedules int, seed uint64, quick, verbose bool) int {
-	o := verify.Options{Configs: configs, Schedules: schedules, Seed: seed}
+func doSweep(configs, schedules int, seed uint64, quick, verbose bool, reg *obs.Registry) int {
+	o := verify.Options{Configs: configs, Schedules: schedules, Seed: seed, Obs: reg}
 	if verbose {
 		o.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -99,7 +147,7 @@ func doSelfTest() int {
 	return 0
 }
 
-func doReplay(arg string) int {
+func doReplay(arg string, reg *obs.Registry) int {
 	cfg, sched, err := parseReplay(arg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -107,7 +155,7 @@ func doReplay(arg string) int {
 	}
 	c, s := verify.DeriveCase(cfg), verify.DeriveSchedule(sched)
 	fmt.Printf("replaying %s\n  schedule %s\n", c, s)
-	hash, rerr := verify.Replay(cfg, sched)
+	hash, rerr := verify.RunCaseObs(c, s, reg)
 	fmt.Printf("schedule fingerprint %#016x\n", hash)
 	if rerr != nil {
 		fmt.Printf("FAIL %s\n", rerr)

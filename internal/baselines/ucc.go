@@ -83,7 +83,7 @@ func knomialChildren(vr, N, k int) (parent int, children []int) {
 // Bcast: k-nomial tree, segmented above the threshold.
 func (u *UCC) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
 	N := u.W.N
-	if N == 1 {
+	if N == 1 || n <= 0 {
 		return
 	}
 	vr := (p.Rank - root + N) % N

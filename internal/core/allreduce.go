@@ -41,11 +41,11 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	opName := "allreduce"
+	opCode := obs.OpAllreduce
 	if !bcast {
-		opName = "reduce"
+		opCode = obs.OpReduce
 	}
-	pc := c.newPhaseClock(p, opName, view.opSeq)
+	pc := c.newPhaseClock(p, opCode, view.opSeq, int64(n), st.h.NLevels())
 	if n == 0 {
 		c.ackPhase(p, st, view, pc)
 		pc.finish()
@@ -733,7 +733,7 @@ func (c *Comm) Barrier(p *env.Proc) {
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	pc := c.newPhaseClock(p, "barrier", view.opSeq)
+	pc := c.newPhaseClock(p, obs.OpBarrier, view.opSeq, 0, st.h.NLevels())
 
 	// Gather: each rank signals arrival at its pull group; leaders wait
 	// for their members bottom-up before signalling their own arrival.

@@ -21,7 +21,7 @@ func (c *Comm) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	pc := c.newPhaseClock(p, "bcast", view.opSeq)
+	pc := c.newPhaseClock(p, obs.OpBcast, view.opSeq, int64(n), st.h.NLevels())
 	switch {
 	case n == 0:
 		c.ackPhase(p, st, view, pc)

@@ -125,6 +125,12 @@ type Comm struct {
 	// separate hook so experiments that install their own OnPull collector
 	// after construction don't silence registry accounting (and vice versa).
 	obsPull func(from, to, bytes int)
+	// rec/obsClock/pcs back the always-on flight recorder: one pooled
+	// phaseClock per rank (each rank runs one op at a time) feeding the
+	// world's OpRecorder. All nil/empty when the world is unobserved.
+	rec      *obs.OpRecorder
+	obsClock func() int64
+	pcs      []phaseClock
 
 	scratch []*mem.Buffer              // per-rank internal accumulators for Reduce
 	agFlags map[*commState][]*shm.Flag // allgather push-completion flags
@@ -177,6 +183,12 @@ func New(w *env.World, cfg Config) (*Comm, error) {
 	if w.Obs != nil {
 		c.Trace = w.Obs.Tracer
 		c.obsPull = w.Obs.RecordPull
+		c.rec = w.Obs.Rec
+		c.obsClock = w.Obs.Rec.Now
+		c.pcs = make([]phaseClock, w.N)
+		if c.chaos() != (ChaosConfig{}) {
+			c.rec.CountFault(obs.FaultChaos)
+		}
 		w.OnObsFlush(func(wo *obs.World) {
 			for _, ca := range c.caches {
 				wo.AddCacheStats(ca.Stats())

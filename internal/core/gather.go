@@ -29,7 +29,7 @@ func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	pc := c.newPhaseClock(p, "scatter", view.opSeq)
+	pc := c.newPhaseClock(p, obs.OpScatter, view.opSeq, int64(blockLen), st.h.NLevels())
 	if blockLen == 0 {
 		c.ackPhase(p, st, view, pc)
 		pc.finish()
@@ -71,7 +71,7 @@ func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, ro
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	pc := c.newPhaseClock(p, "gather", view.opSeq)
+	pc := c.newPhaseClock(p, obs.OpGather, view.opSeq, int64(blockLen), st.h.NLevels())
 	if blockLen == 0 {
 		c.ackPhase(p, st, view, pc)
 		pc.finish()
@@ -113,7 +113,7 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 		st := c.stateFor(0)
 		view := st.views[p.Rank]
 		view.opSeq++
-		pc := c.newPhaseClock(p, "allgather", view.opSeq)
+		pc := c.newPhaseClock(p, obs.OpAllgather, view.opSeq, 0, st.h.NLevels())
 		c.ackPhase(p, st, view, pc)
 		pc.finish()
 		return
@@ -127,7 +127,7 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 	if p.Rank == 0 {
 		c.Ops++
 	}
-	pc := c.newPhaseClock(p, "allgather", view.opSeq)
+	pc := c.newPhaseClock(p, obs.OpAllgather, view.opSeq, int64(blockLen), st.h.NLevels())
 
 	// Phase 1: every rank pushes its block into the internal root's out
 	// buffer (rank 0), which assembles the full vector. Leaders are not

@@ -11,47 +11,88 @@ import (
 // phase, so the phase spans partition the operation exactly — their
 // durations sum to the operation's latency with no gaps or overlaps.
 //
-// With tracing disabled newPhaseClock returns nil and every method is a
-// nil-receiver no-op, keeping the hot loop free of allocations and of any
-// timing perturbation (the byte-identical-report constraint).
+// The clock feeds two consumers: the span tracer (when tracing is enabled)
+// and the always-on flight recorder, which gets one compact FlightRecord
+// per operation with the per-phase duration breakdown. Clocks are pooled
+// per rank in the Comm — each rank runs one operation at a time, so finish
+// recycles the slot and the record path stays allocation-free.
+//
+// With the world unobserved newPhaseClock returns nil and every method is
+// a nil-receiver no-op, keeping the hot loop free of allocations and of
+// any timing perturbation (the byte-identical-report constraint).
 type phaseClock struct {
-	t    *obs.Tracer
-	lane int
-	op   string
-	seq  uint64
+	t   *obs.Tracer     // nil unless tracing
+	rec *obs.OpRecorder // flight + histogram sink
+	clk func() int64
+
+	lane  int   // tracer lane (core)
+	rank  int32 // flight lane (rank)
+	op    obs.OpCode
+	seq   uint64
+	bytes int64
+	lvls  uint8
+	chnks uint16
 
 	start int64
 	last  int64
+	durs  [obs.NPhases]int64
 }
 
 // newPhaseClock starts phase attribution for one operation on one rank.
-// It returns nil when the communicator has no tracer.
-func (c *Comm) newPhaseClock(p *env.Proc, op string, seq uint64) *phaseClock {
-	if c.Trace == nil {
+// It returns nil when the world is unobserved. bytes is the operation's
+// payload size (per-rank block size for the v-collectives) and levels the
+// hierarchy depth, both carried into the flight record.
+func (c *Comm) newPhaseClock(p *env.Proc, op obs.OpCode, seq uint64, bytes int64, levels int) *phaseClock {
+	if c.pcs == nil {
 		return nil
 	}
-	now := c.Trace.Now()
-	return &phaseClock{t: c.Trace, lane: p.Core, op: op, seq: seq, start: now, last: now}
+	pc := &c.pcs[p.Rank]
+	now := c.obsClock()
+	*pc = phaseClock{
+		t: c.Trace, rec: c.rec, clk: c.obsClock,
+		lane: p.Core, rank: int32(p.Rank), op: op, seq: seq,
+		bytes: bytes, lvls: uint8(levels),
+		start: now, last: now,
+	}
+	return pc
 }
 
 // mark closes the segment since the previous mark as phase ph at the given
 // hierarchy level (-1 when the segment spans levels). Zero-length segments
-// are dropped.
+// are dropped from the trace but chunk-copy marks still count toward the
+// record's chunk tally.
 func (pc *phaseClock) mark(level int, ph obs.Phase, bytes int64) {
 	if pc == nil {
 		return
 	}
-	now := pc.t.Now()
+	now := pc.clk()
 	if now > pc.last {
-		pc.t.Record(pc.lane, level, ph, pc.op, pc.seq, pc.last, now, bytes)
+		pc.durs[ph] += now - pc.last
+		if pc.t != nil {
+			pc.t.Record(pc.lane, level, ph, pc.op.String(), pc.seq, pc.last, now, bytes)
+		}
+	}
+	if ph == obs.PhaseChunkCopy && bytes > 0 && pc.chnks < ^uint16(0) {
+		pc.chnks++
 	}
 	pc.last = now
 }
 
-// finish records the umbrella collective span covering the whole operation.
+// finish records the umbrella collective span and commits the operation's
+// flight record.
 func (pc *phaseClock) finish() {
 	if pc == nil {
 		return
 	}
-	pc.t.Record(pc.lane, -1, obs.PhaseCollective, pc.op, pc.seq, pc.start, pc.t.Now(), 0)
+	now := pc.clk()
+	if pc.t != nil {
+		pc.t.Record(pc.lane, -1, obs.PhaseCollective, pc.op.String(), pc.seq, pc.start, now, 0)
+	}
+	if pc.rec != nil {
+		pc.rec.RecordFlight(obs.FlightRecord{
+			Seq: pc.seq, Start: pc.start, End: now, Bytes: pc.bytes,
+			Phase: pc.durs, Lane: pc.rank, Chunks: pc.chnks,
+			Levels: pc.lvls, Op: pc.op,
+		})
+	}
 }

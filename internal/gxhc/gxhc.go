@@ -52,6 +52,12 @@ type Comm struct {
 	// time. Nil by default; every instrumentation point nil-checks it, so
 	// the untraced path costs one pointer comparison per collective.
 	trace *obs.Tracer
+	// rec, when attached, receives one FlightRecord per (participant,
+	// collective) — the wall-clock mirror of core's flight wiring. wcs is
+	// the per-participant pool of segment clocks (each participant runs
+	// one collective at a time, so recording stays allocation-free).
+	rec *obs.OpRecorder
+	wcs []wallClock
 }
 
 // EnableTrace attaches a wall-time span tracer (one lane per participant)
@@ -63,41 +69,87 @@ func (c *Comm) EnableTrace() *obs.Tracer {
 	if c.trace == nil {
 		c.trace = obs.NewTracer("gxhc", 0, c.n, obs.WallTicksPerUS, obs.WallClock())
 	}
+	if c.wcs == nil {
+		c.wcs = make([]wallClock, c.n)
+	}
 	return c.trace
 }
 
 // Tracer returns the attached tracer (nil unless EnableTrace was called).
 func (c *Comm) Tracer() *obs.Tracer { return c.trace }
 
+// AttachRecorder routes one FlightRecord per (participant, collective)
+// into rec — an obs.World's recorder created with obs.WallTicksPerUS and
+// obs.WallClock(). Call before spawning participant goroutines.
+func (c *Comm) AttachRecorder(rec *obs.OpRecorder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rec = rec
+	if c.wcs == nil {
+		c.wcs = make([]wallClock, c.n)
+	}
+}
+
 // wallClock is gxhc's segment clock, the wall-time mirror of core's
-// phaseClock: consecutive marks partition one collective into phase spans.
-// A nil receiver is a no-op, so untraced runs take no extra branches beyond
-// the constructor's nil check.
+// phaseClock: consecutive marks partition one collective into phase spans,
+// and finish commits the operation's flight record when a recorder is
+// attached. A nil receiver is a no-op, so uninstrumented runs take no
+// extra branches beyond the constructor's nil checks.
 type wallClock struct {
-	t    *obs.Tracer
-	lane int
-	op   string
-	seq  uint64
+	t   *obs.Tracer
+	rec *obs.OpRecorder
+	clk func() int64
+
+	lane  int
+	op    obs.OpCode
+	seq   uint64
+	bytes int64
+	lvls  uint8
+	chnks uint16
 
 	start int64
 	last  int64
+	durs  [obs.NPhases]int64
 }
 
-func (c *Comm) newWallClock(rank int, op string, seq uint64) *wallClock {
-	if c.trace == nil {
+func (c *Comm) newWallClock(rank int, op obs.OpCode, seq uint64, bytes int64, levels int) *wallClock {
+	if c.trace == nil && c.rec == nil {
 		return nil
 	}
-	now := c.trace.Now()
-	return &wallClock{t: c.trace, lane: rank, op: op, seq: seq, start: now, last: now}
+	clk := obs.WallClock()
+	if c.trace != nil {
+		clk = c.trace.Now
+	} else if c.rec.Now != nil {
+		clk = c.rec.Now
+	}
+	var wc *wallClock
+	if c.wcs != nil {
+		wc = &c.wcs[rank]
+	} else {
+		wc = &wallClock{}
+	}
+	now := clk()
+	*wc = wallClock{
+		t: c.trace, rec: c.rec, clk: clk,
+		lane: rank, op: op, seq: seq, bytes: bytes, lvls: uint8(levels),
+		start: now, last: now,
+	}
+	return wc
 }
 
 func (wc *wallClock) mark(level int, ph obs.Phase, bytes int64) {
 	if wc == nil {
 		return
 	}
-	now := wc.t.Now()
+	now := wc.clk()
 	if now > wc.last {
-		wc.t.Record(wc.lane, level, ph, wc.op, wc.seq, wc.last, now, bytes)
+		wc.durs[ph] += now - wc.last
+		if wc.t != nil {
+			wc.t.Record(wc.lane, level, ph, wc.op.String(), wc.seq, wc.last, now, bytes)
+		}
+	}
+	if ph == obs.PhaseChunkCopy && bytes > 0 && wc.chnks < ^uint16(0) {
+		wc.chnks++
 	}
 	wc.last = now
 }
@@ -106,7 +158,17 @@ func (wc *wallClock) finish() {
 	if wc == nil {
 		return
 	}
-	wc.t.Record(wc.lane, -1, obs.PhaseCollective, wc.op, wc.seq, wc.start, wc.t.Now(), 0)
+	now := wc.clk()
+	if wc.t != nil {
+		wc.t.Record(wc.lane, -1, obs.PhaseCollective, wc.op.String(), wc.seq, wc.start, now, 0)
+	}
+	if wc.rec != nil {
+		wc.rec.RecordFlight(obs.FlightRecord{
+			Seq: wc.seq, Start: wc.start, End: now, Bytes: wc.bytes,
+			Phase: wc.durs, Lane: int32(wc.lane), Chunks: wc.chnks,
+			Levels: wc.lvls, Op: wc.op,
+		})
+	}
 }
 
 // view is one participant's mirror of the monotonic counters.
@@ -302,7 +364,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 	v := c.views[rank]
 	v.opSeq++
 	n := len(buf)
-	wc := c.newWallClock(rank, "bcast", v.opSeq)
+	wc := c.newWallClock(rank, obs.OpBcast, v.opSeq, int64(n), st.h.NLevels())
 
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
@@ -378,7 +440,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 	v := c.views[rank]
 	v.opSeq++
 	n := len(src)
-	wc := c.newWallClock(rank, "allreduce", v.opSeq)
+	wc := c.newWallClock(rank, obs.OpAllreduce, v.opSeq, int64(n)*8, st.h.NLevels())
 
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
@@ -525,7 +587,7 @@ func (c *Comm) Barrier(rank int) {
 	st, _ := c.stateFor(0)
 	v := c.views[rank]
 	v.opSeq++
-	wc := c.newWallClock(rank, "barrier", v.opSeq)
+	wc := c.newWallClock(rank, obs.OpBarrier, v.opSeq, 0, st.h.NLevels())
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
 	for _, l := range lead {

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// OpCode is the compact collective-kind tag flight records carry. The code
+// space is fixed so a record stays pointer-free; String returns the same
+// names the tracer and the coll registry use.
+type OpCode uint8
+
+// Known collective kinds.
+const (
+	OpOther OpCode = iota
+	OpBcast
+	OpAllreduce
+	OpReduce
+	OpBarrier
+	OpAllgather
+	OpScatter
+	OpGather
+	OpP2P
+
+	nOpCodes
+)
+
+var opCodeNames = [nOpCodes]string{
+	"other", "bcast", "allreduce", "reduce", "barrier", "allgather",
+	"scatter", "gather", "p2p",
+}
+
+// String names the op code.
+func (o OpCode) String() string {
+	if int(o) < len(opCodeNames) {
+		return opCodeNames[o]
+	}
+	return fmt.Sprintf("OpCode(%d)", int(o))
+}
+
+// OpCodeOf maps a collective name to its code (OpOther when unknown). Not
+// for hot paths; instrumented code passes the constants directly.
+func OpCodeOf(name string) OpCode {
+	for c, n := range opCodeNames {
+		if n == name {
+			return OpCode(c)
+		}
+	}
+	return OpOther
+}
+
+// FlightRecord is the compact per-operation record the flight recorder
+// keeps: one per (rank, collective op), fixed size, no pointers. Times are
+// in the recorder's clock ticks (virtual picoseconds in simulated worlds,
+// wall nanoseconds in gxhc); Phase holds the per-phase duration breakdown
+// from the segment clock.
+type FlightRecord struct {
+	Seq   uint64
+	Start int64
+	End   int64
+	Bytes int64
+	// Phase[p] is the ticks this rank spent in Phase p during the op.
+	Phase  [NPhases]int64
+	Lane   int32 // rank
+	Chunks uint16
+	Levels uint8
+	Op     OpCode
+}
+
+// Dur returns the record's total duration in ticks.
+func (r FlightRecord) Dur() int64 { return r.End - r.Start }
+
+// DefaultFlightCap is the per-rank ring capacity worlds record with.
+const DefaultFlightCap = 64
+
+// Flight is a fixed-capacity per-rank ring buffer of FlightRecords: the
+// always-on forensic memory of one world. Recording is allocation-free —
+// each lane's backing array is allocated once, and a record is a struct
+// copy into the ring slot. A per-lane mutex (no allocation, a few ns
+// uncontended) makes recording safe from real goroutines (gxhc) and lets a
+// dump read a consistent snapshot while lanes are still being written.
+type Flight struct {
+	ticksPerUS float64
+	lanes      []flightLane
+}
+
+type flightLane struct {
+	mu   sync.Mutex
+	n    uint64 // total records ever written to this lane
+	ring []FlightRecord
+}
+
+// NewFlight creates a recorder with one ring of capPerLane records per
+// lane. ticksPerUS converts record times for dumps.
+func NewFlight(lanes, capPerLane int, ticksPerUS float64) *Flight {
+	if capPerLane <= 0 {
+		capPerLane = DefaultFlightCap
+	}
+	f := &Flight{ticksPerUS: ticksPerUS, lanes: make([]flightLane, lanes)}
+	for i := range f.lanes {
+		f.lanes[i].ring = make([]FlightRecord, capPerLane)
+	}
+	return f
+}
+
+// Lanes returns the number of lanes.
+func (f *Flight) Lanes() int { return len(f.lanes) }
+
+// Cap returns the per-lane ring capacity.
+func (f *Flight) Cap() int {
+	if len(f.lanes) == 0 {
+		return 0
+	}
+	return len(f.lanes[0].ring)
+}
+
+// Record appends rec to its lane's ring, overwriting the oldest record
+// once the ring is full. Out-of-range lanes are dropped. The path is
+// allocation-free (pinned by TestFlightRecordZeroAllocs).
+func (f *Flight) Record(rec FlightRecord) {
+	if rec.Lane < 0 || int(rec.Lane) >= len(f.lanes) {
+		return
+	}
+	l := &f.lanes[rec.Lane]
+	l.mu.Lock()
+	l.ring[l.n%uint64(len(l.ring))] = rec
+	l.n++
+	l.mu.Unlock()
+}
+
+// LaneCount returns how many records were ever written to lane (may exceed
+// the ring capacity).
+func (f *Flight) LaneCount(lane int) uint64 {
+	l := &f.lanes[lane]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// LaneRecords returns a copy of lane's retained records, oldest first.
+func (f *Flight) LaneRecords(lane int) []FlightRecord {
+	l := &f.lanes[lane]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	cap64 := uint64(len(l.ring))
+	keep := n
+	if keep > cap64 {
+		keep = cap64
+	}
+	out := make([]FlightRecord, 0, keep)
+	for i := n - keep; i < n; i++ {
+		out = append(out, l.ring[i%cap64])
+	}
+	return out
+}
+
+// FlightDump is the JSON-ready forensic dump of a Flight: every retained
+// record across all lanes, decoded into names and microseconds, plus the
+// reason the dump was taken and (in verify runs) the xhcverify replay
+// token that reproduces the run bit-exactly.
+type FlightDump struct {
+	World       string `json:"world"`
+	Kind        string `json:"kind"` // "straggler" | "failure" | "explicit"
+	Reason      string `json:"reason"`
+	ReplayToken string `json:"replay_token,omitempty"`
+	// OffLane/OffSeq identify the offending operation for anomaly dumps
+	// (matching records carry "offending": true).
+	OffLane int               `json:"offending_lane,omitempty"`
+	OffSeq  uint64            `json:"offending_seq,omitempty"`
+	Records []FlightDumpEntry `json:"records"`
+}
+
+// FlightDumpEntry is one decoded flight record in a dump.
+type FlightDumpEntry struct {
+	Lane      int                `json:"lane"`
+	Op        string             `json:"op"`
+	Seq       uint64             `json:"seq"`
+	Bytes     int64              `json:"bytes"`
+	Levels    int                `json:"levels"`
+	Chunks    int                `json:"chunks"`
+	StartUS   float64            `json:"start_us"`
+	DurUS     float64            `json:"dur_us"`
+	Offending bool               `json:"offending,omitempty"`
+	PhasesUS  map[string]float64 `json:"phases_us,omitempty"`
+}
+
+// Dump snapshots every lane's retained records into a FlightDump, oldest
+// first, ordered by start time then lane. offLane/offSeq mark the
+// offending op for anomaly dumps (pass offLane < 0 for none). The dump
+// path may allocate; only Record is allocation-free.
+func (f *Flight) Dump(kind, reason string, offLane int, offSeq uint64) *FlightDump {
+	d := &FlightDump{Kind: kind, Reason: reason, Records: []FlightDumpEntry{}}
+	if offLane >= 0 {
+		d.OffLane, d.OffSeq = offLane, offSeq
+	}
+	var recs []FlightRecord
+	for lane := range f.lanes {
+		recs = append(recs, f.LaneRecords(lane)...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].Lane < recs[j].Lane
+	})
+	for _, r := range recs {
+		e := FlightDumpEntry{
+			Lane: int(r.Lane), Op: r.Op.String(), Seq: r.Seq,
+			Bytes: r.Bytes, Levels: int(r.Levels), Chunks: int(r.Chunks),
+			StartUS: float64(r.Start) / f.ticksPerUS,
+			DurUS:   float64(r.Dur()) / f.ticksPerUS,
+		}
+		if offLane >= 0 && int(r.Lane) == offLane && r.Seq == offSeq {
+			e.Offending = true
+		}
+		for ph, t := range r.Phase {
+			if t > 0 {
+				if e.PhasesUS == nil {
+					e.PhasesUS = make(map[string]float64, NPhases)
+				}
+				e.PhasesUS[Phase(ph).String()] = float64(t) / f.ticksPerUS
+			}
+		}
+		d.Records = append(d.Records, e)
+	}
+	return d
+}
+
+// WriteJSON writes the dump as an indented JSON document.
+func (d *FlightDump) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

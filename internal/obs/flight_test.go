@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func mkRec(lane int32, seq uint64, start, dur int64) FlightRecord {
+	return FlightRecord{
+		Seq: seq, Start: start, End: start + dur, Bytes: 4096,
+		Lane: lane, Chunks: 1, Levels: 2, Op: OpBcast,
+	}
+}
+
+func TestFlightRingWrapAround(t *testing.T) {
+	f := NewFlight(2, 4, SimTicksPerUS)
+	if f.Lanes() != 2 || f.Cap() != 4 {
+		t.Fatalf("Lanes/Cap = %d/%d", f.Lanes(), f.Cap())
+	}
+	for seq := uint64(1); seq <= 6; seq++ {
+		f.Record(mkRec(0, seq, int64(seq)*100, 10))
+	}
+	f.Record(mkRec(1, 1, 50, 10))
+
+	got := f.LaneRecords(0)
+	if len(got) != 4 {
+		t.Fatalf("lane 0 after wrap: %d records, want 4", len(got))
+	}
+	// Oldest-first, the last cap=4 of the 6 recorded.
+	for i, r := range got {
+		if want := uint64(3 + i); r.Seq != want {
+			t.Errorf("lane 0 record %d: seq %d, want %d", i, r.Seq, want)
+		}
+	}
+	if n := len(f.LaneRecords(1)); n != 1 {
+		t.Errorf("lane 1: %d records, want 1", n)
+	}
+}
+
+func TestFlightDropsOutOfRangeLanes(t *testing.T) {
+	f := NewFlight(2, 4, SimTicksPerUS)
+	f.Record(mkRec(-1, 1, 0, 10))
+	f.Record(mkRec(2, 1, 0, 10))
+	if n := len(f.LaneRecords(0)) + len(f.LaneRecords(1)); n != 0 {
+		t.Errorf("out-of-range records kept: %d", n)
+	}
+}
+
+func TestFlightDumpJSON(t *testing.T) {
+	f := NewFlight(2, 8, SimTicksPerUS)
+	f.Record(mkRec(1, 7, 3_000_000, 1_000_000)) // starts at 3us
+	r0 := mkRec(0, 7, 1_000_000, 2_000_000)     // starts at 1us
+	r0.Phase[PhaseFlagWait] = 1_500_000
+	f.Record(r0)
+
+	d := f.Dump("straggler", "lane 1 late", 1, 7)
+	d.World = "w0"
+	d.ReplayToken = "0x01:0x02"
+
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back FlightDump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Kind != "straggler" || back.OffLane != 1 || back.OffSeq != 7 {
+		t.Errorf("dump header = %q/%d/%d", back.Kind, back.OffLane, back.OffSeq)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("dump records = %d, want 2", len(back.Records))
+	}
+	// Sorted by start time, the offending record marked.
+	if back.Records[0].Lane != 0 || back.Records[1].Lane != 1 {
+		t.Errorf("records not start-sorted: lanes %d,%d", back.Records[0].Lane, back.Records[1].Lane)
+	}
+	if back.Records[0].Offending || !back.Records[1].Offending {
+		t.Errorf("offending marks wrong: %v,%v", back.Records[0].Offending, back.Records[1].Offending)
+	}
+	if back.Records[0].PhasesUS["flag-wait"] != 1.5 {
+		t.Errorf("flag-wait phase = %v us, want 1.5", back.Records[0].PhasesUS["flag-wait"])
+	}
+}
+
+// TestFlightRecordZeroAllocs pins the always-on record path to zero
+// allocations in steady state: the ring slot is overwritten in place, the
+// histogram key already exists, and the detector's step buffers have
+// reached their lane-count capacity. Same two-window technique as
+// mem.TestRescheduleZeroAllocs: growth past a capacity boundary cannot hit
+// both windows, so the smaller measurement is the steady-state count.
+func TestFlightRecordZeroAllocs(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 4, DefaultFlightCap, SimTicksPerUS, clk.now)
+
+	seq := uint64(1)
+	record := func() {
+		for lane := int32(0); lane < 4; lane++ {
+			r.RecordFlight(mkRec(lane, seq, int64(seq), 1000))
+		}
+		seq++
+	}
+	for i := 0; i < 100; i++ { // warm histogram keys and detector buffers
+		record()
+	}
+	a1 := testing.AllocsPerRun(100, record)
+	a2 := testing.AllocsPerRun(100, record)
+	if m := minF(a1, a2); m != 0 {
+		t.Fatalf("RecordFlight allocates in steady state: %.2f allocs/op (runs: %.2f, %.2f)", m, a1, a2)
+	}
+}
+
+// TestObserveOpZeroAllocs pins the harness-level observation path too.
+func TestObserveOpZeroAllocs(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 2, DefaultFlightCap, SimTicksPerUS, clk.now)
+
+	it := int64(0)
+	observe := func() {
+		r.ObserveOp(0, uint64(it), OpBcast, "xhc-tree", 4096, it, it+1000)
+		it++
+	}
+	for i := 0; i < 100; i++ {
+		observe()
+	}
+	a1 := testing.AllocsPerRun(100, observe)
+	a2 := testing.AllocsPerRun(100, observe)
+	if m := minF(a1, a2); m != 0 {
+		t.Fatalf("ObserveOp allocates in steady state: %.2f allocs/op (runs: %.2f, %.2f)", m, a1, a2)
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkRecordFlight(b *testing.B) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 1, DefaultFlightCap, SimTicksPerUS, clk.now)
+	for i := 0; i < 64; i++ {
+		r.RecordFlight(mkRec(0, uint64(i), int64(i), 1000))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecordFlight(mkRec(0, uint64(64+i), int64(64+i), 1000))
+	}
+}
+
+func BenchmarkObserveOp(b *testing.B) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 1, DefaultFlightCap, SimTicksPerUS, clk.now)
+	for i := 0; i < 64; i++ {
+		r.ObserveOp(0, uint64(i), OpBcast, "xhc-tree", 4096, int64(i), int64(i)+1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ObserveOp(0, uint64(64+i), OpBcast, "xhc-tree", 4096, int64(i), int64(i)+1000)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)&0xfffff + 1)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HistBuckets is the number of log2 latency buckets: bucket 0 holds zero,
+// bucket i holds durations in [2^(i-1), 2^i) ns, and the top bucket
+// absorbs everything from ~39 hours up.
+const HistBuckets = 48
+
+// Histogram is a log2-bucketed latency histogram over nanoseconds.
+// Observing is allocation-free and lock-free; every histogram has a single
+// writer (one recorder lane) until it is merged into the registry under
+// the registry lock.
+type Histogram struct {
+	Count   int64
+	SumNS   int64
+	MaxNS   int64
+	Buckets [HistBuckets]int64
+}
+
+// histBucket returns the bucket index for a duration in ns.
+func histBucket(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperNS returns the exclusive upper bound of bucket i in ns (the
+// top bucket reports MaxInt64).
+func BucketUpperNS(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Count++
+	h.SumNS += ns
+	if ns > h.MaxNS {
+		h.MaxNS = ns
+	}
+	h.Buckets[histBucket(ns)]++
+}
+
+// Merge folds o into h. Count, sum and every bucket add; max takes the
+// larger — so merging preserves totals exactly (pinned by the hist
+// property test).
+func (h *Histogram) Merge(o *Histogram) {
+	h.Count += o.Count
+	h.SumNS += o.SumNS
+	if o.MaxNS > h.MaxNS {
+		h.MaxNS = o.MaxNS
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in ns by walking the
+// cumulative bucket counts and interpolating linearly inside the matched
+// bucket. The estimate is clamped to the observed maximum, so Quantile(1)
+// is exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(int64(1) << uint(i-1))
+			}
+			hi := float64(BucketUpperNS(i))
+			if hi > float64(h.MaxNS) {
+				hi = float64(h.MaxNS)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return float64(h.MaxNS)
+}
+
+// MeanNS returns the mean duration in ns.
+func (h *Histogram) MeanNS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.SumNS) / float64(h.Count)
+}
+
+// SizeClass maps a payload size to its log2 size bucket: class 0 is zero
+// bytes, class i covers [2^(i-1), 2^i) bytes.
+func SizeClass(bytes int) uint8 {
+	if bytes <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(bytes))
+	if i > 63 {
+		i = 63
+	}
+	return uint8(i)
+}
+
+// SizeClassLabel renders a size class as the human label of its lower
+// bound ("0B", "4B", "1KiB", "2MiB", ...).
+func SizeClassLabel(class uint8) string {
+	if class == 0 {
+		return "0B"
+	}
+	n := int64(1) << uint(class-1)
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// HistKey identifies one latency histogram: the collective kind, the
+// payload size class, and the backend that produced the latency (a coll
+// registry component name for harness-level observations, "xhc"/"gxhc"
+// for the instrumented communicators).
+type HistKey struct {
+	Op        OpCode
+	SizeClass uint8
+	Backend   string
+}
+
+// String renders the key the way snapshot metric names embed it.
+func (k HistKey) String() string {
+	return k.Op.String() + "." + SizeClassLabel(k.SizeClass) + "." + k.Backend
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v * 1000) // 1us .. 1ms in ns
+	}
+	if h.Count != 1000 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	if h.MaxNS != 1_000_000 {
+		t.Fatalf("MaxNS = %d", h.MaxNS)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99 && p99 <= float64(h.MaxNS)) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v max=%d", p50, p90, p99, h.MaxNS)
+	}
+	// Log-bucketed estimates: the true p50 is 500us; the estimate must land
+	// within the surrounding power-of-two bucket span.
+	if p50 < 250_000 || p50 > 1_000_000 {
+		t.Errorf("p50 = %vns, want within [250us, 1ms]", p50)
+	}
+	if q := h.Quantile(1); q != float64(h.MaxNS) {
+		t.Errorf("Quantile(1) = %v, want MaxNS %d", q, h.MaxNS)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %v", q)
+	}
+}
+
+// TestHistogramMergeProperty: for randomized observation sets split across
+// two histograms, Merge preserves the total count, the per-bucket sums,
+// the value sum and the max — i.e. merging is exactly equivalent to
+// observing the union in one histogram.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var a, b, whole Histogram
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(1 << uint(10+rng.Intn(40)))
+			whole.Observe(v)
+			if rng.Intn(2) == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		var m Histogram
+		m.Merge(&a)
+		m.Merge(&b)
+		if m != whole {
+			t.Fatalf("trial %d: merge(a,b) != observe(union)\n merged: %+v\n whole:  %+v", trial, m, whole)
+		}
+		if m.Count != a.Count+b.Count || m.SumNS != a.SumNS+b.SumNS {
+			t.Fatalf("trial %d: count/sum not additive", trial)
+		}
+		for i := range m.Buckets {
+			if m.Buckets[i] != a.Buckets[i]+b.Buckets[i] {
+				t.Fatalf("trial %d: bucket %d not additive", trial, i)
+			}
+		}
+	}
+}
+
+func TestSizeClassLabels(t *testing.T) {
+	cases := []struct {
+		bytes int
+		label string
+	}{
+		{0, "0B"}, {1, "1B"}, {4, "4B"}, {5, "4B"}, {9, "8B"},
+		{1024, "1KiB"}, {4096, "4KiB"}, {1 << 21, "2MiB"},
+	}
+	for _, c := range cases {
+		if got := SizeClassLabel(SizeClass(c.bytes)); got != c.label {
+			t.Errorf("SizeClassLabel(SizeClass(%d)) = %q, want %q", c.bytes, got, c.label)
+		}
+	}
+	// Classes are monotone in size.
+	prev := uint8(0)
+	for b := 1; b <= 1<<24; b <<= 1 {
+		c := SizeClass(b)
+		if c < prev {
+			t.Fatalf("SizeClass not monotone at %d", b)
+		}
+		prev = c
+	}
+}
+
+func TestHistKeyString(t *testing.T) {
+	k := HistKey{Op: OpAllreduce, SizeClass: SizeClass(1024), Backend: "gxhc"}
+	if got := k.String(); got != "allreduce.1KiB.gxhc" {
+		t.Errorf("HistKey.String() = %q", got)
+	}
+}

@@ -44,10 +44,12 @@ const (
 	// through the bandwidth model, recorded on the initiating core's lane.
 	PhaseFlow
 
-	nPhases
+	// NPhases is the number of phase kinds; flight records carry a
+	// per-phase duration array of this length.
+	NPhases
 )
 
-var phaseNames = [nPhases]string{
+var phaseNames = [NPhases]string{
 	"collective", "expose", "flag-wait", "chunk-copy", "reduce-slice", "ack", "flow",
 }
 

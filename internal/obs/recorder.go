@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Straggler-detector defaults: an operation step is anomalous when the
+// spread of rank start times (or a single rank's latency) exceeds
+// DefaultStragglerK times the step's median latency, with an absolute
+// floor so microsecond-scale noise on tiny operations never trips it.
+const (
+	DefaultStragglerK       = 4.0
+	DefaultStragglerFloorUS = 20.0
+)
+
+// OpRecorder is one world's live telemetry sink: the always-on flight
+// recorder, per-lane latency histograms, and the straggler detector. It is
+// created for every observed world (simulated or gxhc); with no registry
+// installed the instrumented code paths cost one nil check, exactly like
+// the tracer.
+//
+// Lane discipline mirrors the Tracer: each lane (rank) is written by a
+// single goroutine, so histogram observation takes no lock; the flight
+// ring and the detector carry their own cheap mutexes so gxhc's real
+// goroutines and anomaly dumps stay race-free.
+type OpRecorder struct {
+	reg   *Registry
+	label string
+	// Backend labels histograms fed by the instrumented communicator
+	// itself via RecordFlight ("xhc" for simulated worlds, "gxhc" for the
+	// goroutine-backed library). Harness-level observations pass their own
+	// backend label to ObserveOp.
+	Backend    string
+	TicksPerUS float64
+	// Now reads the recorder's clock (the engine's virtual clock for
+	// simulated worlds, a wall clock for gxhc).
+	Now func() int64
+
+	flight *Flight
+	lanes  []recLane
+	det    stragglerDetector
+
+	mu    sync.Mutex
+	token string
+}
+
+type recLane struct {
+	hists map[HistKey]*Histogram
+}
+
+func newOpRecorder(reg *Registry, label string, lanes, flightCap int, ticksPerUS float64, now func() int64) *OpRecorder {
+	r := &OpRecorder{
+		reg:        reg,
+		label:      label,
+		Backend:    "xhc",
+		TicksPerUS: ticksPerUS,
+		Now:        now,
+		flight:     NewFlight(lanes, flightCap, ticksPerUS),
+		lanes:      make([]recLane, lanes),
+	}
+	r.det.k = DefaultStragglerK
+	r.det.floor = int64(DefaultStragglerFloorUS * ticksPerUS)
+	return r
+}
+
+// Flight returns the world's flight recorder.
+func (r *OpRecorder) Flight() *Flight { return r.flight }
+
+// SetReplayToken attaches the xhcverify cfgseed:schedseed pair to every
+// dump this recorder produces, so a forensic dump always names the run
+// that can replay it bit-exactly.
+func (r *OpRecorder) SetReplayToken(tok string) {
+	r.mu.Lock()
+	r.token = tok
+	r.mu.Unlock()
+}
+
+// SetStragglerThreshold overrides the detector's k multiplier and
+// absolute floor (in microseconds). Call before the run starts.
+func (r *OpRecorder) SetStragglerThreshold(k, floorUS float64) {
+	r.det.mu.Lock()
+	r.det.k = k
+	r.det.floor = int64(floorUS * r.TicksPerUS)
+	r.det.mu.Unlock()
+}
+
+// ticksToNS converts recorder ticks to nanoseconds (the histogram unit).
+func (r *OpRecorder) ticksToNS(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return int64(float64(t) * 1e3 / r.TicksPerUS)
+}
+
+// observeLane folds one duration into the lane's (op, size, backend)
+// histogram. Allocation-free once the key exists.
+func (r *OpRecorder) observeLane(lane int, key HistKey, ns int64) {
+	if lane < 0 || lane >= len(r.lanes) {
+		return
+	}
+	l := &r.lanes[lane]
+	h := l.hists[key]
+	if h == nil {
+		if l.hists == nil {
+			l.hists = make(map[HistKey]*Histogram)
+		}
+		h = &Histogram{}
+		l.hists[key] = h
+	}
+	h.Observe(ns)
+}
+
+// RecordFlight is the always-on per-op record path of the instrumented
+// communicators: it appends the record to the flight ring, folds the op
+// latency into the recorder-backend histogram and feeds the straggler
+// detector, which on a verdict bumps the registry's anomaly counter and
+// dumps the flight recorder. 0 allocs/op in steady state (pinned by
+// TestFlightRecordZeroAllocs and BenchmarkRecordFlight).
+func (r *OpRecorder) RecordFlight(rec FlightRecord) {
+	r.flight.Record(rec)
+	r.observeLane(int(rec.Lane), HistKey{Op: rec.Op, SizeClass: SizeClass(int(rec.Bytes)), Backend: r.Backend}, r.ticksToNS(rec.Dur()))
+	if v, ok := r.det.observe(int(rec.Lane), rec.Seq, rec.Op, rec.Start, rec.End); ok {
+		r.anomalyDump("straggler", v)
+	}
+}
+
+// ObserveOp is the harness-level observation point: one call per (rank,
+// operation) with the measured start/end ticks. It feeds the (op, size,
+// backend) histogram under the harness's own backend label; straggler
+// detection stays with the communicator-level RecordFlight path, which
+// sees every rank's per-op timing regardless of harness.
+func (r *OpRecorder) ObserveOp(lane int, seq uint64, op OpCode, backend string, bytes int, start, end int64) {
+	r.observeLane(lane, HistKey{Op: op, SizeClass: SizeClass(bytes), Backend: backend}, r.ticksToNS(end-start))
+}
+
+// FlushDetector closes the last open detector step (called by Finish; the
+// final operation of a run has no successor to close it).
+func (r *OpRecorder) FlushDetector() {
+	if v, ok := r.det.flush(); ok {
+		r.anomalyDump("straggler", v)
+	}
+}
+
+// DumpNow takes an explicit flight dump (invariant failure, chaos
+// trigger, operator signal), registers it with the registry and returns
+// it.
+func (r *OpRecorder) DumpNow(kind, reason string) *FlightDump {
+	d := r.flight.Dump(kind, reason, -1, 0)
+	r.finishDump(d)
+	return d
+}
+
+func (r *OpRecorder) anomalyDump(kind string, v stragglerVerdict) {
+	r.reg.countStraggler()
+	d := r.flight.Dump(kind, fmt.Sprintf(
+		"straggler: lane %d %s seq %d (%s), step skew %.1fus vs median latency %.1fus",
+		v.lane, v.op, v.seq, v.why,
+		float64(v.skew)/r.TicksPerUS, float64(v.median)/r.TicksPerUS),
+		v.lane, v.seq)
+	r.finishDump(d)
+}
+
+func (r *OpRecorder) finishDump(d *FlightDump) {
+	d.World = r.label
+	r.mu.Lock()
+	d.ReplayToken = r.token
+	r.mu.Unlock()
+	r.reg.addDump(d)
+}
+
+// CountFault forwards an injected-fault count to the registry (used by
+// the verify harness's injection sites so injected faults are visible in
+// Snapshot and on the telemetry endpoint).
+func (r *OpRecorder) CountFault(f Fault) { r.reg.CountFault(f, 1) }
+
+// foldInto merges every lane's histograms into the registry aggregate.
+// Called by World.Finish under the registry lock.
+func (r *OpRecorder) foldInto(hists map[HistKey]*Histogram) {
+	for i := range r.lanes {
+		for k, h := range r.lanes[i].hists {
+			dst := hists[k]
+			if dst == nil {
+				dst = &Histogram{}
+				hists[k] = dst
+			}
+			dst.Merge(h)
+		}
+	}
+}
+
+// stragglerVerdict describes one detected straggler step.
+type stragglerVerdict struct {
+	lane   int
+	seq    uint64
+	op     OpCode
+	why    string
+	skew   int64 // ticks the offender exceeded the rest by
+	median int64 // step median latency in ticks
+}
+
+// stragglerDetector groups harness observations into operation steps (one
+// seq per step) and, when a step closes, flags it if the spread of start
+// times — or the slowest rank's latency — exceeds k x the step's median
+// latency (plus an absolute floor). Start-time spread is what an injected
+// straggler looks like from the harness: the delayed rank enters the
+// collective late while everyone else blocks waiting for it.
+type stragglerDetector struct {
+	mu    sync.Mutex
+	k     float64
+	floor int64
+
+	seq    uint64
+	op     OpCode
+	open   bool
+	lanes  []int64
+	starts []int64
+	durs   []int64
+	sorted []int64
+}
+
+func (d *stragglerDetector) observe(lane int, seq uint64, op OpCode, start, end int64) (stragglerVerdict, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var v stragglerVerdict
+	fired := false
+	switch {
+	case !d.open:
+		d.reset(seq, op)
+	case seq > d.seq:
+		v, fired = d.evaluate()
+		d.reset(seq, op)
+	case seq < d.seq:
+		// A late observation from an already-closed step (possible under
+		// real goroutine scheduling in gxhc): drop it.
+		return stragglerVerdict{}, false
+	}
+	d.lanes = append(d.lanes, int64(lane))
+	d.starts = append(d.starts, start)
+	d.durs = append(d.durs, end-start)
+	return v, fired
+}
+
+func (d *stragglerDetector) flush() (stragglerVerdict, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v, fired := d.evaluate()
+	d.open = false
+	d.lanes, d.starts, d.durs = d.lanes[:0], d.starts[:0], d.durs[:0]
+	return v, fired
+}
+
+func (d *stragglerDetector) reset(seq uint64, op OpCode) {
+	d.open = true
+	d.seq = seq
+	d.op = op
+	d.lanes = d.lanes[:0]
+	d.starts = d.starts[:0]
+	d.durs = d.durs[:0]
+}
+
+// evaluate judges the currently buffered step. Caller holds d.mu.
+func (d *stragglerDetector) evaluate() (stragglerVerdict, bool) {
+	n := len(d.durs)
+	if !d.open || n < 2 {
+		return stragglerVerdict{}, false
+	}
+	d.sorted = append(d.sorted[:0], d.durs...)
+	slices.Sort(d.sorted)
+	med := d.sorted[n/2]
+	thresh := int64(d.k * float64(med))
+	if thresh < d.floor {
+		thresh = d.floor
+	}
+	minStart, maxStart, maxStartI := d.starts[0], d.starts[0], 0
+	maxDur, maxDurI := d.durs[0], 0
+	for i := 1; i < n; i++ {
+		if d.starts[i] < minStart {
+			minStart = d.starts[i]
+		}
+		if d.starts[i] > maxStart {
+			maxStart, maxStartI = d.starts[i], i
+		}
+		if d.durs[i] > maxDur {
+			maxDur, maxDurI = d.durs[i], i
+		}
+	}
+	if skew := maxStart - minStart; skew > thresh {
+		return stragglerVerdict{
+			lane: int(d.lanes[maxStartI]), seq: d.seq, op: d.op,
+			why: "arrived late", skew: skew, median: med,
+		}, true
+	}
+	if maxDur > thresh && maxDur-med > d.floor {
+		return stragglerVerdict{
+			lane: int(d.lanes[maxDurI]), seq: d.seq, op: d.op,
+			why: "ran slow", skew: maxDur - med, median: med,
+		}, true
+	}
+	return stragglerVerdict{}, false
+}

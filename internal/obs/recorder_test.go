@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+)
+
+// feedStep records one operation step (same seq) across lanes with the
+// given per-lane start/duration ticks.
+func feedStep(r *OpRecorder, seq uint64, starts, durs []int64) {
+	for lane := range starts {
+		r.RecordFlight(FlightRecord{
+			Seq: seq, Start: starts[lane], End: starts[lane] + durs[lane],
+			Bytes: 4096, Lane: int32(lane), Chunks: 1, Levels: 1, Op: OpBcast,
+		})
+	}
+}
+
+func newTestRecorder(lanes int) (*Registry, *OpRecorder) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", lanes, DefaultFlightCap, SimTicksPerUS, clk.now)
+	return reg, r
+}
+
+func TestStragglerArrivedLate(t *testing.T) {
+	reg, r := newTestRecorder(4)
+	r.SetReplayToken("0x0000000000000001:0x0000000000000002")
+
+	us := int64(SimTicksPerUS)
+	// Step 1: lane 2 enters the collective 300us after everyone else while
+	// the step median latency is ~10us — far past k*median and the floor.
+	feedStep(r, 1, []int64{0, us, 300 * us, 2 * us}, []int64{301 * us, 10 * us, 2 * us, 10 * us})
+	// Step 2 closes step 1 and must itself stay clean.
+	feedStep(r, 2, []int64{400 * us, 401 * us, 400 * us, 402 * us}, []int64{10 * us, 10 * us, 11 * us, 10 * us})
+	r.FlushDetector()
+
+	if got := reg.FaultCount(FaultStraggler); got != 0 {
+		t.Errorf("detector must not count injected faults: %d", got)
+	}
+	dumps := reg.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1 (step 2 must not trip)", len(dumps))
+	}
+	d := dumps[0]
+	if d.Kind != "straggler" || d.OffLane != 2 || d.OffSeq != 1 {
+		t.Fatalf("dump = kind %q lane %d seq %d", d.Kind, d.OffLane, d.OffSeq)
+	}
+	if !strings.Contains(d.Reason, "arrived late") {
+		t.Errorf("reason = %q, want arrival-skew verdict", d.Reason)
+	}
+	if d.ReplayToken != "0x0000000000000001:0x0000000000000002" {
+		t.Errorf("replay token not attached: %q", d.ReplayToken)
+	}
+	var off int
+	for _, rec := range d.Records {
+		if rec.Offending {
+			off++
+			if rec.Lane != 2 || rec.Seq != 1 {
+				t.Errorf("offending record = lane %d seq %d", rec.Lane, rec.Seq)
+			}
+		}
+	}
+	if off != 1 {
+		t.Errorf("offending records = %d, want 1", off)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Value("anomaly.stragglers"); got != 1 {
+		t.Errorf("anomaly.stragglers = %v", got)
+	}
+	if got := snap.Value("anomaly.flight_dumps"); got != 1 {
+		t.Errorf("anomaly.flight_dumps = %v", got)
+	}
+}
+
+func TestStragglerRanSlow(t *testing.T) {
+	reg, r := newTestRecorder(4)
+	us := int64(SimTicksPerUS)
+	// All lanes enter together; lane 3 takes 400us against a 10us median.
+	feedStep(r, 1, []int64{0, 0, 0, 0}, []int64{10 * us, 11 * us, 10 * us, 400 * us})
+	r.FlushDetector()
+
+	dumps := reg.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	if dumps[0].OffLane != 3 || !strings.Contains(dumps[0].Reason, "ran slow") {
+		t.Errorf("dump = lane %d reason %q", dumps[0].OffLane, dumps[0].Reason)
+	}
+}
+
+func TestStragglerNoFalsePositive(t *testing.T) {
+	reg, r := newTestRecorder(8)
+	us := int64(SimTicksPerUS)
+	starts := make([]int64, 8)
+	durs := make([]int64, 8)
+	for seq := uint64(1); seq <= 50; seq++ {
+		base := int64(seq) * 100 * us
+		for l := range starts {
+			starts[l] = base + int64(l)*us/4 // sub-us natural skew
+			durs[l] = 10*us + int64(l)*us/2
+		}
+		feedStep(r, seq, starts, durs)
+	}
+	r.FlushDetector()
+	if n := len(reg.Dumps()); n != 0 {
+		t.Fatalf("clean run produced %d straggler dumps: %q", n, reg.Dumps()[0].Reason)
+	}
+}
+
+func TestStragglerFloorSuppressesTinyOps(t *testing.T) {
+	reg, r := newTestRecorder(2)
+	us := int64(SimTicksPerUS)
+	// 10x relative skew but only 10us absolute — under the 20us floor.
+	feedStep(r, 1, []int64{0, 10 * us}, []int64{us, us})
+	feedStep(r, 2, []int64{20 * us, 20 * us}, []int64{us, us})
+	r.FlushDetector()
+	if n := len(reg.Dumps()); n != 0 {
+		t.Fatalf("floor did not suppress tiny-op skew: %d dumps", n)
+	}
+}
+
+func TestDumpNow(t *testing.T) {
+	reg, r := newTestRecorder(2)
+	feedStep(r, 1, []int64{0, 0}, []int64{1000, 1000})
+	d := r.DumpNow("failure", "invariant broken")
+	if d.Kind != "failure" || d.Reason != "invariant broken" {
+		t.Fatalf("dump = %q/%q", d.Kind, d.Reason)
+	}
+	if len(d.Records) != 2 {
+		t.Errorf("records = %d, want 2", len(d.Records))
+	}
+	if n := len(reg.Dumps()); n != 1 {
+		t.Errorf("registry dumps = %d", n)
+	}
+}
+
+func TestRegistryKeepsBoundedDumps(t *testing.T) {
+	reg, r := newTestRecorder(1)
+	for i := 0; i < maxKeptDumps+5; i++ {
+		r.DumpNow("failure", "x")
+	}
+	if n := len(reg.Dumps()); n != maxKeptDumps {
+		t.Errorf("kept dumps = %d, want %d", n, maxKeptDumps)
+	}
+}
+
+func TestDumpSink(t *testing.T) {
+	reg, r := newTestRecorder(1)
+	var got []*FlightDump
+	reg.SetDumpSink(func(d *FlightDump) { got = append(got, d) })
+	r.DumpNow("chaos", "triggered")
+	if len(got) != 1 || got[0].Kind != "chaos" {
+		t.Fatalf("sink saw %d dumps", len(got))
+	}
+}
+
+// TestHistogramsFoldIntoSnapshot: RecordFlight and ObserveOp land in
+// distinct (backend-labelled) histogram keys, and World.Finish folds both
+// into the registry snapshot with quantile columns.
+func TestHistogramsFoldIntoSnapshot(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	w := reg.NewWorld("test", 2, SimTicksPerUS, clk.now)
+	us := int64(SimTicksPerUS)
+	for seq := uint64(1); seq <= 10; seq++ {
+		w.Rec.RecordFlight(FlightRecord{
+			Seq: seq, Start: int64(seq) * 100 * us, End: int64(seq)*100*us + 5*us,
+			Bytes: 1024, Lane: 0, Op: OpBcast,
+		})
+		w.Rec.ObserveOp(0, seq, OpBcast, "xhc-tree", 1024, 0, 7*us)
+	}
+	w.Finish(mem.Stats{}, sim.EngineStats{})
+
+	hs := reg.HistSnapshot()
+	if len(hs) != 2 {
+		t.Fatalf("HistSnapshot keys = %d, want 2 (communicator + harness)", len(hs))
+	}
+	snap := reg.Snapshot()
+	for _, key := range []string{"lat.bcast.1KiB.xhc", "lat.bcast.1KiB.xhc-tree"} {
+		if got := snap.Value(key + ".count"); got != 10 {
+			t.Errorf("%s.count = %v, want 10", key, got)
+		}
+		if p50 := snap.Value(key + ".p50_us"); p50 <= 0 {
+			t.Errorf("%s.p50_us = %v", key, p50)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 	"sync"
 
@@ -11,6 +13,51 @@ import (
 	"xhc/internal/trace"
 	"xhc/internal/xpmem"
 )
+
+// Fault identifies one kind of injected fault (the verify harness's chaos
+// hooks from PR 3). Injection sites count through World.Rec.CountFault so
+// injected counts are visible in Snapshot and on the telemetry endpoint.
+type Fault uint8
+
+// Known injected-fault kinds.
+const (
+	// FaultStraggler is an injected per-op rank delay >= 10us (sim worlds).
+	FaultStraggler Fault = iota
+	// FaultPerturb is an injected sub-2us scheduling jitter (sim worlds).
+	FaultPerturb
+	// FaultEviction is a forced registration-cache eviction event.
+	FaultEviction
+	// FaultGxhcStraggler is the root-rank wall-clock delay in gxhc runs.
+	FaultGxhcStraggler
+	// FaultChaos is a chaos-config mutation applied to a run.
+	FaultChaos
+
+	nFaults
+)
+
+var faultNames = [nFaults]string{
+	"straggler", "perturbation", "eviction", "gxhc_straggler", "chaos_mutation",
+}
+
+// String names the fault the way snapshot metrics embed it.
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// HistStat is one latency histogram's summary in a snapshot: the key plus
+// quantiles in microseconds.
+type HistStat struct {
+	Key    HistKey
+	Count  int64
+	MeanUS float64
+	P50US  float64
+	P90US  float64
+	P99US  float64
+	MaxUS  float64
+}
 
 // Metric is one named counter or ratio in a snapshot.
 type Metric struct {
@@ -22,6 +69,10 @@ type Metric struct {
 // gathered, obtained from a single Snapshot() call.
 type Snapshot struct {
 	Metrics []Metric
+	// Hists summarizes every (collective, size-class, backend) latency
+	// histogram folded in so far, sorted by key. The same quantiles also
+	// appear as flat "lat.<op>.<size>.<backend>.*" metrics.
+	Hists []HistStat
 }
 
 // Get returns the named metric and whether it exists.
@@ -71,12 +122,24 @@ type Registry struct {
 	nextPID int
 	tracers []*Tracer
 	agg     aggregate
+	hists   map[HistKey]*Histogram
+	dumps   []*FlightDump
+	sink    func(*FlightDump)
 }
+
+// maxKeptDumps bounds how many flight dumps the registry retains (oldest
+// evicted first). Runs with many worlds would otherwise let late empty
+// dumps crowd out the interesting one.
+const maxKeptDumps = 8
 
 // aggregate is the folded counter state across all finished worlds.
 type aggregate struct {
 	worlds int64
 	ops    int64
+
+	faults      [nFaults]int64
+	stragglers  int64
+	flightDumps int64
 
 	mem              mem.Stats
 	cache            xpmem.CacheStats
@@ -111,8 +174,77 @@ func (r *Registry) NewWorld(label string, lanes int, ticksPerUS float64, clock f
 		w.Tracer = NewTracer(fmt.Sprintf("%s #%d", label, r.nextPID), r.nextPID, lanes, ticksPerUS, clock)
 		r.tracers = append(r.tracers, w.Tracer)
 	}
+	w.Rec = newOpRecorder(r, fmt.Sprintf("%s #%d", label, r.nextPID), lanes, DefaultFlightCap, ticksPerUS, clock)
 	r.nextPID++
 	return w
+}
+
+// SetDumpSink installs a callback invoked (outside the registry lock) for
+// every flight dump taken — the binaries use it to write dump files.
+func (r *Registry) SetDumpSink(fn func(*FlightDump)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// CountFault adds n to an injected-fault counter.
+func (r *Registry) CountFault(f Fault, n int64) {
+	if f >= nFaults {
+		return
+	}
+	r.mu.Lock()
+	r.agg.faults[f] += n
+	r.mu.Unlock()
+}
+
+// FaultCount returns one injected-fault counter.
+func (r *Registry) FaultCount(f Fault) int64 {
+	if f >= nFaults {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.agg.faults[f]
+}
+
+func (r *Registry) countStraggler() {
+	r.mu.Lock()
+	r.agg.stragglers++
+	r.mu.Unlock()
+}
+
+// addDump retains d (bounded) and hands it to the dump sink.
+func (r *Registry) addDump(d *FlightDump) {
+	r.mu.Lock()
+	r.agg.flightDumps++
+	r.dumps = append(r.dumps, d)
+	if len(r.dumps) > maxKeptDumps {
+		r.dumps = r.dumps[len(r.dumps)-maxKeptDumps:]
+	}
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(d)
+	}
+}
+
+// Dumps returns the retained flight dumps, oldest first.
+func (r *Registry) Dumps() []*FlightDump {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*FlightDump(nil), r.dumps...)
+}
+
+// HistSnapshot returns a copy of every folded latency histogram (the
+// telemetry endpoint renders the raw buckets from it).
+func (r *Registry) HistSnapshot() map[HistKey]Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[HistKey]Histogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = *h
+	}
+	return out
 }
 
 // Tracers returns every tracer created so far (empty when tracing is off).
@@ -123,7 +255,7 @@ func (r *Registry) Tracers() []*Tracer {
 }
 
 // WriteChromeTrace exports all tracers as one Chrome-trace JSON document.
-func (r *Registry) WriteChromeTrace(w interface{ Write([]byte) (int, error) }) error {
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTrace(w, r.Tracers()...)
 }
 
@@ -133,7 +265,29 @@ func (r *Registry) WriteChromeTrace(w interface{ Write([]byte) (int, error) }) e
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	a := r.agg
+	hs := make([]HistStat, 0, len(r.hists))
+	for k, h := range r.hists {
+		hs = append(hs, HistStat{
+			Key:    k,
+			Count:  h.Count,
+			MeanUS: h.MeanNS() / 1e3,
+			P50US:  h.Quantile(0.50) / 1e3,
+			P90US:  h.Quantile(0.90) / 1e3,
+			P99US:  h.Quantile(0.99) / 1e3,
+			MaxUS:  float64(h.MaxNS) / 1e3,
+		})
+	}
 	r.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool {
+		a, b := hs[i].Key, hs[j].Key
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.SizeClass != b.SizeClass {
+			return a.SizeClass < b.SizeClass
+		}
+		return a.Backend < b.Backend
+	})
 
 	var ms []Metric
 	add := func(name string, v float64) { ms = append(ms, Metric{Name: name, Value: v}) }
@@ -163,7 +317,20 @@ func (r *Registry) Snapshot() Snapshot {
 		add("msgs."+d.String()+".count", float64(a.distCounts[d]))
 		add("msgs."+d.String()+".bytes", float64(a.distBytes[d]))
 	}
-	return Snapshot{Metrics: ms}
+	for f := Fault(0); f < nFaults; f++ {
+		add("faults.injected_"+f.String(), float64(a.faults[f]))
+	}
+	add("anomaly.stragglers", float64(a.stragglers))
+	add("anomaly.flight_dumps", float64(a.flightDumps))
+	for _, h := range hs {
+		prefix := "lat." + h.Key.String() + "."
+		add(prefix+"count", float64(h.Count))
+		add(prefix+"p50_us", h.P50US)
+		add(prefix+"p90_us", h.P90US)
+		add(prefix+"p99_us", h.P99US)
+		add(prefix+"max_us", h.MaxUS)
+	}
+	return Snapshot{Metrics: ms, Hists: hs}
 }
 
 // World is the observation handle of one simulated world (or gxhc
@@ -177,6 +344,10 @@ type World struct {
 	// Tracer records phase spans; nil when the registry was created with
 	// tracing disabled. Instrumented code must nil-check it.
 	Tracer *Tracer
+
+	// Rec is the world's always-on op recorder: flight ring, latency
+	// histograms and straggler detector. Never nil for an observed world.
+	Rec *OpRecorder
 
 	dist       *trace.Collector
 	cache      xpmem.CacheStats
@@ -223,9 +394,21 @@ func (w *World) AddCacheStats(st xpmem.CacheStats) {
 // AddOps folds a component's completed-operation count in.
 func (w *World) AddOps(n int64) { w.ops += n }
 
-// Finish folds the world's counters into the registry. It is idempotent
-// per world and safe to call from any goroutine.
+// Finish folds the world's counters and latency histograms into the
+// registry. It is idempotent per world and safe to call from any
+// goroutine. The detector flush happens before the registry lock is
+// taken: a straggler found in the final step dumps the flight recorder,
+// and the dump path takes the registry lock itself.
 func (w *World) Finish(ms mem.Stats, es sim.EngineStats) {
+	w.reg.mu.Lock()
+	done := w.finished
+	w.reg.mu.Unlock()
+	if done {
+		return
+	}
+	if w.Rec != nil {
+		w.Rec.FlushDetector()
+	}
 	w.reg.mu.Lock()
 	defer w.reg.mu.Unlock()
 	if w.finished {
@@ -259,5 +442,11 @@ func (w *World) Finish(ms mem.Stats, es sim.EngineStats) {
 			a.distCounts[d] += w.dist.Count(d)
 			a.distBytes[d] += w.dist.Bytes(d)
 		}
+	}
+	if w.Rec != nil {
+		if w.reg.hists == nil {
+			w.reg.hists = make(map[HistKey]*Histogram)
+		}
+		w.Rec.foldInto(w.reg.hists)
 	}
 }

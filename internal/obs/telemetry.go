@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// Telemetry is the live export surface of a Registry: a private HTTP mux
+// serving Prometheus text exposition on /metrics, the retained flight
+// dumps on /flight, the human snapshot on /snapshot, and the standard
+// net/http/pprof handlers under /debug/pprof/. It reads the registry on
+// every request, so a scrape mid-run sees the counters and histograms
+// folded in so far.
+type Telemetry struct {
+	reg *Registry
+}
+
+// NewTelemetryHandler returns the telemetry mux for reg.
+func NewTelemetryHandler(reg *Registry) http.Handler {
+	t := &Telemetry{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", t.serveIndex)
+	mux.HandleFunc("/metrics", t.serveMetrics)
+	mux.HandleFunc("/flight", t.serveFlight)
+	mux.HandleFunc("/snapshot", t.serveSnapshot)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartTelemetry binds addr and serves the telemetry mux on it in a
+// background goroutine, returning the bound address (useful with ":0").
+// The listener lives for the rest of the process; benchmark binaries are
+// short-lived, so there is no stop handle.
+func StartTelemetry(reg *Registry, addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: NewTelemetryHandler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *Telemetry) serveIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "xhc telemetry")
+	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "  /snapshot      human-readable counter snapshot")
+	fmt.Fprintln(w, "  /flight        retained flight-recorder dumps (JSON)")
+	fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+}
+
+// promName rewrites a dotted snapshot metric name into a valid Prometheus
+// metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("xhc_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (t *Telemetry) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := t.reg.Snapshot()
+	for _, m := range snap.Metrics {
+		// Histogram-derived metrics are exported with labels below; flat
+		// duplicates would collide with them under relabeling.
+		if strings.HasPrefix(m.Name, "lat.") {
+			continue
+		}
+		n := promName(m.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, m.Value)
+	}
+
+	// Quantile gauges per (collective, size-class, backend).
+	if len(snap.Hists) > 0 {
+		fmt.Fprintln(w, "# TYPE xhc_op_latency_us gauge")
+		for _, h := range snap.Hists {
+			labels := func(q string) string {
+				return fmt.Sprintf(`collective=%q,size=%q,backend=%q,quantile=%q`,
+					h.Key.Op.String(), SizeClassLabel(h.Key.SizeClass), h.Key.Backend, q)
+			}
+			fmt.Fprintf(w, "xhc_op_latency_us{%s} %g\n", labels("0.5"), h.P50US)
+			fmt.Fprintf(w, "xhc_op_latency_us{%s} %g\n", labels("0.9"), h.P90US)
+			fmt.Fprintf(w, "xhc_op_latency_us{%s} %g\n", labels("0.99"), h.P99US)
+			fmt.Fprintf(w, "xhc_op_latency_us{%s} %g\n", labels("1"), h.MaxUS)
+		}
+	}
+
+	// Full cumulative histograms in Prometheus histogram exposition.
+	hists := t.reg.HistSnapshot()
+	if len(hists) > 0 {
+		keys := make([]HistKey, 0, len(hists))
+		for k := range hists {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.Op != b.Op {
+				return a.Op < b.Op
+			}
+			if a.SizeClass != b.SizeClass {
+				return a.SizeClass < b.SizeClass
+			}
+			return a.Backend < b.Backend
+		})
+		fmt.Fprintln(w, "# TYPE xhc_op_latency_ns histogram")
+		for _, k := range keys {
+			h := hists[k]
+			base := fmt.Sprintf(`collective=%q,size=%q,backend=%q`,
+				k.Op.String(), SizeClassLabel(k.SizeClass), k.Backend)
+			var cum int64
+			for i, c := range h.Buckets {
+				if c == 0 {
+					continue
+				}
+				cum += c
+				fmt.Fprintf(w, "xhc_op_latency_ns_bucket{%s,le=\"%d\"} %d\n", base, BucketUpperNS(i), cum)
+			}
+			fmt.Fprintf(w, "xhc_op_latency_ns_bucket{%s,le=\"+Inf\"} %d\n", base, h.Count)
+			fmt.Fprintf(w, "xhc_op_latency_ns_sum{%s} %d\n", base, h.SumNS)
+			fmt.Fprintf(w, "xhc_op_latency_ns_count{%s} %d\n", base, h.Count)
+		}
+	}
+}
+
+func (t *Telemetry) serveFlight(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	dumps := t.reg.Dumps()
+	fmt.Fprintln(w, "[")
+	for i, d := range dumps {
+		if err := d.WriteJSON(w); err != nil {
+			return
+		}
+		if i < len(dumps)-1 {
+			fmt.Fprintln(w, ",")
+		}
+	}
+	fmt.Fprintln(w, "]")
+}
+
+func (t *Telemetry) serveSnapshot(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, t.reg.Snapshot().String())
+}

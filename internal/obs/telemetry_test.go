@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+)
+
+func telemetryFixture() *Registry {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	w := reg.NewWorld("test", 2, SimTicksPerUS, clk.now)
+	us := int64(SimTicksPerUS)
+	for seq := uint64(1); seq <= 20; seq++ {
+		w.Rec.RecordFlight(FlightRecord{
+			Seq: seq, Start: int64(seq) * 50 * us, End: int64(seq)*50*us + 3*us,
+			Bytes: 4096, Lane: int32(seq % 2), Op: OpBcast,
+		})
+	}
+	w.Rec.DumpNow("failure", "fixture dump")
+	reg.CountFault(FaultStraggler, 3)
+	w.Finish(mem.Stats{}, sim.EngineStats{})
+	return reg
+}
+
+// promLine matches one Prometheus text-exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?[0-9.eE+-]+|[-+]Inf)$`)
+
+func TestTelemetryMetricsIsValidPrometheusText(t *testing.T) {
+	h := NewTelemetryHandler(telemetryFixture())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	var samples int
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples exported")
+	}
+	for _, want := range []string{
+		"xhc_faults_injected_straggler 3",
+		`xhc_op_latency_us{collective="bcast",size="4KiB",backend="xhc",quantile="0.5"}`,
+		`xhc_op_latency_ns_bucket{collective="bcast",size="4KiB",backend="xhc",le="+Inf"} 20`,
+		`xhc_op_latency_ns_count{collective="bcast",size="4KiB",backend="xhc"} 20`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics output", want)
+		}
+	}
+}
+
+func TestTelemetryFlightEndpoint(t *testing.T) {
+	h := NewTelemetryHandler(telemetryFixture())
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/flight", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var dumps []FlightDump
+	if err := json.Unmarshal(rr.Body.Bytes(), &dumps); err != nil {
+		t.Fatalf("/flight is not a JSON dump array: %v", err)
+	}
+	if len(dumps) != 1 || dumps[0].Kind != "failure" {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+}
+
+func TestStartTelemetryServes(t *testing.T) {
+	reg := telemetryFixture()
+	addr, err := StartTelemetry(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "xhc_ops") {
+		t.Fatalf("live /metrics: status %d body %.120s", resp.StatusCode, body)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"xhc/internal/env"
 	"xhc/internal/mem"
 	"xhc/internal/mpi"
+	"xhc/internal/obs"
 	"xhc/internal/sim"
 	"xhc/internal/stats"
 	"xhc/internal/topo"
@@ -64,6 +65,14 @@ func DefaultSizes() []int {
 		out = append(out, n)
 	}
 	return out
+}
+
+// label names the measured component for histogram keys.
+func (b Bench) label() string {
+	if b.Component != "" {
+		return b.Component
+	}
+	return "custom"
 }
 
 func (b Bench) defaults() Bench {
@@ -157,6 +166,9 @@ func (b Bench) Bcast(sizes []int) ([]Result, error) {
 				t0 := p.Now()
 				c.Bcast(p, bufs[p.Rank], 0, n, b.Root)
 				d := p.Now() - t0
+				if w.Obs != nil {
+					w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpBcast, b.label(), n, int64(t0), int64(t0+d))
+				}
 				if it >= b.Warmup {
 					lats = append(lats, sim.Micros(d))
 				}
@@ -204,6 +216,9 @@ func (b Bench) Allreduce(sizes []int) ([]Result, error) {
 				t0 := p.Now()
 				c.Allreduce(p, sb[p.Rank], rb[p.Rank], n, dt, mpi.Sum)
 				d := p.Now() - t0
+				if w.Obs != nil {
+					w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpAllreduce, b.label(), n, int64(t0), int64(t0+d))
+				}
 				if it >= b.Warmup {
 					lats = append(lats, sim.Micros(d))
 				}
@@ -253,6 +268,9 @@ func Latency(top *topo.Topology, coreA, coreB int, cfg mpi.Config, sizes []int, 
 					t0 := p.Now()
 					p2p.Send(p, 1, it, b0, 0, n)
 					p2p.Recv(p, 1, it, b0, 0, n)
+					if w.Obs != nil {
+						w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpP2P, "p2p", n, int64(t0), int64(p.Now()))
+					}
 					if it >= warmup {
 						rtts = append(rtts, sim.Micros(p.Now()-t0)/2)
 					}

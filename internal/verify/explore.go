@@ -1,5 +1,7 @@
 package verify
 
+import "xhc/internal/obs"
+
 // Options parameterizes an exploration sweep.
 type Options struct {
 	// Configs is the number of randomized configurations (default 20).
@@ -11,6 +13,9 @@ type Options struct {
 	Seed uint64
 	// Log, when non-nil, receives one progress line per configuration.
 	Log func(format string, args ...any)
+	// Obs, when non-nil, observes every run: latency histograms, injected-
+	// fault counters and failure flight dumps flow into this registry.
+	Obs *obs.Registry
 }
 
 // Failure records one failing run with the pair of seeds that replays it.
@@ -60,7 +65,7 @@ func Explore(o Options) Summary {
 				schedSeed = mix(cfgSeed, uint64(si))
 			}
 			s := DeriveSchedule(schedSeed)
-			hash, err := RunCase(c, s)
+			hash, err := RunCaseObs(c, s, o.Obs)
 			sum.Runs++
 			hashes[hash] = struct{}{}
 			if err != nil {

@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"xhc/internal/obs"
+	"xhc/internal/sim"
+)
+
+// Fixture seeds: a case/schedule pair with faults enabled that passes all
+// invariants while injecting stragglers large enough to trip the detector
+// (found by sweep; any faulted passing pair works).
+const (
+	fixtureCfgSeed   = 0x11f4e542e96f3321
+	fixtureSchedSeed = 0x56684096c44a5742
+)
+
+// TestInjectedFaultCountsObserved pins the fault-injection satellite:
+// every injected sim-level fault is visible in the registry, and the
+// observed counts equal an independent recount of the injection plan.
+// opDelay is a pure function of (schedule seed, rank, op), and RunCaseObs
+// executes two observed sim runs (xhc and the baseline) over the same
+// schedule, so the expected totals are exactly twice the per-run plan.
+func TestInjectedFaultCountsObserved(t *testing.T) {
+	c, s := DeriveCase(fixtureCfgSeed), DeriveSchedule(fixtureSchedSeed)
+	if !s.Faults {
+		t.Fatal("fixture schedule has faults disabled")
+	}
+	reg := obs.NewRegistry(false)
+	if _, err := RunCaseObs(c, s, reg); err != nil {
+		t.Fatalf("fixture run failed: %v", err)
+	}
+
+	var wantStrag, wantPerturb int64
+	for rank := 0; rank < c.Ranks; rank++ {
+		for op := 0; op < c.Ops; op++ {
+			d := s.opDelay(rank, op)
+			switch {
+			case d >= 10*sim.Microsecond:
+				wantStrag++
+			case d > 0:
+				wantPerturb++
+			}
+		}
+	}
+	wantStrag *= 2
+	wantPerturb *= 2
+	if wantStrag == 0 {
+		t.Fatal("fixture injects no stragglers; pick different seeds")
+	}
+
+	if got := reg.FaultCount(obs.FaultStraggler); got != wantStrag {
+		t.Errorf("straggler count: injected %d, observed %d", wantStrag, got)
+	}
+	if got := reg.FaultCount(obs.FaultPerturb); got != wantPerturb {
+		t.Errorf("perturbation count: injected %d, observed %d", wantPerturb, got)
+	}
+	if got := reg.FaultCount(obs.FaultGxhcStraggler); got == 0 {
+		t.Error("gxhc straggler injections not observed")
+	}
+}
+
+// TestStragglerAnomalyDumpsFlightRecorder pins the anomaly loop: an
+// injected straggler trips the detector, bumps the anomaly counters and
+// dumps the flight recorder with the offending op marked and a replay
+// token that parses back to this exact run.
+func TestStragglerAnomalyDumpsFlightRecorder(t *testing.T) {
+	c, s := DeriveCase(fixtureCfgSeed), DeriveSchedule(fixtureSchedSeed)
+	reg := obs.NewRegistry(false)
+	if _, err := RunCaseObs(c, s, reg); err != nil {
+		t.Fatalf("fixture run failed: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Value("anomaly.stragglers"); n < 1 {
+		t.Fatalf("anomaly.stragglers = %v, want >= 1", n)
+	}
+	dumps := reg.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("no flight dumps registered")
+	}
+	wantTok := ReplayToken(c.CfgSeed, s.SchedSeed)
+	for _, d := range dumps {
+		if d.Kind != "straggler" {
+			t.Errorf("dump kind = %q", d.Kind)
+		}
+		if d.ReplayToken != wantTok {
+			t.Errorf("dump token = %q, want %q", d.ReplayToken, wantTok)
+		}
+		var offending int
+		for _, rec := range d.Records {
+			if rec.Offending {
+				offending++
+				if int(rec.Lane) != d.OffLane || rec.Seq != d.OffSeq {
+					t.Errorf("offending record lane/seq %d/%d, dump header %d/%d",
+						rec.Lane, rec.Seq, d.OffLane, d.OffSeq)
+				}
+			}
+		}
+		if offending != 1 {
+			t.Errorf("dump has %d offending records, want exactly 1", offending)
+		}
+		// The token round-trips through the format xhcverify -replay parses.
+		parts := strings.SplitN(d.ReplayToken, ":", 2)
+		if len(parts) != 2 {
+			t.Fatalf("token %q not cfgseed:schedseed", d.ReplayToken)
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseUint(strings.TrimPrefix(p, "0x"), 16, 64)
+			if err != nil {
+				t.Fatalf("token part %q: %v", p, err)
+			}
+			if want := []uint64{c.CfgSeed, s.SchedSeed}[i]; v != want {
+				t.Errorf("token part %d = %#x, want %#x", i, v, want)
+			}
+		}
+	}
+}
+
+// TestUnobservedRunMatchesObserved: attaching the registry must not change
+// the run's schedule fingerprint or verdict (the observer is passive).
+func TestUnobservedRunMatchesObserved(t *testing.T) {
+	c, s := DeriveCase(fixtureCfgSeed), DeriveSchedule(fixtureSchedSeed)
+	plain, err := RunCase(c, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsd, err := RunCaseObs(c, s, obs.NewRegistry(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != obsd {
+		t.Fatalf("schedule fingerprint changed under observation: %#x vs %#x", plain, obsd)
+	}
+}
+
+// TestUCCBcastZeroBytes pins the n=0 guard: a zero-byte broadcast against
+// the ucc baseline must not divide by zero in its segment math (latent
+// crash surfaced by the observed wide sweep).
+func TestUCCBcastZeroBytes(t *testing.T) {
+	c, s := DeriveCase(fixtureCfgSeed), DeriveSchedule(0)
+	c.Kind = KindBcast
+	c.Bytes = 0
+	c.Baseline = "ucc"
+	if _, err := RunCase(c, s); err != nil {
+		t.Fatalf("zero-byte ucc bcast: %v", err)
+	}
+}

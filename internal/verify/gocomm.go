@@ -6,7 +6,10 @@ import (
 	"time"
 
 	"xhc/internal/gxhc"
+	"xhc/internal/mem"
 	"xhc/internal/mpi"
+	"xhc/internal/obs"
+	"xhc/internal/sim"
 )
 
 // runGoComm cross-checks the case on the real-concurrency Go backend.
@@ -16,7 +19,7 @@ import (
 // made a straggler before every op. chaos seeds the StaleReady mutant for
 // the self-test (which also forces the straggler, the condition under
 // which the mutant's junk copy is certain).
-func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
+func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) error {
 	bcastOnly := c.Kind == KindBcast
 	if !bcastOnly && (c.Dt != mpi.Float64 || c.Op != mpi.Sum) {
 		return nil
@@ -29,6 +32,15 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
 	comm, err := gxhc.New(c.Ranks, gcfg)
 	if err != nil {
 		return err
+	}
+	// Observe the communicator: a wall-clock world whose recorder gets one
+	// flight record per (participant, collective) via AttachRecorder.
+	var wo *obs.World
+	if reg != nil {
+		wo = reg.NewWorld("gxhc", c.Ranks, obs.WallTicksPerUS, obs.WallClock())
+		wo.Rec.Backend = "gxhc"
+		wo.Rec.SetReplayToken(ReplayToken(c.CfgSeed, s.SchedSeed))
+		comm.AttachRecorder(wo.Rec)
 	}
 	ref := buildRef(c)
 	var delay time.Duration
@@ -47,6 +59,9 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
 				for op := 0; op < c.Ops; op++ {
 					copy(buf, ref.fill[op][rank])
 					if rank == c.Root && delay > 0 {
+						if wo != nil {
+							wo.Rec.CountFault(obs.FaultGxhcStraggler)
+						}
 						time.Sleep(delay)
 					}
 					comm.Bcast(rank, buf, c.Root)
@@ -68,6 +83,9 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
 					dst[i] = math.NaN()
 				}
 				if rank == 0 && delay > 0 {
+					if wo != nil {
+						wo.Rec.CountFault(obs.FaultGxhcStraggler)
+					}
 					time.Sleep(delay)
 				}
 				comm.AllreduceFloat64(rank, dst, src)
@@ -85,8 +103,16 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig) error {
 		}(r)
 	}
 	wg.Wait()
+	if wo != nil {
+		// No memory model or engine behind gxhc; fold only the recorder's
+		// histograms and close out the detector.
+		wo.Finish(mem.Stats{}, sim.EngineStats{})
+	}
 	for _, e := range errs {
 		if e != nil {
+			if wo != nil {
+				wo.Rec.DumpNow("failure", e.Error())
+			}
 			return e
 		}
 	}

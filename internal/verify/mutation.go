@@ -59,7 +59,7 @@ func runMutant(c Case, chaos *core.ChaosConfig) error {
 	if err != nil {
 		return err
 	}
-	_, err = runSim(c, Schedule{}, "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+	_, err = runSim(c, Schedule{}, "xhc", nil, func(w *env.World) (coll.Component, *core.Comm, error) {
 		cc, err := core.New(w, cfg)
 		return cc, cc, err
 	})
@@ -98,7 +98,7 @@ func RunMutationSelfTest(includeGoComm bool) []MutationOutcome {
 	c := base
 	c.Chaos = nil
 	cfg, _ := c.coreConfig()
-	_, err := runSim(c, faultSchedule(), "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+	_, err := runSim(c, faultSchedule(), "xhc", nil, func(w *env.World) (coll.Component, *core.Comm, error) {
 		cc, err := core.New(w, cfg)
 		return cc, cc, err
 	})
@@ -128,8 +128,8 @@ func RunMutationSelfTest(includeGoComm bool) []MutationOutcome {
 		gc.Chunk = 4 << 10
 		gc.Bytes = 64 << 10
 		fs := faultSchedule() // the straggling root is what exposes the mutant
-		record("gocomm/clean", false, runGoComm(gc, fs, nil))
-		record("gocomm/stale-ready", true, runGoComm(gc, fs, &gxhc.ChaosConfig{StaleReady: true}))
+		record("gocomm/clean", false, runGoComm(gc, fs, nil, nil))
+		record("gocomm/stale-ready", true, runGoComm(gc, fs, &gxhc.ChaosConfig{StaleReady: true}, nil))
 	}
 	return out
 }

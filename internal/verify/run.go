@@ -7,9 +7,17 @@ import (
 	"xhc/internal/core"
 	"xhc/internal/env"
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/sim"
 	"xhc/internal/topo"
 )
+
+// ReplayToken renders the (config, schedule) seed pair the way
+// `xhcverify -replay` accepts it, so flight dumps name the exact run that
+// reproduces them.
+func ReplayToken(cfgSeed, schedSeed uint64) string {
+	return fmt.Sprintf("%#016x:%#016x", cfgSeed, schedSeed)
+}
 
 // applyEngine installs the schedule's tie-breaker and wake jitter on a
 // fresh engine. Everything derives from SchedSeed, so a replay installs
@@ -57,7 +65,7 @@ type memSnap struct {
 // holding control flags is written by two cores, and control-structure
 // allocation stops growing after the first operation. It returns the
 // schedule fingerprint alongside the verdict.
-func runSim(c Case, s Schedule, what string,
+func runSim(c Case, s Schedule, what string, reg *obs.Registry,
 	build func(w *env.World) (coll.Component, *core.Comm, error)) (uint64, error) {
 
 	t, err := topo.New(c.Plat)
@@ -73,6 +81,18 @@ func runSim(c Case, s Schedule, what string,
 	applyEngine(eng, s)
 	eng.EnableScheduleHash()
 	tracker := installTracker(w.Sys)
+	// Observe the world through the sweep's registry (unless a process-wide
+	// env.Observer already did) and stamp the recorder with the replay
+	// token, so an anomaly or failure dump names the run that reproduces it.
+	if reg != nil && w.Obs == nil {
+		wo := reg.NewWorld(what, t.NCores, obs.SimTicksPerUS, eng.Clock())
+		wo.InitDistance(t, m)
+		w.Obs = wo
+		w.Sys.OnFlow = wo.FlowHook()
+	}
+	if w.Obs != nil {
+		w.Obs.Rec.SetReplayToken(ReplayToken(c.CfgSeed, s.SchedSeed))
+	}
 
 	comp, xc, err := build(w)
 	if err != nil {
@@ -100,7 +120,12 @@ func runSim(c Case, s Schedule, what string,
 		for i := 0; i < 3; i++ {
 			at := sim.Time(10+dr.next()%990) * sim.Time(sim.Microsecond)
 			rank := int(dr.next() % uint64(c.Ranks))
-			eng.At(at, func() { xc.Cache(rank).Drop() })
+			eng.At(at, func() {
+				xc.Cache(rank).Drop()
+				if w.Obs != nil {
+					w.Obs.Rec.CountFault(obs.FaultEviction)
+				}
+			})
 		}
 	}
 
@@ -122,6 +147,13 @@ func runSim(c Case, s Schedule, what string,
 			}
 			p.HarnessBarrier()
 			if d := s.opDelay(p.Rank, op); d > 0 {
+				if w.Obs != nil {
+					if d >= 10*sim.Microsecond {
+						w.Obs.Rec.CountFault(obs.FaultStraggler)
+					} else {
+						w.Obs.Rec.CountFault(obs.FaultPerturb)
+					}
+				}
 				p.Compute(d)
 			}
 			if c.Kind == KindBcast {
@@ -144,22 +176,30 @@ func runSim(c Case, s Schedule, what string,
 		}
 	})
 	hash := eng.ScheduleHash()
+	// Any invariant failure dumps the flight recorder: the last N ops of
+	// every rank, with the replay token, are the forensic record.
+	fail := func(err error) (uint64, error) {
+		if w.Obs != nil {
+			w.Obs.Rec.DumpNow("failure", err.Error())
+		}
+		return hash, err
+	}
 	if runErr != nil {
-		return hash, fmt.Errorf("%s: %w", what, runErr)
+		return fail(fmt.Errorf("%s: %w", what, runErr))
 	}
 	if checkErr != nil {
-		return hash, checkErr
+		return fail(checkErr)
 	}
 	if err := tracker.err(); err != nil {
-		return hash, fmt.Errorf("%s: %w", what, err)
+		return fail(fmt.Errorf("%s: %w", what, err))
 	}
 	// Control structures are per-communicator: lazily built state may be
 	// allocated during the first op, but from then on the counts must not
 	// move.
 	for op := 2; op < c.Ops; op++ {
 		if snaps[op] != snaps[1] {
-			return hash, fmt.Errorf("%s: control memory grows per operation: %d lines/%d buffers after op 2, %d/%d after op %d",
-				what, snaps[1].lines, snaps[1].bufs, snaps[op].lines, snaps[op].bufs, op+1)
+			return fail(fmt.Errorf("%s: control memory grows per operation: %d lines/%d buffers after op 2, %d/%d after op %d",
+				what, snaps[1].lines, snaps[1].bufs, snaps[op].lines, snaps[op].bufs, op+1))
 		}
 	}
 	return hash, nil
@@ -171,24 +211,32 @@ func runSim(c Case, s Schedule, what string,
 // reference bytes. The returned fingerprint identifies the XHC run's
 // schedule.
 func RunCase(c Case, s Schedule) (uint64, error) {
+	return RunCaseObs(c, s, nil)
+}
+
+// RunCaseObs is RunCase with every backend's run observed through reg
+// (nil for unobserved runs): latencies feed the registry's histograms,
+// injected faults its counters, and failures dump the flight recorder
+// with this run's replay token attached.
+func RunCaseObs(c Case, s Schedule, reg *obs.Registry) (uint64, error) {
 	cfg, err := c.coreConfig()
 	if err != nil {
 		return 0, err
 	}
-	hash, err := runSim(c, s, "xhc", func(w *env.World) (coll.Component, *core.Comm, error) {
+	hash, err := runSim(c, s, "xhc", reg, func(w *env.World) (coll.Component, *core.Comm, error) {
 		cc, err := core.New(w, cfg)
 		return cc, cc, err
 	})
 	if err != nil {
 		return hash, err
 	}
-	if _, err := runSim(c, s, c.Baseline, func(w *env.World) (coll.Component, *core.Comm, error) {
+	if _, err := runSim(c, s, c.Baseline, reg, func(w *env.World) (coll.Component, *core.Comm, error) {
 		comp, err := coll.New(c.Baseline, w)
 		return comp, nil, err
 	}); err != nil {
 		return hash, err
 	}
-	if err := runGoComm(c, s, nil); err != nil {
+	if err := runGoComm(c, s, nil, reg); err != nil {
 		return hash, err
 	}
 	return hash, nil

@@ -35,3 +35,17 @@ trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/xhcrepro -quick -parallel 1 -o "$tmpdir/seq.md"
 go run ./cmd/xhcrepro -quick -parallel 4 -o "$tmpdir/par.md"
 cmp "$tmpdir/seq.md" "$tmpdir/par.md"
+
+# Live telemetry must be report-invariant: stdout with -telemetry serving
+# (histograms, flight recorder and straggler detection all active) is
+# byte-identical to stdout with telemetry off. The endpoint reports its
+# address on stderr only.
+go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
+    -sizes 4,1024,65536 -json "$tmpdir/cells.json" > "$tmpdir/bench_off.txt"
+go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
+    -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > "$tmpdir/bench_on.txt" 2>/dev/null
+cmp "$tmpdir/bench_off.txt" "$tmpdir/bench_on.txt"
+
+# Regression gate sanity: xhcstat must pass a self-diff of the cells it
+# just measured (zero regressions against itself, exit 0).
+go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
