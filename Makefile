@@ -33,6 +33,8 @@ verify:
 # Seed corpora plus a few seconds of coverage-guided mutation.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$$' ./internal/gxhc/
+	$(GO) test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$$' ./internal/gxhc/
+	$(GO) test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$$' ./internal/hier/
 
 # Oversubscription regression (spinUntil starvation) and the pin that
@@ -45,16 +47,24 @@ harness-checks:
 	cmp /tmp/xhc_check_seq.md /tmp/xhc_check_par.md
 
 # Telemetry invariance + regression-gate sanity: serving live telemetry
-# must not change benchmark stdout by a byte, and xhcstat must pass a
-# self-diff of freshly measured cells (see DESIGN.md section 11).
+# must not change benchmark stdout by a byte (checked on bcast and on one
+# of the newer collectives), and xhcstat must pass a self-diff of freshly
+# measured cells (see DESIGN.md section 11).
 telemetry-check:
 	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
 	    -sizes 4,1024,65536 -json /tmp/xhc_check_cells.json > /tmp/xhc_check_tel_off.txt
 	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
 	    -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > /tmp/xhc_check_tel_on.txt 2>/dev/null
 	cmp /tmp/xhc_check_tel_off.txt /tmp/xhc_check_tel_on.txt
+	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
+	    -sizes 4,1024,65536 -json /tmp/xhc_check_cells_sc.json > /tmp/xhc_check_sc_off.txt
+	$(GO) run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
+	    -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > /tmp/xhc_check_sc_on.txt 2>/dev/null
+	cmp /tmp/xhc_check_sc_off.txt /tmp/xhc_check_sc_on.txt
 	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cells.json \
 	    -current /tmp/xhc_check_cells.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cells_sc.json \
+	    -current /tmp/xhc_check_cells_sc.json > /dev/null
 
 check: build vet test race verify fuzz-smoke harness-checks telemetry-check
 

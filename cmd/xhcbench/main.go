@@ -44,7 +44,7 @@ type cellRecord struct {
 
 func main() {
 	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1")
-	collective := flag.String("coll", "bcast", "bcast | allreduce")
+	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter")
 	comps := flag.String("comp", "xhc-tree", "comma-separated component list (see -listcomp)")
 	sizesArg := flag.String("sizes", "", "comma-separated byte sizes (default: 4B..4MB sweep)")
 	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
@@ -128,6 +128,10 @@ func main() {
 		}
 	}
 
+	if *collective == "barrier" {
+		sizes = []int{0} // no payload; one row
+	}
+
 	names := strings.Split(*comps, ",")
 	all := map[string]map[int]float64{}
 	var records []cellRecord
@@ -152,6 +156,14 @@ func main() {
 				rs, err = b.Bcast([]int{size})
 			case "allreduce":
 				rs, err = b.Allreduce([]int{size})
+			case "barrier":
+				rs, err = b.Barrier()
+			case "reduce":
+				rs, err = b.Reduce([]int{size})
+			case "allgather":
+				rs, err = b.Allgather([]int{size})
+			case "scatter":
+				rs, err = b.Scatter([]int{size})
 			default:
 				fmt.Fprintf(os.Stderr, "unknown collective %q\n", *collective)
 				os.Exit(2)

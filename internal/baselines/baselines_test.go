@@ -214,6 +214,141 @@ func TestXBRCReduce(t *testing.T) {
 	}
 }
 
+func TestBarrierComponents(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, nranks := range []int{1, 2, 13, 32} {
+		for _, name := range []string{"tuned", "sm"} {
+			w := newWorld(t, top, nranks)
+			b, ok := componentsByName(w, name).(Barrierer)
+			if !ok {
+				t.Fatalf("%s does not implement Barrierer", name)
+			}
+			if err := w.Run(func(p *env.Proc) {
+				for it := 0; it < 3; it++ {
+					b.Barrier(p)
+				}
+			}); err != nil {
+				t.Fatalf("%s nranks=%d: %v", name, nranks, err)
+			}
+		}
+	}
+}
+
+func TestReduceComponents(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, nranks := range []int{1, 7, 32} {
+		for _, root := range []int{0, nranks - 1} {
+			for _, elems := range []int{1, 300, 9000} {
+				for _, name := range []string{"tuned", "sm", "xbrc"} {
+					n := elems * 8
+					w := newWorld(t, top, nranks)
+					red, ok := componentsByName(w, name).(Reducer)
+					if !ok {
+						t.Fatalf("%s does not implement Reducer", name)
+					}
+					sbufs := make([]*mem.Buffer, nranks)
+					rbufs := make([]*mem.Buffer, nranks)
+					want := make([]int64, elems)
+					for r := 0; r < nranks; r++ {
+						sbufs[r] = w.NewBufferAt("s", r, n)
+						rbufs[r] = w.NewBufferAt("r", r, n)
+						vals := make([]int64, elems)
+						for i := range vals {
+							vals[i] = int64(r*13 - i)
+							want[i] += vals[i]
+						}
+						mpi.EncodeInt64s(sbufs[r].Data, vals)
+					}
+					if err := w.Run(func(p *env.Proc) {
+						red.Reduce(p, sbufs[p.Rank], rbufs[p.Rank], n, mpi.Int64, mpi.Sum, root)
+					}); err != nil {
+						t.Fatalf("%s nranks=%d root=%d elems=%d: %v", name, nranks, root, elems, err)
+					}
+					got := make([]int64, elems)
+					mpi.DecodeInt64s(rbufs[root].Data, got)
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s nranks=%d root=%d elems=%d elem=%d: got %d want %d",
+								name, nranks, root, elems, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherComponents(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, nranks := range []int{1, 2, 13, 32} {
+		for _, blockLen := range []int{0, 1, 700, 100 << 10} {
+			for _, name := range []string{"tuned", "sm"} {
+				w := newWorld(t, top, nranks)
+				ag, ok := componentsByName(w, name).(Allgatherer)
+				if !ok {
+					t.Fatalf("%s does not implement Allgatherer", name)
+				}
+				ins := make([]*mem.Buffer, nranks)
+				outs := make([]*mem.Buffer, nranks)
+				for r := 0; r < nranks; r++ {
+					ins[r] = w.NewBufferAt("in", r, blockLen)
+					outs[r] = w.NewBufferAt("out", r, blockLen*nranks)
+					for i := range ins[r].Data {
+						ins[r].Data[i] = byte(r*29 + i)
+					}
+				}
+				if err := w.Run(func(p *env.Proc) {
+					ag.Allgather(p, ins[p.Rank], outs[p.Rank], blockLen)
+				}); err != nil {
+					t.Fatalf("%s nranks=%d block=%d: %v", name, nranks, blockLen, err)
+				}
+				for r := 0; r < nranks; r++ {
+					for b := 0; b < nranks; b++ {
+						if !bytes.Equal(outs[r].Data[b*blockLen:(b+1)*blockLen], ins[b].Data) {
+							t.Fatalf("%s nranks=%d block=%d: rank %d block %d wrong", name, nranks, blockLen, r, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatterComponents(t *testing.T) {
+	top := topo.Epyc1P()
+	for _, nranks := range []int{1, 2, 13, 32} {
+		for _, root := range []int{0, nranks / 2} {
+			for _, blockLen := range []int{0, 1, 700, 40 << 10} {
+				for _, name := range []string{"tuned", "sm"} {
+					w := newWorld(t, top, nranks)
+					sc, ok := componentsByName(w, name).(Scatterer)
+					if !ok {
+						t.Fatalf("%s does not implement Scatterer", name)
+					}
+					in := w.NewBufferAt("in", root, blockLen*nranks)
+					for i := range in.Data {
+						in.Data[i] = byte(i*7 + 1)
+					}
+					outs := make([]*mem.Buffer, nranks)
+					for r := 0; r < nranks; r++ {
+						outs[r] = w.NewBufferAt("out", r, blockLen)
+					}
+					if err := w.Run(func(p *env.Proc) {
+						sc.Scatter(p, in, outs[p.Rank], blockLen, root)
+					}); err != nil {
+						t.Fatalf("%s nranks=%d root=%d block=%d: %v", name, nranks, root, blockLen, err)
+					}
+					for r := 0; r < nranks; r++ {
+						if !bytes.Equal(outs[r].Data, in.Data[r*blockLen:(r+1)*blockLen]) {
+							t.Fatalf("%s nranks=%d root=%d block=%d: rank %d wrong block", name, nranks, root, blockLen, r)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestKnomialTreeShape(t *testing.T) {
 	// Radix 4, 16 ranks: verify parents/children form a consistent tree.
 	N, k := 16, 4

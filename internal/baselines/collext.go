@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"xhc/internal/env"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+)
+
+// Capability interfaces for the collectives beyond the base Component
+// surface. Components implement the ones their real-world counterparts
+// ship (core.Comm implements all of them); callers type-assert, the way
+// OpenMPI's coll framework falls back when a module leaves a pointer nil.
+type (
+	// Barrierer synchronizes all ranks.
+	Barrierer interface {
+		Barrier(p *env.Proc)
+	}
+	// Reducer reduces into root's rbuf only.
+	Reducer interface {
+		Reduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, root int)
+	}
+	// Allgatherer concatenates every rank's blockLen-byte in block into
+	// each rank's out buffer in rank order.
+	Allgatherer interface {
+		Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int)
+	}
+	// Scatterer distributes blockLen-byte blocks from root's buf (N
+	// blocks in rank order) to each rank's out.
+	Scatterer interface {
+		Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int)
+	}
+)
+
+var (
+	_ Barrierer   = (*Tuned)(nil)
+	_ Reducer     = (*Tuned)(nil)
+	_ Allgatherer = (*Tuned)(nil)
+	_ Scatterer   = (*Tuned)(nil)
+	_ Barrierer   = (*SM)(nil)
+	_ Reducer     = (*SM)(nil)
+	_ Allgatherer = (*SM)(nil)
+	_ Scatterer   = (*SM)(nil)
+	_ Reducer     = (*XBRC)(nil)
+)
+
+// Tag spaces for the flat p2p collectives (distinct from the bcast/
+// allreduce spaces in this file's siblings).
+const (
+	tagBarrier   = 1 << 22
+	tagReduce    = 1 << 23
+	tagAllgather = 1 << 24
+	tagScatter   = 1 << 25
+)
+
+// Barrier: dissemination barrier — log2(N) rounds of one-byte tokens, each
+// rank signaling (rank+2^k) mod N and waiting on (rank-2^k) mod N. Token
+// messages are far below the eager threshold, so the all-send rounds
+// cannot deadlock.
+func (t *Tuned) Barrier(p *env.Proc) {
+	N := t.W.N
+	if N == 1 {
+		return
+	}
+	tok := t.scratch(p.Rank, 1)
+	for k, mask := 0, 1; mask < N; k, mask = k+1, mask<<1 {
+		t.P.Send(p, (p.Rank+mask)%N, tagBarrier+k, tok, 0, 1)
+		t.P.Recv(p, (p.Rank-mask+N)%N, tagBarrier+k, tok, 0, 1)
+	}
+}
+
+// Reduce: binomial tree toward the root — leaves send their contribution,
+// inner nodes fold received subtree sums into an accumulator (rbuf at the
+// root, internal scratch elsewhere) before forwarding it up.
+func (t *Tuned) Reduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, root int) {
+	if n == 0 {
+		return
+	}
+	N := t.W.N
+	vr := (p.Rank - root + N) % N
+	acc, accOff, tmp, tmpOff := rbuf, 0, t.scratch(p.Rank, n), 0
+	if p.Rank != root {
+		sc := t.scratch(p.Rank, 2*n)
+		acc, accOff, tmp, tmpOff = sc, 0, sc, n
+	}
+	p.Copy(acc, accOff, sbuf, 0, n)
+	for mask := 1; mask < N; mask <<= 1 {
+		if vr&mask != 0 {
+			t.P.Send(p, ((vr-mask)+root)%N, tagReduce, acc, accOff, n)
+			return
+		}
+		child := vr + mask
+		if child >= N {
+			continue
+		}
+		t.P.Recv(p, (child+root)%N, tagReduce, tmp, tmpOff, n)
+		mpi.ReduceBytes(op, dt, acc.Data[accOff:accOff+n], tmp.Data[tmpOff:tmpOff+n])
+		p.ChargeCompute(n)
+		p.Dirty(acc)
+	}
+}
+
+// Allgather: ring — N-1 steps, each rank forwarding the block it received
+// in the previous step to its successor. Even ranks send first and odd
+// ranks receive first, so the cycle of rendezvous sends cannot close.
+func (t *Tuned) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int) {
+	N := t.W.N
+	p.Copy(out, p.Rank*blockLen, in, 0, blockLen)
+	if N == 1 || blockLen == 0 {
+		return
+	}
+	next, prev := (p.Rank+1)%N, (p.Rank-1+N)%N
+	for s := 0; s < N-1; s++ {
+		sendBlk := (p.Rank - s + N*N) % N
+		recvBlk := (p.Rank - s - 1 + N*N) % N
+		if p.Rank%2 == 0 {
+			t.P.Send(p, next, tagAllgather+s, out, sendBlk*blockLen, blockLen)
+			t.P.Recv(p, prev, tagAllgather+s, out, recvBlk*blockLen, blockLen)
+		} else {
+			t.P.Recv(p, prev, tagAllgather+s, out, recvBlk*blockLen, blockLen)
+			t.P.Send(p, next, tagAllgather+s, out, sendBlk*blockLen, blockLen)
+		}
+	}
+}
+
+// Scatter: binomial — the root stages the blocks in virtual-rank order,
+// then each holder of a span repeatedly sends away its upper half. Inner
+// ranks receive their span into scratch and keep only their own block.
+func (t *Tuned) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int) {
+	if blockLen == 0 {
+		return
+	}
+	N := t.W.N
+	vr := (p.Rank - root + N) % N
+	var stage *mem.Buffer
+	mask := 1
+	if vr == 0 {
+		// Rotate into virtual order so every binomial span is contiguous
+		// (OpenMPI's tmpbuf for non-zero roots).
+		stage = t.scratch(p.Rank, blockLen*N)
+		for v := 0; v < N; v++ {
+			p.Copy(stage, v*blockLen, buf, ((v+root)%N)*blockLen, blockLen)
+		}
+		for mask < N {
+			mask <<= 1
+		}
+	} else {
+		mask = vr & -vr // lowest set bit: the span this rank receives
+		span := min(mask, N-vr)
+		stage = t.scratch(p.Rank, span*blockLen)
+		t.P.Recv(p, ((vr-mask)+root)%N, tagScatter, stage, 0, span*blockLen)
+	}
+	for mask >>= 1; mask >= 1; mask >>= 1 {
+		child := vr + mask
+		if child >= N {
+			continue
+		}
+		span := min(mask, N-child)
+		t.P.Send(p, (child+root)%N, tagScatter, stage, mask*blockLen, span*blockLen)
+	}
+	p.Copy(out, 0, stage, 0, blockLen)
+}

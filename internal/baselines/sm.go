@@ -130,6 +130,127 @@ func (s *SM) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Dataty
 	}
 }
 
+// Barrier: the op-entry ticket gate is already a full barrier — every rank
+// atomically takes a ticket and waits for all N of the op's tickets, one
+// more instance of the per-op atomic storm of Fig. 4.
+func (s *SM) Barrier(p *env.Proc) {
+	s.enter(p, &s.views[p.Rank])
+}
+
+// Reduce: the fan-in half of Allreduce — every rank stages its contribution
+// into its slot, the root reduces all slots sequentially into rbuf. Chunked
+// by the slot capacity; the ticket gate of the next chunk keeps a slot from
+// being restaged before the root has drained it.
+func (s *SM) Reduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, root int) {
+	if n == 0 {
+		s.reduceChunk(p, sbuf, rbuf, 0, 0, dt, op, root)
+		return
+	}
+	for o := 0; o < n; o += s.cfg.SegBytes {
+		sz := min(s.cfg.SegBytes, n-o)
+		s.reduceChunk(p, sbuf, rbuf, o, sz, dt, op, root)
+	}
+}
+
+func (s *SM) reduceChunk(p *env.Proc, sbuf, rbuf *mem.Buffer, off, n int, dt mpi.Datatype, op mpi.Op, root int) {
+	v := &s.views[p.Rank]
+	s.enter(p, v)
+	if n == 0 {
+		return
+	}
+	N := uint64(s.W.N)
+	p.Copy(s.slots[p.Rank], 0, sbuf, off, n)
+	s.arrived.FetchAdd(p.S, p.Core, 1)
+	if p.Rank == root {
+		s.arrived.WaitGE(p.S, p.Core, v.ar+N)
+		p.Copy(rbuf, off, s.slots[0], 0, n)
+		for r := 1; r < s.W.N; r++ {
+			p.ChargeRead(s.slots[r], 0, n)
+			mpi.ReduceBytes(op, dt, rbuf.Data[off:off+n], s.slots[r].Data[:n])
+			p.ChargeCompute(n)
+		}
+		p.Dirty(rbuf)
+	}
+	v.ar += N
+}
+
+// Allgather: every rank stages its block into its slot; once all arrivals
+// are in, every rank copies every slot out — the flat all-to-all read the
+// segment slots make possible. Chunked by the slot capacity.
+func (s *SM) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int) {
+	if blockLen == 0 {
+		s.allgatherChunk(p, in, out, 0, 0, blockLen)
+		return
+	}
+	for o := 0; o < blockLen; o += s.cfg.SegBytes {
+		sz := min(s.cfg.SegBytes, blockLen-o)
+		s.allgatherChunk(p, in, out, o, sz, blockLen)
+	}
+}
+
+func (s *SM) allgatherChunk(p *env.Proc, in *mem.Buffer, out *mem.Buffer, off, n, blockLen int) {
+	v := &s.views[p.Rank]
+	s.enter(p, v)
+	if n == 0 {
+		return
+	}
+	N := uint64(s.W.N)
+	p.Copy(s.slots[p.Rank], 0, in, off, n)
+	s.arrived.FetchAdd(p.S, p.Core, 1)
+	s.arrived.WaitGE(p.S, p.Core, v.ar+N)
+	for r := 0; r < s.W.N; r++ {
+		p.Copy(out, r*blockLen+off, s.slots[r], 0, n)
+	}
+	v.ar += N
+}
+
+// Scatter: the root streams the concatenated blocks through the staging
+// segment in rounds (as in Bcast); each reader copies out only the
+// intersection of the staged window with its own block, but still
+// acknowledges every round so the segment can recycle.
+func (s *SM) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int) {
+	v := &s.views[p.Rank]
+	s.enter(p, v)
+	if blockLen == 0 {
+		return
+	}
+	n := blockLen * s.W.N
+	readers := uint64(s.W.N - 1)
+	chunk := s.cfg.ChunkBytes
+	rounds := (n + chunk - 1) / chunk
+	myLo, myHi := p.Rank*blockLen, (p.Rank+1)*blockLen
+	for r := 0; r < rounds; r++ {
+		o := r * chunk
+		sz := min(chunk, n-o)
+		round := v.rounds + uint64(r)
+		if p.Rank == root {
+			if round > 0 {
+				s.copied.WaitGE(p.S, p.Core, round*readers)
+			}
+			p.Copy(s.seg, 0, buf, o, sz)
+			s.ready.FetchAdd(p.S, p.Core, 1)
+		} else {
+			s.ready.WaitGE(p.S, p.Core, round+1)
+			lo, hi := o, o+sz
+			if lo < myLo {
+				lo = myLo
+			}
+			if hi > myHi {
+				hi = myHi
+			}
+			if lo < hi {
+				p.Copy(out, lo-myLo, s.seg, lo-o, hi-lo)
+			}
+			s.copied.FetchAdd(p.S, p.Core, 1)
+		}
+	}
+	if p.Rank == root {
+		p.Copy(out, 0, buf, myLo, blockLen)
+		s.copied.WaitGE(p.S, p.Core, (v.rounds+uint64(rounds))*readers)
+	}
+	v.rounds += uint64(rounds)
+}
+
 func (s *SM) allreduceChunk(p *env.Proc, sbuf, rbuf *mem.Buffer, off, n int, dt mpi.Datatype, op mpi.Op) {
 	v := &s.views[p.Rank]
 	s.enter(p, v)

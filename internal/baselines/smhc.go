@@ -192,9 +192,20 @@ func (s *SMHC) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
 			}
 			for copied := 0; copied < n; {
 				sz := min(chunk, n-copied)
+				// An out-of-tree root that leads groups serves its own
+				// members from the same staged chunks, so their recycling
+				// acks gate slot reuse alongside rank 0's drain.
+				s.waitSlotFree(p, v, copied, chunk)
 				p.Copy(s.segs[root], slotOf(copied), buf, off+copied, sz)
 				copied += sz
 				feedReady.Set(p.S, p.Core, base+uint64(copied))
+				// The members of the root's own groups never hear from the
+				// rank-0 tree (their leader is the root itself): announce
+				// the staged bytes to them directly.
+				for _, l := range lead {
+					_, lgi := s.groupOf(l, p.Rank)
+					s.ready[l][lgi].Set(p.S, p.Core, v.cumBytes[l]+uint64(copied))
+				}
 				// Chunk-synchronous: wait for rank 0 to drain before the
 				// slot could be reused.
 				if copied < n {

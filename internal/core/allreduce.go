@@ -83,6 +83,25 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 		}
 	}
 	c.ackPhase(p, st, view, pc)
+	if !bcast {
+		// A rooted reduce skips the broadcast phase, so nothing else orders a
+		// member's return after the sibling reducers that read its exposed
+		// sbuf (or scratch accumulator). Hold until every co-member of the
+		// pull group has acked — only then may the caller reuse those
+		// buffers. The group leader is excluded: it never acks into its own
+		// led group (and only reads contributions before acking anyway).
+		if pl := st.pullLevel(p.Rank); pl >= 0 {
+			gs, _ := st.groupOf(pl, p.Rank)
+			var flags []*shm.Flag
+			for _, m := range gs.g.Members {
+				if m != p.Rank && m != gs.leader {
+					flags = append(flags, gs.acks[m])
+				}
+			}
+			shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
+			pc.mark(-1, obs.PhaseAck, 0)
+		}
+	}
 	pc.finish()
 }
 
@@ -226,6 +245,13 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 	}
 	redBase := view.redCum[pl]
 	chunk := c.chunkAt(pl)
+	early := c.chaos().EarlyReady
+	if early {
+		// Mutation: publish the whole slice as reduced before any of the
+		// reduction work ran — the leader forwards (or the root drains)
+		// unreduced bytes.
+		gs.redDone[p.Rank].Set(p.S, p.Core, doneBase+uint64(e-s))
+	}
 
 	// Attach the accumulator and every participant's contribution.
 	gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
@@ -251,7 +277,9 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 		pc.mark(pl, obs.PhaseFlagWait, 0)
 		c.reduceChunk(p, gs, accB, accOff, srcs, offs, cur, step, dt, op)
 		cur += step
-		gs.redDone[p.Rank].Set(p.S, p.Core, doneBase+uint64(cur-s))
+		if !early {
+			gs.redDone[p.Rank].Set(p.S, p.Core, doneBase+uint64(cur-s))
+		}
 		pc.mark(pl, obs.PhaseReduceSlice, int64(step))
 	}
 }
@@ -663,6 +691,11 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 		part := c.reducePartition(gs, n, es, c.Cfg.CICOMinReduce)
 		if sl, ok := part[p.Rank]; ok && sl[1] > sl[0] {
 			s0, e0 := sl[0], sl[1]
+			early := c.chaos().EarlyReady
+			if early {
+				// Mutation: announce the slice as reduced before folding it.
+				gs.redDone[p.Rank].Set(p.S, p.Core, view.redDoneBase(pl)+uint64(e0-s0))
+			}
 			// Wait for every participant's contribution, fold the slice
 			// into the leader's CICO slot (in place: it already holds the
 			// leader's contribution).
@@ -683,7 +716,9 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 				p.ChargeCompute(e0 - s0)
 			}
 			p.Dirty(dst)
-			gs.redDone[p.Rank].Set(p.S, p.Core, view.redDoneBase(pl)+uint64(e0-s0))
+			if !early {
+				gs.redDone[p.Rank].Set(p.S, p.Core, view.redDoneBase(pl)+uint64(e0-s0))
+			}
 			pc.mark(pl, obs.PhaseReduceSlice, int64(e0-s0))
 		}
 	}
@@ -739,6 +774,19 @@ func (c *Comm) Barrier(p *env.Proc) {
 	// for their members bottom-up before signalling their own arrival.
 	lead := st.leadLevels(p.Rank)
 	pl := st.pullLevel(p.Rank)
+	ch := c.chaos()
+	// Release down (the root starts the release, leaders forward it).
+	release := func() {
+		for i := len(lead) - 1; i >= 0; i-- {
+			gs, _ := st.groupOf(lead[i], p.Rank)
+			c.setReady(p, gs, view.cumBytes[lead[i]]+1)
+		}
+	}
+	if ch.EarlyReady {
+		// Mutation: release the subtree before its arrivals are in — ranks
+		// exit the barrier while stragglers have not yet entered it.
+		release()
+	}
 	for _, l := range lead {
 		gs, _ := st.groupOf(l, p.Rank)
 		var flags []*shm.Flag
@@ -751,15 +799,17 @@ func (c *Comm) Barrier(p *env.Proc) {
 	}
 	if pl >= 0 {
 		gs, _ := st.groupOf(pl, p.Rank)
-		gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+		if !(ch.SkipAck && len(lead) == 0) {
+			// Mutation (skipped arm): a pure member forgets its arrival
+			// signal; its leader waits forever in the gather above.
+			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+		}
 		// Release: wait for the leader to advance the availability counter
 		// by the barrier's token byte.
 		c.waitReady(p, gs, view.cumBytes[pl]+1)
 	}
-	// Release down (the root starts the release, leaders forward it).
-	for i := len(lead) - 1; i >= 0; i-- {
-		gs, _ := st.groupOf(lead[i], p.Rank)
-		c.setReady(p, gs, view.cumBytes[lead[i]]+1)
+	if !ch.EarlyReady {
+		release()
 	}
 	// A barrier consumes one token byte on every level's counter.
 	for l := range view.cumBytes {

@@ -171,21 +171,11 @@ func (c *Comm) cicoBcast(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 // before returning, guaranteeing their buffers and control structures are
 // no longer in use (paper Section IV-A, finalization).
 func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView, pc *phaseClock) {
-	if pl := st.pullLevel(p.Rank); pl >= 0 {
-		gs, _ := st.groupOf(pl, p.Rank)
-		ch := c.chaos()
-		switch {
-		case ch.SkipAck && len(st.leadLevels(p.Rank)) == 0:
-			// Mutation: a pure member forgets its ack; its leader's
-			// WaitAllGE below never completes.
-		case ch.AckRegression && view.opSeq >= 2:
-			// Mutation: republish a stale counter value; shm rejects the
-			// non-monotone store.
-			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq-2)
-		default:
-			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
-		}
-	}
+	// Leaders collect their led groups bottom-up BEFORE publishing their own
+	// ack: an ack therefore certifies the rank's whole subtree is done. That
+	// subtree ordering is what lets a rank whose buffer is attached from
+	// afar (scatter's root exposure crosses group boundaries) treat its own
+	// return as proof no reader is left anywhere below.
 	for _, l := range st.leadLevels(p.Rank) {
 		gs, _ := st.groupOf(l, p.Rank)
 		var flags []*shm.Flag
@@ -195,6 +185,21 @@ func (c *Comm) ackPhase(p *env.Proc, st *commState, view *rankView, pc *phaseClo
 			}
 		}
 		shm.WaitAllGE(p.S, p.Core, flags, view.opSeq)
+	}
+	if pl := st.pullLevel(p.Rank); pl >= 0 {
+		gs, _ := st.groupOf(pl, p.Rank)
+		ch := c.chaos()
+		switch {
+		case ch.SkipAck && len(st.leadLevels(p.Rank)) == 0:
+			// Mutation: a pure member forgets its ack; its leader's
+			// WaitAllGE above never completes.
+		case ch.AckRegression && view.opSeq >= 2:
+			// Mutation: republish a stale counter value; shm rejects the
+			// non-monotone store.
+			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq-2)
+		default:
+			gs.acks[p.Rank].Set(p.S, p.Core, view.opSeq)
+		}
 	}
 	pc.mark(-1, obs.PhaseAck, 0)
 }

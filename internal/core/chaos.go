@@ -7,15 +7,18 @@ package core
 // default) leaves the protocol untouched.
 type ChaosConfig struct {
 	// SkipAck makes pure members (ranks that lead no group) skip
-	// publishing their completion ack, so their leaders wait forever in
-	// the finalization phase: a termination bug, caught by the engine's
-	// deadlock detector.
+	// publishing their completion ack — in Barrier, their arrival signal —
+	// so their leaders wait forever in the finalization (or gather) phase:
+	// a termination bug, caught by the engine's deadlock detector.
 	SkipAck bool
 
-	// EarlyReady publishes chunk availability before the copy that backs
-	// it — the store/publish reordering the single-writer flag ordering
-	// exists to prevent. Children pull bytes the parent has not written
-	// yet; caught by the data-correctness check.
+	// EarlyReady publishes availability before the work that backs it —
+	// the store/publish reordering the single-writer flag ordering exists
+	// to prevent. In Bcast/Scatter/Allgather the chunk or staged block is
+	// announced before its copy lands; in the reduce paths a member marks
+	// its whole slice done before reducing it; in Barrier leaders release
+	// the subtree before gathering its arrivals. Caught by the
+	// data-correctness check (or Barrier's ordering stamps).
 	EarlyReady bool
 
 	// SharedAckLine packs every member-owned ack flag of a group onto one

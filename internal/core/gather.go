@@ -35,6 +35,12 @@ func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 		pc.finish()
 		return
 	}
+	if blockLen <= c.Cfg.CICOThreshold && blockLen*c.W.N <= c.Cfg.CICOBytes/2 {
+		c.cicoScatter(p, st, view, buf, out, blockLen, root, pc)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
+		return
+	}
 	gs := st.groups[st.h.NLevels()-1][0] // top group carries the exposure
 	if p.Rank == root {
 		sizeCheck(buf, 0, blockLen*c.W.N)
@@ -58,6 +64,36 @@ func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 	}
 	c.ackPhase(p, st, view, pc)
 	pc.finish()
+}
+
+// cicoScatter is the small-block copy-in-copy-out path: the root stages all
+// N blocks into its CICO buffer in one shot (they fit below the threshold by
+// construction), announces via the top group's exposure sequence, and every
+// rank copies out exactly its own block — no attach/expose round-trips for
+// latency-bound sizes (paper Section IV-C).
+func (c *Comm) cicoScatter(p *env.Proc, st *commState, view *rankView, buf *mem.Buffer, out *mem.Buffer, blockLen, root int, pc *phaseClock) {
+	gs := st.groups[st.h.NLevels()-1][0]
+	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2) // double-buffered slots
+	if p.Rank == root {
+		sizeCheck(buf, 0, blockLen*c.W.N)
+		if c.chaos().EarlyReady {
+			// Mutation: announce the staged blocks before the copy-in lands.
+			gs.expSeq.Set(p.S, p.Core, view.opSeq)
+		}
+		p.Copy(c.cico[root], slot, buf, 0, blockLen*c.W.N)
+		if !c.chaos().EarlyReady {
+			gs.expSeq.Set(p.S, p.Core, view.opSeq)
+		}
+		p.Copy(out, 0, buf, blockLen*root, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*c.W.N))
+	} else {
+		sizeCheck(out, 0, blockLen)
+		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
+		pc.mark(-1, obs.PhaseFlagWait, 0)
+		p.Copy(out, 0, c.cico[root], slot+blockLen*p.Rank, blockLen)
+		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
+		c.recordPull(root, p.Rank, blockLen)
+	}
 }
 
 // Gather collects blockLen bytes from each rank's in buffer into root's
@@ -129,6 +165,13 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 	}
 	pc := c.newPhaseClock(p, obs.OpAllgather, view.opSeq, int64(blockLen), st.h.NLevels())
 
+	if blockLen <= c.Cfg.CICOThreshold && blockLen <= c.Cfg.CICOBytes/2 {
+		c.cicoAllgather(p, st, view, in, out, blockLen, pc)
+		c.ackPhase(p, st, view, pc)
+		pc.finish()
+		return
+	}
+
 	// Phase 1: every rank pushes its block into the internal root's out
 	// buffer (rank 0), which assembles the full vector. Leaders are not
 	// needed for disjoint pushes; the memory model charges the distances.
@@ -168,6 +211,35 @@ func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen 
 	}
 	c.ackPhase(p, st, view, pc)
 	pc.finish()
+}
+
+// cicoAllgather is the small-block copy-in-copy-out path: each rank stages
+// its block into its own CICO buffer and publishes its push-completion flag,
+// then assembles the full vector by copying every peer's staged block out —
+// all-to-all reads of disjoint staged lines, with the memory model charging
+// each pull's distance (paper Section IV-C applied to allgather).
+func (c *Comm) cicoAllgather(p *env.Proc, st *commState, view *rankView, in *mem.Buffer, out *mem.Buffer, blockLen int, pc *phaseClock) {
+	slot := int(view.opSeq) % 2 * (c.Cfg.CICOBytes / 2) // double-buffered slots
+	if c.chaos().EarlyReady {
+		// Mutation: publish the push before the copy-in lands.
+		c.agDone(st, p.Rank).Set(p.S, p.Core, view.opSeq)
+	}
+	p.Copy(c.cico[p.Rank], slot, in, 0, blockLen)
+	if !c.chaos().EarlyReady {
+		c.agDone(st, p.Rank).Set(p.S, p.Core, view.opSeq)
+	}
+	pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
+	for r := 0; r < c.W.N; r++ {
+		if r == p.Rank {
+			p.Copy(out, blockLen*r, in, 0, blockLen)
+			continue
+		}
+		c.agDone(st, r).WaitGE(p.S, p.Core, view.opSeq)
+		p.Copy(out, blockLen*r, c.cico[r], slot, blockLen)
+		c.recordPull(r, p.Rank, blockLen)
+	}
+	pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*(c.W.N-1)))
+	pc.mark(-1, obs.PhaseFlagWait, 0)
 }
 
 // agDone returns rank's allgather push-completion flag (lazily created at

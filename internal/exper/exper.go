@@ -121,7 +121,7 @@ func All() []Experiment {
 
 func orderOf(id string) int {
 	order := []string{"tab1", "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig7",
-		"fig8", "fig9a", "fig9b", "tab2", "fig10", "fig11", "fig12", "fig13", "fig14"}
+		"fig8", "fig9a", "fig9b", "tab2", "fig10", "fig11", "ext", "fig12", "fig13", "fig14"}
 	for i, o := range order {
 		if o == id {
 			return i

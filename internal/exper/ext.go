@@ -1,0 +1,81 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"xhc/internal/osu"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+func init() {
+	register("ext", "Extended collectives: Barrier, Reduce, Allgather, Scatter (Epyc-2P)", runExt)
+}
+
+// extSizes keeps the per-rank blocks of allgather/scatter modest (the out
+// buffers are Size*NRanks).
+func extSizes(o Options) []int {
+	if o.Quick {
+		return []int{4, 1 << 10, 64 << 10}
+	}
+	return []int{4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+}
+
+// runExt evaluates the collectives the paper's conclusions list as ongoing
+// work — Barrier, rooted Reduce, Allgather and Scatter — with the same
+// methodology as the Bcast/Allreduce comparisons: XHC against a tuned-style
+// flat p2p baseline and an sm-style shared segment (plus the XBRC-style
+// direct reduction for Reduce), osu_mb buffer dirtying throughout.
+func runExt(o Options) (*Report, error) {
+	top := topo.Epyc2P()
+	r := &Report{ID: "ext", Title: "Extended collectives (Epyc-2P)"}
+	var b strings.Builder
+	sizes := extSizes(o)
+	warm, it := iters(o)
+
+	// Barrier: no payload, a single row per component.
+	barComps := []string{"xhc-tree", "tuned", "sm"}
+	barCells := make([]osu.Result, len(barComps))
+	if err := runCells(o, len(barComps), func(i int) error {
+		bench := osu.Bench{Topo: top, NRanks: top.NCores, Component: barComps[i],
+			Warmup: warm, Iters: it}
+		rs, err := bench.Barrier()
+		if err != nil {
+			return fmt.Errorf("%s on %s: %w", barComps[i], top.Name, err)
+		}
+		barCells[i] = rs[0]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: append([]string{""}, barComps...)}
+	row := []string{"latency"}
+	for _, c := range barCells {
+		row = append(row, fmt.Sprintf("%.2f", c.AvgLat))
+	}
+	t.Add(row...)
+	fmt.Fprintf(&b, "barrier (%d ranks), latency us:\n%s\n", top.NCores, t.String())
+	r.Metric("barrier_tuned_over_tree", barCells[1].AvgLat/barCells[0].AvgLat)
+
+	// The rooted/vector collectives: size-by-component sweeps.
+	kinds := []struct {
+		kind  string
+		comps []string
+	}{
+		{"reduce", []string{"xhc-tree", "tuned", "sm", "xbrc"}},
+		{"allgather", []string{"xhc-tree", "tuned", "sm"}},
+		{"scatter", []string{"xhc-tree", "tuned", "sm"}},
+	}
+	ref := 64 << 10
+	for _, k := range kinds {
+		text, lat, err := sweep(o, top, top.NCores, k.comps, k.kind, sizes, topo.MapCore, 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s (%d ranks), latency us:\n%s\n", k.kind, top.NCores, text)
+		r.Metric(k.kind+"_tuned_over_tree_64K", lat["tuned"][ref]/lat["xhc-tree"][ref])
+	}
+	r.Text = b.String()
+	return r, nil
+}

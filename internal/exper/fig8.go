@@ -44,6 +44,12 @@ func sweep(o Options, top *topo.Topology, nranks int, comps []string,
 			rs, err = b.Bcast([]int{size})
 		case "allreduce":
 			rs, err = b.Allreduce([]int{size})
+		case "reduce":
+			rs, err = b.Reduce([]int{size})
+		case "allgather":
+			rs, err = b.Allgather([]int{size})
+		case "scatter":
+			rs, err = b.Scatter([]int{size})
 		default:
 			return fmt.Errorf("unknown kind %q", kind)
 		}

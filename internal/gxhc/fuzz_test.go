@@ -61,3 +61,126 @@ func FuzzGoCommAllreduce(f *testing.F) {
 		}
 	})
 }
+
+// FuzzGoCommReduce is the rooted sibling of FuzzGoCommAllreduce: fuzzed
+// communicator shapes, vector lengths and roots, exact small-integer sums
+// checked at the root only, with non-root dst buffers asserted untouched
+// (the scratch-accumulator path must never write through a user buffer).
+func FuzzGoCommReduce(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint32(64<<10), uint16(1000), uint8(0), uint64(1))
+	f.Add(uint8(8), uint8(4), uint32(4096), uint16(0), uint8(3), uint64(2))   // zero-length vector
+	f.Add(uint8(7), uint8(3), uint32(4096), uint16(777), uint8(6), uint64(3)) // non-zero root, odd length
+	f.Add(uint8(1), uint8(8), uint32(1024), uint16(5), uint8(0), uint64(4))   // singleton communicator
+	f.Add(uint8(16), uint8(2), uint32(8), uint16(33), uint8(15), uint64(5))   // root = last rank
+	f.Add(uint8(12), uint8(1), uint32(3), uint16(9), uint8(5), uint64(6))     // chunk smaller than an element
+	f.Add(uint8(9), uint8(20), uint32(0), uint16(100), uint8(4), uint64(7))   // flat (group >= n)
+
+	f.Fuzz(func(t *testing.T, nSeed, gsSeed uint8, chunk uint32, countSeed uint16, rootSeed uint8, seed uint64) {
+		n := 1 + int(nSeed)%16
+		count := int(countSeed) % 4096
+		root := int(rootSeed) % n
+		cfg := Config{
+			GroupSize:  int(gsSeed) % (n + 2),
+			ChunkBytes: int(chunk % (256 << 10)),
+		}
+		c, err := New(n, cfg)
+		if err != nil {
+			t.Fatalf("New(%d, %+v): %v", n, cfg, err)
+		}
+
+		src := make([][]float64, n)
+		dst := make([][]float64, n)
+		want := make([]float64, count)
+		state := seed
+		for r := 0; r < n; r++ {
+			src[r] = make([]float64, count)
+			dst[r] = make([]float64, count)
+			for i := range src[r] {
+				state = state*6364136223846793005 + 1442695040888963407
+				v := float64(int(state>>33)%201 - 100)
+				src[r][i] = v
+				want[i] += v
+				dst[r][i] = 12345 // sentinel for the non-root checks
+			}
+		}
+
+		runAll(n, func(rank int) {
+			c.ReduceFloat64(rank, dst[rank], src[rank], root)
+		})
+
+		for i, got := range dst[root] {
+			if got != want[i] {
+				t.Fatalf("n=%d cfg=%+v count=%d root=%d: elem %d = %v, want %v",
+					n, cfg, count, root, i, got, want[i])
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			for i, got := range dst[r] {
+				if got != 12345 {
+					t.Fatalf("n=%d cfg=%+v count=%d root=%d: non-root rank %d dst written at %d (%v)",
+						n, cfg, count, root, r, i, got)
+				}
+			}
+		}
+	})
+}
+
+// FuzzGoCommAllgather drives the goroutine-backed allgather with fuzzed
+// communicator shapes and block lengths over several back-to-back
+// operations, so the exit-barrier recycling discipline is exercised along
+// with the block placement. The seed corpus pins zero-length blocks,
+// singleton and flat communicators, and single-byte blocks.
+func FuzzGoCommAllgather(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint16(100), uint8(2), uint64(1))
+	f.Add(uint8(8), uint8(4), uint16(0), uint8(3), uint64(2))  // zero-length blocks
+	f.Add(uint8(1), uint8(8), uint16(5), uint8(1), uint64(3))  // singleton communicator
+	f.Add(uint8(9), uint8(20), uint16(7), uint8(2), uint64(4)) // flat (group >= n)
+	f.Add(uint8(16), uint8(2), uint16(1), uint8(4), uint64(5)) // single-byte blocks
+	f.Add(uint8(5), uint8(3), uint16(333), uint8(1), uint64(6))
+
+	f.Fuzz(func(t *testing.T, nSeed, gsSeed uint8, blockSeed uint16, opsSeed uint8, seed uint64) {
+		n := 1 + int(nSeed)%16
+		blockLen := int(blockSeed) % 2048
+		ops := 1 + int(opsSeed)%4
+		cfg := Config{GroupSize: int(gsSeed) % (n + 2)}
+		c, err := New(n, cfg)
+		if err != nil {
+			t.Fatalf("New(%d, %+v): %v", n, cfg, err)
+		}
+
+		in := make([][]byte, n)
+		out := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			in[r] = make([]byte, blockLen)
+			out[r] = make([]byte, blockLen*n)
+		}
+		state := seed
+		for op := 0; op < ops; op++ {
+			want := make([]byte, blockLen*n)
+			for r := 0; r < n; r++ {
+				for i := range in[r] {
+					state = state*6364136223846793005 + 1442695040888963407
+					in[r][i] = byte(state >> 56)
+					want[r*blockLen+i] = in[r][i]
+				}
+				for i := range out[r] {
+					out[r][i] = 0xee // junk: every byte must be overwritten
+				}
+			}
+			runAll(n, func(rank int) {
+				c.Allgather(rank, in[rank], out[rank])
+			})
+			for r := 0; r < n; r++ {
+				for i := range out[r] {
+					if out[r][i] != want[i] {
+						t.Fatalf("n=%d cfg=%+v block=%d op=%d: rank %d byte %d = %#x, want %#x",
+							n, cfg, blockLen, op, r, i, out[r][i], want[i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -48,6 +48,15 @@ type Comm struct {
 	states map[int]*state // per root
 	views  []*view
 
+	// scratch[r] is rank r's lazily-grown internal accumulator for rooted
+	// reductions (non-root leaders reduce into it instead of the user's
+	// dst). Each rank only ever touches its own slot.
+	scratch [][]float64
+	// agBlock[r]/agSeq[r] expose rank r's allgather contribution block; the
+	// op ends with barrier semantics, so a single slot per rank suffices.
+	agBlock []atomic.Value // []byte
+	agSeq   []atomic.Uint64
+
 	// trace, when enabled, records per-participant phase spans on wall
 	// time. Nil by default; every instrumentation point nil-checks it, so
 	// the untraced path costs one pointer comparison per collective.
@@ -211,6 +220,9 @@ func New(n int, cfg Config) (*Comm, error) {
 	}
 	c := &Comm{n: n, cfg: cfg, states: map[int]*state{}}
 	c.views = make([]*view, n)
+	c.scratch = make([][]float64, n)
+	c.agBlock = make([]atomic.Value, n)
+	c.agSeq = make([]atomic.Uint64, n)
 	if _, err := c.stateFor(0); err != nil {
 		return nil, err
 	}
@@ -433,35 +445,68 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 // every participant's dst (len(dst) == len(src) everywhere). The reduction
 // is hierarchical with index partitioning among group members.
 func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
-	if len(dst) != len(src) {
+	c.reduceFloat64(rank, dst, src, 0, true)
+}
+
+// ReduceFloat64 sums src element-wise across all participants into root's
+// dst only. Non-root ranks' dst arguments are ignored (internal scratch
+// accumulators are used at non-root leaders), but every rank must pass a
+// src of the same length.
+func (c *Comm) ReduceFloat64(rank int, dst, src []float64, root int) {
+	c.reduceFloat64(rank, dst, src, root, false)
+}
+
+// reduceFloat64 is the shared body of AllreduceFloat64/ReduceFloat64: a
+// hierarchical index-partitioned reduction toward the top leader (which is
+// root, since the hierarchy is root-following), optionally followed by the
+// pull-based broadcast of the result.
+func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool) {
+	if bcast && len(dst) != len(src) {
 		panic("gxhc: dst/src length mismatch")
 	}
-	st, _ := c.stateFor(0)
+	st, err := c.stateFor(root)
+	if err != nil {
+		panic(err)
+	}
 	v := c.views[rank]
 	v.opSeq++
 	n := len(src)
-	wc := c.newWallClock(rank, obs.OpAllreduce, v.opSeq, int64(n)*8, st.h.NLevels())
+	opCode := obs.OpAllreduce
+	if !bcast {
+		opCode = obs.OpReduce
+	}
+	wc := c.newWallClock(rank, opCode, v.opSeq, int64(n)*8, st.h.NLevels())
 
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
 
-	// Expose contributions: src at the leaf level, dst (accumulator) above.
+	// The accumulator of a leader is its result buffer: dst for allreduce
+	// (and for the root in reduce); internal scratch otherwise.
+	acc := dst
+	if !bcast && rank != root && len(lead) > 0 {
+		if len(c.scratch[rank]) < n {
+			c.scratch[rank] = make([]float64, n)
+		}
+		acc = c.scratch[rank][:n]
+	}
+
+	// Expose contributions: src at the leaf level, acc (accumulator) above.
 	if pl >= 0 {
 		ctl := st.groupOf(pl, rank)
 		contrib := src
 		if pl > 0 {
-			contrib = dst
+			contrib = acc
 		}
 		ctl.contrib[rank].Store(contrib)
 	}
 	for _, l := range lead {
 		ctl := st.groupOf(l, rank)
-		contrib := dst
+		contrib := acc
 		if l == 0 {
 			contrib = src
 		}
 		ctl.contrib[rank].Store(contrib)
-		ctl.exposedF.Store(dst) // accumulator for reducers
+		ctl.exposedF.Store(acc) // accumulator for reducers
 		ctl.expSeq.Store(v.opSeq)
 	}
 	// Leaf contributions are ready immediately.
@@ -480,7 +525,7 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		if l == 0 && len(g.Members) == 1 {
 			// Singleton leaf group: the accumulator takes the leader's own
 			// contribution directly.
-			copy(dst, src)
+			copy(acc, src)
 		}
 		for _, m := range g.Members {
 			if m == rank {
@@ -539,27 +584,47 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		ctl.red[rank].Store(v.opSeq*2 + 1)
 	}
 
-	// Broadcast the result from the internal root (rank 0's dst).
-	top := st.h.TopLeader()
-	if rank == top {
-		for _, l := range lead {
-			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+	// Broadcast the result from the top leader (rank 0's dst for allreduce;
+	// a rooted reduce skips the distribution — and therefore leaves the
+	// ready counters and their cum mirrors untouched).
+	if bcast {
+		top := st.h.TopLeader()
+		if rank == top {
+			for _, l := range lead {
+				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+			}
+		} else if n > 0 {
+			// n == 0 publishes nothing, so the ready counter cannot order this
+			// pull against the leader's expose; skip it — there is no data.
+			ctl := st.groupOf(pl, rank)
+			base := v.cum[pl]
+			spinUntil(&ctl.ready, base+uint64(n))
+			wc.mark(pl, obs.PhaseFlagWait, 0)
+			final := ctl.exposedF.Load().([]float64)
+			if &dst[0] != &final[0] {
+				copy(dst, final)
+			}
+			for _, l := range lead {
+				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+			}
+			wc.mark(pl, obs.PhaseChunkCopy, int64(n)*8)
 		}
-	} else if n > 0 {
-		// n == 0 publishes nothing, so the ready counter cannot order this
-		// pull against the leader's expose; skip it — there is no data.
+	}
+
+	// A rooted reduce has no broadcast release ordering a member's return
+	// after the group fan-in: a sibling reducer may still be reading this
+	// rank's contribution (src, or the scratch accumulator) when the caller
+	// refills it for the next op. Hold until every co-reducer in the pull
+	// group has finished its slice. Allreduce needs none of this — the
+	// result broadcast already orders every return after the full fan-in.
+	if !bcast && pl >= 0 {
 		ctl := st.groupOf(pl, rank)
-		base := v.cum[pl]
-		spinUntil(&ctl.ready, base+uint64(n))
-		wc.mark(pl, obs.PhaseFlagWait, 0)
-		final := ctl.exposedF.Load().([]float64)
-		if &dst[0] != &final[0] {
-			copy(dst, final)
+		g, _ := st.h.GroupOf(pl, rank)
+		for _, m := range g.Members {
+			if m != rank && m != ctl.leader {
+				spinUntil(ctl.red[m], v.opSeq*2+1)
+			}
 		}
-		for _, l := range lead {
-			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
-		}
-		wc.mark(pl, obs.PhaseChunkCopy, int64(n)*8)
 	}
 
 	// Acknowledgment + counter advance.
@@ -576,8 +641,10 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 		}
 	}
 	wc.mark(-1, obs.PhaseAck, 0)
-	for l := range v.cum {
-		v.cum[l] += uint64(n)
+	if bcast {
+		for l := range v.cum {
+			v.cum[l] += uint64(n)
+		}
 	}
 	wc.finish()
 }
@@ -588,6 +655,16 @@ func (c *Comm) Barrier(rank int) {
 	v := c.views[rank]
 	v.opSeq++
 	wc := c.newWallClock(rank, obs.OpBarrier, v.opSeq, 0, st.h.NLevels())
+	c.barrierBody(st, v, rank, wc)
+	wc.finish()
+}
+
+// barrierBody is the hierarchical arrival/release round: arrival propagates
+// up via the ack counters, release propagates down via the ready counters,
+// consuming one token on every level's cum mirror. Used by Barrier and as
+// Allgather's exit synchronization (no participant may return — and reuse
+// its exposed contribution — before every other participant has read it).
+func (c *Comm) barrierBody(st *state, v *view, rank int, wc *wallClock) {
 	lead := st.leadLevels(rank)
 	pl := st.pullLevel(rank)
 	for _, l := range lead {
@@ -611,6 +688,90 @@ func (c *Comm) Barrier(rank int) {
 		v.cum[l]++
 	}
 	wc.mark(-1, obs.PhaseFlagWait, 0)
+}
+
+// Allgather concatenates every participant's in block into each
+// participant's out buffer in rank order (len(out) == N*len(in), with equal
+// block lengths everywhere). Each participant exposes its block and copies
+// every peer's block directly; the op ends with barrier semantics so no
+// participant can republish (or let its caller reuse) a block that a slower
+// peer is still reading.
+func (c *Comm) Allgather(rank int, in, out []byte) {
+	blockLen := len(in)
+	if len(out) != blockLen*c.n {
+		panic(fmt.Sprintf("gxhc: allgather out length %d, want %d", len(out), blockLen*c.n))
+	}
+	st, _ := c.stateFor(0)
+	v := c.views[rank]
+	v.opSeq++
+	wc := c.newWallClock(rank, obs.OpAllgather, v.opSeq, int64(blockLen), st.h.NLevels())
+
+	c.agBlock[rank].Store(in)
+	c.agSeq[rank].Store(v.opSeq)
+	wc.mark(-1, obs.PhaseExpose, 0)
+	for r := 0; r < c.n; r++ {
+		if r == rank {
+			copy(out[blockLen*r:blockLen*(r+1)], in)
+			continue
+		}
+		spinUntil(&c.agSeq[r], v.opSeq)
+		blk := c.agBlock[r].Load().([]byte)
+		copy(out[blockLen*r:blockLen*(r+1)], blk)
+	}
+	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*c.n))
+	c.barrierBody(st, v, rank, wc)
+	wc.finish()
+}
+
+// Scatter distributes blockLen-byte blocks from root's in buffer (N
+// consecutive blocks in rank order, only meaningful at root) to each
+// participant's out. The root's exposure rides on the top group's control
+// block; the hierarchical ack keeps root from returning — and its caller
+// from reusing in — before every block has been pulled.
+func (c *Comm) Scatter(rank int, in, out []byte, root int) {
+	st, err := c.stateFor(root)
+	if err != nil {
+		panic(err)
+	}
+	v := c.views[rank]
+	v.opSeq++
+	blockLen := len(out)
+	wc := c.newWallClock(rank, obs.OpScatter, v.opSeq, int64(blockLen), st.h.NLevels())
+
+	ctl := st.groups[st.h.NLevels()-1][0] // top group carries the exposure
+	if rank == root {
+		if len(in) != blockLen*c.n {
+			panic(fmt.Sprintf("gxhc: scatter in length %d, want %d", len(in), blockLen*c.n))
+		}
+		ctl.exposed.Store(in)
+		ctl.expSeq.Store(v.opSeq)
+		wc.mark(-1, obs.PhaseExpose, 0)
+		copy(out, in[blockLen*root:blockLen*(root+1)])
+	} else if blockLen > 0 {
+		spinUntil(&ctl.expSeq, v.opSeq)
+		wc.mark(-1, obs.PhaseFlagWait, 0)
+		src := ctl.exposed.Load().([]byte)
+		copy(out, src[blockLen*rank:blockLen*(rank+1)])
+	}
+	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
+
+	// Hierarchical acknowledgment (converges to root, the top leader). The
+	// exposure crosses group boundaries — every rank pulls from root's in —
+	// so acks must be subtree-ordered: a leader collects its led groups
+	// BEFORE publishing its own ack, making root's return proof that no
+	// rank anywhere is still reading in.
+	for _, l := range st.leadLevels(rank) {
+		ctl := st.groupOf(l, rank)
+		for m, a := range ctl.acks {
+			if m != rank {
+				spinUntil(a, v.opSeq)
+			}
+		}
+	}
+	if pl := st.pullLevel(rank); pl >= 0 {
+		st.groupOf(pl, rank).acks[rank].Store(v.opSeq)
+	}
+	wc.mark(-1, obs.PhaseAck, 0)
 	wc.finish()
 }
 

@@ -9,6 +9,7 @@ package osu
 import (
 	"fmt"
 
+	"xhc/internal/baselines"
 	"xhc/internal/coll"
 	"xhc/internal/env"
 	"xhc/internal/mem"
@@ -229,6 +230,204 @@ func (b Bench) Allreduce(sizes []int) ([]Result, error) {
 		}
 		if len(lats) == 0 {
 			return nil, errNoSamples("allreduce "+b.Component, n, b.Warmup, b.Iters)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
+	}
+	return out, nil
+}
+
+// capability resolves the optional collective interface a bench needs from
+// the built component (the registry's Component surface only mandates
+// Bcast/Allreduce; the newer collectives are capabilities, as in OpenMPI's
+// coll framework).
+func capability[T any](c coll.Component, name, comp string) (T, error) {
+	v, ok := c.(T)
+	if !ok {
+		return v, fmt.Errorf("osu %s: component %q does not implement %s", name, comp, name)
+	}
+	return v, nil
+}
+
+// Barrier measures barrier latency (osu_barrier): a single zero-byte row.
+func (b Bench) Barrier() ([]Result, error) {
+	b = b.defaults()
+	w, c, err := b.world()
+	if err != nil {
+		return nil, err
+	}
+	bar, err := capability[baselines.Barrierer](c, "barrier", b.label())
+	if err != nil {
+		return nil, err
+	}
+	var lats []float64
+	if err := w.Run(func(p *env.Proc) {
+		for it := 0; it < b.Warmup+b.Iters; it++ {
+			p.HarnessBarrier()
+			t0 := p.Now()
+			bar.Barrier(p)
+			d := p.Now() - t0
+			if w.Obs != nil {
+				w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpBarrier, b.label(), 0, int64(t0), int64(t0+d))
+			}
+			if it >= b.Warmup {
+				lats = append(lats, sim.Micros(d))
+			}
+			p.HarnessBarrier()
+		}
+	}); err != nil {
+		return nil, fmt.Errorf("osu barrier %s: %w", b.Component, err)
+	}
+	if len(lats) == 0 {
+		return nil, errNoSamples("barrier "+b.Component, 0, b.Warmup, b.Iters)
+	}
+	return []Result{{Size: 0, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)}}, nil
+}
+
+// Reduce measures rooted-reduce latency per size (osu_reduce[_mb]). Sizes
+// are element-normalized exactly like Allreduce's.
+func (b Bench) Reduce(sizes []int) ([]Result, error) {
+	b = b.defaults()
+	var out []Result
+	for _, n := range normalizeAllreduceSizes(sizes) {
+		dt := mpi.Float64
+		if n < 8 {
+			dt = mpi.Byte
+		}
+		w, c, err := b.world()
+		if err != nil {
+			return nil, err
+		}
+		red, err := capability[baselines.Reducer](c, "reduce", b.label())
+		if err != nil {
+			return nil, err
+		}
+		sb := make([]*mem.Buffer, b.NRanks)
+		rb := make([]*mem.Buffer, b.NRanks)
+		for r := range sb {
+			sb[r] = w.NewBufferAt(fmt.Sprintf("osu.s%d", r), r, n)
+			rb[r] = w.NewBufferAt(fmt.Sprintf("osu.r%d", r), r, n)
+		}
+		var lats []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < b.Warmup+b.Iters; it++ {
+				if b.Dirty {
+					p.Dirty(sb[p.Rank])
+				}
+				p.HarnessBarrier()
+				t0 := p.Now()
+				red.Reduce(p, sb[p.Rank], rb[p.Rank], n, dt, mpi.Sum, b.Root)
+				d := p.Now() - t0
+				if w.Obs != nil {
+					w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpReduce, b.label(), n, int64(t0), int64(t0+d))
+				}
+				if it >= b.Warmup {
+					lats = append(lats, sim.Micros(d))
+				}
+				p.HarnessBarrier()
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu reduce %s n=%d: %w", b.Component, n, err)
+		}
+		if len(lats) == 0 {
+			return nil, errNoSamples("reduce "+b.Component, n, b.Warmup, b.Iters)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
+	}
+	return out, nil
+}
+
+// Allgather measures allgather latency per per-rank block size
+// (osu_allgather[_mb]); each rank contributes Size bytes and receives
+// Size*NRanks.
+func (b Bench) Allgather(sizes []int) ([]Result, error) {
+	b = b.defaults()
+	var out []Result
+	for _, n := range sizes {
+		w, c, err := b.world()
+		if err != nil {
+			return nil, err
+		}
+		ag, err := capability[baselines.Allgatherer](c, "allgather", b.label())
+		if err != nil {
+			return nil, err
+		}
+		in := make([]*mem.Buffer, b.NRanks)
+		ob := make([]*mem.Buffer, b.NRanks)
+		for r := range in {
+			in[r] = w.NewBufferAt(fmt.Sprintf("osu.i%d", r), r, n)
+			ob[r] = w.NewBufferAt(fmt.Sprintf("osu.o%d", r), r, n*b.NRanks)
+		}
+		var lats []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < b.Warmup+b.Iters; it++ {
+				if b.Dirty {
+					p.Dirty(in[p.Rank])
+				}
+				p.HarnessBarrier()
+				t0 := p.Now()
+				ag.Allgather(p, in[p.Rank], ob[p.Rank], n)
+				d := p.Now() - t0
+				if w.Obs != nil {
+					w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpAllgather, b.label(), n, int64(t0), int64(t0+d))
+				}
+				if it >= b.Warmup {
+					lats = append(lats, sim.Micros(d))
+				}
+				p.HarnessBarrier()
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu allgather %s n=%d: %w", b.Component, n, err)
+		}
+		if len(lats) == 0 {
+			return nil, errNoSamples("allgather "+b.Component, n, b.Warmup, b.Iters)
+		}
+		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
+	}
+	return out, nil
+}
+
+// Scatter measures scatter latency per per-rank block size
+// (osu_scatter[_mb]); the root sends Size*NRanks, each rank receives Size.
+func (b Bench) Scatter(sizes []int) ([]Result, error) {
+	b = b.defaults()
+	var out []Result
+	for _, n := range sizes {
+		w, c, err := b.world()
+		if err != nil {
+			return nil, err
+		}
+		sc, err := capability[baselines.Scatterer](c, "scatter", b.label())
+		if err != nil {
+			return nil, err
+		}
+		root := w.NewBufferAt("osu.root", b.Root, n*b.NRanks)
+		ob := make([]*mem.Buffer, b.NRanks)
+		for r := range ob {
+			ob[r] = w.NewBufferAt(fmt.Sprintf("osu.o%d", r), r, n)
+		}
+		var lats []float64
+		if err := w.Run(func(p *env.Proc) {
+			for it := 0; it < b.Warmup+b.Iters; it++ {
+				if b.Dirty && p.Rank == b.Root {
+					p.Dirty(root)
+				}
+				p.HarnessBarrier()
+				t0 := p.Now()
+				sc.Scatter(p, root, ob[p.Rank], n, b.Root)
+				d := p.Now() - t0
+				if w.Obs != nil {
+					w.Obs.Rec.ObserveOp(p.Rank, uint64(it), obs.OpScatter, b.label(), n, int64(t0), int64(t0+d))
+				}
+				if it >= b.Warmup {
+					lats = append(lats, sim.Micros(d))
+				}
+				p.HarnessBarrier()
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("osu scatter %s n=%d: %w", b.Component, n, err)
+		}
+		if len(lats) == 0 {
+			return nil, errNoSamples("scatter "+b.Component, n, b.Warmup, b.Iters)
 		}
 		out = append(out, Result{Size: n, AvgLat: stats.Mean(lats), MinLat: stats.Min(lats), MaxLat: stats.Max(lats)})
 	}

@@ -15,6 +15,7 @@ func TestCrossBackendEquivalence(t *testing.T) {
 	type row struct {
 		plat     int // index into platforms
 		ranks    int
+		root     int
 		sens     string
 		kind     OpKind
 		bytes    int
@@ -23,25 +24,45 @@ func TestCrossBackendEquivalence(t *testing.T) {
 		baseline string
 	}
 	grid := []row{
-		{0, 8, "", KindBcast, 0, mpi.Byte, mpi.Sum, "tuned"},
-		{0, 8, "numa", KindBcast, 1 << 10, mpi.Byte, mpi.Sum, "ucc"},
-		{1, 8, "numa", KindBcast, 100, mpi.Byte, mpi.Sum, "sm"},
-		{1, 7, "numa", KindBcast, 64 << 10, mpi.Byte, mpi.Sum, "smhc-tree"},
-		{2, 16, "numa+socket", KindBcast, 40000, mpi.Byte, mpi.Sum, "xbrc"},
-		{4, 12, "numa", KindBcast, 16 << 10, mpi.Byte, mpi.Sum, "tuned"},
-		{0, 8, "numa", KindAllreduce, 1 << 10, mpi.Float64, mpi.Sum, "tuned"},
-		{1, 8, "numa", KindAllreduce, 4 << 10, mpi.Float32, mpi.Prod, "ucc"},
-		{2, 16, "numa+socket", KindAllreduce, 64 << 10, mpi.Float64, mpi.Sum, "smhc-flat"},
-		{2, 13, "socket", KindAllreduce, 1000, mpi.Int32, mpi.Max, "sm"},
-		{4, 16, "numa", KindAllreduce, 16 << 10, mpi.Int64, mpi.Min, "xbrc"},
-		{4, 9, "", KindAllreduce, 8, mpi.Float64, mpi.Sum, "ucc"},
+		{0, 8, 0, "", KindBcast, 0, mpi.Byte, mpi.Sum, "tuned"},
+		{0, 8, 0, "numa", KindBcast, 1 << 10, mpi.Byte, mpi.Sum, "ucc"},
+		{1, 8, 0, "numa", KindBcast, 100, mpi.Byte, mpi.Sum, "sm"},
+		{1, 7, 0, "numa", KindBcast, 64 << 10, mpi.Byte, mpi.Sum, "smhc-tree"},
+		{2, 16, 0, "numa+socket", KindBcast, 40000, mpi.Byte, mpi.Sum, "xbrc"},
+		{4, 12, 0, "numa", KindBcast, 16 << 10, mpi.Byte, mpi.Sum, "tuned"},
+		{0, 8, 0, "numa", KindAllreduce, 1 << 10, mpi.Float64, mpi.Sum, "tuned"},
+		{1, 8, 0, "numa", KindAllreduce, 4 << 10, mpi.Float32, mpi.Prod, "ucc"},
+		{2, 16, 0, "numa+socket", KindAllreduce, 64 << 10, mpi.Float64, mpi.Sum, "smhc-flat"},
+		{2, 13, 0, "socket", KindAllreduce, 1000, mpi.Int32, mpi.Max, "sm"},
+		{4, 16, 0, "numa", KindAllreduce, 16 << 10, mpi.Int64, mpi.Min, "xbrc"},
+		{4, 9, 0, "", KindAllreduce, 8, mpi.Float64, mpi.Sum, "ucc"},
+		// Barrier has no payload; the arrival-stamp protocol is the oracle.
+		{0, 8, 0, "", KindBarrier, 0, mpi.Byte, mpi.Sum, "tuned"},
+		{2, 16, 0, "numa+socket", KindBarrier, 0, mpi.Byte, mpi.Sum, "sm"},
+		{4, 13, 0, "numa", KindBarrier, 0, mpi.Byte, mpi.Sum, "tuned"},
+		// Rooted reduce: single-element and odd-size edges, non-zero roots.
+		{0, 8, 3, "numa", KindReduce, 8, mpi.Float64, mpi.Sum, "tuned"},
+		{1, 8, 7, "numa", KindReduce, 64 << 10, mpi.Float64, mpi.Sum, "xbrc"},
+		{2, 16, 5, "numa+socket", KindReduce, 1000, mpi.Int32, mpi.Max, "sm"},
+		{2, 13, 0, "socket", KindReduce, 4, mpi.Float32, mpi.Prod, "tuned"},
+		{4, 16, 11, "numa", KindReduce, 16 << 10, mpi.Int64, mpi.Min, "xbrc"},
+		// Allgather: zero-byte and single-byte blocks next to the round sizes.
+		{0, 8, 0, "", KindAllgather, 0, mpi.Byte, mpi.Sum, "tuned"},
+		{1, 8, 0, "numa", KindAllgather, 1, mpi.Byte, mpi.Sum, "sm"},
+		{2, 16, 0, "numa+socket", KindAllgather, 40000, mpi.Byte, mpi.Sum, "tuned"},
+		{4, 12, 0, "numa", KindAllgather, 1 << 10, mpi.Byte, mpi.Sum, "sm"},
+		// Scatter: same edges, with non-zero roots crossing group boundaries.
+		{0, 8, 5, "numa", KindScatter, 0, mpi.Byte, mpi.Sum, "tuned"},
+		{1, 8, 7, "numa", KindScatter, 1, mpi.Byte, mpi.Sum, "sm"},
+		{2, 16, 9, "numa+socket", KindScatter, 16 << 10, mpi.Byte, mpi.Sum, "tuned"},
+		{4, 13, 0, "", KindScatter, 100, mpi.Byte, mpi.Sum, "sm"},
 	}
 	for _, g := range grid {
 		c := Case{
 			CfgSeed:       uint64(g.plat)<<8 | uint64(g.ranks),
 			Plat:          platforms[g.plat],
 			Ranks:         g.ranks,
-			Root:          0,
+			Root:          g.root,
 			Sens:          g.sens,
 			Kind:          g.kind,
 			Bytes:         g.bytes,

@@ -1,8 +1,10 @@
 package verify
 
 import (
+	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xhc/internal/gxhc"
@@ -13,15 +15,15 @@ import (
 )
 
 // runGoComm cross-checks the case on the real-concurrency Go backend.
-// Broadcast runs for every case; allreduce only for float64 sum (the one
-// reduction gxhc implements). Real goroutine scheduling supplies the
-// schedule variation here; when the schedule enables faults the root is
-// made a straggler before every op. chaos seeds the StaleReady mutant for
-// the self-test (which also forces the straggler, the condition under
-// which the mutant's junk copy is certain).
+// Broadcast, barrier, allgather and scatter run for every case; allreduce
+// and reduce only for float64 sum (the one reduction gxhc implements).
+// Real goroutine scheduling supplies the schedule variation here; when the
+// schedule enables faults the root is made a straggler before every op.
+// chaos seeds the StaleReady mutant for the self-test (which also forces
+// the straggler, the condition under which the mutant's junk copy is
+// certain).
 func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) error {
-	bcastOnly := c.Kind == KindBcast
-	if !bcastOnly && (c.Dt != mpi.Float64 || c.Op != mpi.Sum) {
+	if (c.Kind == KindAllreduce || c.Kind == KindReduce) && (c.Dt != mpi.Float64 || c.Op != mpi.Sum) {
 		return nil
 	}
 	gcfg := gxhc.Config{
@@ -48,53 +50,115 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 		delay = 200 * time.Microsecond
 	}
 
+	stamps := make([]atomic.Uint64, c.Ranks) // barrier arrival stamps
 	errs := make([]error, c.Ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < c.Ranks; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if bcastOnly {
+			straggle := func() {
+				if rank == c.Root && delay > 0 {
+					if wo != nil {
+						wo.Rec.CountFault(obs.FaultGxhcStraggler)
+					}
+					time.Sleep(delay)
+				}
+			}
+			switch c.Kind {
+			case KindBcast:
 				buf := make([]byte, c.Bytes)
 				for op := 0; op < c.Ops; op++ {
 					copy(buf, ref.fill[op][rank])
-					if rank == c.Root && delay > 0 {
-						if wo != nil {
-							wo.Rec.CountFault(obs.FaultGxhcStraggler)
-						}
-						time.Sleep(delay)
-					}
+					straggle()
 					comm.Bcast(rank, buf, c.Root)
 					if errs[rank] == nil && c.Bytes > 0 && diffBytes(buf, ref.want[op]) >= 0 {
 						got := append([]byte(nil), buf...)
 						errs[rank] = dataError("gxhc bcast", op, rank, got, ref.want[op])
 					}
 				}
-				return
-			}
-			n := c.Bytes / 8
-			src := make([]float64, n)
-			dst := make([]float64, n)
-			want := make([]float64, n)
-			for op := 0; op < c.Ops; op++ {
-				mpi.DecodeFloat64s(ref.fill[op][rank], src)
-				mpi.DecodeFloat64s(ref.want[op], want)
-				for i := range dst {
-					dst[i] = math.NaN()
-				}
-				if rank == 0 && delay > 0 {
-					if wo != nil {
-						wo.Rec.CountFault(obs.FaultGxhcStraggler)
+			case KindBarrier:
+				for op := 0; op < c.Ops; op++ {
+					straggle()
+					stamps[rank].Store(uint64(op + 1))
+					comm.Barrier(rank)
+					for rk := 0; rk < c.Ranks && errs[rank] == nil; rk++ {
+						if got := stamps[rk].Load(); got < uint64(op+1) {
+							errs[rank] = fmt.Errorf("gxhc barrier: op %d: rank %d left while rank %d's stamp is %d (want >= %d)",
+								op, rank, rk, got, op+1)
+						}
 					}
-					time.Sleep(delay)
 				}
-				comm.AllreduceFloat64(rank, dst, src)
-				if errs[rank] == nil {
+			case KindAllgather:
+				in := make([]byte, c.Bytes)
+				out := make([]byte, c.Bytes*c.Ranks)
+				for op := 0; op < c.Ops; op++ {
+					copy(in, ref.fill[op][rank])
+					fillJunk(out, uint64(op))
+					straggle()
+					comm.Allgather(rank, in, out)
+					if errs[rank] == nil && len(out) > 0 && diffBytes(out, ref.want[op]) >= 0 {
+						got := append([]byte(nil), out...)
+						errs[rank] = dataError("gxhc allgather", op, rank, got, ref.want[op])
+					}
+				}
+			case KindScatter:
+				var in []byte
+				if rank == c.Root {
+					in = make([]byte, c.Bytes*c.Ranks)
+				}
+				out := make([]byte, c.Bytes)
+				for op := 0; op < c.Ops; op++ {
+					if rank == c.Root {
+						copy(in, ref.fill[op][rank])
+					}
+					fillJunk(out, uint64(op))
+					straggle()
+					comm.Scatter(rank, in, out, c.Root)
+					if errs[rank] == nil && c.Bytes > 0 {
+						want := ref.want[op][rank*c.Bytes : (rank+1)*c.Bytes]
+						if diffBytes(out, want) >= 0 {
+							got := append([]byte(nil), out...)
+							errs[rank] = dataError("gxhc scatter", op, rank, got, want)
+						}
+					}
+				}
+			default: // allreduce / reduce, float64 sum only
+				n := c.Bytes / 8
+				src := make([]float64, n)
+				dst := make([]float64, n)
+				want := make([]float64, n)
+				for op := 0; op < c.Ops; op++ {
+					mpi.DecodeFloat64s(ref.fill[op][rank], src)
+					mpi.DecodeFloat64s(ref.want[op], want)
+					for i := range dst {
+						dst[i] = math.NaN()
+					}
+					straggle()
+					if c.Kind == KindReduce {
+						comm.ReduceFloat64(rank, dst, src, c.Root)
+					} else {
+						comm.AllreduceFloat64(rank, dst, src)
+					}
+					if errs[rank] != nil {
+						continue
+					}
+					if c.Kind == KindReduce && rank != c.Root {
+						// Non-root dst must keep its NaN sentinels: gxhc's
+						// rooted reduce accumulates in internal scratch.
+						for i := range dst {
+							if !math.IsNaN(dst[i]) {
+								errs[rank] = fmt.Errorf("gxhc reduce: op %d: non-root rank %d dst written at elem %d", op, rank, i)
+								break
+							}
+						}
+						continue
+					}
 					for i := range want {
 						if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
 							got := make([]byte, c.Bytes)
 							mpi.EncodeFloat64s(got, dst)
-							errs[rank] = dataError("gxhc allreduce", op, rank, got, ref.want[op])
+							errs[rank] = dataError("gxhc "+c.Kind.String(), op, rank, got, ref.want[op])
 							break
 						}
 					}

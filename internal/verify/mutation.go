@@ -54,12 +54,18 @@ func faultSchedule() Schedule {
 // FIFO schedule (the mutants are constructed to be caught without needing
 // schedule luck).
 func runMutant(c Case, chaos *core.ChaosConfig) error {
+	return runMutantSched(c, chaos, Schedule{})
+}
+
+// runMutantSched is runMutant under an explicit schedule, for the mutants
+// whose detection needs a straggler or jitter to open the window.
+func runMutantSched(c Case, chaos *core.ChaosConfig, s Schedule) error {
 	c.Chaos = chaos
 	cfg, err := c.coreConfig()
 	if err != nil {
 		return err
 	}
-	_, err = runSim(c, Schedule{}, "xhc", nil, func(w *env.World) (coll.Component, *core.Comm, error) {
+	_, err = runSim(c, s, "xhc", nil, func(w *env.World) (coll.Component, *core.Comm, error) {
 		cc, err := core.New(w, cfg)
 		return cc, cc, err
 	})
@@ -121,6 +127,50 @@ func RunMutationSelfTest(includeGoComm bool) []MutationOutcome {
 
 	// Monotonicity: a rewound ack counter; shm's own defense fires.
 	record("ack-regression", true, runMutant(base, &core.ChaosConfig{AckRegression: true}))
+
+	// The newer collectives, each with a clean control plus seeded bugs.
+	barrier := base
+	barrier.Kind = KindBarrier
+	barrier.Bytes = 0
+	record("barrier/clean", false, runMutantSched(barrier, nil, faultSchedule()))
+	// Termination: a pure member never signals arrival; its leader's gather
+	// hangs.
+	record("barrier/skip-ack", true, runMutant(barrier, &core.ChaosConfig{SkipAck: true}))
+	// Ordering: the release fires before the arrivals are gathered; under
+	// the straggler schedule some rank exits while another's stamp is stale.
+	record("barrier/early-ready", true, runMutantSched(barrier, &core.ChaosConfig{EarlyReady: true}, faultSchedule()))
+
+	scatter := base
+	scatter.Kind = KindScatter
+	record("scatter/clean", false, runMutant(scatter, nil))
+	// Termination: the subtree-ordered ack chain toward the root breaks.
+	record("scatter/skip-ack", true, runMutant(scatter, &core.ChaosConfig{SkipAck: true}))
+	// Data: the CICO root announces its staged blocks before the copy-in
+	// lands; children drain the previous slot. Sized onto the CICO path
+	// (blockLen <= threshold and N blocks fit in half the CICO buffer).
+	scatterCICO := scatter
+	scatterCICO.Bytes = 512
+	scatterCICO.CICOThreshold = 8 << 10
+	record("scatter/early-ready", true, runMutant(scatterCICO, &core.ChaosConfig{EarlyReady: true}))
+
+	// Data: a reducer publishes its whole reduce_done slice before folding
+	// anything; the root drains unreduced bytes.
+	reduce := base
+	reduce.Kind = KindReduce
+	reduce.Root = 3
+	record("reduce/clean", false, runMutant(reduce, nil))
+	record("reduce/early-ready", true, runMutant(reduce, &core.ChaosConfig{EarlyReady: true}))
+
+	// Data: a rank publishes its CICO push before staging its block; peers
+	// assemble the previous op's slot contents. Under FIFO every rank's own
+	// copy-in finishes before any peer reaches its slot, so the straggler
+	// schedule is what opens the stale-read window (peers wake on the
+	// straggler's early flag while its copy-in is still in flight).
+	allgather := base
+	allgather.Kind = KindAllgather
+	allgather.Bytes = 512
+	record("allgather/clean", false, runMutantSched(allgather, nil, faultSchedule()))
+	record("allgather/early-ready", true, runMutantSched(allgather, &core.ChaosConfig{EarlyReady: true}, faultSchedule()))
 
 	if includeGoComm {
 		gc := base

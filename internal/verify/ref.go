@@ -17,9 +17,13 @@ import (
 // element-wise byte comparison a sound oracle across backends.
 type refData struct {
 	// fill[op][rank] is rank's input buffer for the op (for broadcast only
-	// fill[op][root] matters; the rest is the junk receivers start with).
+	// fill[op][root] matters; the rest is the junk receivers start with; for
+	// scatter only the root has input, sized Ranks*Bytes).
 	fill [][][]byte
-	// want[op] is the expected content of every rank's result buffer.
+	// want[op] is the expected result of the op: every rank's result buffer
+	// for bcast/allreduce, the root's for reduce, the Ranks*Bytes
+	// concatenation for allgather and scatter (of which rank rk owns the
+	// rk'th Bytes-long slice after a scatter). Empty for barrier.
 	want [][]byte
 }
 
@@ -31,23 +35,43 @@ func buildRef(c Case) *refData {
 	}
 	for op := 0; op < c.Ops; op++ {
 		rd.fill[op] = make([][]byte, c.Ranks)
-		for rk := 0; rk < c.Ranks; rk++ {
-			b := make([]byte, c.Bytes)
-			if c.Kind == KindBcast && rk != c.Root {
-				// Receivers start with junk the checker must see replaced.
-				fillJunk(b, uint64(op))
-			} else {
-				fillPattern(b, c.Dt, c.Op, mix(c.CfgSeed, uint64(op)<<8|uint64(rk)))
+		pat := func(rk, n int) []byte {
+			b := make([]byte, n)
+			fillPattern(b, c.Dt, c.Op, mix(c.CfgSeed, uint64(op)<<8|uint64(rk)))
+			return b
+		}
+		switch c.Kind {
+		case KindBarrier:
+			// No payload; the stamp protocol in runSim is the oracle.
+		case KindScatter:
+			// Only the root has input: Ranks blocks of Bytes each.
+			rd.fill[op][c.Root] = pat(c.Root, c.Bytes*c.Ranks)
+			rd.want[op] = rd.fill[op][c.Root]
+		default:
+			for rk := 0; rk < c.Ranks; rk++ {
+				if c.Kind == KindBcast && rk != c.Root {
+					// Receivers start with junk the checker must see replaced.
+					b := make([]byte, c.Bytes)
+					fillJunk(b, uint64(op))
+					rd.fill[op][rk] = b
+				} else {
+					rd.fill[op][rk] = pat(rk, c.Bytes)
+				}
 			}
-			rd.fill[op][rk] = b
 		}
 		switch c.Kind {
 		case KindBcast:
 			rd.want[op] = rd.fill[op][c.Root]
-		case KindAllreduce:
+		case KindAllreduce, KindReduce:
 			acc := bytes.Clone(rd.fill[op][0])
 			for rk := 1; rk < c.Ranks; rk++ {
 				mpi.ReduceBytes(c.Op, c.Dt, acc, rd.fill[op][rk])
+			}
+			rd.want[op] = acc
+		case KindAllgather:
+			acc := make([]byte, 0, c.Bytes*c.Ranks)
+			for rk := 0; rk < c.Ranks; rk++ {
+				acc = append(acc, rd.fill[op][rk]...)
 			}
 			rd.want[op] = acc
 		}

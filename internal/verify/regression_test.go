@@ -1,0 +1,48 @@
+package verify
+
+import "testing"
+
+// Replay pairs that once exposed real protocol bugs, pinned bit-exactly.
+// Each entry re-runs the exact (config seed, schedule seed) pair from the
+// original failure report and asserts the run passes AND reproduces the
+// recorded schedule fingerprint — so a regression shows up either as the
+// old failure or as an unexplained schedule drift.
+var regressionPairs = []struct {
+	name        string
+	cfgSeed     uint64
+	schedSeed   uint64
+	fingerprint uint64
+	bug         string
+}{
+	{
+		name:        "smhc-tree-deadlock",
+		cfgSeed:     0xaeac1cb7711db91f,
+		schedSeed:   0x767198908785124a,
+		fingerprint: 0xc928eed37ebe5d4d,
+		bug:         "smhc-tree hung when root != 0: the root never announced its staged bytes to its led groups",
+	},
+	{
+		name:        "gxhc-reduce-buffer-reuse",
+		cfgSeed:     0x48a59766459b7047,
+		schedSeed:   0,
+		fingerprint: 0x671033d1e26db721,
+		bug:         "rooted reduce let a member return (and its caller refill src) while a sibling reducer was still reading it",
+	},
+}
+
+func TestRegressionReplays(t *testing.T) {
+	for _, rp := range regressionPairs {
+		rp := rp
+		t.Run(rp.name, func(t *testing.T) {
+			t.Logf("bug: %s", rp.bug)
+			h, err := Replay(rp.cfgSeed, rp.schedSeed)
+			if err != nil {
+				t.Fatalf("replay %s failed: %v", ReplayToken(rp.cfgSeed, rp.schedSeed), err)
+			}
+			if h != rp.fingerprint {
+				t.Errorf("replay %s fingerprint %#016x, want %#016x (schedule drifted; if the protocol change is intentional, re-pin)",
+					ReplayToken(rp.cfgSeed, rp.schedSeed), h, rp.fingerprint)
+			}
+		})
+	}
+}

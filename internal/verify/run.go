@@ -1,8 +1,10 @@
 package verify
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"xhc/internal/baselines"
 	"xhc/internal/coll"
 	"xhc/internal/core"
 	"xhc/internal/env"
@@ -98,18 +100,59 @@ func runSim(c Case, s Schedule, what string, reg *obs.Registry,
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", what, err)
 	}
+	// The base Component interface carries bcast and allreduce; the other
+	// collectives are capabilities only some components implement (the case
+	// derivation and the pinned grids pair them accordingly).
+	var (
+		barrier   baselines.Barrierer
+		reducer   baselines.Reducer
+		gatherer  baselines.Allgatherer
+		scatterer baselines.Scatterer
+		ok        bool
+	)
+	switch c.Kind {
+	case KindBarrier:
+		if barrier, ok = comp.(baselines.Barrierer); !ok {
+			return 0, fmt.Errorf("%s: component lacks Barrier", what)
+		}
+	case KindReduce:
+		if reducer, ok = comp.(baselines.Reducer); !ok {
+			return 0, fmt.Errorf("%s: component lacks Reduce", what)
+		}
+	case KindAllgather:
+		if gatherer, ok = comp.(baselines.Allgatherer); !ok {
+			return 0, fmt.Errorf("%s: component lacks Allgather", what)
+		}
+	case KindScatter:
+		if scatterer, ok = comp.(baselines.Scatterer); !ok {
+			return 0, fmt.Errorf("%s: component lacks Scatter", what)
+		}
+	}
 	ref := buildRef(c)
 
+	// Result buffers: per-rank blocks for most kinds, the full Ranks*Bytes
+	// concatenation for allgather, an 8-byte arrival stamp for barrier.
+	rlen := c.Bytes
+	switch c.Kind {
+	case KindBarrier:
+		rlen = 8
+	case KindAllgather:
+		rlen = c.Bytes * c.Ranks
+	}
 	rbufs := make([]*mem.Buffer, c.Ranks)
 	var sbufs []*mem.Buffer
 	for r := 0; r < c.Ranks; r++ {
-		rbufs[r] = w.NewBufferAt(fmt.Sprintf("vrf.r.%d", r), r, c.Bytes)
+		rbufs[r] = w.NewBufferAt(fmt.Sprintf("vrf.r.%d", r), r, rlen)
 	}
-	if c.Kind == KindAllreduce {
+	switch c.Kind {
+	case KindAllreduce, KindReduce, KindAllgather:
 		sbufs = make([]*mem.Buffer, c.Ranks)
 		for r := 0; r < c.Ranks; r++ {
 			sbufs[r] = w.NewBufferAt(fmt.Sprintf("vrf.s.%d", r), r, c.Bytes)
 		}
+	case KindScatter:
+		sbufs = make([]*mem.Buffer, c.Ranks)
+		sbufs[c.Root] = w.NewBufferAt(fmt.Sprintf("vrf.s.%d", c.Root), c.Root, c.Bytes*c.Ranks)
 	}
 
 	// Registration-cache eviction faults: drop random ranks' caches at
@@ -136,10 +179,20 @@ func runSim(c Case, s Schedule, what string, reg *obs.Registry,
 			p.HarnessBarrier()
 			// Refill this rank's buffers (harness scaffolding: direct
 			// writes plus a residency mark, no model time).
-			if c.Kind == KindBcast {
+			switch c.Kind {
+			case KindBcast:
 				copy(rbufs[p.Rank].Data, ref.fill[op][p.Rank])
 				p.Dirty(rbufs[p.Rank])
-			} else {
+			case KindBarrier:
+				// Stamps are written op-synchronously below.
+			case KindScatter:
+				if p.Rank == c.Root {
+					copy(sbufs[p.Rank].Data, ref.fill[op][p.Rank])
+					p.Dirty(sbufs[p.Rank])
+				}
+				fillJunk(rbufs[p.Rank].Data, uint64(op))
+				p.Dirty(rbufs[p.Rank])
+			default: // allreduce, reduce, allgather
 				copy(sbufs[p.Rank].Data, ref.fill[op][p.Rank])
 				p.Dirty(sbufs[p.Rank])
 				fillJunk(rbufs[p.Rank].Data, uint64(op))
@@ -156,20 +209,39 @@ func runSim(c Case, s Schedule, what string, reg *obs.Registry,
 				}
 				p.Compute(d)
 			}
-			if c.Kind == KindBcast {
+			switch c.Kind {
+			case KindBcast:
 				comp.Bcast(p, rbufs[p.Rank], 0, c.Bytes, c.Root)
-			} else {
+			case KindAllreduce:
 				comp.Allreduce(p, sbufs[p.Rank], rbufs[p.Rank], c.Bytes, c.Dt, c.Op)
+			case KindReduce:
+				reducer.Reduce(p, sbufs[p.Rank], rbufs[p.Rank], c.Bytes, c.Dt, c.Op, c.Root)
+			case KindAllgather:
+				gatherer.Allgather(p, sbufs[p.Rank], rbufs[p.Rank], c.Bytes)
+			case KindScatter:
+				scatterer.Scatter(p, sbufs[c.Root], rbufs[p.Rank], c.Bytes, c.Root)
+			case KindBarrier:
+				// Publish this op's arrival stamp (after any straggler
+				// delay), enter the barrier, and on exit demand every peer's
+				// stamp is current: no rank may leave a barrier a peer has
+				// not yet entered.
+				binary.LittleEndian.PutUint64(rbufs[p.Rank].Data, uint64(op+1))
+				p.Dirty(rbufs[p.Rank])
+				barrier.Barrier(p)
+				if checkErr == nil {
+					for rk := 0; rk < c.Ranks; rk++ {
+						if got := binary.LittleEndian.Uint64(rbufs[rk].Data); got < uint64(op+1) {
+							checkErr = fmt.Errorf("%s: op %d: rank %d left the barrier while rank %d's stamp is %d (want %d)",
+								what, op, p.Rank, rk, got, op+1)
+							break
+						}
+					}
+				}
 			}
 			p.HarnessBarrier()
 			if p.Rank == 0 {
 				if checkErr == nil {
-					for rk := 0; rk < c.Ranks; rk++ {
-						if diffBytes(rbufs[rk].Data[:c.Bytes], ref.want[op]) >= 0 {
-							checkErr = dataError(what, op, rk, rbufs[rk].Data[:c.Bytes], ref.want[op])
-							break
-						}
-					}
+					checkErr = checkData(c, ref, rbufs, what, op)
 				}
 				snaps[op] = memSnap{lines: w.Sys.Stats.LinesAllocated, bufs: w.Sys.BuffersAllocated()}
 			}
@@ -203,6 +275,50 @@ func runSim(c Case, s Schedule, what string, reg *obs.Registry,
 		}
 	}
 	return hash, nil
+}
+
+// checkData is the post-op oracle: every rank's result bytes against the
+// reference, per the kind's contract. For the rooted collectives it also
+// demands non-participating result buffers kept their junk — a backend must
+// never use another rank's user buffer as scratch.
+func checkData(c Case, ref *refData, rbufs []*mem.Buffer, what string, op int) error {
+	switch c.Kind {
+	case KindBcast, KindAllreduce:
+		for rk := 0; rk < c.Ranks; rk++ {
+			if diffBytes(rbufs[rk].Data[:c.Bytes], ref.want[op]) >= 0 {
+				return dataError(what, op, rk, rbufs[rk].Data[:c.Bytes], ref.want[op])
+			}
+		}
+	case KindReduce:
+		if diffBytes(rbufs[c.Root].Data[:c.Bytes], ref.want[op]) >= 0 {
+			return dataError(what, op, c.Root, rbufs[c.Root].Data[:c.Bytes], ref.want[op])
+		}
+		junk := make([]byte, c.Bytes)
+		fillJunk(junk, uint64(op))
+		for rk := 0; rk < c.Ranks; rk++ {
+			if rk == c.Root {
+				continue
+			}
+			if i := diffBytes(rbufs[rk].Data[:c.Bytes], junk); i >= 0 {
+				return fmt.Errorf("%s: op %d: non-root rank %d result buffer written at byte %d", what, op, rk, i)
+			}
+		}
+	case KindAllgather:
+		n := c.Bytes * c.Ranks
+		for rk := 0; rk < c.Ranks; rk++ {
+			if diffBytes(rbufs[rk].Data[:n], ref.want[op]) >= 0 {
+				return dataError(what, op, rk, rbufs[rk].Data[:n], ref.want[op])
+			}
+		}
+	case KindScatter:
+		for rk := 0; rk < c.Ranks; rk++ {
+			want := ref.want[op][rk*c.Bytes : (rk+1)*c.Bytes]
+			if diffBytes(rbufs[rk].Data[:c.Bytes], want) >= 0 {
+				return dataError(what, op, rk, rbufs[rk].Data[:c.Bytes], want)
+			}
+		}
+	}
+	return nil
 }
 
 // RunCase checks one (case, schedule) pair across backends: the XHC

@@ -48,13 +48,28 @@ type OpKind int
 const (
 	KindBcast OpKind = iota
 	KindAllreduce
+	KindBarrier
+	KindReduce
+	KindAllgather
+	KindScatter
 )
 
 func (k OpKind) String() string {
-	if k == KindBcast {
+	switch k {
+	case KindBcast:
 		return "bcast"
+	case KindAllreduce:
+		return "allreduce"
+	case KindBarrier:
+		return "barrier"
+	case KindReduce:
+		return "reduce"
+	case KindAllgather:
+		return "allgather"
+	case KindScatter:
+		return "scatter"
 	}
-	return "allreduce"
+	return "?"
 }
 
 // Case is one randomized configuration: platform shape, rank count,
@@ -145,6 +160,36 @@ func DeriveCase(seed uint64) Case {
 	c.Flags = core.FlagScheme(r.next() % 3)
 	c.RegCache = r.next()%2 == 0
 	c.Baseline = baselineNames[r.next()%uint64(len(baselineNames))]
+	// Extension draw, appended after every legacy draw so that the seeds of
+	// replay tokens minted before Barrier/Reduce/Allgather/Scatter existed
+	// still derive byte-identical cases. Residue 0 keeps the legacy kind
+	// drawn above; the other two thirds of seeds move to a newer collective.
+	ext := r.next()
+	if ext%3 != 0 {
+		c.Kind = [...]OpKind{KindBarrier, KindReduce, KindAllgather, KindScatter}[(ext/3)%4]
+		switch c.Kind {
+		case KindBarrier:
+			c.Bytes, c.Root = 0, 0
+		case KindReduce:
+			es := c.Dt.Size()
+			c.Bytes -= c.Bytes % es
+			if c.Bytes == 0 {
+				c.Bytes = es
+			}
+			c.Root = int((ext >> 16) % uint64(c.Ranks))
+		case KindAllgather:
+			c.Root = 0
+		case KindScatter:
+			c.Root = int((ext >> 16) % uint64(c.Ranks))
+		}
+		// Only tuned and sm (plus xbrc for the rooted reduction) implement
+		// the newer collectives; remap whatever the legacy draw picked.
+		if c.Kind == KindReduce {
+			c.Baseline = []string{"tuned", "sm", "xbrc"}[(ext>>8)%3]
+		} else {
+			c.Baseline = []string{"tuned", "sm"}[(ext>>8)%2]
+		}
+	}
 	return c
 }
 

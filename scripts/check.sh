@@ -18,8 +18,11 @@ go test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
 go run ./cmd/xhcverify -quick
 
 # Short fuzz smoke: the seed corpora plus a few seconds of mutation on the
-# goroutine-backed allreduce and the hierarchy builder.
+# goroutine-backed allreduce, rooted reduce, allgather and the hierarchy
+# builder.
 go test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$' ./internal/gxhc/
+go test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$' ./internal/gxhc/
+go test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$' ./internal/hier/
 
 # The oversubscription regression (spinUntil starvation) under a thread
@@ -39,13 +42,20 @@ cmp "$tmpdir/seq.md" "$tmpdir/par.md"
 # Live telemetry must be report-invariant: stdout with -telemetry serving
 # (histograms, flight recorder and straggler detection all active) is
 # byte-identical to stdout with telemetry off. The endpoint reports its
-# address on stderr only.
+# address on stderr only. Checked on bcast and on one of the newer
+# collectives (scatter).
 go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
     -sizes 4,1024,65536 -json "$tmpdir/cells.json" > "$tmpdir/bench_off.txt"
 go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,tuned \
     -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > "$tmpdir/bench_on.txt" 2>/dev/null
 cmp "$tmpdir/bench_off.txt" "$tmpdir/bench_on.txt"
+go run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
+    -sizes 4,1024,65536 -json "$tmpdir/cells_sc.json" > "$tmpdir/sc_off.txt"
+go run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
+    -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > "$tmpdir/sc_on.txt" 2>/dev/null
+cmp "$tmpdir/sc_off.txt" "$tmpdir/sc_on.txt"
 
 # Regression gate sanity: xhcstat must pass a self-diff of the cells it
 # just measured (zero regressions against itself, exit 0).
 go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
+go run ./cmd/xhcstat -baseline "$tmpdir/cells_sc.json" -current "$tmpdir/cells_sc.json" > /dev/null
