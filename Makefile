@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify fuzz-smoke harness-checks telemetry-check check bench bench-sim quick-report
+.PHONY: build test vet race verify fuzz-smoke harness-checks telemetry-check check bench bench-sim bench-gxhc quick-report
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,15 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$$' ./internal/hier/
 
-# Oversubscription regression (spinUntil starvation) and the pin that
+# Oversubscription regression (waiter starvation, both park and spin
+# modes — plus a race pass over the parking handshake under the same
+# thread starvation), the gxhc_unsafe kernel variant, and the pin that
 # reports stay byte-identical with observability compiled in but disabled;
 # scripts/check.sh carries the same steps for environments without make.
 harness-checks:
 	GOMAXPROCS=2 $(GO) test -timeout 120s -run TestOversubscribedProgress ./internal/gxhc/
+	GOMAXPROCS=2 $(GO) test -race -timeout 300s -run TestOversubscribedProgress ./internal/gxhc/
+	$(GO) test -tags gxhc_unsafe ./internal/gxhc/
 	$(GO) run ./cmd/xhcrepro -quick -parallel 1 -o /tmp/xhc_check_seq.md
 	$(GO) run ./cmd/xhcrepro -quick -parallel 4 -o /tmp/xhc_check_par.md
 	cmp /tmp/xhc_check_seq.md /tmp/xhc_check_par.md
@@ -65,6 +69,19 @@ telemetry-check:
 	    -current /tmp/xhc_check_cells.json > /dev/null
 	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cells_sc.json \
 	    -current /tmp/xhc_check_cells_sc.json > /dev/null
+	$(GO) run ./cmd/xhcbench -backend gxhc -coll allreduce -np 4 -procs 2 \
+	    -sizes 4096 -warmup 5 -iters 20 -allocgate \
+	    -json /tmp/xhc_check_gx.json > /tmp/xhc_check_gx_off.txt
+	$(GO) run ./cmd/xhcbench -backend gxhc -coll allreduce -np 4 -procs 2 \
+	    -sizes 4096 -warmup 5 -iters 20 -allocgate \
+	    -telemetry 127.0.0.1:0 > /tmp/xhc_check_gx_on.txt 2>/dev/null
+	sed 's/[0-9][0-9.]*/N/g; s/  */ /g; s/--*/-/g' /tmp/xhc_check_gx_off.txt > /tmp/xhc_check_gx_off_shape.txt
+	sed 's/[0-9][0-9.]*/N/g; s/  */ /g; s/--*/-/g' /tmp/xhc_check_gx_on.txt > /tmp/xhc_check_gx_on_shape.txt
+	cmp /tmp/xhc_check_gx_off_shape.txt /tmp/xhc_check_gx_on_shape.txt
+	$(GO) run ./cmd/xhcbench -backend gxhc -coll bcast -np 4 -procs 2 \
+	    -sizes 4096 -warmup 5 -iters 20 -allocgate -spin > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline BENCH_gxhc.json \
+	    -current BENCH_gxhc.json > /dev/null
 
 check: build vet test race verify fuzz-smoke harness-checks telemetry-check
 
@@ -76,6 +93,17 @@ bench:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'BenchmarkFlowSolver|BenchmarkReschedule' -benchmem ./internal/mem/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig08Bcast/ARM-N1/xhc-tree$$|BenchmarkFig11Allreduce/ARM-N1/(xhc-tree|xbrc)$$' -benchtime 10x -benchmem .
+
+# Real-backend wall-clock tables for all six collectives across a
+# GOMAXPROCS sweep, with the zero-alloc gate on every cell — the sweep
+# that produced BENCH_gxhc.json (gate fresh runs against it with
+# `xhcstat -baseline BENCH_gxhc.json -current <cells.json>`).
+bench-gxhc:
+	for c in bcast allreduce barrier reduce allgather scatter; do \
+	    $(GO) run ./cmd/xhcbench -backend gxhc -coll $$c -np 8 -procs 2,8 \
+	        -sizes 64,4096,65536,1048576 -warmup 10 -iters 50 -allocgate \
+	        -json /tmp/xhc_bench_gx_$$c.json || exit 1; \
+	done
 
 quick-report:
 	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

@@ -22,8 +22,11 @@ import (
 
 	"xhc/internal/coll"
 	"xhc/internal/env"
+	"xhc/internal/gxhc"
+	"xhc/internal/mem"
 	"xhc/internal/obs"
 	"xhc/internal/osu"
+	"xhc/internal/sim"
 	"xhc/internal/stats"
 	"xhc/internal/topo"
 )
@@ -43,7 +46,8 @@ type cellRecord struct {
 }
 
 func main() {
-	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1")
+	backend := flag.String("backend", "sim", "sim (simulated platforms) | gxhc (real goroutine-backed wall clock)")
+	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1 (sim backend)")
 	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter")
 	comps := flag.String("comp", "xhc-tree", "comma-separated component list (see -listcomp)")
 	sizesArg := flag.String("sizes", "", "comma-separated byte sizes (default: 4B..4MB sweep)")
@@ -57,6 +61,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	jsonOut := flag.String("json", "", "also write per-cell results (sim latency + wall-clock) as JSON to this file")
+	procsArg := flag.String("procs", "", "gxhc backend: comma-separated GOMAXPROCS settings to sweep (default: current)")
+	groupSize := flag.Int("group", 8, "gxhc backend: hierarchy leaf group size")
+	chunkBytes := flag.Int("chunk", 64<<10, "gxhc backend: broadcast pipelining chunk bytes")
+	spin := flag.Bool("spin", false, "gxhc backend: spin-only waiter (no parking)")
+	allocGate := flag.Bool("allocgate", false, "gxhc backend: fail unless the steady-state op path is allocation-free at every measured size")
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
@@ -110,11 +119,6 @@ func main() {
 		}()
 	}
 
-	top := topo.ByName(*platform)
-	if top == nil {
-		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
-		os.Exit(2)
-	}
 	sizes := osu.DefaultSizes()
 	if *sizesArg != "" {
 		sizes = nil
@@ -132,62 +136,20 @@ func main() {
 		sizes = []int{0} // no payload; one row
 	}
 
-	names := strings.Split(*comps, ",")
-	all := map[string]map[int]float64{}
 	var records []cellRecord
-	// rowSizes tracks the sizes actually measured, in sweep order: allreduce
-	// normalizes sizes to whole elements, so the report must key its rows on
-	// the returned sizes, not the requested ones.
-	var rowSizes []int
-	seenSize := map[int]bool{}
-	for _, name := range names {
-		b := osu.Bench{
-			Topo: top, NRanks: *nranks, Component: strings.TrimSpace(name),
-			Policy: topo.MapPolicy(*policy), Root: *root,
-			Warmup: *warmup, Iters: *iterations, Dirty: !*stock,
-		}
-		all[name] = map[int]float64{}
-		for _, size := range sizes {
-			start := time.Now()
-			var rs []osu.Result
-			var err error
-			switch *collective {
-			case "bcast":
-				rs, err = b.Bcast([]int{size})
-			case "allreduce":
-				rs, err = b.Allreduce([]int{size})
-			case "barrier":
-				rs, err = b.Barrier()
-			case "reduce":
-				rs, err = b.Reduce([]int{size})
-			case "allgather":
-				rs, err = b.Allgather([]int{size})
-			case "scatter":
-				rs, err = b.Scatter([]int{size})
-			default:
-				fmt.Fprintf(os.Stderr, "unknown collective %q\n", *collective)
-				os.Exit(2)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if len(rs) == 0 {
-				continue
-			}
-			wall := time.Since(start)
-			r := rs[0]
-			all[name][r.Size] = r.AvgLat
-			if !seenSize[r.Size] {
-				seenSize[r.Size] = true
-				rowSizes = append(rowSizes, r.Size)
-			}
-			records = append(records, cellRecord{
-				Platform: top.Name, Collective: *collective, Component: name,
-				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
-				WallMS: float64(wall.Microseconds()) / 1e3,
-			})
-		}
+	if *backend == "gxhc" {
+		records = runGxhc(gxhcOpts{
+			coll: *collective, sizes: sizes, nranks: *nranks,
+			procs: *procsArg, group: *groupSize, chunk: *chunkBytes,
+			spin: *spin, allocGate: *allocGate,
+			warmup: *warmup, iters: *iterations, dirty: !*stock, root: *root,
+		}, reg)
+	} else {
+		records = runSim(simOpts{
+			platform: *platform, coll: *collective, comps: *comps,
+			sizes: sizes, nranks: *nranks, policy: *policy, root: *root,
+			warmup: *warmup, iters: *iterations, dirty: !*stock,
+		})
 	}
 
 	if *jsonOut != "" {
@@ -200,22 +162,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-
-	np := *nranks
-	if np == 0 {
-		np = top.NCores
-	}
-	fmt.Printf("# %s on %s, %d ranks, %s, root %d (latency us, mean of %d iters)\n",
-		*collective, top.Name, np, *policy, *root, *iterations)
-	t := &stats.Table{Header: append([]string{"size"}, names...)}
-	for _, n := range rowSizes {
-		row := []string{stats.SizeLabel(n)}
-		for _, name := range names {
-			row = append(row, fmt.Sprintf("%.2f", all[name][n]))
-		}
-		t.Add(row...)
-	}
-	fmt.Print(t.String())
 
 	if reg != nil {
 		if *traceOut != "" {
@@ -236,4 +182,219 @@ func main() {
 			fmt.Print(reg.Snapshot().String())
 		}
 	}
+}
+
+type simOpts struct {
+	platform, coll, comps, policy string
+	sizes                         []int
+	nranks, root, warmup, iters   int
+	dirty                         bool
+}
+
+// runSim is the original simulated-platform sweep: one column per
+// component, one row per measured size.
+func runSim(o simOpts) []cellRecord {
+	top := topo.ByName(o.platform)
+	if top == nil {
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", o.platform)
+		os.Exit(2)
+	}
+	names := strings.Split(o.comps, ",")
+	all := map[string]map[int]float64{}
+	var records []cellRecord
+	// rowSizes tracks the sizes actually measured, in sweep order: allreduce
+	// normalizes sizes to whole elements, so the report must key its rows on
+	// the returned sizes, not the requested ones.
+	var rowSizes []int
+	seenSize := map[int]bool{}
+	for _, name := range names {
+		b := osu.Bench{
+			Topo: top, NRanks: o.nranks, Component: strings.TrimSpace(name),
+			Policy: topo.MapPolicy(o.policy), Root: o.root,
+			Warmup: o.warmup, Iters: o.iters, Dirty: o.dirty,
+		}
+		all[name] = map[int]float64{}
+		for _, size := range o.sizes {
+			start := time.Now()
+			var rs []osu.Result
+			var err error
+			switch o.coll {
+			case "bcast":
+				rs, err = b.Bcast([]int{size})
+			case "allreduce":
+				rs, err = b.Allreduce([]int{size})
+			case "barrier":
+				rs, err = b.Barrier()
+			case "reduce":
+				rs, err = b.Reduce([]int{size})
+			case "allgather":
+				rs, err = b.Allgather([]int{size})
+			case "scatter":
+				rs, err = b.Scatter([]int{size})
+			default:
+				fmt.Fprintf(os.Stderr, "unknown collective %q\n", o.coll)
+				os.Exit(2)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(rs) == 0 {
+				continue
+			}
+			wall := time.Since(start)
+			r := rs[0]
+			all[name][r.Size] = r.AvgLat
+			if !seenSize[r.Size] {
+				seenSize[r.Size] = true
+				rowSizes = append(rowSizes, r.Size)
+			}
+			records = append(records, cellRecord{
+				Platform: top.Name, Collective: o.coll, Component: name,
+				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
+				WallMS: float64(wall.Microseconds()) / 1e3,
+			})
+		}
+	}
+
+	np := o.nranks
+	if np == 0 {
+		np = top.NCores
+	}
+	fmt.Printf("# %s on %s, %d ranks, %s, root %d (latency us, mean of %d iters)\n",
+		o.coll, top.Name, np, o.policy, o.root, o.iters)
+	t := &stats.Table{Header: append([]string{"size"}, names...)}
+	for _, n := range rowSizes {
+		row := []string{stats.SizeLabel(n)}
+		for _, name := range names {
+			row = append(row, fmt.Sprintf("%.2f", all[name][n]))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.String())
+	return records
+}
+
+type gxhcOpts struct {
+	coll                   string
+	sizes                  []int
+	procs                  string
+	nranks, group, chunk   int
+	root, warmup, iters    int
+	spin, allocGate, dirty bool
+}
+
+// runGxhc measures the real goroutine-backed gxhc communicator on the wall
+// clock, sweeping GOMAXPROCS settings: one column per setting, one row per
+// measured size. The -json cells key the GOMAXPROCS setting into the
+// platform field ("gxhc-P<n>") so xhcstat diffs stay per-setting.
+func runGxhc(o gxhcOpts, reg *obs.Registry) []cellRecord {
+	np := o.nranks
+	if np == 0 {
+		np = runtime.NumCPU()
+	}
+	var procs []int
+	if o.procs == "" {
+		procs = []int{runtime.GOMAXPROCS(0)}
+	} else {
+		for _, s := range strings.Split(o.procs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", s)
+				os.Exit(2)
+			}
+			procs = append(procs, p)
+		}
+	}
+	component := "gxhc"
+	if o.spin {
+		component = "gxhc-spin"
+	}
+
+	spec := gxhc.BenchSpec{
+		Ranks: np,
+		Cfg:   gxhc.Config{GroupSize: o.group, ChunkBytes: o.chunk, Spin: o.spin},
+		Coll:  o.coll, Warmup: o.warmup, Iters: o.iters, Dirty: o.dirty, Root: o.root,
+	}
+	var worlds []*obs.World
+	if reg != nil {
+		spec.Observe = func(c *gxhc.Comm) {
+			wo := reg.NewWorld("gxhc", np, obs.WallTicksPerUS, obs.WallClock())
+			wo.Rec.Backend = component
+			c.AttachRecorder(wo.Rec)
+			worlds = append(worlds, wo)
+		}
+	}
+
+	colLabels := make([]string, len(procs))
+	cols := make([]map[int]float64, len(procs))
+	var records []cellRecord
+	var rowSizes []int
+	seenSize := map[int]bool{}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for pi, p := range procs {
+		runtime.GOMAXPROCS(p)
+		colLabels[pi] = fmt.Sprintf("P%d", p)
+		cols[pi] = map[int]float64{}
+		for _, size := range o.sizes {
+			start := time.Now()
+			rs, err := spec.Run([]int{size})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if len(rs) == 0 {
+				continue
+			}
+			wall := time.Since(start)
+			r := rs[0]
+			cols[pi][r.Size] = r.AvgLat
+			if !seenSize[r.Size] {
+				seenSize[r.Size] = true
+				rowSizes = append(rowSizes, r.Size)
+			}
+			records = append(records, cellRecord{
+				Platform: fmt.Sprintf("gxhc-P%d", p), Collective: o.coll, Component: component,
+				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
+				WallMS: float64(wall.Microseconds()) / 1e3,
+			})
+		}
+		if o.allocGate {
+			for _, size := range rowSizes {
+				got, err := spec.SteadyStateAllocs(size)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if got != 0 {
+					fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: %.4f allocs/op on the steady-state path (want 0)\n",
+						o.coll, p, size, got)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: 0 allocs/op\n", o.coll, p, size)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	for _, wo := range worlds {
+		wo.Finish(mem.Stats{}, sim.EngineStats{})
+	}
+
+	waiter := "park"
+	if o.spin {
+		waiter = "spin"
+	}
+	fmt.Printf("# %s on gxhc (wall clock), %d ranks, group %d, waiter=%s, root %d (latency us, mean of %d iters)\n",
+		o.coll, np, o.group, waiter, o.root, o.iters)
+	t := &stats.Table{Header: append([]string{"size"}, colLabels...)}
+	for _, n := range rowSizes {
+		row := []string{stats.SizeLabel(n)}
+		for pi := range procs {
+			row = append(row, fmt.Sprintf("%.2f", cols[pi][n]))
+		}
+		t.Add(row...)
+	}
+	fmt.Print(t.String())
+	return records
 }

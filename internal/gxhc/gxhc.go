@@ -8,14 +8,20 @@
 // Unlike package core, which runs on the simulated node, gxhc coordinates
 // real goroutines sharing real slices, and is usable as a standalone
 // library for in-process parallel computations.
+//
+// The hot path is built for wall-clock speed (DESIGN.md §13): control
+// state lives in dense cache-line-padded flag arrays indexed by member
+// slot (flagLine, one line per writer — no maps, no false sharing),
+// waiters spin briefly then park on per-flag wait queues (Comm.wait, with
+// Config.Spin as the pure-spin escape hatch), reductions run through
+// unrolled bounds-check-free kernels (kernels_safe.go / gxhc_unsafe), and
+// the steady-state op path performs zero heap allocations.
 package gxhc
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"xhc/internal/hier"
 	"xhc/internal/obs"
@@ -30,6 +36,13 @@ type Config struct {
 	GroupSize int
 	// ChunkBytes is the broadcast pipelining granule.
 	ChunkBytes int
+	// Spin keeps waiters spinning (with cooperative yielding and capped
+	// sleep backoff) instead of parking on a per-flag wait queue after the
+	// bounded spin phase. Spinning minimizes wakeup latency for small
+	// latency-bound operations when every participant has a core to itself;
+	// parking (the default) is what keeps oversubscribed runs off the
+	// scheduler's back.
+	Spin bool
 	// Chaos, when non-nil, seeds a deliberate synchronization bug for the
 	// verify harness's mutation self-test (see ChaosConfig).
 	Chaos *ChaosConfig
@@ -44,18 +57,27 @@ type Comm struct {
 	n   int
 	cfg Config
 
+	// states[root] is the per-root control structure, built lazily on the
+	// first collective rooted there and then read lock-free: the hot path
+	// is one atomic pointer load, no mutex. mu only serializes builders.
 	mu     sync.Mutex
-	states map[int]*state // per root
-	views  []*view
+	states []atomic.Pointer[state]
+	views  []viewSlot
+	// park[r] is rank r's wait-queue node: the one-token channel the rank
+	// blocks on when a flag wait exhausts its spin budget, plus the
+	// intrusive link that threads it onto the flag's list. One node per
+	// rank (not per flag) — a rank waits on one flag at a time — so
+	// parking never allocates.
+	park []parkNode
 
-	// scratch[r] is rank r's lazily-grown internal accumulator for rooted
-	// reductions (non-root leaders reduce into it instead of the user's
-	// dst). Each rank only ever touches its own slot.
+	// scratch[r] is rank r's internal accumulator for rooted reductions
+	// (non-root leaders reduce into it instead of the user's dst), grown
+	// by capacity to the next power of two so a mixed-size op sequence
+	// settles instead of reallocating. Each rank only touches its own slot.
 	scratch [][]float64
-	// agBlock[r]/agSeq[r] expose rank r's allgather contribution block; the
-	// op ends with barrier semantics, so a single slot per rank suffices.
-	agBlock []atomic.Value // []byte
-	agSeq   []atomic.Uint64
+	// ag[r] exposes rank r's allgather contribution block; the op ends
+	// with barrier semantics, so a single slot per rank suffices.
+	ag []agSlot
 
 	// trace, when enabled, records per-participant phase spans on wall
 	// time. Nil by default; every instrumentation point nil-checks it, so
@@ -67,6 +89,22 @@ type Comm struct {
 	// one collective at a time, so recording stays allocation-free).
 	rec *obs.OpRecorder
 	wcs []wallClock
+	// clk is the instrumentation clock, resolved once when trace/rec is
+	// attached (trace clock, then recorder clock, then a wall-clock
+	// closure) — never per op, so the instrumented path stays alloc-free.
+	clk func() int64
+}
+
+// resolveClock picks the instrumentation clock once; callers hold c.mu.
+func (c *Comm) resolveClock() {
+	switch {
+	case c.trace != nil:
+		c.clk = c.trace.Now
+	case c.rec != nil && c.rec.Now != nil:
+		c.clk = c.rec.Now
+	default:
+		c.clk = obs.WallClock()
+	}
 }
 
 // EnableTrace attaches a wall-time span tracer (one lane per participant)
@@ -81,6 +119,7 @@ func (c *Comm) EnableTrace() *obs.Tracer {
 	if c.wcs == nil {
 		c.wcs = make([]wallClock, c.n)
 	}
+	c.resolveClock()
 	return c.trace
 }
 
@@ -97,6 +136,7 @@ func (c *Comm) AttachRecorder(rec *obs.OpRecorder) {
 	if c.wcs == nil {
 		c.wcs = make([]wallClock, c.n)
 	}
+	c.resolveClock()
 }
 
 // wallClock is gxhc's segment clock, the wall-time mirror of core's
@@ -125,12 +165,7 @@ func (c *Comm) newWallClock(rank int, op obs.OpCode, seq uint64, bytes int64, le
 	if c.trace == nil && c.rec == nil {
 		return nil
 	}
-	clk := obs.WallClock()
-	if c.trace != nil {
-		clk = c.trace.Now
-	} else if c.rec.Now != nil {
-		clk = c.rec.Now
-	}
+	clk := c.clk
 	var wc *wallClock
 	if c.wcs != nil {
 		wc = &c.wcs[rank]
@@ -180,34 +215,88 @@ func (wc *wallClock) finish() {
 	}
 }
 
-// view is one participant's mirror of the monotonic counters.
-type view struct {
+// viewSlot is one participant's mirror of the monotonic counters, padded
+// so adjacent ranks' counters never share a cache line (each rank bumps
+// its own slot every op).
+type viewSlot struct {
 	opSeq uint64
-	cum   []uint64
+	cum   [8]uint64
+	_     [cacheLine - 8]byte
 }
 
-// groupCtl is the shared control block of one hierarchy group.
+// agSlot is one rank's allgather exposure: blk is a plain field published
+// by the seq flag (readers load it only after observing the sequence, the
+// writer stores it before).
+type agSlot struct {
+	seq flagLine
+	blk []byte
+	_   [cacheLine - 24]byte
+}
+
+// contribSlot holds one member's exposed contribution slice, padded to a
+// full line — each slot has exactly one writer (its member), publication
+// rides on the member's red flag.
+type contribSlot struct {
+	f []float64
+	_ [cacheLine - 24]byte
+}
+
+// groupCtl is the shared control block of one hierarchy group. All mutable
+// state is either a single-writer flagLine or a plain field published by
+// one (exposed/exposedF by expSeq, contrib[s] by red[s]): every writer
+// owns its cache line, so the ack/ready/expose phases do padded array
+// loads — no map lookups, no false sharing, no read-modify-write.
 type groupCtl struct {
-	leader int
+	leader     int
+	leaderSlot int
+	members    []int32
+	// exposed holds the leader's current buffer ([]byte for Bcast and
+	// Scatter, exposedF for float64 reductions), published by expSeq.
+	exposed  []byte
+	exposedF []float64
+	_        [40]byte // start the flag lines on a fresh cache line
 	// ready is the leader-owned published-bytes counter (single writer).
-	ready atomic.Uint64
-	// expSeq announces the exposure sequence; exposed holds the leader's
-	// current buffer ([]byte for Bcast, exposedF for float64 reductions —
-	// atomic.Value requires consistent concrete types per slot).
-	expSeq   atomic.Uint64
-	exposed  atomic.Value // []byte
-	exposedF atomic.Value // []float64
-	// acks[m] is member m's completed-op counter (single writer each).
-	acks map[int]*atomic.Uint64
-	// red[m] is member m's reduction progress counter.
-	red map[int]*atomic.Uint64
-	// contrib[m] holds member m's exposed contribution slice.
-	contrib map[int]*atomic.Value
+	ready flagLine
+	// expSeq announces the exposure sequence.
+	expSeq flagLine
+	// acks[s] is member slot s's completed-op counter (single writer each).
+	acks []flagLine
+	// red[s] is member slot s's reduction progress counter (phase counter:
+	// 2k = contribution ready, 2k+1 = slice done).
+	red []flagLine
+	// contrib[s] holds member slot s's exposed contribution slice.
+	contrib []contribSlot
+}
+
+// levelRole is one rank's precomputed handle on one group: the control
+// block and the rank's member slot in it.
+type levelRole struct {
+	level int
+	slot  int
+	ctl   *groupCtl
+}
+
+// rankPlan precomputes everything a rank's hot path needs from the
+// hierarchy — which groups it leads (innermost first), where it pulls from
+// as a plain member, its slot in each, and its index partition among the
+// pull group's reducers — so collectives never walk the hierarchy, consult
+// a map, or allocate.
+type rankPlan struct {
+	lead    []levelRole // groups this rank leads, level 0 upward
+	pull    levelRole   // the group it is a plain member of (if hasPull)
+	hasPull bool
+	leaf    levelRole // role at level 0 (lead[0] or pull)
+	// redIdx/redCnt partition [0,n) among the pull group's non-leader
+	// members for the reduction share.
+	redIdx, redCnt int
 }
 
 type state struct {
-	h      *hier.Hierarchy
-	groups [][]*groupCtl
+	h         *hier.Hierarchy
+	groups    [][]*groupCtl
+	plans     []rankPlan
+	top       *groupCtl // top-level group (carries Scatter's exposure)
+	topLeader int
 }
 
 // New creates a communicator for n participants.
@@ -218,11 +307,15 @@ func New(n int, cfg Config) (*Comm, error) {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 64 << 10
 	}
-	c := &Comm{n: n, cfg: cfg, states: map[int]*state{}}
-	c.views = make([]*view, n)
+	c := &Comm{n: n, cfg: cfg}
+	c.states = make([]atomic.Pointer[state], n)
+	c.views = make([]viewSlot, n)
+	c.park = make([]parkNode, n)
+	for r := range c.park {
+		c.park[r].ch = make(chan struct{}, 1)
+	}
 	c.scratch = make([][]float64, n)
-	c.agBlock = make([]atomic.Value, n)
-	c.agSeq = make([]atomic.Uint64, n)
+	c.ag = make([]agSlot, n)
 	if _, err := c.stateFor(0); err != nil {
 		return nil, err
 	}
@@ -267,103 +360,90 @@ func (c *Comm) buildHierarchy(root int) (*hier.Hierarchy, error) {
 }
 
 func (c *Comm) stateFor(root int) (*state, error) {
+	if root < 0 || root >= c.n {
+		return nil, fmt.Errorf("gxhc: root %d out of range [0,%d)", root, c.n)
+	}
+	if st := c.states[root].Load(); st != nil {
+		return st, nil
+	}
+	return c.buildState(root)
+}
+
+func (c *Comm) buildState(root int) (*state, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if st, ok := c.states[root]; ok {
+	if st := c.states[root].Load(); st != nil {
 		return st, nil
 	}
 	h, err := c.buildHierarchy(root)
 	if err != nil {
 		return nil, err
 	}
-	st := &state{h: h}
+	st := &state{h: h, topLeader: h.TopLeader()}
 	for l := 0; l < h.NLevels(); l++ {
 		var lvl []*groupCtl
 		for gi := range h.GroupsAt(l) {
 			g := &h.GroupsAt(l)[gi]
 			ctl := &groupCtl{
 				leader:  g.Leader,
-				acks:    map[int]*atomic.Uint64{},
-				red:     map[int]*atomic.Uint64{},
-				contrib: map[int]*atomic.Value{},
+				members: make([]int32, len(g.Members)),
+				acks:    make([]flagLine, len(g.Members)),
+				red:     make([]flagLine, len(g.Members)),
+				contrib: make([]contribSlot, len(g.Members)),
 			}
-			for _, m := range g.Members {
-				ctl.acks[m] = &atomic.Uint64{}
-				ctl.red[m] = &atomic.Uint64{}
-				ctl.contrib[m] = &atomic.Value{}
+			for s, m := range g.Members {
+				ctl.members[s] = int32(m)
+				if m == g.Leader {
+					ctl.leaderSlot = s
+				}
 			}
 			lvl = append(lvl, ctl)
 		}
 		st.groups = append(st.groups, lvl)
 	}
-	if c.views[0] == nil {
-		for r := 0; r < c.n; r++ {
-			c.views[r] = &view{cum: make([]uint64, 8)}
-		}
-	}
-	c.states[root] = st
-	return st, nil
-}
-
-// spinUntil polls an atomic counter with cooperative yielding and capped
-// exponential backoff. A short pure spin covers the common low-latency
-// case; after that every probe yields, and sustained waiting falls back to
-// sleeping. The previous version yielded only every 64th probe and never
-// slept, which starved the counter's writer when participants outnumber
-// GOMAXPROCS: spinning goroutines held every P for whole scheduler quanta
-// and progress slowed to the preemption rate (or stopped).
-func spinUntil(a *atomic.Uint64, v uint64) uint64 {
-	for i := 0; ; i++ {
-		got := a.Load()
-		if got >= v {
-			return got
-		}
-		switch {
-		case i < 32:
-			// Tight spin: value is usually already (or imminently) there.
-		case i < 4096:
-			runtime.Gosched()
-		default:
-			shift := (i - 4096) / 1024
-			if shift > 6 {
-				shift = 6 // cap backoff at 64us to bound wakeup latency
+	st.top = st.groups[h.NLevels()-1][0]
+	st.plans = make([]rankPlan, c.n)
+	for r := 0; r < c.n; r++ {
+		p := &st.plans[r]
+		for l := 0; l < h.NLevels(); l++ {
+			g, ok := h.GroupOf(l, r)
+			if !ok {
+				break
 			}
-			time.Sleep(time.Microsecond << shift)
+			ctl := st.groups[l][g.Index]
+			role := levelRole{level: l, ctl: ctl}
+			for s, m := range g.Members {
+				if m == r {
+					role.slot = s
+					break
+				}
+			}
+			if h.IsLeader(l, r) {
+				p.lead = append(p.lead, role)
+				continue
+			}
+			p.pull = role
+			p.hasPull = true
+			// Index partition among the group's non-leader members.
+			for _, m := range g.Members {
+				if m == g.Leader {
+					continue
+				}
+				if m == r {
+					p.redIdx = p.redCnt
+				}
+				p.redCnt++
+			}
+			break // a non-leader participates in no higher level
 		}
-	}
-}
-
-func (st *state) groupOf(l, rank int) *groupCtl {
-	g, ok := st.h.GroupOf(l, rank)
-	if !ok {
-		return nil
-	}
-	return st.groups[l][g.Index]
-}
-
-func (st *state) pullLevel(rank int) int {
-	pl := -1
-	for l := 0; l < st.h.NLevels(); l++ {
-		if _, ok := st.h.GroupOf(l, rank); !ok {
-			break
-		}
-		if !st.h.IsLeader(l, rank) {
-			pl = l
-		}
-	}
-	return pl
-}
-
-func (st *state) leadLevels(rank int) []int {
-	var out []int
-	for l := 0; l < st.h.NLevels(); l++ {
-		if st.h.IsLeader(l, rank) {
-			out = append(out, l)
+		if len(p.lead) > 0 {
+			p.leaf = p.lead[0]
 		} else {
-			break
+			p.leaf = p.pull
 		}
 	}
-	return out
+	c.states[root].Store(st)
+	return st, nil
 }
 
 // Bcast distributes root's buf contents to every participant's buf. All
@@ -373,31 +453,31 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 	if err != nil {
 		panic(err)
 	}
-	v := c.views[rank]
+	v := &c.views[rank]
 	v.opSeq++
+	seq := v.opSeq
 	n := len(buf)
-	wc := c.newWallClock(rank, obs.OpBcast, v.opSeq, int64(n), st.h.NLevels())
+	wc := c.newWallClock(rank, obs.OpBcast, seq, int64(n), st.h.NLevels())
+	p := &st.plans[rank]
 
-	lead := st.leadLevels(rank)
-	pl := st.pullLevel(rank)
-
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		ctl.exposed.Store(buf)
-		ctl.expSeq.Store(v.opSeq)
+	for i := range p.lead {
+		ctl := p.lead[i].ctl
+		ctl.exposed = buf
+		ctl.expSeq.set(seq)
 	}
 	wc.mark(-1, obs.PhaseExpose, 0)
 	if rank == root {
-		for _, l := range lead {
-			st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+		for i := range p.lead {
+			lr := &p.lead[i]
+			lr.ctl.ready.set(v.cum[lr.level] + uint64(n))
 		}
 		wc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else if n > 0 {
-		ctl := st.groupOf(pl, rank)
-		spinUntil(&ctl.expSeq, v.opSeq)
-		src := ctl.exposed.Load().([]byte)
-		wc.mark(pl, obs.PhaseFlagWait, 0)
-		base := v.cum[pl]
+		ctl := p.pull.ctl
+		c.wait(&ctl.expSeq, seq, rank)
+		src := ctl.exposed
+		wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+		base := v.cum[p.pull.level]
 		copied := 0
 		for copied < n {
 			var avail int
@@ -406,31 +486,32 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 				avail = n
 			} else {
 				want := copied + min(c.cfg.ChunkBytes, n-copied)
-				avail = int(spinUntil(&ctl.ready, base+uint64(want)) - base)
+				avail = int(c.wait(&ctl.ready, base+uint64(want), rank) - base)
 				if avail > n {
 					avail = n
 				}
 			}
-			wc.mark(pl, obs.PhaseFlagWait, 0)
+			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
 			before := copied
 			copy(buf[copied:avail], src[copied:avail])
 			copied = avail
-			for _, l := range lead {
-				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(copied))
+			for i := range p.lead {
+				lr := &p.lead[i]
+				lr.ctl.ready.set(v.cum[lr.level] + uint64(copied))
 			}
-			wc.mark(pl, obs.PhaseChunkCopy, int64(copied-before))
+			wc.mark(p.pull.level, obs.PhaseChunkCopy, int64(copied-before))
 		}
 	}
 
 	// Hierarchical acknowledgment.
-	if pl >= 0 {
-		st.groupOf(pl, rank).acks[rank].Store(v.opSeq)
+	if p.hasPull {
+		p.pull.ctl.acks[p.pull.slot].set(seq)
 	}
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		for m, a := range ctl.acks {
-			if m != rank {
-				spinUntil(a, v.opSeq)
+	for i := range p.lead {
+		lr := &p.lead[i]
+		for s := range lr.ctl.acks {
+			if s != lr.slot {
+				c.wait(&lr.ctl.acks[s], seq, rank)
 			}
 		}
 	}
@@ -445,7 +526,13 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 // every participant's dst (len(dst) == len(src) everywhere). The reduction
 // is hierarchical with index partitioning among group members.
 func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
-	c.reduceFloat64(rank, dst, src, 0, true)
+	c.reduceFloat64(rank, dst, src, 0, true, OpSum)
+}
+
+// AllreduceFloat64Op is AllreduceFloat64 with an explicit element-wise op
+// (sum, min or max — see ReduceOp).
+func (c *Comm) AllreduceFloat64Op(rank int, dst, src []float64, op ReduceOp) {
+	c.reduceFloat64(rank, dst, src, 0, true, op)
 }
 
 // ReduceFloat64 sums src element-wise across all participants into root's
@@ -453,14 +540,19 @@ func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
 // accumulators are used at non-root leaders), but every rank must pass a
 // src of the same length.
 func (c *Comm) ReduceFloat64(rank int, dst, src []float64, root int) {
-	c.reduceFloat64(rank, dst, src, root, false)
+	c.reduceFloat64(rank, dst, src, root, false, OpSum)
+}
+
+// ReduceFloat64Op is ReduceFloat64 with an explicit element-wise op.
+func (c *Comm) ReduceFloat64Op(rank int, dst, src []float64, root int, op ReduceOp) {
+	c.reduceFloat64(rank, dst, src, root, false, op)
 }
 
 // reduceFloat64 is the shared body of AllreduceFloat64/ReduceFloat64: a
 // hierarchical index-partitioned reduction toward the top leader (which is
 // root, since the hierarchy is root-following), optionally followed by the
 // pull-based broadcast of the result.
-func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool) {
+func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool, op ReduceOp) {
 	if bcast && len(dst) != len(src) {
 		panic("gxhc: dst/src length mismatch")
 	}
@@ -468,50 +560,59 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool)
 	if err != nil {
 		panic(err)
 	}
-	v := c.views[rank]
+	v := &c.views[rank]
 	v.opSeq++
+	seq := v.opSeq
 	n := len(src)
 	opCode := obs.OpAllreduce
 	if !bcast {
 		opCode = obs.OpReduce
 	}
-	wc := c.newWallClock(rank, opCode, v.opSeq, int64(n)*8, st.h.NLevels())
-
-	lead := st.leadLevels(rank)
-	pl := st.pullLevel(rank)
+	wc := c.newWallClock(rank, opCode, seq, int64(n)*8, st.h.NLevels())
+	p := &st.plans[rank]
 
 	// The accumulator of a leader is its result buffer: dst for allreduce
-	// (and for the root in reduce); internal scratch otherwise.
+	// (and for the root in reduce); internal scratch otherwise. Scratch is
+	// reused by capacity and grown to the next power of two, so a mixed-size
+	// op sequence settles instead of reallocating on every size increase.
 	acc := dst
-	if !bcast && rank != root && len(lead) > 0 {
-		if len(c.scratch[rank]) < n {
-			c.scratch[rank] = make([]float64, n)
+	if !bcast && rank != root && len(p.lead) > 0 {
+		s := c.scratch[rank]
+		if cap(s) < n {
+			sz := 1
+			for sz < n {
+				sz <<= 1
+			}
+			s = make([]float64, sz)
+			c.scratch[rank] = s
 		}
-		acc = c.scratch[rank][:n]
+		acc = s[:n]
 	}
 
 	// Expose contributions: src at the leaf level, acc (accumulator) above.
-	if pl >= 0 {
-		ctl := st.groupOf(pl, rank)
-		contrib := src
-		if pl > 0 {
-			contrib = acc
+	// Contribution slices and the leader accumulator are plain fields,
+	// published by the red/expSeq flag stores below.
+	if p.hasPull {
+		cs := &p.pull.ctl.contrib[p.pull.slot]
+		if p.pull.level == 0 {
+			cs.f = src
+		} else {
+			cs.f = acc
 		}
-		ctl.contrib[rank].Store(contrib)
 	}
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		contrib := acc
-		if l == 0 {
-			contrib = src
+	for i := range p.lead {
+		lr := &p.lead[i]
+		cs := &lr.ctl.contrib[lr.slot]
+		if lr.level == 0 {
+			cs.f = src
+		} else {
+			cs.f = acc
 		}
-		ctl.contrib[rank].Store(contrib)
-		ctl.exposedF.Store(acc) // accumulator for reducers
-		ctl.expSeq.Store(v.opSeq)
+		lr.ctl.exposedF = acc // accumulator for reducers
+		lr.ctl.expSeq.set(seq)
 	}
 	// Leaf contributions are ready immediately.
-	gs0 := st.groupOf(0, rank)
-	gs0.red[rank].Store(v.opSeq * 2) // phase counter: 2k = ready, 2k+1 unused
+	p.leaf.ctl.red[p.leaf.slot].set(seq * 2) // phase counter: 2k = ready
 	wc.mark(-1, obs.PhaseExpose, 0)
 
 	// Bottom-up walk. A rank first completes its duties as a leader of
@@ -519,95 +620,81 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool)
 	// own contribution readiness one level up), and only then performs
 	// its reduction share at its pull level — mirroring the dependency
 	// order of the simulated implementation.
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		g, _ := st.h.GroupOf(l, rank)
-		if l == 0 && len(g.Members) == 1 {
+	for i := range p.lead {
+		lr := &p.lead[i]
+		if lr.level == 0 && len(lr.ctl.members) == 1 {
 			// Singleton leaf group: the accumulator takes the leader's own
 			// contribution directly.
 			copy(acc, src)
 		}
-		for _, m := range g.Members {
-			if m == rank {
-				continue
+		for s := range lr.ctl.red {
+			if s != lr.slot {
+				c.wait(&lr.ctl.red[s], seq*2+1, rank)
 			}
-			spinUntil(ctl.red[m], v.opSeq*2+1)
 		}
-		if l+1 < st.h.NLevels() {
-			st.groupOf(l+1, rank).red[rank].Store(v.opSeq * 2)
+		if i+1 < len(p.lead) {
+			up := &p.lead[i+1]
+			up.ctl.red[up.slot].set(seq * 2)
+		} else if p.hasPull {
+			p.pull.ctl.red[p.pull.slot].set(seq * 2)
 		}
 	}
 	wc.mark(-1, obs.PhaseFlagWait, 0)
-	if pl >= 0 && !st.h.IsLeader(pl, rank) {
-		ctl := st.groupOf(pl, rank)
-		// Partition [0,n) among non-leader members.
-		g, _ := st.h.GroupOf(pl, rank)
-		var reducers []int
-		for _, m := range g.Members {
-			if m != ctl.leader {
-				reducers = append(reducers, m)
-			}
-		}
-		idx := 0
-		for i, m := range reducers {
-			if m == rank {
-				idx = i
-				break
-			}
-		}
-		lo := n * idx / len(reducers)
-		hi := n * (idx + 1) / len(reducers)
+	if p.hasPull {
+		ctl := p.pull.ctl
+		// Reduce this rank's index partition of [0,n) into the leader's
+		// accumulator.
+		lo := n * p.redIdx / p.redCnt
+		hi := n * (p.redIdx + 1) / p.redCnt
 		if hi > lo {
-			spinUntil(&ctl.expSeq, v.opSeq)
-			acc := ctl.exposedF.Load().([]float64)
+			c.wait(&ctl.expSeq, seq, rank)
+			lacc := ctl.exposedF
 			// Wait for every member's contribution to be ready.
-			for _, m := range g.Members {
-				spinUntil(ctl.red[m], v.opSeq*2)
+			for s := range ctl.red {
+				c.wait(&ctl.red[s], seq*2, rank)
 			}
-			wc.mark(pl, obs.PhaseFlagWait, 0)
-			leaderContrib := ctl.contrib[ctl.leader].Load().([]float64)
-			if &leaderContrib[0] != &acc[0] {
-				copy(acc[lo:hi], leaderContrib[lo:hi])
+			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+			leaderContrib := ctl.contrib[ctl.leaderSlot].f
+			if &leaderContrib[0] != &lacc[0] {
+				copy(lacc[lo:hi], leaderContrib[lo:hi])
 			}
-			for _, m := range g.Members {
-				if m == ctl.leader {
+			for s := range ctl.contrib {
+				if s == ctl.leaderSlot {
 					continue
 				}
-				mc := ctl.contrib[m].Load().([]float64)
-				for i := lo; i < hi; i++ {
-					acc[i] += mc[i]
-				}
+				vecReduce(op, lacc[lo:hi], ctl.contrib[s].f[lo:hi])
 			}
-			wc.mark(pl, obs.PhaseReduceSlice, int64(hi-lo)*8)
+			wc.mark(p.pull.level, obs.PhaseReduceSlice, int64(hi-lo)*8)
 		}
 		// Signal slice completion (phase 2k+1).
-		ctl.red[rank].Store(v.opSeq*2 + 1)
+		ctl.red[p.pull.slot].set(seq*2 + 1)
 	}
 
 	// Broadcast the result from the top leader (rank 0's dst for allreduce;
 	// a rooted reduce skips the distribution — and therefore leaves the
 	// ready counters and their cum mirrors untouched).
 	if bcast {
-		top := st.h.TopLeader()
-		if rank == top {
-			for _, l := range lead {
-				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+		if rank == st.topLeader {
+			for i := range p.lead {
+				lr := &p.lead[i]
+				lr.ctl.ready.set(v.cum[lr.level] + uint64(n))
 			}
 		} else if n > 0 {
 			// n == 0 publishes nothing, so the ready counter cannot order this
 			// pull against the leader's expose; skip it — there is no data.
-			ctl := st.groupOf(pl, rank)
-			base := v.cum[pl]
-			spinUntil(&ctl.ready, base+uint64(n))
-			wc.mark(pl, obs.PhaseFlagWait, 0)
-			final := ctl.exposedF.Load().([]float64)
+			ctl := p.pull.ctl
+			base := v.cum[p.pull.level]
+			c.wait(&ctl.ready, base+uint64(n), rank)
+			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+			final := ctl.exposedF
 			if &dst[0] != &final[0] {
 				copy(dst, final)
 			}
-			for _, l := range lead {
-				st.groupOf(l, rank).ready.Store(v.cum[l] + uint64(n))
+			for i := range p.lead {
+				lr := &p.lead[i]
+				lr.ctl.ready.set(v.cum[lr.level] + uint64(n))
 			}
-			wc.mark(pl, obs.PhaseChunkCopy, int64(n)*8)
+			wc.mark(p.pull.level, obs.PhaseChunkCopy, int64(n)*8)
 		}
 	}
 
@@ -617,26 +704,24 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool)
 	// refills it for the next op. Hold until every co-reducer in the pull
 	// group has finished its slice. Allreduce needs none of this — the
 	// result broadcast already orders every return after the full fan-in.
-	if !bcast && pl >= 0 {
-		ctl := st.groupOf(pl, rank)
-		g, _ := st.h.GroupOf(pl, rank)
-		for _, m := range g.Members {
-			if m != rank && m != ctl.leader {
-				spinUntil(ctl.red[m], v.opSeq*2+1)
+	if !bcast && p.hasPull {
+		ctl := p.pull.ctl
+		for s := range ctl.red {
+			if s != p.pull.slot && s != ctl.leaderSlot {
+				c.wait(&ctl.red[s], seq*2+1, rank)
 			}
 		}
 	}
 
 	// Acknowledgment + counter advance.
-	if pl >= 0 {
-		ctl := st.groupOf(pl, rank)
-		ctl.acks[rank].Store(v.opSeq)
+	if p.hasPull {
+		p.pull.ctl.acks[p.pull.slot].set(seq)
 	}
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		for m, a := range ctl.acks {
-			if m != rank {
-				spinUntil(a, v.opSeq)
+	for i := range p.lead {
+		lr := &p.lead[i]
+		for s := range lr.ctl.acks {
+			if s != lr.slot {
+				c.wait(&lr.ctl.acks[s], seq, rank)
 			}
 		}
 	}
@@ -652,7 +737,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool)
 // Barrier blocks until every participant has arrived.
 func (c *Comm) Barrier(rank int) {
 	st, _ := c.stateFor(0)
-	v := c.views[rank]
+	v := &c.views[rank]
 	v.opSeq++
 	wc := c.newWallClock(rank, obs.OpBarrier, v.opSeq, 0, st.h.NLevels())
 	c.barrierBody(st, v, rank, wc)
@@ -664,25 +749,25 @@ func (c *Comm) Barrier(rank int) {
 // consuming one token on every level's cum mirror. Used by Barrier and as
 // Allgather's exit synchronization (no participant may return — and reuse
 // its exposed contribution — before every other participant has read it).
-func (c *Comm) barrierBody(st *state, v *view, rank int, wc *wallClock) {
-	lead := st.leadLevels(rank)
-	pl := st.pullLevel(rank)
-	for _, l := range lead {
-		ctl := st.groupOf(l, rank)
-		for m, a := range ctl.acks {
-			if m != rank {
-				spinUntil(a, v.opSeq)
+func (c *Comm) barrierBody(st *state, v *viewSlot, rank int, wc *wallClock) {
+	p := &st.plans[rank]
+	seq := v.opSeq
+	for i := range p.lead {
+		lr := &p.lead[i]
+		for s := range lr.ctl.acks {
+			if s != lr.slot {
+				c.wait(&lr.ctl.acks[s], seq, rank)
 			}
 		}
 	}
-	if pl >= 0 {
-		ctl := st.groupOf(pl, rank)
-		ctl.acks[rank].Store(v.opSeq)
-		spinUntil(&ctl.ready, v.cum[pl]+1)
+	if p.hasPull {
+		ctl := p.pull.ctl
+		ctl.acks[p.pull.slot].set(seq)
+		c.wait(&ctl.ready, v.cum[p.pull.level]+1, rank)
 	}
-	for i := len(lead) - 1; i >= 0; i-- {
-		ctl := st.groupOf(lead[i], rank)
-		ctl.ready.Store(v.cum[lead[i]] + 1)
+	for i := len(p.lead) - 1; i >= 0; i-- {
+		lr := &p.lead[i]
+		lr.ctl.ready.set(v.cum[lr.level] + 1)
 	}
 	for l := range v.cum {
 		v.cum[l]++
@@ -702,21 +787,21 @@ func (c *Comm) Allgather(rank int, in, out []byte) {
 		panic(fmt.Sprintf("gxhc: allgather out length %d, want %d", len(out), blockLen*c.n))
 	}
 	st, _ := c.stateFor(0)
-	v := c.views[rank]
+	v := &c.views[rank]
 	v.opSeq++
-	wc := c.newWallClock(rank, obs.OpAllgather, v.opSeq, int64(blockLen), st.h.NLevels())
+	seq := v.opSeq
+	wc := c.newWallClock(rank, obs.OpAllgather, seq, int64(blockLen), st.h.NLevels())
 
-	c.agBlock[rank].Store(in)
-	c.agSeq[rank].Store(v.opSeq)
+	c.ag[rank].blk = in
+	c.ag[rank].seq.set(seq)
 	wc.mark(-1, obs.PhaseExpose, 0)
 	for r := 0; r < c.n; r++ {
 		if r == rank {
 			copy(out[blockLen*r:blockLen*(r+1)], in)
 			continue
 		}
-		spinUntil(&c.agSeq[r], v.opSeq)
-		blk := c.agBlock[r].Load().([]byte)
-		copy(out[blockLen*r:blockLen*(r+1)], blk)
+		c.wait(&c.ag[r].seq, seq, rank)
+		copy(out[blockLen*r:blockLen*(r+1)], c.ag[r].blk)
 	}
 	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*c.n))
 	c.barrierBody(st, v, rank, wc)
@@ -733,24 +818,26 @@ func (c *Comm) Scatter(rank int, in, out []byte, root int) {
 	if err != nil {
 		panic(err)
 	}
-	v := c.views[rank]
+	v := &c.views[rank]
 	v.opSeq++
+	seq := v.opSeq
 	blockLen := len(out)
-	wc := c.newWallClock(rank, obs.OpScatter, v.opSeq, int64(blockLen), st.h.NLevels())
+	wc := c.newWallClock(rank, obs.OpScatter, seq, int64(blockLen), st.h.NLevels())
+	p := &st.plans[rank]
 
-	ctl := st.groups[st.h.NLevels()-1][0] // top group carries the exposure
+	ctl := st.top // top group carries the exposure
 	if rank == root {
 		if len(in) != blockLen*c.n {
 			panic(fmt.Sprintf("gxhc: scatter in length %d, want %d", len(in), blockLen*c.n))
 		}
-		ctl.exposed.Store(in)
-		ctl.expSeq.Store(v.opSeq)
+		ctl.exposed = in
+		ctl.expSeq.set(seq)
 		wc.mark(-1, obs.PhaseExpose, 0)
 		copy(out, in[blockLen*root:blockLen*(root+1)])
 	} else if blockLen > 0 {
-		spinUntil(&ctl.expSeq, v.opSeq)
+		c.wait(&ctl.expSeq, seq, rank)
 		wc.mark(-1, obs.PhaseFlagWait, 0)
-		src := ctl.exposed.Load().([]byte)
+		src := ctl.exposed
 		copy(out, src[blockLen*rank:blockLen*(rank+1)])
 	}
 	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
@@ -760,16 +847,16 @@ func (c *Comm) Scatter(rank int, in, out []byte, root int) {
 	// so acks must be subtree-ordered: a leader collects its led groups
 	// BEFORE publishing its own ack, making root's return proof that no
 	// rank anywhere is still reading in.
-	for _, l := range st.leadLevels(rank) {
-		ctl := st.groupOf(l, rank)
-		for m, a := range ctl.acks {
-			if m != rank {
-				spinUntil(a, v.opSeq)
+	for i := range p.lead {
+		lr := &p.lead[i]
+		for s := range lr.ctl.acks {
+			if s != lr.slot {
+				c.wait(&lr.ctl.acks[s], seq, rank)
 			}
 		}
 	}
-	if pl := st.pullLevel(rank); pl >= 0 {
-		st.groupOf(pl, rank).acks[rank].Store(v.opSeq)
+	if p.hasPull {
+		p.pull.ctl.acks[p.pull.slot].set(seq)
 	}
 	wc.mark(-1, obs.PhaseAck, 0)
 	wc.finish()

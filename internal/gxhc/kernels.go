@@ -1,0 +1,66 @@
+package gxhc
+
+import "math"
+
+// ReduceOp selects the element-wise fold applied by the float64 reduction
+// kernels. Sum matches the paper's allreduce benchmarks; Min/Max use
+// math.Min/math.Max semantics (NaN propagates, -0 orders below +0) so
+// results stay bit-identical to the simulator's mpi.ReduceBytes fold.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return "?"
+}
+
+// vecReduce folds src into acc element-wise over the first len(acc)
+// elements (src must be at least as long; the slices must not overlap
+// partially). The per-op kernels live in kernels_safe.go (4-way unrolled,
+// bounds-check-eliminated) with a wider unsafe variant selected by the
+// gxhc_unsafe build tag.
+func vecReduce(op ReduceOp, acc, src []float64) {
+	switch op {
+	case OpSum:
+		vecAdd(acc, src)
+	case OpMin:
+		vecMin(acc, src)
+	case OpMax:
+		vecMax(acc, src)
+	}
+}
+
+// Naive one-element-at-a-time references: the oracle the optimized kernels
+// must match bit for bit (kernels_test.go property-checks every length
+// 0..257 including NaN, infinities and signed zeros), and the definition of
+// record for the fold semantics.
+
+func vecAddNaive(acc, src []float64) {
+	for i := range acc {
+		acc[i] += src[i]
+	}
+}
+
+func vecMinNaive(acc, src []float64) {
+	for i := range acc {
+		acc[i] = math.Min(acc[i], src[i])
+	}
+}
+
+func vecMaxNaive(acc, src []float64) {
+	for i := range acc {
+		acc[i] = math.Max(acc[i], src[i])
+	}
+}

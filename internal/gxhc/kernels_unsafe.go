@@ -1,0 +1,96 @@
+//go:build gxhc_unsafe
+
+package gxhc
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Unsafe reduce kernels (build tag gxhc_unsafe): 8-wide pointer walks with
+// no bounds checks at all. Arithmetic is identical to the safe kernels —
+// float64 adds and math.Min/math.Max folds — so results stay bit-identical
+// (kernels_test.go checks this under both tags). The unsafe part is only
+// the addressing: callers guarantee len(src) >= len(acc), exactly as the
+// safe variants' `src[:len(acc)]` reslice does.
+
+const f64size = unsafe.Sizeof(float64(0))
+
+func vecAdd(acc, src []float64) {
+	n := len(acc)
+	if n == 0 {
+		return
+	}
+	ap := unsafe.Pointer(&acc[0])
+	sp := unsafe.Pointer(&src[0])
+	i := 0
+	for ; i+7 < n; i += 8 {
+		a := (*[8]float64)(unsafe.Add(ap, uintptr(i)*f64size))
+		s := (*[8]float64)(unsafe.Add(sp, uintptr(i)*f64size))
+		a[0] += s[0]
+		a[1] += s[1]
+		a[2] += s[2]
+		a[3] += s[3]
+		a[4] += s[4]
+		a[5] += s[5]
+		a[6] += s[6]
+		a[7] += s[7]
+	}
+	for ; i < n; i++ {
+		*(*float64)(unsafe.Add(ap, uintptr(i)*f64size)) += *(*float64)(unsafe.Add(sp, uintptr(i)*f64size))
+	}
+}
+
+func vecMin(acc, src []float64) {
+	n := len(acc)
+	if n == 0 {
+		return
+	}
+	ap := unsafe.Pointer(&acc[0])
+	sp := unsafe.Pointer(&src[0])
+	i := 0
+	for ; i+7 < n; i += 8 {
+		a := (*[8]float64)(unsafe.Add(ap, uintptr(i)*f64size))
+		s := (*[8]float64)(unsafe.Add(sp, uintptr(i)*f64size))
+		a[0] = math.Min(a[0], s[0])
+		a[1] = math.Min(a[1], s[1])
+		a[2] = math.Min(a[2], s[2])
+		a[3] = math.Min(a[3], s[3])
+		a[4] = math.Min(a[4], s[4])
+		a[5] = math.Min(a[5], s[5])
+		a[6] = math.Min(a[6], s[6])
+		a[7] = math.Min(a[7], s[7])
+	}
+	for ; i < n; i++ {
+		a := (*float64)(unsafe.Add(ap, uintptr(i)*f64size))
+		s := (*float64)(unsafe.Add(sp, uintptr(i)*f64size))
+		*a = math.Min(*a, *s)
+	}
+}
+
+func vecMax(acc, src []float64) {
+	n := len(acc)
+	if n == 0 {
+		return
+	}
+	ap := unsafe.Pointer(&acc[0])
+	sp := unsafe.Pointer(&src[0])
+	i := 0
+	for ; i+7 < n; i += 8 {
+		a := (*[8]float64)(unsafe.Add(ap, uintptr(i)*f64size))
+		s := (*[8]float64)(unsafe.Add(sp, uintptr(i)*f64size))
+		a[0] = math.Max(a[0], s[0])
+		a[1] = math.Max(a[1], s[1])
+		a[2] = math.Max(a[2], s[2])
+		a[3] = math.Max(a[3], s[3])
+		a[4] = math.Max(a[4], s[4])
+		a[5] = math.Max(a[5], s[5])
+		a[6] = math.Max(a[6], s[6])
+		a[7] = math.Max(a[7], s[7])
+	}
+	for ; i < n; i++ {
+		a := (*float64)(unsafe.Add(ap, uintptr(i)*f64size))
+		s := (*float64)(unsafe.Add(sp, uintptr(i)*f64size))
+		*a = math.Max(*a, *s)
+	}
+}

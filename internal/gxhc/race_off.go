@@ -1,0 +1,5 @@
+//go:build !race
+
+package gxhc
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package gxhc
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc pinning test skips under the detector: race instrumentation
+// allocates on synchronization paths the production runtime does not, so
+// the 0 allocs/op invariant only holds (and is only meaningful) without it.
+const raceEnabled = true

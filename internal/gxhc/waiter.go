@@ -1,0 +1,197 @@
+package gxhc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const cacheLine = 64
+
+// Waiter tuning: tightProbes polls without yielding (the value is usually
+// already, or imminently, there); up to spinProbes every probe yields the
+// processor. Only after both phases does a waiter park on the flag's wait
+// queue (or, with Config.Spin, fall back to the legacy spin/sleep backoff).
+const (
+	tightProbes = 32
+	spinProbes  = 192
+)
+
+// flagLine is one monotonic synchronization counter laid out so that its
+// single writer never false-shares with anything else: the hot half (the
+// counter plus the parked indicator) fills one cache line, and the cold
+// parking half (mutex + waiter list, touched only when someone actually
+// parks) fills a second. Dense arrays of flagLines replace the old
+// map[int]*atomic.Uint64 control maps: `acks[slot]`, `red[slot]` — one
+// 128-byte record per member slot, one writer per record, array indexing
+// instead of map lookups on the hot path.
+//
+// The counter is single-writer (plain store, no read-modify-write), the
+// discipline the paper's Section III-E argues for; waking parked readers
+// needs no RMW on the flag itself either — the writer re-checks the parked
+// indicator after publishing, and the waiter re-checks the value after
+// publishing its parked indicator (the Dekker store/load handshake), so a
+// wakeup can never be missed.
+type flagLine struct {
+	v      atomic.Uint64
+	parked atomic.Uint32
+	_      [cacheLine - 12]byte
+	cold   flagCold
+}
+
+// flagCold is the parking half of a flagLine: only touched once a waiter
+// has exhausted its spin budget, so it lives on its own line and keeps the
+// mutex off the counter's line. The wait queue is an intrusive singly
+// linked list of per-rank parkNodes — registration pushes a node the rank
+// already owns, so parking never allocates, not even the first time a
+// given flag sees a parked waiter.
+type flagCold struct {
+	mu   sync.Mutex
+	head *parkNode
+	_    [cacheLine - 16]byte
+}
+
+// parkNode is one rank's wait-queue entry, allocated once at New. The
+// one-token channel is what the rank blocks on; next links it into the
+// flag it is currently parked under. A rank waits on at most one flag at
+// a time, and the node is always unlinked before the rank's wait returns
+// (either by the waker detaching the whole list, or by the waiter's own
+// early-exit unlink), so one node per rank suffices.
+type parkNode struct {
+	ch   chan struct{}
+	next *parkNode
+}
+
+func (f *flagLine) load() uint64 { return f.v.Load() }
+
+// set publishes v. flagLine counters are single-writer and monotonic, so a
+// plain atomic store suffices; the parked re-check after the store is the
+// writer's half of the Dekker handshake with wait.
+func (f *flagLine) set(v uint64) {
+	f.v.Store(v)
+	if f.parked.Load() != 0 {
+		f.wake()
+	}
+}
+
+// wake hands one token to every parked node and detaches the whole list.
+// Tokens are non-blocking sends into each waiter's buffered park channel:
+// a waiter that already gave up and unlinked itself merely collects a
+// stale token, which its next wait drains before re-registering. Every
+// node is detached (next cleared) before its token is sent, preserving
+// the invariant that a node whose owner is runnable is on no list.
+func (f *flagLine) wake() {
+	c := &f.cold
+	c.mu.Lock()
+	f.parked.Store(0)
+	for n := c.head; n != nil; {
+		nx := n.next
+		n.next = nil
+		select {
+		case n.ch <- struct{}{}:
+		default:
+		}
+		n = nx
+	}
+	c.head = nil
+	c.mu.Unlock()
+}
+
+// unlink removes n from f's wait queue if it is still there (the waker may
+// have detached the whole list concurrently — then there is nothing to
+// do, and the stale token it sent is drained by n's next wait).
+func (f *flagLine) unlink(n *parkNode) {
+	c := &f.cold
+	c.mu.Lock()
+	for p := &c.head; *p != nil; p = &(*p).next {
+		if *p == n {
+			*p = n.next
+			n.next = nil
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// wait blocks rank until f reaches at least v and returns the observed
+// value. Phase 1 spins (bounded), phase 2 parks on the flag's wait queue —
+// unless the communicator was configured with Spin, in which case it falls
+// back to spinUntil's yield/sleep backoff (the escape hatch for
+// latency-bound small ops on machines with a core per participant).
+func (c *Comm) wait(f *flagLine, v uint64, rank int) uint64 {
+	for i := 0; i < spinProbes; i++ {
+		if got := f.v.Load(); got >= v {
+			return got
+		}
+		if i >= tightProbes {
+			runtime.Gosched()
+		}
+	}
+	if c.cfg.Spin {
+		return spinUntil(&f.v, v)
+	}
+	n := &c.park[rank]
+	for {
+		// Drain a stale token left by an earlier wait that was satisfied
+		// between registering and parking.
+		select {
+		case <-n.ch:
+		default:
+		}
+		cold := &f.cold
+		cold.mu.Lock()
+		if got := f.v.Load(); got >= v {
+			cold.mu.Unlock()
+			return got
+		}
+		n.next = cold.head
+		cold.head = n
+		f.parked.Store(1)
+		cold.mu.Unlock()
+		// Dekker re-check: the writer may have stored the value before it
+		// loaded our parked indicator. It re-reads parked after its store;
+		// we re-read the value after publishing parked — at least one side
+		// must see the other. On this early exit the node must be taken
+		// back off the queue (a rank's single node may not be left behind
+		// on a flag it is no longer waiting on).
+		if got := f.v.Load(); got >= v {
+			f.unlink(n)
+			return got
+		}
+		<-n.ch
+		// The only sender is wake, which detaches every node before
+		// handing it a token, so the node is off the list here.
+		if got := f.v.Load(); got >= v {
+			return got
+		}
+	}
+}
+
+// spinUntil polls an atomic counter with cooperative yielding and capped
+// exponential backoff — the Config.Spin waiter. A short pure spin covers
+// the common low-latency case; after that every probe yields, and sustained
+// waiting falls back to sleeping. The original version yielded only every
+// 64th probe and never slept, which starved the counter's writer when
+// participants outnumber GOMAXPROCS; the parking waiter (Comm.wait) removes
+// even the capped sleep's wakeup-latency cliff.
+func spinUntil(a *atomic.Uint64, v uint64) uint64 {
+	for i := 0; ; i++ {
+		got := a.Load()
+		if got >= v {
+			return got
+		}
+		switch {
+		case i < 32:
+			// Tight spin: value is usually already (or imminently) there.
+		case i < 4096:
+			runtime.Gosched()
+		default:
+			shift := (i - 4096) / 1024
+			if shift > 6 {
+				shift = 6 // cap backoff at 64us to bound wakeup latency
+			}
+			time.Sleep(time.Microsecond << shift)
+		}
+	}
+}

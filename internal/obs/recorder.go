@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // Straggler-detector defaults: an operation step is anomalous when the
@@ -41,6 +42,12 @@ type OpRecorder struct {
 	flight *Flight
 	lanes  []recLane
 	det    stragglerDetector
+	// quiesceDumps suppresses the straggler detector's flight dumps (the
+	// straggler counter still advances). Allocation gates set it around
+	// their measured window: the gate itself provokes a GC pause that can
+	// manufacture a straggler, and the resulting dump is a deliberately
+	// heavyweight diagnostic, not a steady-state op-path allocation.
+	quiesceDumps atomic.Bool
 
 	mu    sync.Mutex
 	token string
@@ -152,8 +159,15 @@ func (r *OpRecorder) DumpNow(kind, reason string) *FlightDump {
 	return d
 }
 
+// SetQuiesceDumps toggles suppression of anomaly flight dumps (detection
+// counters keep advancing). See the quiesceDumps field.
+func (r *OpRecorder) SetQuiesceDumps(on bool) { r.quiesceDumps.Store(on) }
+
 func (r *OpRecorder) anomalyDump(kind string, v stragglerVerdict) {
 	r.reg.countStraggler()
+	if r.quiesceDumps.Load() {
+		return
+	}
 	d := r.flight.Dump(kind, fmt.Sprintf(
 		"straggler: lane %d %s seq %d (%s), step skew %.1fus vs median latency %.1fus",
 		v.lane, v.op, v.seq, v.why,

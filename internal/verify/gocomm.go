@@ -14,21 +14,64 @@ import (
 	"xhc/internal/sim"
 )
 
+// gxhcOp maps the case's MPI reduction to gxhc's float64 kernel set.
+// Sum/min/max are covered (min/max fold with math.Min/math.Max, exactly
+// mpi.ReduceBytes' semantics); prod and the integer datatypes are not
+// implemented by the Go backend and gate the case off.
+func gxhcOp(c Case) (gxhc.ReduceOp, bool) {
+	if c.Dt != mpi.Float64 {
+		return 0, false
+	}
+	switch c.Op {
+	case mpi.Sum:
+		return gxhc.OpSum, true
+	case mpi.Min:
+		return gxhc.OpMin, true
+	case mpi.Max:
+		return gxhc.OpMax, true
+	}
+	return 0, false
+}
+
 // runGoComm cross-checks the case on the real-concurrency Go backend.
 // Broadcast, barrier, allgather and scatter run for every case; allreduce
-// and reduce only for float64 sum (the one reduction gxhc implements).
+// and reduce for the float64 reductions gxhc implements (sum, min, max).
 // Real goroutine scheduling supplies the schedule variation here; when the
 // schedule enables faults the root is made a straggler before every op.
 // chaos seeds the StaleReady mutant for the self-test (which also forces
 // the straggler, the condition under which the mutant's junk copy is
 // certain).
+//
+// Every clean case runs twice: once with the default parking waiter and
+// once with the Spin escape hatch. Both compare byte-exactly against the
+// same deterministic reference, so the two waiter paths are differentially
+// checked against each other — a waiter bug (missed wakeup, premature
+// release) surfaces as a replayable verify failure naming the mode.
 func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) error {
-	if (c.Kind == KindAllreduce || c.Kind == KindReduce) && (c.Dt != mpi.Float64 || c.Op != mpi.Sum) {
+	if c.Kind == KindAllreduce || c.Kind == KindReduce {
+		if _, ok := gxhcOp(c); !ok {
+			return nil
+		}
+	}
+	if err := runGoCommMode(c, s, chaos, reg, false); err != nil {
+		return err
+	}
+	if chaos != nil {
+		// The mutation self-test only needs one waiter mode.
 		return nil
+	}
+	return runGoCommMode(c, s, nil, reg, true)
+}
+
+func runGoCommMode(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry, spin bool) error {
+	be := "gxhc"
+	if spin {
+		be = "gxhc-spin"
 	}
 	gcfg := gxhc.Config{
 		GroupSize:  2 + int(c.CfgSeed%3),
 		ChunkBytes: c.Chunk,
+		Spin:       spin,
 		Chaos:      chaos,
 	}
 	comm, err := gxhc.New(c.Ranks, gcfg)
@@ -39,8 +82,8 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 	// flight record per (participant, collective) via AttachRecorder.
 	var wo *obs.World
 	if reg != nil {
-		wo = reg.NewWorld("gxhc", c.Ranks, obs.WallTicksPerUS, obs.WallClock())
-		wo.Rec.Backend = "gxhc"
+		wo = reg.NewWorld(be, c.Ranks, obs.WallTicksPerUS, obs.WallClock())
+		wo.Rec.Backend = be
 		wo.Rec.SetReplayToken(ReplayToken(c.CfgSeed, s.SchedSeed))
 		comm.AttachRecorder(wo.Rec)
 	}
@@ -74,7 +117,7 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 					comm.Bcast(rank, buf, c.Root)
 					if errs[rank] == nil && c.Bytes > 0 && diffBytes(buf, ref.want[op]) >= 0 {
 						got := append([]byte(nil), buf...)
-						errs[rank] = dataError("gxhc bcast", op, rank, got, ref.want[op])
+						errs[rank] = dataError(be+" bcast", op, rank, got, ref.want[op])
 					}
 				}
 			case KindBarrier:
@@ -84,8 +127,8 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 					comm.Barrier(rank)
 					for rk := 0; rk < c.Ranks && errs[rank] == nil; rk++ {
 						if got := stamps[rk].Load(); got < uint64(op+1) {
-							errs[rank] = fmt.Errorf("gxhc barrier: op %d: rank %d left while rank %d's stamp is %d (want >= %d)",
-								op, rank, rk, got, op+1)
+							errs[rank] = fmt.Errorf("%s barrier: op %d: rank %d left while rank %d's stamp is %d (want >= %d)",
+								be, op, rank, rk, got, op+1)
 						}
 					}
 				}
@@ -99,7 +142,7 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 					comm.Allgather(rank, in, out)
 					if errs[rank] == nil && len(out) > 0 && diffBytes(out, ref.want[op]) >= 0 {
 						got := append([]byte(nil), out...)
-						errs[rank] = dataError("gxhc allgather", op, rank, got, ref.want[op])
+						errs[rank] = dataError(be+" allgather", op, rank, got, ref.want[op])
 					}
 				}
 			case KindScatter:
@@ -119,11 +162,12 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 						want := ref.want[op][rank*c.Bytes : (rank+1)*c.Bytes]
 						if diffBytes(out, want) >= 0 {
 							got := append([]byte(nil), out...)
-							errs[rank] = dataError("gxhc scatter", op, rank, got, want)
+							errs[rank] = dataError(be+" scatter", op, rank, got, want)
 						}
 					}
 				}
-			default: // allreduce / reduce, float64 sum only
+			default: // allreduce / reduce, float64 sum/min/max
+				rop, _ := gxhcOp(c)
 				n := c.Bytes / 8
 				src := make([]float64, n)
 				dst := make([]float64, n)
@@ -136,9 +180,9 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 					}
 					straggle()
 					if c.Kind == KindReduce {
-						comm.ReduceFloat64(rank, dst, src, c.Root)
+						comm.ReduceFloat64Op(rank, dst, src, c.Root, rop)
 					} else {
-						comm.AllreduceFloat64(rank, dst, src)
+						comm.AllreduceFloat64Op(rank, dst, src, rop)
 					}
 					if errs[rank] != nil {
 						continue
@@ -148,7 +192,7 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 						// rooted reduce accumulates in internal scratch.
 						for i := range dst {
 							if !math.IsNaN(dst[i]) {
-								errs[rank] = fmt.Errorf("gxhc reduce: op %d: non-root rank %d dst written at elem %d", op, rank, i)
+								errs[rank] = fmt.Errorf("%s reduce: op %d: non-root rank %d dst written at elem %d", be, op, rank, i)
 								break
 							}
 						}
@@ -158,7 +202,7 @@ func runGoComm(c Case, s Schedule, chaos *gxhc.ChaosConfig, reg *obs.Registry) e
 						if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
 							got := make([]byte, c.Bytes)
 							mpi.EncodeFloat64s(got, dst)
-							errs[rank] = dataError("gxhc "+c.Kind.String(), op, rank, got, ref.want[op])
+							errs[rank] = dataError(be+" "+c.Kind.String(), op, rank, got, ref.want[op])
 							break
 						}
 					}

@@ -25,10 +25,16 @@ go test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$' ./internal/hier/
 
-# The oversubscription regression (spinUntil starvation) under a thread
-# budget far below the rank count; the test sets GOMAXPROCS itself, but the
-# env var makes the whole process thread-starved as in the original report.
+# The oversubscription regression (waiter starvation) under a thread
+# budget far below the rank count, in both waiter modes (park + the Spin
+# escape hatch); the test sets GOMAXPROCS itself, but the env var makes
+# the whole process thread-starved as in the original report. The race
+# pass re-runs the parking handshake (Dekker store/load + intrusive wait
+# queue) under the same starvation, and the gxhc_unsafe pass covers the
+# 8-wide pointer-walk kernel variant.
 GOMAXPROCS=2 go test -timeout 120s -run TestOversubscribedProgress ./internal/gxhc/
+GOMAXPROCS=2 go test -race -timeout 300s -run TestOversubscribedProgress ./internal/gxhc/
+go test -tags gxhc_unsafe ./internal/gxhc/
 
 # With observability compiled in but disabled (no -trace/-metrics), reports
 # must stay byte-identical: no Observer is installed, so world construction
@@ -55,7 +61,32 @@ go run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
     -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > "$tmpdir/sc_on.txt" 2>/dev/null
 cmp "$tmpdir/sc_off.txt" "$tmpdir/sc_on.txt"
 
+# The same telemetry invariance on the real backend, with the zero-alloc
+# gate held in both runs: serving live telemetry (flight recorder +
+# histograms + straggler detection on every op) must not change the
+# report's shape nor put an allocation on the steady-state op path. The
+# real backend's cells are measured wall-clock latencies, so the numbers
+# legitimately vary run to run — the cmp is over the report with digits
+# masked (structure, labels, sizes), while -allocgate holds both runs to
+# an allocation-free op path. The -spin run smokes the escape-hatch
+# waiter through the same gate.
+go run ./cmd/xhcbench -backend gxhc -coll allreduce -np 4 -procs 2 \
+    -sizes 4096 -warmup 5 -iters 20 -allocgate \
+    -json "$tmpdir/cells_gx.json" > "$tmpdir/gx_off.txt"
+go run ./cmd/xhcbench -backend gxhc -coll allreduce -np 4 -procs 2 \
+    -sizes 4096 -warmup 5 -iters 20 -allocgate \
+    -telemetry 127.0.0.1:0 > "$tmpdir/gx_on.txt" 2>/dev/null
+sed 's/[0-9][0-9.]*/N/g; s/  */ /g; s/--*/-/g' "$tmpdir/gx_off.txt" > "$tmpdir/gx_off_shape.txt"
+sed 's/[0-9][0-9.]*/N/g; s/  */ /g; s/--*/-/g' "$tmpdir/gx_on.txt" > "$tmpdir/gx_on_shape.txt"
+cmp "$tmpdir/gx_off_shape.txt" "$tmpdir/gx_on_shape.txt"
+go run ./cmd/xhcbench -backend gxhc -coll bcast -np 4 -procs 2 \
+    -sizes 4096 -warmup 5 -iters 20 -allocgate -spin > /dev/null
+
 # Regression gate sanity: xhcstat must pass a self-diff of the cells it
-# just measured (zero regressions against itself, exit 0).
+# just measured (zero regressions against itself, exit 0), and of the
+# committed real-backend baseline (BENCH_gxhc.json, whose benchmark names
+# are xhcbench -backend gxhc -json cell keys — a fresh cells file diffs
+# directly against it).
 go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_sc.json" -current "$tmpdir/cells_sc.json" > /dev/null
+go run ./cmd/xhcstat -baseline BENCH_gxhc.json -current BENCH_gxhc.json > /dev/null
