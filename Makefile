@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify fuzz-smoke harness-checks telemetry-check check bench bench-sim bench-gxhc quick-report
+.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster quick-report
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ race:
 # DESIGN.md section 10; failures print an xhcverify -replay seed pair.
 verify:
 	$(GO) run ./cmd/xhcverify -quick
+
+# Multi-node sweep: randomized cluster shapes on the sharded engine, every
+# run executed at workers=1 and workers=GOMAXPROCS with fingerprints
+# compared (DESIGN.md section 14).
+verify-cluster:
+	$(GO) run ./cmd/xhcverify -cluster -quick
 
 # Seed corpora plus a few seconds of coverage-guided mutation.
 fuzz-smoke:
@@ -83,7 +89,23 @@ telemetry-check:
 	$(GO) run ./cmd/xhcstat -baseline BENCH_gxhc.json \
 	    -current BENCH_gxhc.json > /dev/null
 
-check: build vet test race verify fuzz-smoke harness-checks telemetry-check
+# Cluster determinism + baseline gate: the sharded run's report must be
+# byte-identical to the sequential reference, and the committed
+# BENCH_cluster.json (simulated latencies, so bit-reproducible) must diff
+# cleanly against a fresh sweep in both directions.
+cluster-check:
+	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+	    -np 32 -sizes 8,1024,65536,1048576 -workers 1 \
+	    -json /tmp/xhc_check_cl.json > /tmp/xhc_check_cl_seq.txt
+	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+	    -np 32 -sizes 8,1024,65536,1048576 -workers 4 > /tmp/xhc_check_cl_par.txt
+	cmp /tmp/xhc_check_cl_seq.txt /tmp/xhc_check_cl_par.txt
+	$(GO) run ./cmd/xhcstat -baseline BENCH_cluster.json \
+	    -current /tmp/xhc_check_cl.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cl.json \
+	    -current BENCH_cluster.json > /dev/null
+
+check: build vet test race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check
 
 # Simulator performance benchmarks (see DESIGN.md section 8 and
 # BENCH_flowsolver.json for the recorded before/after numbers).
@@ -104,6 +126,18 @@ bench-gxhc:
 	        -sizes 64,4096,65536,1048576 -warmup 10 -iters 50 -allocgate \
 	        -json /tmp/xhc_bench_gx_$$c.json || exit 1; \
 	done
+
+# Regenerate the multi-node cluster sweep and gate it against the
+# committed BENCH_cluster.json. Latencies are simulated, so any difference
+# at all is a real model/protocol/determinism change, not noise.
+bench-cluster:
+	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+	    -np 32 -sizes 8,1024,65536,1048576 -workers 0 \
+	    -json /tmp/xhc_bench_cluster.json
+	$(GO) run ./cmd/xhcstat -baseline BENCH_cluster.json \
+	    -current /tmp/xhc_bench_cluster.json
+	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_bench_cluster.json \
+	    -current BENCH_cluster.json > /dev/null
 
 quick-report:
 	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

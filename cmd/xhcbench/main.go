@@ -7,6 +7,14 @@
 //	xhcbench -platform ARM-N1 -coll allreduce -comp tuned,ucc,xhc-tree -sizes 4,1024,1048576
 //	xhcbench -platform Epyc-2P -coll bcast -comp xhc-tree -policy map-numa -root 10
 //	xhcbench -platform ARM-N1 -coll allreduce -comp xhc-tree -json cells.json -cpuprofile cpu.prof
+//
+// A "<N>x<platform>" platform name selects the multi-node cluster
+// simulator: N nodes of the platform joined by the simulated fabric, with
+// the top hierarchy level running between node leaders. The -workers flag
+// sets how many goroutines run the per-node engine shards; the report is
+// byte-identical at every setting.
+//
+//	xhcbench -platform 4xEpyc-1P -coll allreduce -workers 4
 package main
 
 import (
@@ -21,9 +29,11 @@ import (
 	"time"
 
 	"xhc/internal/coll"
+	"xhc/internal/core"
 	"xhc/internal/env"
 	"xhc/internal/gxhc"
 	"xhc/internal/mem"
+	"xhc/internal/mpi"
 	"xhc/internal/obs"
 	"xhc/internal/osu"
 	"xhc/internal/sim"
@@ -48,7 +58,7 @@ type cellRecord struct {
 func main() {
 	backend := flag.String("backend", "sim", "sim (simulated platforms) | gxhc (real goroutine-backed wall clock)")
 	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1 (sim backend)")
-	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter")
+	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter (cluster platforms: comma-separated list of bcast | allreduce | reduce | barrier)")
 	comps := flag.String("comp", "xhc-tree", "comma-separated component list (see -listcomp)")
 	sizesArg := flag.String("sizes", "", "comma-separated byte sizes (default: 4B..4MB sweep)")
 	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
@@ -64,6 +74,7 @@ func main() {
 	procsArg := flag.String("procs", "", "gxhc backend: comma-separated GOMAXPROCS settings to sweep (default: current)")
 	groupSize := flag.Int("group", 8, "gxhc backend: hierarchy leaf group size")
 	chunkBytes := flag.Int("chunk", 64<<10, "gxhc backend: broadcast pipelining chunk bytes")
+	workers := flag.Int("workers", 0, "cluster platforms: engine-shard goroutines (0 = GOMAXPROCS, 1 = sequential reference)")
 	spin := flag.Bool("spin", false, "gxhc backend: spin-only waiter (no parking)")
 	allocGate := flag.Bool("allocgate", false, "gxhc backend: fail unless the steady-state op path is allocation-free at every measured size")
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
@@ -144,6 +155,12 @@ func main() {
 			spin: *spin, allocGate: *allocGate,
 			warmup: *warmup, iters: *iterations, dirty: !*stock, root: *root,
 		}, reg)
+	} else if cl := topo.ClusterByName(*platform); cl != nil {
+		records = runCluster(cl, clusterOpts{
+			coll: *collective, sizes: sizes, nranks: *nranks, root: *root,
+			warmup: *warmup, iters: *iterations, dirty: !*stock,
+			workers: *workers,
+		})
 	} else {
 		records = runSim(simOpts{
 			platform: *platform, coll: *collective, comps: *comps,
@@ -272,6 +289,163 @@ func runSim(o simOpts) []cellRecord {
 		t.Add(row...)
 	}
 	fmt.Print(t.String())
+	return records
+}
+
+type clusterOpts struct {
+	coll                        string
+	sizes                       []int
+	nranks, root, warmup, iters int
+	workers                     int
+	dirty                       bool
+}
+
+// runCluster sweeps the multi-node simulator: one fresh ClusterWorld per
+// measured size, an OSU-style warmup+measured loop on every rank, and
+// latencies in simulated microseconds averaged over all ranks and iters.
+// Unlike the other backends -coll accepts a comma-separated list here, so
+// one invocation can emit the whole BENCH_cluster.json sweep. Latencies
+// are virtual time, so every cell is bit-reproducible: the committed
+// baseline diffs exactly against a fresh run, and the per-node engine
+// shards running on -workers goroutines cannot change a digit
+// (scripts/check.sh gates both properties).
+func runCluster(cl *topo.Cluster, o clusterOpts) []cellRecord {
+	perNode := o.nranks
+	if perNode == 0 {
+		perNode = cl.Node.NCores
+	} else if perNode%cl.Nodes != 0 {
+		fmt.Fprintf(os.Stderr, "np %d does not divide evenly over %d nodes\n", o.nranks, cl.Nodes)
+		os.Exit(2)
+	} else {
+		perNode /= cl.Nodes
+	}
+	if perNode > cl.Node.NCores {
+		fmt.Fprintf(os.Stderr, "np %d needs %d ranks per node but %s has %d cores\n",
+			o.nranks, perNode, cl.Node.Name, cl.Node.NCores)
+		os.Exit(2)
+	}
+
+	colls := strings.Split(o.coll, ",")
+	for i, c := range colls {
+		colls[i] = strings.TrimSpace(c)
+		switch colls[i] {
+		case "bcast", "allreduce", "reduce", "barrier":
+		default:
+			fmt.Fprintf(os.Stderr, "cluster backend: unknown collective %q (bcast | allreduce | reduce | barrier)\n", colls[i])
+			os.Exit(2)
+		}
+	}
+
+	var records []cellRecord
+	for ci, coll := range colls {
+		sizes := o.sizes
+		switch coll {
+		case "barrier":
+			sizes = []int{0} // no payload; one row
+		case "allreduce", "reduce":
+			// Reductions operate on whole float64 elements; normalize like
+			// osu does so the report rows match the measured sizes.
+			norm := make([]int, 0, len(sizes))
+			seen := map[int]bool{}
+			for _, n := range sizes {
+				if n >= 8 {
+					n -= n % 8
+				}
+				if n < 0 || seen[n] {
+					continue
+				}
+				seen[n] = true
+				norm = append(norm, n)
+			}
+			sizes = norm
+		}
+
+		var rowSizes []int
+		col := map[int]float64{}
+		for _, size := range sizes {
+			start := time.Now()
+			m, err := cl.Node.Map(topo.MapCore, perNode)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			cw := env.NewClusterWorldDefault(cl, m)
+			cw.Workers = o.workers
+			cc, err := core.NewCluster(cw, core.DefaultConfig())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			dt := mpi.Float64
+			if size < 8 {
+				dt = mpi.Byte
+			}
+			// Shards run in parallel: every rank records into its own slot.
+			lats := make([][]float64, cw.N)
+			coll := coll
+			runErr := cw.Run(func(p *env.Proc, node int) {
+				g := cw.GlobalRank(node, p.Rank)
+				alloc := size
+				if alloc == 0 {
+					alloc = 8
+				}
+				sbuf := p.NewBuffer(fmt.Sprintf("bench.s%d", g), alloc)
+				rbuf := p.NewBuffer(fmt.Sprintf("bench.r%d", g), alloc)
+				for it := 0; it < o.warmup+o.iters; it++ {
+					if o.dirty && size > 0 && (coll != "bcast" || g == o.root) {
+						p.Dirty(sbuf)
+					}
+					cw.HarnessBarrier(p, node)
+					t0 := p.Now()
+					switch coll {
+					case "bcast":
+						cc.Bcast(p, node, sbuf, 0, size, o.root)
+					case "allreduce":
+						cc.Allreduce(p, node, sbuf, rbuf, size, dt, mpi.Sum)
+					case "reduce":
+						cc.Reduce(p, node, sbuf, rbuf, size, dt, mpi.Sum, o.root)
+					case "barrier":
+						cc.Barrier(p, node)
+					}
+					d := p.Now() - t0
+					if it >= o.warmup {
+						lats[g] = append(lats[g], sim.Micros(d))
+					}
+					cw.HarnessBarrier(p, node)
+				}
+			})
+			if runErr != nil {
+				fmt.Fprintln(os.Stderr, runErr)
+				os.Exit(1)
+			}
+			var all []float64
+			for _, l := range lats {
+				all = append(all, l...)
+			}
+			if len(all) == 0 {
+				continue
+			}
+			wall := time.Since(start)
+			col[size] = stats.Mean(all)
+			rowSizes = append(rowSizes, size)
+			records = append(records, cellRecord{
+				Platform: cl.Name, Collective: coll, Component: "xhc-cluster",
+				Size: size, AvgLatUS: stats.Mean(all), MinLatUS: stats.Min(all), MaxLatUS: stats.Max(all),
+				WallMS: float64(wall.Microseconds()) / 1e3,
+			})
+		}
+
+		if ci > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("# %s on %s (%d nodes x %d ranks = %d), root %d (latency us, mean of %d iters)\n",
+			coll, cl.Name, cl.Nodes, perNode, cl.Nodes*perNode, o.root, o.iters)
+		t := &stats.Table{Header: []string{"size", "xhc-cluster"}}
+		for _, n := range rowSizes {
+			t.Add(stats.SizeLabel(n), fmt.Sprintf("%.2f", col[n]))
+		}
+		fmt.Print(t.String())
+	}
 	return records
 }
 

@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"xhc/internal/env"
@@ -106,8 +107,16 @@ func main() {
 		fmt.Fprintf(&b, "## %s — %s\n\n%s\n", r.ID, r.Title, r.Text)
 		if len(r.Metrics) > 0 {
 			b.WriteString("Headline metrics:\n")
-			for k, v := range r.Metrics {
-				fmt.Fprintf(&b, "  %-46s %8.3f\n", k, v)
+			// Sorted like RenderAll: map order would make -exp output differ
+			// run to run (and worker count to worker count), which breaks any
+			// byte-identity diff of saved reports.
+			keys := make([]string, 0, len(r.Metrics))
+			for k := range r.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "  %-46s %8.3f\n", k, r.Metrics[k])
 			}
 		}
 		doc = b.String()

@@ -6,15 +6,17 @@
 // BENCH_*.json trajectory files (keyed by benchmark name, compared on
 // ns_per_op). A cell regresses when its latency grows by more than
 // -threshold relative AND more than -floor-us absolute — the floor keeps
-// sub-microsecond noise on tiny cells from failing the gate.
+// sub-microsecond noise on tiny cells from failing the gate. A baseline
+// cell the candidate did not measure fails the gate with the distinct
+// verdict "fail-missing-cells": losing coverage must not read as passing.
 //
 // Examples:
 //
 //	xhcbench -json new.json && xhcstat -baseline old.json -current new.json
 //	xhcstat -baseline BENCH_flowsolver.json -current BENCH_new.json -threshold 0.10
 //
-// Exit status: 0 all cells within threshold, 1 at least one regression,
-// 2 usage or parse error.
+// Exit status: 0 all cells within threshold, 1 at least one regression or
+// missing baseline cell, 2 usage or parse error.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -82,26 +85,36 @@ func loadCells(path string) ([]cell, error) {
 
 // cellVerdict is one compared cell in the verdict document.
 type cellVerdict struct {
-	Key        string  `json:"key"`
-	BaseUS     float64 `json:"base_us"`
-	CurrentUS  float64 `json:"current_us"`
-	DeltaUS    float64 `json:"delta_us"`
-	DeltaRatio float64 `json:"delta_ratio"`
-	Status     string  `json:"status"` // "ok" | "improved" | "regressed"
+	Key       string  `json:"key"`
+	BaseUS    float64 `json:"base_us"`
+	CurrentUS float64 `json:"current_us"`
+	DeltaUS   float64 `json:"delta_us"`
+	// DeltaRatio is DeltaUS/BaseUS — meaningless (and left zero) when the
+	// baseline is zero, which ZeroBaseline flags explicitly: JSON cannot
+	// encode the Inf the division would produce, and a zero DeltaRatio must
+	// not make a grown-from-zero cell look unchanged.
+	DeltaRatio   float64 `json:"delta_ratio"`
+	ZeroBaseline bool    `json:"zero_baseline,omitempty"`
+	Status       string  `json:"status"` // "ok" | "improved" | "regressed"
 }
 
 // verdict is xhcstat's machine-readable output document.
 type verdict struct {
-	Baseline    string        `json:"baseline"`
-	Current     string        `json:"current"`
-	Threshold   float64       `json:"threshold"`
-	FloorUS     float64       `json:"floor_us"`
-	Compared    int           `json:"compared"`
+	Baseline  string  `json:"baseline"`
+	Current   string  `json:"current"`
+	Threshold float64 `json:"threshold"`
+	FloorUS   float64 `json:"floor_us"`
+	Compared  int     `json:"compared"`
+	// OnlyBase lists baseline cells the candidate did not measure. A
+	// non-empty list fails the gate ("fail-missing-cells"): a cell that
+	// silently disappears from the sweep is indistinguishable from an
+	// arbitrarily large regression.
 	OnlyBase    []string      `json:"only_in_baseline,omitempty"`
 	OnlyCurrent []string      `json:"only_in_current,omitempty"`
+	Missing     int           `json:"missing"`
 	Regressions int           `json:"regressions"`
 	Improved    int           `json:"improved"`
-	Verdict     string        `json:"verdict"` // "pass" | "fail"
+	Verdict     string        `json:"verdict"` // "pass" | "fail" | "fail-missing-cells"
 	Cells       []cellVerdict `json:"cells"`
 }
 
@@ -129,6 +142,11 @@ func compare(basePath, curPath string, base, cur []cell, threshold, floorUS floa
 		cv := cellVerdict{Key: c.Key, BaseUS: b, CurrentUS: c.US, DeltaUS: d, Status: "ok"}
 		if b > 0 {
 			cv.DeltaRatio = d / b
+		} else if d != 0 {
+			// Relative growth from a zero baseline is infinite; flag it
+			// instead of dividing (JSON has no Inf) or leaving the zero
+			// ratio to masquerade as "unchanged".
+			cv.ZeroBaseline = true
 		}
 		switch {
 		case d > floorUS && (b <= 0 || cv.DeltaRatio > threshold):
@@ -145,9 +163,25 @@ func compare(basePath, curPath string, base, cur []cell, threshold, floorUS floa
 			v.OnlyBase = append(v.OnlyBase, c.Key)
 		}
 	}
-	sort.Slice(v.Cells, func(i, j int) bool { return v.Cells[i].DeltaRatio > v.Cells[j].DeltaRatio })
-	if v.Regressions > 0 {
+	v.Missing = len(v.OnlyBase)
+	// Worst first. A regressed zero-baseline cell's true ratio is infinite,
+	// so it sorts above every finite ratio rather than (with its zero
+	// DeltaRatio) below the cells that merely grew a few percent.
+	rank := func(c cellVerdict) float64 {
+		if c.ZeroBaseline && c.DeltaUS > 0 {
+			return math.MaxFloat64
+		}
+		return c.DeltaRatio
+	}
+	sort.Slice(v.Cells, func(i, j int) bool { return rank(v.Cells[i]) > rank(v.Cells[j]) })
+	switch {
+	case v.Regressions > 0:
 		v.Verdict = "fail"
+	case v.Missing > 0:
+		// Distinct from "fail": no measured cell got slower, but baseline
+		// coverage was lost — which would otherwise let a regression hide
+		// by not running.
+		v.Verdict = "fail-missing-cells"
 	}
 	return v
 }
@@ -186,8 +220,8 @@ func run(args []string, stdout, errw io.Writer) int {
 		fmt.Fprintln(errw, "xhcstat:", err)
 		return 2
 	}
-	fmt.Fprintf(errw, "xhcstat: %d cells compared, %d regressed, %d improved: %s\n",
-		v.Compared, v.Regressions, v.Improved, v.Verdict)
+	fmt.Fprintf(errw, "xhcstat: %d cells compared, %d regressed, %d improved, %d missing: %s\n",
+		v.Compared, v.Regressions, v.Improved, v.Missing, v.Verdict)
 	if v.Verdict != "pass" {
 		return 1
 	}

@@ -93,17 +93,71 @@ func TestBenchTrajectoryFormat(t *testing.T) {
 	}
 }
 
-func TestDisjointCellsReported(t *testing.T) {
+// TestMissingBaselineCellFails pins the silent-drift fix: a baseline cell
+// the candidate did not measure must fail the gate with its own verdict,
+// not slip into only_in_baseline on a passing report. (Losing a cell is
+// indistinguishable from an unboundedly large regression.)
+func TestMissingBaselineCellFails(t *testing.T) {
 	base := writeTemp(t, "b.json", cellsBase)
 	cur := writeTemp(t, "c.json", `[{"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":10.0},
 	 {"platform":"ARM-N1","collective":"bcast","component":"tuned","size":1024,"avg_lat_us":5.0}]`)
 	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
-	if code != 0 {
-		t.Fatalf("exit = %d", code)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (missing baseline cell)", code)
+	}
+	if v.Verdict != "fail-missing-cells" || v.Missing != 1 {
+		t.Fatalf("verdict = %q missing = %d, want fail-missing-cells/1 (%+v)", v.Verdict, v.Missing, v)
 	}
 	if len(v.OnlyBase) != 1 || len(v.OnlyCurrent) != 1 || v.Compared != 1 {
 		t.Fatalf("cell accounting = %+v", v)
 	}
+	// Extra cells in the candidate alone must NOT fail: growing coverage
+	// is fine, losing it is not.
+	code, v, _ = runStat(t, "-baseline", cur, "-current", writeTemp(t, "c2.json", `[
+	 {"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":10.0},
+	 {"platform":"ARM-N1","collective":"bcast","component":"tuned","size":1024,"avg_lat_us":5.0},
+	 {"platform":"ARM-N1","collective":"bcast","component":"sm","size":1024,"avg_lat_us":7.0}]`))
+	if code != 0 || v.Verdict != "pass" {
+		t.Fatalf("extra candidate cell: exit %d verdict %q, want pass", code, v.Verdict)
+	}
+	// Regressions take precedence over the missing-cell verdict.
+	code, v, _ = runStat(t, "-baseline", base, "-current",
+		writeTemp(t, "c3.json", `[{"platform":"ARM-N1","collective":"bcast","component":"xhc-tree","size":1024,"avg_lat_us":50.0}]`))
+	if code != 1 || v.Verdict != "fail" || v.Missing != 1 || v.Regressions != 1 {
+		t.Fatalf("mixed failure: exit %d, %+v", code, v)
+	}
+}
+
+// TestZeroBaselineCellFlagged pins the relative-growth fix for cells whose
+// baseline latency is zero: the infinite ratio is flagged explicitly
+// (zero_baseline, since JSON cannot carry Inf), the cell still regresses
+// on absolute growth, and it sorts ABOVE every finite-ratio cell instead
+// of hiding at the bottom with its zero delta_ratio.
+func TestZeroBaselineCellFlagged(t *testing.T) {
+	base := writeTemp(t, "b.json", `[
+	 {"platform":"P","collective":"bcast","component":"c","size":4,"avg_lat_us":0.0},
+	 {"platform":"P","collective":"bcast","component":"c","size":64,"avg_lat_us":10.0}]`)
+	cur := writeTemp(t, "c.json", `[
+	 {"platform":"P","collective":"bcast","component":"c","size":4,"avg_lat_us":5.0},
+	 {"platform":"P","collective":"bcast","component":"c","size":64,"avg_lat_us":12.0}]`)
+	code, v, _ := runStat(t, "-baseline", base, "-current", cur)
+	if code != 1 || v.Regressions != 2 {
+		t.Fatalf("exit %d regressions %d, want 1/2 (%+v)", code, v.Regressions, v)
+	}
+	if v.Cells[0].Key != "P/bcast/c/4" || !v.Cells[0].ZeroBaseline {
+		t.Fatalf("zero-baseline cell not first/flagged: %+v", v.Cells)
+	}
+	if v.Cells[0].DeltaRatio != 0 {
+		t.Fatalf("zero-baseline DeltaRatio = %v, want 0 (flag carries the meaning)", v.Cells[0].DeltaRatio)
+	}
+	// The verdict document must survive a JSON round-trip (no Inf/NaN).
+	var buf bytes.Buffer
+	code = run([]string{"-baseline", base, "-current", cur}, &buf, &bytes.Buffer{})
+	var rt verdict
+	if err := json.Unmarshal(buf.Bytes(), &rt); err != nil {
+		t.Fatalf("verdict not round-trippable JSON: %v", err)
+	}
+	_ = code
 }
 
 func TestUsageErrors(t *testing.T) {

@@ -1,10 +1,15 @@
 // Command xhctopo prints platform topologies, XHC hierarchies (the
 // paper's Fig. 2), and the Table II message-distance accounting.
 //
+// A "<N>x<platform>" name selects a cluster: N nodes of the platform
+// joined by the simulated fabric, rendered with the per-node hierarchy
+// plus the network level (node leaders).
+//
 // Examples:
 //
 //	xhctopo -platform Epyc-2P
 //	xhctopo -platform ARM-N1 -sens numa+socket -root 10
+//	xhctopo -platform 4xEpyc-1P -np 32 -root 9
 //	xhctopo -fig2
 //	xhctopo -tab2
 package main
@@ -43,6 +48,11 @@ func main() {
 		*platform = "fig2"
 	}
 
+	if cl := topo.ClusterByName(*platform); cl != nil {
+		renderCluster(cl, *sens, *root, *nranks, *policy)
+		return
+	}
+
 	top := topo.ByName(*platform)
 	if top == nil {
 		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
@@ -71,4 +81,43 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(h.Render())
+}
+
+// renderCluster prints a cluster platform: the fabric + node summary, the
+// network-level leader election, and one representative node hierarchy
+// (all nodes share the node platform and mapping, so rendering each would
+// repeat it N times).
+func renderCluster(cl *topo.Cluster, sens string, root, nranks int, policy string) {
+	fmt.Print(cl.Render())
+
+	perNode := nranks
+	if perNode == 0 {
+		perNode = cl.Node.NCores
+	} else {
+		if perNode%cl.Nodes != 0 {
+			fmt.Fprintf(os.Stderr, "np %d does not divide evenly over %d nodes\n", perNode, cl.Nodes)
+			os.Exit(2)
+		}
+		perNode /= cl.Nodes
+	}
+	s, err := hier.ParseSensitivity(sens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	m, err := cl.Node.Map(topo.MapPolicy(policy), perNode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ch, err := hier.BuildCluster(cl, m, s, root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Println()
+	fmt.Print(ch.Render())
+	fmt.Println()
+	fmt.Printf("Per-node hierarchy (node %d, %d ranks):\n", ch.RootNode, perNode)
+	fmt.Print(ch.Nodes[ch.RootNode].Render())
 }

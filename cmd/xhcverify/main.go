@@ -4,10 +4,15 @@
 // cross-checking the simulated communicator against a registry baseline and
 // the real-concurrency gxhc backend on every run.
 //
+// With -cluster the sweep (and -replay) runs the multi-node cases instead:
+// randomized cluster shapes on the sharded engine, every run executed at
+// workers=1 and workers=GOMAXPROCS with fingerprints compared.
+//
 // Examples:
 //
 //	xhcverify -quick                      # tier-1 gate: sweep + mutation self-test
 //	xhcverify -configs 50 -schedules 32   # a longer hunt
+//	xhcverify -cluster -quick             # multi-node sweep + determinism gate
 //	xhcverify -replay 0x1d35be3e7a2e4c5a:0x00f3a9c2b1d40e77
 //	xhcverify -selftest                   # mutation self-test only
 //	xhcverify -configs 50 -telemetry :8080 -flightdir /tmp/dumps
@@ -32,6 +37,7 @@ func main() {
 	schedules := flag.Int("schedules", 0, "schedules per configuration (0 = default 12)")
 	seed := flag.Uint64("seed", 0, "sweep seed (varies the whole sweep)")
 	replay := flag.String("replay", "", "replay one failing run: cfgseed:schedseed (hex, as printed on failure)")
+	cluster := flag.Bool("cluster", false, "sweep/replay the multi-node cluster cases (sharded engine + fabric) instead of the single-node ones")
 	selftest := flag.Bool("selftest", false, "run only the mutation self-test")
 	verbose := flag.Bool("v", false, "per-configuration progress")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot (latency quantiles, fault counters) on exit")
@@ -79,10 +85,14 @@ func main() {
 
 	var code int
 	switch {
+	case *replay != "" && *cluster:
+		code = doClusterReplay(*replay)
 	case *replay != "":
 		code = doReplay(*replay, reg)
 	case *selftest:
 		code = doSelfTest()
+	case *cluster:
+		code = doClusterSweep(*configs, *schedules, *seed, *quick, *verbose)
 	default:
 		code = doSweep(*configs, *schedules, *seed, *quick, *verbose, reg)
 		if *quick && code == 0 {
@@ -119,6 +129,54 @@ func doSweep(configs, schedules int, seed uint64, quick, verbose bool, reg *obs.
 		return 1
 	}
 	fmt.Println("all runs passed")
+	return 0
+}
+
+// doClusterSweep explores the multi-node cases. Every run already
+// self-checks determinism (workers=1 vs parallel fingerprints), so the
+// quick gate only adds a distinct-schedule floor.
+func doClusterSweep(configs, schedules int, seed uint64, quick, verbose bool) int {
+	o := verify.Options{Configs: configs, Schedules: schedules, Seed: seed}
+	if verbose {
+		o.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	start := time.Now()
+	sum := verify.ExploreCluster(o)
+	fmt.Printf("explored %d cluster runs over %d configurations: %d distinct schedules in %v\n",
+		sum.Runs, sum.Configs, sum.DistinctSchedules, time.Since(start).Round(time.Millisecond))
+	for _, f := range sum.Failures {
+		fmt.Printf("FAIL %s\n  schedule %s\n  %s\n  replay: xhcverify -cluster -replay %#016x:%#016x\n",
+			f.Case, f.Sched, f.Err, f.CfgSeed, f.SchedSeed)
+	}
+	if len(sum.Failures) > 0 {
+		fmt.Printf("%d failing run(s)\n", len(sum.Failures))
+		return 1
+	}
+	if quick && sum.DistinctSchedules < 20 {
+		fmt.Printf("quick gate: only %d distinct cluster schedules (< 20)\n", sum.DistinctSchedules)
+		return 1
+	}
+	fmt.Println("all cluster runs passed")
+	return 0
+}
+
+func doClusterReplay(arg string) int {
+	cfg, sched, err := parseReplay(arg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	c, s := verify.DeriveClusterCase(cfg), verify.DeriveSchedule(sched)
+	fmt.Printf("replaying %s\n  schedule %s\n", c, s)
+	hash, rerr := verify.RunClusterCase(c, s)
+	fmt.Printf("schedule fingerprint %#016x\n", hash)
+	if rerr != nil {
+		fmt.Printf("FAIL %s\n", rerr)
+		return 1
+	}
+	fmt.Println("replay passed")
 	return 0
 }
 

@@ -72,6 +72,7 @@ func TestRegisterOverride(t *testing.T) {
 	top := topo.Epyc1P()
 	w := env.NewWorld(top, top.MustMap(topo.MapCore, 4))
 	called := false
+	t.Cleanup(func() { delete(registry, "custom-test") })
 	Register("custom-test", func(w *env.World) (Component, error) {
 		called = true
 		return New("xhc-tree", w)

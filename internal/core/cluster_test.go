@@ -1,0 +1,266 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"xhc/internal/env"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+func clusterFixture(t *testing.T, nodes, perNode int) (*env.ClusterWorld, *ClusterComm) {
+	t.Helper()
+	node := topo.Epyc1P()
+	cl, err := topo.NewCluster(nodes, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := node.Map(topo.MapCore, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := env.NewClusterWorldDefault(cl, m)
+	cw.Workers = 1
+	cc, err := NewCluster(cw, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cw, cc
+}
+
+// TestClusterBcast broadcasts a distinctive pattern from every possible
+// root node position (including non-zero local roots) and checks every
+// rank receives it byte-exactly.
+func TestClusterBcast(t *testing.T) {
+	for _, root := range []int{0, 1, 5, 7} {
+		cw, cc := clusterFixture(t, 4, 2)
+		n := 4096
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = byte(i*7 + root)
+		}
+		bad := 0
+		err := cw.Run(func(p *env.Proc, node int) {
+			g := cw.GlobalRank(node, p.Rank)
+			buf := p.NewBuffer("b", n)
+			if g == root {
+				copy(buf.Data, want)
+				p.Dirty(buf)
+			}
+			cc.Bcast(p, node, buf, 0, n, root)
+			if !bytes.Equal(buf.Data, want) {
+				bad++
+			}
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if bad != 0 {
+			t.Fatalf("root %d: %d ranks with wrong bcast payload", root, bad)
+		}
+	}
+}
+
+// TestClusterAllreduce sums per-rank float64 vectors across a 4x4 cluster
+// and checks every rank holds the exact global sum.
+func TestClusterAllreduce(t *testing.T) {
+	cw, cc := clusterFixture(t, 4, 4)
+	elems := 257 // odd length exercises partial chunks
+	n := elems * 8
+	bad := 0
+	err := cw.Run(func(p *env.Proc, node int) {
+		g := cw.GlobalRank(node, p.Rank)
+		sbuf := p.NewBuffer("s", n)
+		rbuf := p.NewBuffer("r", n)
+		for i := 0; i < elems; i++ {
+			v := float64((g+1)*(i+1) - 50)
+			binary.LittleEndian.PutUint64(sbuf.Data[i*8:], math.Float64bits(v))
+		}
+		p.Dirty(sbuf)
+		cc.Allreduce(p, node, sbuf, rbuf, n, mpi.Float64, mpi.Sum)
+		for i := 0; i < elems; i++ {
+			var want float64
+			for r := 0; r < cw.N; r++ {
+				want += float64((r+1)*(i+1) - 50)
+			}
+			got := mathFloat64frombits(binary.LittleEndian.Uint64(rbuf.Data[i*8:]))
+			if got != want {
+				bad++
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d ranks with wrong allreduce result", bad)
+	}
+}
+
+// TestClusterReduce checks the rooted variant with a non-zero root on a
+// non-zero node, and that non-root recv buffers stay untouched.
+func TestClusterReduce(t *testing.T) {
+	cw, cc := clusterFixture(t, 4, 2)
+	root := 5 // node 2, local rank 1
+	elems := 64
+	n := elems * 8
+	bad := 0
+	clobbered := 0
+	err := cw.Run(func(p *env.Proc, node int) {
+		g := cw.GlobalRank(node, p.Rank)
+		sbuf := p.NewBuffer("s", n)
+		rbuf := p.NewBuffer("r", n)
+		for i := range rbuf.Data {
+			rbuf.Data[i] = 0xEE
+		}
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(sbuf.Data[i*8:], mathFloat64bits(float64(g+i)))
+		}
+		p.Dirty(sbuf)
+		p.Dirty(rbuf)
+		cc.Reduce(p, node, sbuf, rbuf, n, mpi.Float64, mpi.Sum, root)
+		if g == root {
+			for i := 0; i < elems; i++ {
+				var want float64
+				for r := 0; r < cw.N; r++ {
+					want += float64(r + i)
+				}
+				got := mathFloat64frombits(binary.LittleEndian.Uint64(rbuf.Data[i*8:]))
+				if got != want {
+					bad++
+					break
+				}
+			}
+		} else {
+			for _, b := range rbuf.Data {
+				if b != 0xEE {
+					clobbered++
+					break
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatal("wrong reduce result at root")
+	}
+	if clobbered != 0 {
+		t.Fatalf("%d non-root ranks had rbuf clobbered", clobbered)
+	}
+}
+
+// TestClusterBarrier pins the barrier semantics: no rank leaves the
+// barrier before every rank has entered it (virtual-time comparison of
+// the last entry against the first exit).
+func TestClusterBarrier(t *testing.T) {
+	cw, cc := clusterFixture(t, 3, 3)
+	enter := make([]sim.Time, cw.N)
+	exit := make([]sim.Time, cw.N)
+	err := cw.Run(func(p *env.Proc, node int) {
+		g := cw.GlobalRank(node, p.Rank)
+		p.Compute(sim.Duration(g*g) * 100 * sim.Nanosecond) // skewed arrivals
+		enter[g] = p.Now()
+		cc.Barrier(p, node)
+		exit[g] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastEnter sim.Time
+	for _, at := range enter {
+		if at > lastEnter {
+			lastEnter = at
+		}
+	}
+	for g, at := range exit {
+		if at < lastEnter {
+			t.Fatalf("rank %d left the barrier at %d, before last entry %d", g, at, lastEnter)
+		}
+	}
+}
+
+// TestClusterZeroBytes drives the three collectives with n=0: they must
+// complete (ack/ordering semantics only) without touching the fabric data
+// path incorrectly.
+func TestClusterZeroBytes(t *testing.T) {
+	cw, cc := clusterFixture(t, 2, 2)
+	err := cw.Run(func(p *env.Proc, node int) {
+		buf := p.NewBuffer("b", 8)
+		r := p.NewBuffer("r", 8)
+		cc.Bcast(p, node, buf, 0, 0, 0)
+		cc.Allreduce(p, node, buf, r, 0, mpi.Float64, mpi.Sum)
+		cc.Barrier(p, node)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterOneElement is the 1-element fabric edge: an 8-byte payload
+// through the staged fabric path.
+func TestClusterOneElement(t *testing.T) {
+	cw, cc := clusterFixture(t, 2, 2)
+	bad := 0
+	err := cw.Run(func(p *env.Proc, node int) {
+		g := cw.GlobalRank(node, p.Rank)
+		sbuf := p.NewBuffer("s", 8)
+		rbuf := p.NewBuffer("r", 8)
+		binary.LittleEndian.PutUint64(sbuf.Data, mathFloat64bits(float64(g+1)))
+		p.Dirty(sbuf)
+		cc.Allreduce(p, node, sbuf, rbuf, 8, mpi.Float64, mpi.Sum)
+		if got := mathFloat64frombits(binary.LittleEndian.Uint64(rbuf.Data)); got != 1+2+3+4 {
+			bad++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatal("wrong 1-element allreduce result")
+	}
+}
+
+// TestClusterCommWorkerInvariance runs a full collective at several worker
+// counts and demands bit-equal fingerprints — the core-level half of the
+// sharded-vs-single-threaded gate.
+func TestClusterCommWorkerInvariance(t *testing.T) {
+	run := func(workers int) uint64 {
+		cw, cc := clusterFixture(t, 4, 4)
+		cw.Workers = workers
+		cw.EnableScheduleHash()
+		n := 16384
+		err := cw.Run(func(p *env.Proc, node int) {
+			g := cw.GlobalRank(node, p.Rank)
+			sbuf := p.NewBuffer("s", n)
+			rbuf := p.NewBuffer("r", n)
+			for i := 0; i < n/8; i++ {
+				binary.LittleEndian.PutUint64(sbuf.Data[i*8:], mathFloat64bits(float64(g^i)))
+			}
+			p.Dirty(sbuf)
+			for it := 0; it < 3; it++ {
+				cw.HarnessBarrier(p, node)
+				cc.Allreduce(p, node, sbuf, rbuf, n, mpi.Float64, mpi.Sum)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cw.Fingerprint()
+	}
+	h1 := run(1)
+	for _, w := range []int{2, 4} {
+		if h := run(w); h != h1 {
+			t.Fatalf("workers=%d fingerprint %#x, want %#x", w, h, h1)
+		}
+	}
+}
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

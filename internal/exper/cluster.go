@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/stats"
+	"xhc/internal/topo"
+)
+
+func init() {
+	register("cluster", "Cluster scaling: the network level over multi-node fabrics", runCluster)
+}
+
+// clusterNodeCounts is the node sweep: latency as the same per-node job is
+// replicated across more fabric-joined nodes.
+func clusterNodeCounts(o Options) []int {
+	if o.Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+// clusterCell measures one (nodes, collective, size) point: a fresh
+// ClusterWorld per cell, an OSU-style loop on every rank, mean simulated
+// latency over ranks and measured iterations. Cells are fully independent
+// simulations (own engines, own fabric), so they parallelize under
+// Options.Parallel with byte-identical results; within each cell the
+// shards run sequentially (Workers=1) to avoid nested parallelism.
+func clusterCell(nodes, perNode int, kind string, size, warm, it int) (float64, error) {
+	node := topo.Epyc1P()
+	cl, err := topo.NewCluster(nodes, node)
+	if err != nil {
+		return 0, err
+	}
+	m, err := node.Map(topo.MapCore, perNode)
+	if err != nil {
+		return 0, err
+	}
+	cw := env.NewClusterWorldDefault(cl, m)
+	cw.Workers = 1
+	cc, err := core.NewCluster(cw, core.DefaultConfig())
+	if err != nil {
+		return 0, err
+	}
+	lats := make([][]float64, cw.N)
+	err = cw.Run(func(p *env.Proc, nd int) {
+		g := cw.GlobalRank(nd, p.Rank)
+		sbuf := p.NewBuffer(fmt.Sprintf("exp.s%d", g), size)
+		rbuf := p.NewBuffer(fmt.Sprintf("exp.r%d", g), size)
+		for i := 0; i+8 <= size; i += 8 {
+			binary.LittleEndian.PutUint64(sbuf.Data[i:], math.Float64bits(float64(g+i)))
+		}
+		for itn := 0; itn < warm+it; itn++ {
+			if kind != "bcast" || g == 0 {
+				p.Dirty(sbuf)
+			}
+			cw.HarnessBarrier(p, nd)
+			t0 := p.Now()
+			switch kind {
+			case "bcast":
+				cc.Bcast(p, nd, sbuf, 0, size, 0)
+			case "allreduce":
+				cc.Allreduce(p, nd, sbuf, rbuf, size, mpi.Float64, mpi.Sum)
+			case "barrier":
+				cc.Barrier(p, nd)
+			}
+			d := p.Now() - t0
+			if itn >= warm {
+				lats[g] = append(lats[g], sim.Micros(d))
+			}
+			cw.HarnessBarrier(p, nd)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, fmt.Errorf("cluster cell %dx%d %s n=%d: no samples", nodes, perNode, kind, size)
+	}
+	return stats.Mean(all), nil
+}
+
+// runCluster sweeps node counts for broadcast and allreduce through the
+// network level: node leaders bridge the fabric while the per-node XHC
+// hierarchy handles everything on-node, so latency should grow with the
+// leader-level fan-in, not with the total rank count.
+func runCluster(o Options) (*Report, error) {
+	nodeCounts := clusterNodeCounts(o)
+	perNode := topo.Epyc1P().NCores
+	warm, it := iters(o)
+	size := 64 << 10
+	kinds := []string{"bcast", "allreduce", "barrier"}
+
+	lat := make([]float64, len(nodeCounts)*len(kinds))
+	err := runCells(o, len(lat), func(i int) error {
+		nodes, kind := nodeCounts[i/len(kinds)], kinds[i%len(kinds)]
+		n := size
+		if kind == "barrier" {
+			n = 0
+		}
+		v, err := clusterCell(nodes, perNode, kind, n, warm, it)
+		if err != nil {
+			return err
+		}
+		lat[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{ID: "cluster", Title: "Cluster scaling: the network level over multi-node fabrics"}
+	t := &stats.Table{Header: append([]string{"nodes", "ranks"}, kinds...)}
+	for ni, nodes := range nodeCounts {
+		row := []string{fmt.Sprintf("%d", nodes), fmt.Sprintf("%d", nodes*perNode)}
+		for ki := range kinds {
+			row = append(row, fmt.Sprintf("%.2f", lat[ni*len(kinds)+ki]))
+		}
+		t.Add(row...)
+	}
+	r.Text = fmt.Sprintf(
+		"Epyc-1P nodes, %d ranks each, %s payloads (barrier: none), latency us.\n"+
+			"Only node leaders touch the fabric; everything below the network\n"+
+			"level is the unchanged single-node XHC hierarchy.\n\n%s",
+		perNode, stats.SizeLabel(size), t.String())
+
+	last := len(nodeCounts) - 1
+	for ki, kind := range kinds {
+		one, many := lat[ki], lat[last*len(kinds)+ki]
+		if one > 0 {
+			r.Metric(fmt.Sprintf("%s-%dnode-vs-1node-latency-ratio", kind, nodeCounts[last]), many/one)
+		}
+	}
+	r.Metric("max-ranks", float64(nodeCounts[last]*perNode))
+	return r, nil
+}

@@ -245,21 +245,26 @@ func (s BenchSpec) Run(sizes []int) ([]BenchResult, error) {
 	return out, nil
 }
 
-// allocNoiseFloor is the total heap-object count below which a measured
-// window is judged allocation-free. The runtime parks goroutines with
-// cached sudogs; a cache miss (a per-P cache that happened to drain onto
-// the other P) allocates one 96-byte sudog — an O(1) transient charged to
+// allocNoiseFloor returns the total heap-object count below which a
+// measured window is judged allocation-free. The runtime parks goroutines
+// with cached sudogs; when the per-P caches happen to drain (onto the
+// other P, or into the central list at an inconvenient moment), the next
+// parking wave allocates fresh 96-byte sudogs — up to a few per rank, one
+// per synchronization object each rank blocks on (park channel, flag
+// mutex), so the transient is O(Ranks), not O(1). It is charged to
 // whichever window it lands in, unrelated to the op path. A real op-path
-// leak recurs every operation and so scales with Iters×Ranks (tens to
-// hundreds of objects per window), far above the floor.
-const allocNoiseFloor = 4
+// leak recurs every operation and so scales with Iters×Ranks (hundreds of
+// objects per window), far above the floor.
+func allocNoiseFloor(ranks int) uint64 {
+	return 4 + 8*uint64(ranks)
+}
 
 // SteadyStateAllocs measures heap allocations per operation on the
 // steady-state path: after a warmup that grows every lazily-sized pool
 // (scratch accumulators, waiter lists, scheduler caches), the measured
 // window of Iters operations per rank must not allocate at all. It returns
 // allocations per (rank, operation). A window whose total object count is
-// within allocNoiseFloor reads as zero, and the measurement retries a few
+// within the rank-scaled noise floor reads as zero, and the measurement retries a few
 // times reporting the minimum — both guards against runtime cache refills
 // being charged to the window, never against per-op allocation, which
 // recurs far above the floor on every attempt.
@@ -276,7 +281,7 @@ func (s BenchSpec) SteadyStateAllocs(size int) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if total <= allocNoiseFloor {
+		if total <= allocNoiseFloor(s.Ranks) {
 			return 0, nil
 		}
 		got := float64(total) / float64(s.Iters*s.Ranks)

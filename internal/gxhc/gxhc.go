@@ -69,6 +69,9 @@ type Comm struct {
 	// rank (not per flag) — a rank waits on one flag at a time — so
 	// parking never allocates.
 	park []parkNode
+	// agBudget is the spin budget for allgather's per-rank exposure flags,
+	// whose fan-in is the whole communicator.
+	agBudget int
 
 	// scratch[r] is rank r's internal accumulator for rooted reductions
 	// (non-root leaders reduce into it instead of the user's dst), grown
@@ -221,7 +224,16 @@ func (wc *wallClock) finish() {
 type viewSlot struct {
 	opSeq uint64
 	cum   [8]uint64
-	_     [cacheLine - 8]byte
+	// lastBytes is the payload size of the rank's most recent data op.
+	// Barrier waits (including allgather's exit barrier) select their spin
+	// budget through opBudget(budget, lastBytes): a barrier that follows a
+	// bulk op is overwhelmingly waiting on stragglers still moving exactly
+	// that payload, so its early finishers must park at the floor instead
+	// of yield-storming through the copies; a barrier in a small-op or
+	// barrier-only loop keeps the wide fan-in budget. Private to the rank —
+	// no sharing.
+	lastBytes int
+	_         [cacheLine - 16]byte
 }
 
 // agSlot is one rank's allgather exposure: blk is a plain field published
@@ -250,11 +262,14 @@ type groupCtl struct {
 	leader     int
 	leaderSlot int
 	members    []int32
+	// spinBudget is spinBudgetFor(len(members)): waits on this group's
+	// flags stay in the yielding spin phase longer the smaller the group.
+	spinBudget int
 	// exposed holds the leader's current buffer ([]byte for Bcast and
 	// Scatter, exposedF for float64 reductions), published by expSeq.
 	exposed  []byte
 	exposedF []float64
-	_        [40]byte // start the flag lines on a fresh cache line
+	_        [32]byte // start the flag lines on a fresh cache line
 	// ready is the leader-owned published-bytes counter (single writer).
 	ready flagLine
 	// expSeq announces the exposure sequence.
@@ -307,7 +322,7 @@ func New(n int, cfg Config) (*Comm, error) {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 64 << 10
 	}
-	c := &Comm{n: n, cfg: cfg}
+	c := &Comm{n: n, cfg: cfg, agBudget: spinBudgetFor(n)}
 	c.states = make([]atomic.Pointer[state], n)
 	c.views = make([]viewSlot, n)
 	c.park = make([]parkNode, n)
@@ -385,11 +400,12 @@ func (c *Comm) buildState(root int) (*state, error) {
 		for gi := range h.GroupsAt(l) {
 			g := &h.GroupsAt(l)[gi]
 			ctl := &groupCtl{
-				leader:  g.Leader,
-				members: make([]int32, len(g.Members)),
-				acks:    make([]flagLine, len(g.Members)),
-				red:     make([]flagLine, len(g.Members)),
-				contrib: make([]contribSlot, len(g.Members)),
+				leader:     g.Leader,
+				members:    make([]int32, len(g.Members)),
+				spinBudget: spinBudgetFor(len(g.Members)),
+				acks:       make([]flagLine, len(g.Members)),
+				red:        make([]flagLine, len(g.Members)),
+				contrib:    make([]contribSlot, len(g.Members)),
 			}
 			for s, m := range g.Members {
 				ctl.members[s] = int32(m)
@@ -457,6 +473,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 	v.opSeq++
 	seq := v.opSeq
 	n := len(buf)
+	v.lastBytes = n
 	wc := c.newWallClock(rank, obs.OpBcast, seq, int64(n), st.h.NLevels())
 	p := &st.plans[rank]
 
@@ -474,7 +491,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 		wc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else if n > 0 {
 		ctl := p.pull.ctl
-		c.wait(&ctl.expSeq, seq, rank)
+		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, n))
 		src := ctl.exposed
 		wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
 		base := v.cum[p.pull.level]
@@ -486,7 +503,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 				avail = n
 			} else {
 				want := copied + min(c.cfg.ChunkBytes, n-copied)
-				avail = int(c.wait(&ctl.ready, base+uint64(want), rank) - base)
+				avail = int(c.wait(&ctl.ready, base+uint64(want), rank, opBudget(ctl.spinBudget, n)) - base)
 				if avail > n {
 					avail = n
 				}
@@ -511,7 +528,7 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank)
+				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, n))
 			}
 		}
 	}
@@ -564,6 +581,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 	v.opSeq++
 	seq := v.opSeq
 	n := len(src)
+	v.lastBytes = n * 8
 	opCode := obs.OpAllreduce
 	if !bcast {
 		opCode = obs.OpReduce
@@ -629,7 +647,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		}
 		for s := range lr.ctl.red {
 			if s != lr.slot {
-				c.wait(&lr.ctl.red[s], seq*2+1, rank)
+				c.wait(&lr.ctl.red[s], seq*2+1, rank, opBudget(lr.ctl.spinBudget, n*8))
 			}
 		}
 		if i+1 < len(p.lead) {
@@ -647,11 +665,11 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		lo := n * p.redIdx / p.redCnt
 		hi := n * (p.redIdx + 1) / p.redCnt
 		if hi > lo {
-			c.wait(&ctl.expSeq, seq, rank)
+			c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, n*8))
 			lacc := ctl.exposedF
 			// Wait for every member's contribution to be ready.
 			for s := range ctl.red {
-				c.wait(&ctl.red[s], seq*2, rank)
+				c.wait(&ctl.red[s], seq*2, rank, opBudget(ctl.spinBudget, n*8))
 			}
 			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
 			leaderContrib := ctl.contrib[ctl.leaderSlot].f
@@ -684,7 +702,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 			// pull against the leader's expose; skip it — there is no data.
 			ctl := p.pull.ctl
 			base := v.cum[p.pull.level]
-			c.wait(&ctl.ready, base+uint64(n), rank)
+			c.wait(&ctl.ready, base+uint64(n), rank, opBudget(ctl.spinBudget, n*8))
 			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
 			final := ctl.exposedF
 			if &dst[0] != &final[0] {
@@ -708,7 +726,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		ctl := p.pull.ctl
 		for s := range ctl.red {
 			if s != p.pull.slot && s != ctl.leaderSlot {
-				c.wait(&ctl.red[s], seq*2+1, rank)
+				c.wait(&ctl.red[s], seq*2+1, rank, opBudget(ctl.spinBudget, n*8))
 			}
 		}
 	}
@@ -721,7 +739,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank)
+				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, n*8))
 			}
 		}
 	}
@@ -756,14 +774,14 @@ func (c *Comm) barrierBody(st *state, v *viewSlot, rank int, wc *wallClock) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank)
+				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, v.lastBytes))
 			}
 		}
 	}
 	if p.hasPull {
 		ctl := p.pull.ctl
 		ctl.acks[p.pull.slot].set(seq)
-		c.wait(&ctl.ready, v.cum[p.pull.level]+1, rank)
+		c.wait(&ctl.ready, v.cum[p.pull.level]+1, rank, opBudget(ctl.spinBudget, v.lastBytes))
 	}
 	for i := len(p.lead) - 1; i >= 0; i-- {
 		lr := &p.lead[i]
@@ -790,6 +808,7 @@ func (c *Comm) Allgather(rank int, in, out []byte) {
 	v := &c.views[rank]
 	v.opSeq++
 	seq := v.opSeq
+	v.lastBytes = blockLen * c.n
 	wc := c.newWallClock(rank, obs.OpAllgather, seq, int64(blockLen), st.h.NLevels())
 
 	c.ag[rank].blk = in
@@ -800,7 +819,7 @@ func (c *Comm) Allgather(rank int, in, out []byte) {
 			copy(out[blockLen*r:blockLen*(r+1)], in)
 			continue
 		}
-		c.wait(&c.ag[r].seq, seq, rank)
+		c.wait(&c.ag[r].seq, seq, rank, opBudget(c.agBudget, blockLen))
 		copy(out[blockLen*r:blockLen*(r+1)], c.ag[r].blk)
 	}
 	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*c.n))
@@ -822,6 +841,7 @@ func (c *Comm) Scatter(rank int, in, out []byte, root int) {
 	v.opSeq++
 	seq := v.opSeq
 	blockLen := len(out)
+	v.lastBytes = blockLen
 	wc := c.newWallClock(rank, obs.OpScatter, seq, int64(blockLen), st.h.NLevels())
 	p := &st.plans[rank]
 
@@ -835,7 +855,7 @@ func (c *Comm) Scatter(rank int, in, out []byte, root int) {
 		wc.mark(-1, obs.PhaseExpose, 0)
 		copy(out, in[blockLen*root:blockLen*(root+1)])
 	} else if blockLen > 0 {
-		c.wait(&ctl.expSeq, seq, rank)
+		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, blockLen))
 		wc.mark(-1, obs.PhaseFlagWait, 0)
 		src := ctl.exposed
 		copy(out, src[blockLen*rank:blockLen*(rank+1)])
@@ -851,7 +871,7 @@ func (c *Comm) Scatter(rank int, in, out []byte, root int) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank)
+				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, blockLen))
 			}
 		}
 	}

@@ -10,13 +10,73 @@ import (
 const cacheLine = 64
 
 // Waiter tuning: tightProbes polls without yielding (the value is usually
-// already, or imminently, there); up to spinProbes every probe yields the
-// processor. Only after both phases does a waiter park on the flag's wait
-// queue (or, with Config.Spin, fall back to the legacy spin/sleep backoff).
+// already, or imminently, there); after that every probe yields the
+// processor, up to a budget that scales with the waited-on group's fan-in
+// (spinBudgetFor). Only after both phases does a waiter park on the flag's
+// wait queue (or, with Config.Spin, fall back to the legacy spin/sleep
+// backoff).
 const (
 	tightProbes = 32
 	spinProbes  = 192
+	// spinScaleRef and spinScaleMax tune spinBudgetFor: the budget is
+	// spinProbes * clamp(spinScaleRef/fanin, 1, spinScaleMax). The scale
+	// is deliberately modest — the spin phase's wall-time span must stay
+	// well under a scheduler timeslice, because a spinning waiter that
+	// outlasts one holds its OS thread busy through exactly the kernel
+	// rotation that would have run the straggler it is waiting for
+	// (measured as multi-millisecond single-op stalls at 32x budgets on
+	// an oversubscribed host, against microsecond parking handoffs).
+	spinScaleRef = 16
+	spinScaleMax = 8
 )
+
+// spinBudgetFor returns the yielding-probe budget a waiter gets before it
+// parks, as a function of the group fan-in it is synchronizing with. The
+// budget shrinks with fan-in: in a small group the expected wait is a
+// handful of peers' store latencies, so staying in the spin phase (whose
+// yields keep an oversubscribed writer schedulable) beats paying the
+// parking handoff's scheduler wakeup on every tiny op — the P2 barrier
+// regression this replaces the `-spin` workaround for. In a wide group the
+// tail waiter would burn a core (or, time-sliced, everyone else's slice)
+// for the whole fan-in, so it parks after a modest budget and the writer's
+// wake pays the handoff once.
+//
+// fanin <= 2: 8x spinProbes; halves with each doubling; >= 16: 1x.
+func spinBudgetFor(fanin int) int {
+	if fanin < 1 {
+		fanin = 1
+	}
+	scale := spinScaleRef / fanin
+	if scale < 1 {
+		scale = 1
+	} else if scale > spinScaleMax {
+		scale = spinScaleMax
+	}
+	return spinProbes * scale
+}
+
+// spinLargeBytes is the payload size above which an op's flag waits drop
+// to the parking floor regardless of fan-in. The fan-in-scaled budget
+// models control-dominated ops whose expected wait is a few peer store
+// latencies; once an op moves bulk data, a waiter is waiting for chunk
+// copies/reductions measured in tens of microseconds, and yield-spinning
+// through those steals scheduler slices from the very writer it is
+// waiting on (measured 2x on oversubscribed 1 MiB broadcasts).
+const spinLargeBytes = 32 << 10
+
+// opBudget selects the spin budget for one op: the group's fan-in-scaled
+// budget when the payload is small, the parking floor when the op moves
+// bulk data. Barriers have no payload of their own and pass the rank's
+// previous data-op size instead (viewSlot.lastBytes): a barrier right
+// after a bulk op is waiting on stragglers still moving that payload, and
+// its early finishers yield-storming through the copies is the same
+// slice-stealing the payload cutoff exists to prevent.
+func opBudget(base, nbytes int) int {
+	if nbytes >= spinLargeBytes {
+		return spinProbes
+	}
+	return base
+}
 
 // flagLine is one monotonic synchronization counter laid out so that its
 // single writer never false-shares with anything else: the hot half (the
@@ -115,12 +175,13 @@ func (f *flagLine) unlink(n *parkNode) {
 }
 
 // wait blocks rank until f reaches at least v and returns the observed
-// value. Phase 1 spins (bounded), phase 2 parks on the flag's wait queue —
-// unless the communicator was configured with Spin, in which case it falls
-// back to spinUntil's yield/sleep backoff (the escape hatch for
-// latency-bound small ops on machines with a core per participant).
-func (c *Comm) wait(f *flagLine, v uint64, rank int) uint64 {
-	for i := 0; i < spinProbes; i++ {
+// value. Phase 1 spins (bounded by budget, from spinBudgetFor of the
+// group's fan-in), phase 2 parks on the flag's wait queue — unless the
+// communicator was configured with Spin, in which case it falls back to
+// spinUntil's yield/sleep backoff (the escape hatch for latency-bound
+// small ops on machines with a core per participant).
+func (c *Comm) wait(f *flagLine, v uint64, rank, budget int) uint64 {
+	for i := 0; i < budget; i++ {
 		if got := f.v.Load(); got >= v {
 			return got
 		}

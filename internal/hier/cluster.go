@@ -1,0 +1,120 @@
+package hier
+
+import (
+	"fmt"
+
+	"xhc/internal/topo"
+)
+
+// ClusterHierarchy is a cluster job's two-tier hierarchy: one node-local
+// Hierarchy per node (built with the existing sensitivity machinery over
+// that node's cores) plus the network level — the node-leader ranks that
+// exchange over the fabric. Leader election follows the paper's
+// root-following rule lifted one level: the node holding the global root
+// elects the root itself as its leader (so the fabric tree is rooted at
+// the actual root rank), every other node elects its lowest local rank.
+type ClusterHierarchy struct {
+	Cl      *topo.Cluster
+	PerNode int
+	Root    int
+
+	// RootNode is the node the global root lives on.
+	RootNode int
+	// Nodes holds each node's intra-node hierarchy (local rank space).
+	Nodes []*Hierarchy
+	// Leaders[i] is the GLOBAL rank of node i's top-level leader.
+	Leaders []int
+}
+
+// BuildCluster builds the per-node hierarchies of a cluster job with
+// perNode = len(m) ranks per node (every node uses the same rank-to-core
+// mapping m), the given intra-node sensitivity, and global root rank root.
+func BuildCluster(cl *topo.Cluster, m topo.Mapping, sens Sensitivity, root int) (*ClusterHierarchy, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("hier: nil cluster")
+	}
+	perNode := len(m)
+	n := cl.Nodes * perNode
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("hier: root %d out of range for %d ranks (%d nodes x %d)",
+			root, n, cl.Nodes, perNode)
+	}
+	ch := &ClusterHierarchy{
+		Cl:       cl,
+		PerNode:  perNode,
+		Root:     root,
+		RootNode: root / perNode,
+		Nodes:    make([]*Hierarchy, cl.Nodes),
+		Leaders:  make([]int, cl.Nodes),
+	}
+	for i := 0; i < cl.Nodes; i++ {
+		localRoot := 0
+		if i == ch.RootNode {
+			localRoot = root % perNode
+		}
+		h, err := Build(cl.Node, m, sens, localRoot)
+		if err != nil {
+			return nil, fmt.Errorf("hier: node %d: %w", i, err)
+		}
+		ch.Nodes[i] = h
+		ch.Leaders[i] = i*perNode + h.TopLeader()
+	}
+	return ch, nil
+}
+
+// NRanks returns the total rank count.
+func (ch *ClusterHierarchy) NRanks() int { return ch.Cl.Nodes * ch.PerNode }
+
+// LocalRoot returns the within-node root rank the node's hierarchy was
+// built with: the global root's local rank on the root's node, 0 elsewhere.
+func (ch *ClusterHierarchy) LocalRoot(node int) int {
+	if node == ch.RootNode {
+		return ch.Root % ch.PerNode
+	}
+	return 0
+}
+
+// Validate checks the cross-node structural invariants: node-boundary-
+// respecting partitions (every node's hierarchy spans exactly its own rank
+// block) and root-following leader election across nodes (the root node's
+// leader IS the global root; leaders are distinct and live on their node).
+func (ch *ClusterHierarchy) Validate() error {
+	for i, h := range ch.Nodes {
+		if err := h.Validate(); err != nil {
+			return fmt.Errorf("hier: node %d: %w", i, err)
+		}
+		if h.NRanks != ch.PerNode {
+			return fmt.Errorf("hier: node %d spans %d ranks, want %d", i, h.NRanks, ch.PerNode)
+		}
+		lead := ch.Leaders[i]
+		if lead/ch.PerNode != i {
+			return fmt.Errorf("hier: node %d leader %d lives on node %d", i, lead, lead/ch.PerNode)
+		}
+		if h.TopLeader() != lead%ch.PerNode {
+			return fmt.Errorf("hier: node %d leader mismatch: top %d vs recorded %d",
+				i, h.TopLeader(), lead%ch.PerNode)
+		}
+	}
+	if got := ch.Leaders[ch.RootNode]; got != ch.Root {
+		return fmt.Errorf("hier: root node %d elected leader %d, want global root %d",
+			ch.RootNode, got, ch.Root)
+	}
+	seen := make(map[int]bool, len(ch.Leaders))
+	for _, l := range ch.Leaders {
+		if seen[l] {
+			return fmt.Errorf("hier: duplicate leader rank %d", l)
+		}
+		seen[l] = true
+	}
+	return nil
+}
+
+// Render describes the network level for xhctopo.
+func (ch *ClusterHierarchy) Render() string {
+	s := fmt.Sprintf("Network level: %d node leaders over the fabric (root rank %d on node %d)\n",
+		len(ch.Leaders), ch.Root, ch.RootNode)
+	for i, l := range ch.Leaders {
+		s += fmt.Sprintf("  node %d: leader rank %d (local %d)\n", i, l, l%ch.PerNode)
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"xhc/internal/topo"
+)
+
+// TestClusterHierarchyProperties randomizes (platform, node count, ranks
+// per node, root, sensitivity) and checks the cross-node invariants of
+// BuildCluster:
+//
+//  1. Node-boundary partition: each node's hierarchy spans exactly its
+//     own contiguous rank block — never a rank from another node.
+//  2. Root-following leader election across nodes: the root's node elects
+//     the global root itself; every other node elects its local root 0;
+//     all leaders live on their own node and are pairwise distinct.
+//  3. Validate() agrees (it encodes the same invariants, so a divergence
+//     between this test and Validate is itself a bug).
+func TestClusterHierarchyProperties(t *testing.T) {
+	sensList := []string{"", "flat", "llc", "numa", "socket", "llc+numa+socket"}
+	rnd := rand.New(rand.NewSource(20260808))
+	plats := topo.Platforms()
+	for iter := 0; iter < 300; iter++ {
+		top := plats[rnd.Intn(len(plats))]
+		nodes := 1 + rnd.Intn(8)
+		perNode := 1 + rnd.Intn(top.NCores)
+		root := rnd.Intn(nodes * perNode)
+		sens, err := ParseSensitivity(sensList[rnd.Intn(len(sensList))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol := topo.MapCore
+		if rnd.Intn(2) == 1 {
+			pol = topo.MapNUMA
+		}
+
+		cl, err := topo.NewCluster(nodes, top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := top.Map(pol, perNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := BuildCluster(cl, m, sens, root)
+		if err != nil {
+			t.Fatalf("%s nodes=%d np=%d root=%d: %v", top.Name, nodes, perNode, root, err)
+		}
+
+		if err := ch.Validate(); err != nil {
+			t.Fatalf("%s nodes=%d np=%d root=%d: %v", top.Name, nodes, perNode, root, err)
+		}
+		if ch.NRanks() != nodes*perNode {
+			t.Fatalf("NRanks %d, want %d", ch.NRanks(), nodes*perNode)
+		}
+
+		// 1. Node-boundary partition: node i's leaf groups cover local
+		// ranks [0, perNode) exactly once — a node hierarchy knows only
+		// local ranks, so spanning its block means covering the local space.
+		for i, h := range ch.Nodes {
+			seen := make([]int, perNode)
+			for _, g := range h.GroupsAt(0) {
+				for _, r := range g.Members {
+					if r < 0 || r >= perNode {
+						t.Fatalf("node %d leaf holds out-of-node rank %d (perNode %d)", i, r, perNode)
+					}
+					seen[r]++
+				}
+			}
+			for r, k := range seen {
+				if k != 1 {
+					t.Fatalf("node %d local rank %d in %d leaf groups", i, r, k)
+				}
+			}
+		}
+
+		// 2. Root-following leader election across the node level.
+		for i, lead := range ch.Leaders {
+			if lead/perNode != i {
+				t.Fatalf("node %d leader %d lives on node %d", i, lead, lead/perNode)
+			}
+			wantLocal := 0
+			if i == ch.RootNode {
+				wantLocal = root % perNode
+			}
+			if lead%perNode != wantLocal {
+				t.Fatalf("node %d leader local rank %d, want %d (root %d)", i, lead%perNode, wantLocal, root)
+			}
+			if ch.LocalRoot(i) != wantLocal {
+				t.Fatalf("node %d LocalRoot %d, want %d", i, ch.LocalRoot(i), wantLocal)
+			}
+		}
+		if ch.Leaders[ch.RootNode] != root {
+			t.Fatalf("root node leader %d != global root %d", ch.Leaders[ch.RootNode], root)
+		}
+	}
+}
+
+// TestClusterHierarchyErrors pins the input validation of BuildCluster.
+func TestClusterHierarchyErrors(t *testing.T) {
+	top := topo.Epyc1P()
+	m := top.MustMap(topo.MapCore, 4)
+	cl, err := topo.NewCluster(2, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildCluster(nil, m, nil, 0); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+	if _, err := BuildCluster(cl, m, nil, 8); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := BuildCluster(cl, m, nil, -1); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := topo.NewCluster(0, top); err == nil {
+		t.Fatal("0-node cluster accepted")
+	}
+	if _, err := topo.NewCluster(2, nil); err == nil {
+		t.Fatal("nil node topology accepted")
+	}
+}
+
+// TestClusterByNameRoundTrip pins the "<N>x<platform>" naming convention
+// used by the cmd tools to select cluster platforms.
+func TestClusterByNameRoundTrip(t *testing.T) {
+	cl := topo.ClusterByName("4xEpyc-1P")
+	if cl == nil {
+		t.Fatal("4xEpyc-1P not recognized")
+	}
+	if cl.Nodes != 4 || cl.Node.Name != "Epyc-1P" {
+		t.Fatalf("parsed %d x %s", cl.Nodes, cl.Node.Name)
+	}
+	if cl.TotalCores() != 4*cl.Node.NCores {
+		t.Fatalf("TotalCores %d", cl.TotalCores())
+	}
+	for _, bad := range []string{"Epyc-1P", "0xEpyc-1P", "-1xEpyc-1P", "4xNOPE", "x", "4x"} {
+		if got := topo.ClusterByName(bad); got != nil {
+			t.Fatalf("ClusterByName(%q) = %v, want nil", bad, got)
+		}
+	}
+}

@@ -85,6 +85,17 @@ func (s *System) MarkWritten(b *Buffer, core int) {
 	}
 }
 
+// MarkDMAWritten records a device write into the buffer (the cluster
+// fabric delivering a message into a NIC staging region): every cached
+// copy becomes stale and — unlike MarkWritten — no core's caches gain the
+// new contents, so the first reader pays a memory-sourced pull.
+func (s *System) MarkDMAWritten(b *Buffer) {
+	b.version++
+	for k := range b.resident {
+		delete(b.resident, k)
+	}
+}
+
 // markRead records that core pulled the buffer's current contents through
 // its caches.
 func (s *System) markRead(b *Buffer, core int) {

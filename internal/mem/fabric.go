@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"xhc/internal/sim"
+)
+
+// Fabric models the inter-node network of a simulated cluster: one
+// full-duplex NIC link per node (an up resource for sends, a down resource
+// for receives) behind an optionally capacity-limited switch. Message
+// transfers are latency/bandwidth flows through the same max-min fair
+// solver the intra-node memory system uses (solver.go), so concurrent
+// messages crossing a shared link split its bandwidth exactly the way
+// concurrent copies split a memory controller.
+//
+// The fabric is not driven by any engine shard. The cluster coordinator
+// (internal/env.ClusterWorld) collects the messages posted since the last
+// inter-node synchronization point and resolves them in one Solve batch: a
+// miniature event loop over the batch's start/completion times. Messages
+// posted in different rounds never overlap a solve, which is what keeps
+// per-shard virtual time causally consistent (a shard's past can never be
+// re-rated by a message the coordinator learns about later). Rounds are a
+// function of the program, not of the host scheduler, so the resolution is
+// deterministic at any worker count.
+type Fabric struct {
+	params FabricParams
+	nodes  int
+	up     []*resource
+	down   []*resource
+	sw     *resource
+
+	solver rateSolver
+	pool   []*flow
+	active []*flow
+	seq    int
+
+	Stats FabricStats
+}
+
+// FabricParams holds the network timing/bandwidth model. Latencies in
+// picoseconds, bandwidths in bytes/second (matching Params).
+type FabricParams struct {
+	// LinkLat is the end-to-end wire+switch latency of one message: the
+	// gap between a message leaving its source NIC (TxDone) and becoming
+	// readable at the destination node's NIC buffer (Arrive).
+	LinkLat sim.Duration
+	// LinkBW is one node's NIC bandwidth, each direction.
+	LinkBW float64
+	// SwitchBW caps the aggregate bandwidth crossing the switch; 0 models
+	// a non-blocking switch.
+	SwitchBW float64
+}
+
+// DefaultFabricParams returns an HDR-InfiniBand-class network: ~100 Gb/s
+// per port, microsecond-scale end-to-end latency, non-blocking switch.
+func DefaultFabricParams() FabricParams {
+	return FabricParams{
+		LinkLat:  1500 * sim.Nanosecond,
+		LinkBW:   12.5e9,
+		SwitchBW: 0,
+	}
+}
+
+// FabricStats counts fabric work for reports and tests.
+type FabricStats struct {
+	Msgs          int64
+	Bytes         int64
+	MaxConcurrent int
+	Solves        int64
+}
+
+// NewFabric builds a fabric joining nodes nodes.
+func NewFabric(nodes int, p FabricParams) *Fabric {
+	if nodes < 1 {
+		panic(fmt.Sprintf("mem: fabric needs at least 1 node, got %d", nodes))
+	}
+	f := &Fabric{params: p, nodes: nodes}
+	f.up = make([]*resource, nodes)
+	f.down = make([]*resource, nodes)
+	for i := 0; i < nodes; i++ {
+		f.up[i] = &resource{name: fmt.Sprintf("nic%d.up", i), capacity: p.LinkBW}
+		f.down[i] = &resource{name: fmt.Sprintf("nic%d.down", i), capacity: p.LinkBW}
+	}
+	if p.SwitchBW > 0 {
+		f.sw = &resource{name: "switch", capacity: p.SwitchBW}
+	}
+	return f
+}
+
+// Nodes returns the number of nodes the fabric joins.
+func (f *Fabric) Nodes() int { return f.nodes }
+
+// Params returns the fabric's timing model.
+func (f *Fabric) Params() FabricParams { return f.params }
+
+// Msg is one inter-node message in a Solve batch. Src/Dst are node
+// indices; Start is the sender-side virtual time the message was posted.
+// Solve fills TxDone (source link transfer complete — the sender's staging
+// buffer is reusable) and Arrive (payload readable at the destination).
+type Msg struct {
+	Src, Dst int
+	Bytes    int
+	Start    sim.Time
+
+	TxDone sim.Time
+	Arrive sim.Time
+}
+
+// Solve resolves one batch of messages under max-min fair link sharing.
+// Zero-byte messages (barrier/control traffic) cost pure latency. The batch
+// is processed in (Start, Src, Dst, index) order, so two messages posted by
+// the same node's leader resolve in program order and the whole batch is
+// independent of caller ordering quirks.
+func (f *Fabric) Solve(msgs []*Msg) {
+	if len(msgs) == 0 {
+		return
+	}
+	f.Stats.Solves++
+	order := make([]int, 0, len(msgs))
+	for i := range msgs {
+		m := msgs[i]
+		if m.Src < 0 || m.Src >= f.nodes || m.Dst < 0 || m.Dst >= f.nodes {
+			panic(fmt.Sprintf("mem: fabric message %d->%d outside %d nodes", m.Src, m.Dst, f.nodes))
+		}
+		if m.Src == m.Dst {
+			panic(fmt.Sprintf("mem: fabric message to self (node %d)", m.Src))
+		}
+		f.Stats.Msgs++
+		f.Stats.Bytes += int64(m.Bytes)
+		if m.Bytes <= 0 {
+			// Control message: no bandwidth, pure latency.
+			m.TxDone = m.Start
+			m.Arrive = m.Start + f.params.LinkLat
+			continue
+		}
+		order = append(order, i)
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ma, mb := msgs[order[a]], msgs[order[b]]
+		if ma.Start != mb.Start {
+			return ma.Start < mb.Start
+		}
+		if ma.Src != mb.Src {
+			return ma.Src < mb.Src
+		}
+		return ma.Dst < mb.Dst
+	})
+
+	// Miniature event loop: admit messages at their start times, share
+	// bandwidth max-min among concurrent transfers, advance to the next
+	// start or completion. The arithmetic mirrors System.reschedule (rate
+	// integration over wall slices, minimum 1 ps to completion) so link
+	// flows behave exactly like memory flows.
+	flows := make([]*flow, len(order))
+	byFlow := make([]*Msg, len(order))
+	for k, i := range order {
+		m := msgs[i]
+		f.seq++
+		fl := f.getFlow()
+		fl.id = f.seq
+		fl.res = fl.resArr[:0]
+		fl.res = append(fl.res, f.up[m.Src], f.down[m.Dst])
+		if f.sw != nil {
+			fl.res = append(fl.res, f.sw)
+		}
+		fl.remaining = float64(m.Bytes)
+		fl.rate = 0
+		fl.rateCap = 0
+		fl.done = false
+		flows[k] = fl
+		byFlow[k] = m
+	}
+
+	active := f.active[:0]
+	activeMsg := make([]*Msg, 0, len(order))
+	next := 0
+	t := byFlow[0].Start
+	for len(active) > 0 || next < len(flows) {
+		if len(active) == 0 {
+			t = byFlow[next].Start
+		}
+		for next < len(flows) && byFlow[next].Start <= t {
+			active = append(active, flows[next])
+			activeMsg = append(activeMsg, byFlow[next])
+			next++
+		}
+		if len(active) > f.Stats.MaxConcurrent {
+			f.Stats.MaxConcurrent = len(active)
+		}
+		f.solver.solve(active)
+		// Earliest completion among active flows.
+		earliest := sim.Time(-1)
+		for _, fl := range active {
+			var d sim.Duration
+			if fl.rate > 0 {
+				d = sim.Duration(fl.remaining / fl.rate * float64(sim.Second))
+			}
+			if d < 1 && fl.remaining > 0 {
+				d = 1
+			}
+			dl := t + d
+			if earliest < 0 || dl < earliest {
+				earliest = dl
+			}
+		}
+		tn := earliest
+		if next < len(flows) && (tn < 0 || byFlow[next].Start < tn) {
+			tn = byFlow[next].Start
+		}
+		// Advance to tn; complete flows whose remaining drains.
+		keep := active[:0]
+		keepMsg := activeMsg[:0]
+		for k, fl := range active {
+			if fl.rate > 0 {
+				fl.remaining -= fl.rate * float64(tn-t) / float64(sim.Second)
+				if fl.remaining < 0 {
+					fl.remaining = 0
+				}
+			}
+			if fl.remaining <= 0 {
+				m := activeMsg[k]
+				m.TxDone = tn
+				m.Arrive = tn + f.params.LinkLat
+				fl.done = true
+				f.putFlow(fl)
+				continue
+			}
+			keep = append(keep, fl)
+			keepMsg = append(keepMsg, activeMsg[k])
+		}
+		// If tn hit the earliest deadline but FP residue kept a due flow
+		// alive, force the earliest-deadline flows out: recompute deadlines
+		// and complete any at <= tn.
+		if len(keep) == len(active) && tn == earliest {
+			keep2 := keep[:0]
+			keepMsg2 := keepMsg[:0]
+			for k, fl := range keep {
+				var d sim.Duration
+				if fl.rate > 0 {
+					d = sim.Duration(fl.remaining / fl.rate * float64(sim.Second))
+				}
+				if d < 1 {
+					m := keepMsg[k]
+					m.TxDone = tn
+					m.Arrive = tn + f.params.LinkLat
+					fl.done = true
+					f.putFlow(fl)
+					continue
+				}
+				keep2 = append(keep2, fl)
+				keepMsg2 = append(keepMsg2, keepMsg[k])
+			}
+			keep = keep2
+			keepMsg = keepMsg2
+		}
+		for i := len(keep); i < len(active); i++ {
+			active[i] = nil
+			activeMsg[i] = nil
+		}
+		active = keep
+		activeMsg = keepMsg
+		t = tn
+	}
+	f.active = active[:0]
+}
+
+func (f *Fabric) getFlow() *flow {
+	if n := len(f.pool); n > 0 {
+		fl := f.pool[n-1]
+		f.pool = f.pool[:n-1]
+		return fl
+	}
+	return &flow{}
+}
+
+func (f *Fabric) putFlow(fl *flow) {
+	fl.res = nil
+	f.pool = append(f.pool, fl)
+}

@@ -25,14 +25,14 @@ type System struct {
 
 	// active is the in-flight flow set, kept ordered by flow id (ids are
 	// assigned monotonically, so arrival order IS id order and no per-event
-	// sort is needed). flowPool recycles completed flow objects; solveRes
-	// and solveGen are the rate solver's pooled scratch; cmplVersion and
+	// sort is needed). flowPool recycles completed flow objects; solver is
+	// the max-min rate solver with its pooled scratch (shared, as a type,
+	// with the inter-node Fabric — see solver.go); cmplVersion and
 	// cmplFired implement the single per-System completion event
 	// (see flows.go).
 	active      []*flow
 	flowPool    []*flow
-	solveRes    []*resource
-	solveGen    uint64
+	solver      rateSolver
 	cmplVersion uint64
 	cmplFired   func(uint64)
 	flowSeq     int

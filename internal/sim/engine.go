@@ -173,6 +173,47 @@ func (e *Engine) Run() error {
 	}
 }
 
+// RunUntilBlocked processes events until either every process has finished
+// (done=true) or the event queue drains while processes are still suspended
+// (done=false). Unlike Run, draining with live processes is not an error
+// here: it is the synchronization point a sharded cluster coordinator
+// (internal/env.ClusterWorld) resolves by delivering cross-shard wakeups
+// and calling RunUntilBlocked again. A process failure surfaces as err
+// exactly as it would from Run.
+func (e *Engine) RunUntilBlocked() (done bool, err error) {
+	for {
+		if e.stopping {
+			e.drainProcs()
+			return true, e.failure
+		}
+		if e.heap.Len() == 0 {
+			if e.live == 0 {
+				return true, e.failure
+			}
+			return false, nil
+		}
+		ev := e.heap.pop()
+		e.now = ev.at
+		e.stats.EventsRun++
+		if e.hashOn {
+			e.hashEvent(ev.at, ev.seq)
+		}
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.tagFn(ev.tag)
+		}
+	}
+}
+
+// Live returns the number of processes that have not finished.
+func (e *Engine) Live() int { return e.live }
+
+// BlockedError renders the suspended-process report of a blocked engine
+// (the same text Run would return as a deadlock error). Cluster coordinators
+// use it to aggregate a cross-shard deadlock report.
+func (e *Engine) BlockedError() error { return e.deadlockError() }
+
 // drainProcs unblocks goroutines of unfinished procs so they can exit.
 // After a failure we simply abandon them: they stay parked on their resume
 // channel and become garbage once the engine is dropped. (Goroutines

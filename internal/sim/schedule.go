@@ -116,6 +116,23 @@ const (
 	fnvPrime  uint64 = 1099511628211
 )
 
+// CombineShardHashes folds per-shard schedule fingerprints into one
+// cluster-level fingerprint: FNV-1a over the shard hash words in slice
+// (node-index) order. Each shard engine is single-threaded and fingerprints
+// its own event stream, so the combined value depends only on the per-shard
+// streams and the node order — never on which OS thread ran which shard —
+// making cluster replay tokens bit-exact at any GOMAXPROCS or worker count.
+func CombineShardHashes(shards []uint64) uint64 {
+	h := fnvOffset
+	for _, s := range shards {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (s & 0xff)) * fnvPrime
+			s >>= 8
+		}
+	}
+	return h
+}
+
 // hashEvent folds one fired event into the schedule fingerprint.
 func (e *Engine) hashEvent(at Time, seq uint64) {
 	h := e.schedHash

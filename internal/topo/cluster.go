@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cluster is the network level above the paper's single-node platforms:
+// N identical nodes joined by a flat switched fabric. Within each node the
+// existing Topology applies unchanged; between nodes only the node-leader
+// ranks communicate (internal/core's cluster collectives), so the cluster
+// type stays deliberately simple — a count and a node template.
+type Cluster struct {
+	Name  string
+	Nodes int
+	Node  *Topology
+}
+
+// NewCluster builds a cluster of nodes copies of node.
+func NewCluster(nodes int, node *Topology) (*Cluster, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("topo: cluster needs at least 1 node, got %d", nodes)
+	}
+	if node == nil {
+		return nil, fmt.Errorf("topo: cluster needs a node platform")
+	}
+	return &Cluster{
+		Name:  fmt.Sprintf("%dx%s", nodes, node.Name),
+		Nodes: nodes,
+		Node:  node,
+	}, nil
+}
+
+// ClusterByName parses a "<N>x<platform>" cluster name ("32xARM-N1",
+// "4xEpyc-2P") against the named single-node platforms, returning nil if
+// the name is not a cluster name.
+func ClusterByName(name string) *Cluster {
+	i := strings.IndexByte(name, 'x')
+	if i <= 0 || i+1 >= len(name) {
+		return nil
+	}
+	n, err := strconv.Atoi(name[:i])
+	if err != nil || n < 1 {
+		return nil
+	}
+	node := ByName(name[i+1:])
+	if node == nil {
+		return nil
+	}
+	c, err := NewCluster(n, node)
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// TotalCores returns the core count across all nodes.
+func (c *Cluster) TotalCores() int { return c.Nodes * c.Node.NCores }
+
+// NodeOf returns the node index of a global rank under a uniform block
+// distribution of perNode ranks per node.
+func (c *Cluster) NodeOf(rank, perNode int) int { return rank / perNode }
+
+// LocalRank returns the within-node rank of a global rank.
+func (c *Cluster) LocalRank(rank, perNode int) int { return rank % perNode }
+
+// GlobalRank composes a node index and a local rank.
+func (c *Cluster) GlobalRank(node, local, perNode int) int { return node*perNode + local }
+
+// Render describes the cluster for xhctopo.
+func (c *Cluster) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster %s: %d nodes x %s (%d cores total)\n",
+		c.Name, c.Nodes, c.Node.Name, c.TotalCores())
+	b.WriteString("Fabric: flat switched network, one full-duplex NIC link per node\n")
+	b.WriteString("        (inter-node traffic flows only between node-leader ranks)\n\n")
+	b.WriteString("Per-node topology:\n")
+	b.WriteString(c.Node.Render())
+	return b.String()
+}

@@ -1,0 +1,379 @@
+package verify
+
+import (
+	"fmt"
+
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/hier"
+	"xhc/internal/mem"
+	"xhc/internal/mpi"
+	"xhc/internal/sim"
+	"xhc/internal/topo"
+)
+
+// ClusterCase is one randomized multi-node configuration: a synthetic node
+// platform replicated across a few nodes, a cluster collective, message
+// shape and the intra-node tuning knobs. It derives from its own seed
+// stream (DeriveClusterCase), deliberately separate from DeriveCase so the
+// single-node replay tokens pinned before the network level existed keep
+// deriving byte-identical cases.
+type ClusterCase struct {
+	CfgSeed uint64
+
+	Plat    topo.Config
+	NodesN  int
+	PerNode int
+	Root    int
+	Sens    string
+
+	Kind  OpKind
+	Bytes int
+	Dt    mpi.Datatype
+	Op    mpi.Op
+
+	Chunk         int
+	CICOThreshold int
+	Flags         core.FlagScheme
+	RegCache      bool
+
+	Ops int
+}
+
+// clusterKinds are the collectives the network level implements.
+var clusterKinds = [...]OpKind{KindBcast, KindAllreduce, KindReduce, KindBarrier}
+
+// DeriveClusterCase expands a config seed into a full ClusterCase. The
+// stream is salted so cluster seeds never alias single-node seeds.
+func DeriveClusterCase(seed uint64) ClusterCase {
+	r := rng{state: seed ^ 0xc1f651c67c62c6e0}
+	c := ClusterCase{CfgSeed: seed, Ops: 4}
+	c.Plat = platforms[r.next()%uint64(len(platforms))]
+	ncores := c.Plat.Sockets * c.Plat.NUMAPerSocket * c.Plat.CoresPerNUMA
+	c.NodesN = 2 + int(r.next()%3)
+	c.PerNode = 2 + int(r.next()%uint64(ncores-1))
+	c.Root = int(r.next() % uint64(c.NodesN*c.PerNode))
+	c.Sens = sensitivities[r.next()%uint64(len(sensitivities))]
+	c.Kind = clusterKinds[r.next()%uint64(len(clusterKinds))]
+	c.Bytes = messageSizes[r.next()%uint64(len(messageSizes))]
+	c.Dt = mpi.Datatype(r.next() % 5)
+	c.Op = mpi.Op(r.next() % 4)
+	switch c.Kind {
+	case KindAllreduce, KindReduce:
+		es := c.Dt.Size()
+		c.Bytes -= c.Bytes % es
+		if c.Bytes == 0 {
+			c.Bytes = es
+		}
+		if c.Kind == KindAllreduce {
+			c.Root = 0
+		}
+	case KindBarrier:
+		c.Bytes, c.Root = 0, 0
+	}
+	c.Chunk = chunkSizes[r.next()%uint64(len(chunkSizes))]
+	c.CICOThreshold = cicoThresholds[r.next()%uint64(len(cicoThresholds))]
+	c.Flags = core.FlagScheme(r.next() % 3)
+	c.RegCache = r.next()%2 == 0
+	return c
+}
+
+// String identifies a cluster case in failure reports.
+func (c ClusterCase) String() string {
+	return fmt.Sprintf("%dx%s perNode=%d root=%d sens=%q %s n=%d dt=%s op=%s chunk=%d cico<=%d flags=%s regcache=%v",
+		c.NodesN, c.Plat.Name, c.PerNode, c.Root, c.Sens, c.Kind, c.Bytes, c.Dt, c.Op,
+		c.Chunk, c.CICOThreshold, c.Flags, c.RegCache)
+}
+
+func (c ClusterCase) coreConfig() (core.Config, error) {
+	// Same knob wiring as the single-node Case.
+	return Case{
+		Sens: c.Sens, Chunk: c.Chunk, CICOThreshold: c.CICOThreshold,
+		Flags: c.Flags, RegCache: c.RegCache,
+	}.coreConfig()
+}
+
+// refCase maps the cluster case onto the flat reference oracle: the
+// cluster collective over NodesN*PerNode ranks must produce exactly the
+// bytes a single-node collective over the same global ranks would.
+func (c ClusterCase) refCase() Case {
+	return Case{
+		CfgSeed: c.CfgSeed, Ranks: c.NodesN * c.PerNode, Root: c.Root,
+		Kind: c.Kind, Bytes: c.Bytes, Dt: c.Dt, Op: c.Op, Ops: c.Ops,
+	}
+}
+
+// shardSchedule derives node's private perturbation stream from the run's
+// schedule: same tie-breaker class and jitter policy, per-shard seeds. A
+// shard's stream is consumed only by that shard's engine (plus the
+// coordinator's deterministic wake sequence), so worker count cannot
+// reorder any draw.
+func shardSchedule(s Schedule, node int) Schedule {
+	if s.SchedSeed == 0 {
+		return Schedule{}
+	}
+	d := s
+	d.SchedSeed = mix(s.SchedSeed, 0x515+uint64(node))
+	return d
+}
+
+// RunClusterCase checks one (cluster case, schedule) pair: the run must
+// pass every invariant fully sequentially (Workers=1) AND with the shards
+// parallelized across GOMAXPROCS workers, and both runs must produce the
+// same combined schedule fingerprint — the sharded-engine determinism
+// contract. Returns the fingerprint of the sequential run.
+func RunClusterCase(c ClusterCase, s Schedule) (uint64, error) {
+	fp1, err := runClusterSim(c, s, 1)
+	if err != nil {
+		return fp1, err
+	}
+	fpN, err := runClusterSim(c, s, 0)
+	if err != nil {
+		return fp1, err
+	}
+	if fp1 != fpN {
+		return fp1, fmt.Errorf("cluster: sharded run fingerprint %#016x != sequential %#016x (worker-count nondeterminism)",
+			fpN, fp1)
+	}
+	return fp1, nil
+}
+
+// runClusterSim executes one cluster case at the given worker count and
+// checks: structural validity of the cluster hierarchy, termination, data
+// correctness of every rank against the flat reference, MPI buffer
+// contracts (non-root recv buffers untouched), the barrier ordering
+// contract, single-writer line discipline on every node, and bounded
+// control memory per node. All verdict state is written into per-rank /
+// per-node slots so shard goroutines never share a cell.
+func runClusterSim(c ClusterCase, s Schedule, workers int) (uint64, error) {
+	t, err := topo.New(c.Plat)
+	if err != nil {
+		return 0, err
+	}
+	cl, err := topo.NewCluster(c.NodesN, t)
+	if err != nil {
+		return 0, err
+	}
+	m, err := t.Map(topo.MapCore, c.PerNode)
+	if err != nil {
+		return 0, err
+	}
+	sens, err := hier.ParseSensitivity(c.Sens)
+	if err != nil {
+		return 0, err
+	}
+	ch, err := hier.BuildCluster(cl, m, sens, c.Root)
+	if err != nil {
+		return 0, err
+	}
+	if err := ch.Validate(); err != nil {
+		return 0, err
+	}
+
+	cw := env.NewClusterWorldDefault(cl, m)
+	cw.Workers = workers
+	trackers := make([]*writeTracker, c.NodesN)
+	for i, w := range cw.Nodes {
+		applyEngine(w.Sys.Eng, shardSchedule(s, i))
+		trackers[i] = installTracker(w.Sys)
+	}
+	cw.EnableScheduleHash()
+
+	cfg, err := c.coreConfig()
+	if err != nil {
+		return 0, err
+	}
+	cc, err := core.NewCluster(cw, cfg)
+	if err != nil {
+		return 0, err
+	}
+
+	N := cw.N
+	ref := buildRef(c.refCase())
+	rbufs := make([]*mem.Buffer, N)
+	var sbufs []*mem.Buffer
+	if c.Kind != KindBarrier {
+		for g := 0; g < N; g++ {
+			node, lr := g/c.PerNode, g%c.PerNode
+			rbufs[g] = cw.Nodes[node].NewBufferAt(fmt.Sprintf("vrf.r.%d", g), lr, c.Bytes)
+		}
+	}
+	if c.Kind == KindAllreduce || c.Kind == KindReduce {
+		sbufs = make([]*mem.Buffer, N)
+		for g := 0; g < N; g++ {
+			node, lr := g/c.PerNode, g%c.PerNode
+			sbufs[g] = cw.Nodes[node].NewBufferAt(fmt.Sprintf("vrf.s.%d", g), lr, c.Bytes)
+		}
+	}
+
+	// Per-slot verdict state: rank g writes only rankErr[g] and the barrier
+	// stamps of column g; node i's local rank 0 writes only snaps[i].
+	rankErr := make([]error, N)
+	var enter, exit [][]sim.Time
+	if c.Kind == KindBarrier {
+		enter = make([][]sim.Time, c.Ops)
+		exit = make([][]sim.Time, c.Ops)
+		for op := range enter {
+			enter[op] = make([]sim.Time, N)
+			exit[op] = make([]sim.Time, N)
+		}
+	}
+	snaps := make([][]memSnap, c.NodesN)
+	for i := range snaps {
+		snaps[i] = make([]memSnap, c.Ops)
+	}
+
+	runErr := cw.Run(func(p *env.Proc, node int) {
+		g := cw.GlobalRank(node, p.Rank)
+		for op := 0; op < c.Ops; op++ {
+			cw.HarnessBarrier(p, node)
+			switch c.Kind {
+			case KindBcast:
+				copy(rbufs[g].Data, ref.fill[op][g])
+				p.Dirty(rbufs[g])
+			case KindAllreduce, KindReduce:
+				copy(sbufs[g].Data, ref.fill[op][g])
+				p.Dirty(sbufs[g])
+				fillJunk(rbufs[g].Data, uint64(op))
+				p.Dirty(rbufs[g])
+			}
+			cw.HarnessBarrier(p, node)
+			if d := s.opDelay(g, op); d > 0 {
+				p.Compute(d)
+			}
+			switch c.Kind {
+			case KindBcast:
+				cc.Bcast(p, node, rbufs[g], 0, c.Bytes, c.Root)
+			case KindAllreduce:
+				cc.Allreduce(p, node, sbufs[g], rbufs[g], c.Bytes, c.Dt, c.Op)
+			case KindReduce:
+				cc.Reduce(p, node, sbufs[g], rbufs[g], c.Bytes, c.Dt, c.Op, c.Root)
+			case KindBarrier:
+				enter[op][g] = p.Now()
+				cc.Barrier(p, node)
+				exit[op][g] = p.Now()
+			}
+			cw.HarnessBarrier(p, node)
+			// Each rank checks only its own result buffer: shards run in
+			// parallel, so cross-node byte reads would race.
+			if rankErr[g] == nil {
+				rankErr[g] = checkClusterRank(c, ref, g, rbufs, op)
+			}
+			if p.Rank == 0 {
+				w := cw.Nodes[node]
+				snaps[node][op] = memSnap{lines: w.Sys.Stats.LinesAllocated, bufs: w.Sys.BuffersAllocated()}
+			}
+		}
+	})
+	hash := cw.Fingerprint()
+	if runErr != nil {
+		return hash, runErr
+	}
+	for g, err := range rankErr {
+		if err != nil {
+			return hash, fmt.Errorf("rank %d: %w", g, err)
+		}
+	}
+	if c.Kind == KindBarrier {
+		for op := 0; op < c.Ops; op++ {
+			var last sim.Time
+			for _, at := range enter[op] {
+				if at > last {
+					last = at
+				}
+			}
+			for g, at := range exit[op] {
+				if at < last {
+					return hash, fmt.Errorf("op %d: rank %d left the cluster barrier at %d, before last entry %d",
+						op, g, at, last)
+				}
+			}
+		}
+	}
+	for i, tr := range trackers {
+		if err := tr.err(); err != nil {
+			return hash, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	for i := range snaps {
+		for op := 2; op < c.Ops; op++ {
+			if snaps[i][op] != snaps[i][1] {
+				return hash, fmt.Errorf("node %d: control memory grows per operation: %d lines/%d buffers after op 2, %d/%d after op %d",
+					i, snaps[i][1].lines, snaps[i][1].bufs, snaps[i][op].lines, snaps[i][op].bufs, op+1)
+			}
+		}
+	}
+	return hash, nil
+}
+
+// checkClusterRank is the per-rank slice of the data oracle.
+func checkClusterRank(c ClusterCase, ref *refData, g int, rbufs []*mem.Buffer, op int) error {
+	switch c.Kind {
+	case KindBcast, KindAllreduce:
+		if diffBytes(rbufs[g].Data[:c.Bytes], ref.want[op]) >= 0 {
+			return dataError("cluster", op, g, rbufs[g].Data[:c.Bytes], ref.want[op])
+		}
+	case KindReduce:
+		if g == c.Root {
+			if diffBytes(rbufs[g].Data[:c.Bytes], ref.want[op]) >= 0 {
+				return dataError("cluster", op, g, rbufs[g].Data[:c.Bytes], ref.want[op])
+			}
+			return nil
+		}
+		junk := make([]byte, c.Bytes)
+		fillJunk(junk, uint64(op))
+		if i := diffBytes(rbufs[g].Data[:c.Bytes], junk); i >= 0 {
+			return fmt.Errorf("cluster: op %d: non-root rank %d result buffer written at byte %d", op, g, i)
+		}
+	}
+	return nil
+}
+
+// ExploreCluster sweeps randomized cluster configurations the way Explore
+// sweeps single-node ones: each case runs under several schedules (FIFO
+// first), and every run doubles as a sequential-vs-sharded determinism
+// check (RunClusterCase runs both and compares fingerprints).
+func ExploreCluster(o Options) Summary {
+	if o.Configs <= 0 {
+		o.Configs = 10
+	}
+	if o.Schedules <= 0 {
+		o.Schedules = 4
+	}
+	base := rng{state: o.Seed ^ 0x8e5a3cbd21f04d77}
+	hashes := make(map[uint64]struct{})
+	sum := Summary{Configs: o.Configs}
+	for ci := 0; ci < o.Configs; ci++ {
+		cfgSeed := base.next()
+		c := DeriveClusterCase(cfgSeed)
+		if o.Log != nil {
+			o.Log("cluster config %d/%d seed %#016x: %s", ci+1, o.Configs, cfgSeed, c)
+		}
+		for si := 0; si < o.Schedules; si++ {
+			var schedSeed uint64
+			if si > 0 {
+				schedSeed = mix(cfgSeed, uint64(si))
+			}
+			s := DeriveSchedule(schedSeed)
+			hash, err := RunClusterCase(c, s)
+			sum.Runs++
+			hashes[hash] = struct{}{}
+			if err != nil {
+				sum.Failures = append(sum.Failures, Failure{
+					CfgSeed:   cfgSeed,
+					SchedSeed: schedSeed,
+					Case:      c.String(),
+					Sched:     s.String(),
+					Err:       err.Error(),
+				})
+			}
+		}
+	}
+	sum.DistinctSchedules = len(hashes)
+	return sum
+}
+
+// ReplayCluster re-runs a cluster (config, schedule) pair bit-exactly.
+func ReplayCluster(cfgSeed, schedSeed uint64) (uint64, error) {
+	return RunClusterCase(DeriveClusterCase(cfgSeed), DeriveSchedule(schedSeed))
+}

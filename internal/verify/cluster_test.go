@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestClusterSweep is the cluster analogue of the single-node exploration
+// sweep: randomized multi-node cases under several schedules, each run
+// doubling as a sequential-vs-sharded fingerprint comparison.
+func TestClusterSweep(t *testing.T) {
+	o := Options{Configs: 6, Schedules: 3}
+	if testing.Short() {
+		o = Options{Configs: 3, Schedules: 2}
+	}
+	sum := ExploreCluster(o)
+	for _, f := range sum.Failures {
+		t.Errorf("replay %s: %s / %s: %s", ReplayToken(f.CfgSeed, f.SchedSeed), f.Case, f.Sched, f.Err)
+	}
+	if sum.DistinctSchedules < 2 {
+		t.Errorf("sweep explored only %d distinct schedules", sum.DistinctSchedules)
+	}
+}
+
+// Pinned cluster replays: (cluster seed, schedule seed) pairs with their
+// recorded combined fingerprints. Unlike regressionPairs these did not come
+// from bug reports — they pin the cluster derivation and the sharded-engine
+// schedule bit-exactly, so any drift in DeriveClusterCase, the fabric
+// model, or the coordinator's wake order shows up here.
+var clusterPins = []struct {
+	name        string
+	cfgSeed     uint64
+	schedSeed   uint64 // mixed below; 1 means mix(cfgSeed, 1)
+	fingerprint uint64
+}{
+	{name: "cluster-bcast-jittered", cfgSeed: 1, schedSeed: 1, fingerprint: 0x6b687a66169a38af},
+	{name: "cluster-reduce-nonzero-root", cfgSeed: 3, schedSeed: 1, fingerprint: 0x1423389771f9492b},
+}
+
+func clusterPinSched(p struct {
+	name        string
+	cfgSeed     uint64
+	schedSeed   uint64
+	fingerprint uint64
+}) uint64 {
+	if p.schedSeed == 0 {
+		return 0
+	}
+	return mix(p.cfgSeed, p.schedSeed)
+}
+
+func TestClusterPinnedReplays(t *testing.T) {
+	for _, p := range clusterPins {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			h, err := ReplayCluster(p.cfgSeed, clusterPinSched(p))
+			if err != nil {
+				t.Fatalf("cluster replay %s failed: %v", ReplayToken(p.cfgSeed, clusterPinSched(p)), err)
+			}
+			if h != p.fingerprint {
+				t.Errorf("cluster replay %s fingerprint %#016x, want %#016x (schedule drifted; if the model change is intentional, re-pin)",
+					ReplayToken(p.cfgSeed, clusterPinSched(p)), h, p.fingerprint)
+			}
+		})
+	}
+}
+
+// TestReplayPortableAcrossGOMAXPROCS pins replay-token portability: the
+// same (config, schedule) pair must reproduce the same fingerprint at
+// GOMAXPROCS 1, 2 and 8 — for the classic single-node replays (one engine,
+// trivially serial) AND for cluster replays, whose shards genuinely run on
+// however many processors the runtime grants. A failure here means
+// fingerprints leaked a dependence on shard interleaving and every
+// `xhcverify -replay` token in old failure reports is suspect.
+func TestReplayPortableAcrossGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		for _, rp := range regressionPairs {
+			h, err := Replay(rp.cfgSeed, rp.schedSeed)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d: replay %s failed: %v", gmp, ReplayToken(rp.cfgSeed, rp.schedSeed), err)
+			}
+			if h != rp.fingerprint {
+				t.Errorf("GOMAXPROCS=%d: replay %s fingerprint %#016x, want %#016x",
+					gmp, ReplayToken(rp.cfgSeed, rp.schedSeed), h, rp.fingerprint)
+			}
+		}
+		for _, p := range clusterPins {
+			h, err := ReplayCluster(p.cfgSeed, clusterPinSched(p))
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d: cluster replay %s failed: %v", gmp, ReplayToken(p.cfgSeed, clusterPinSched(p)), err)
+			}
+			if h != p.fingerprint {
+				t.Errorf("GOMAXPROCS=%d: cluster replay %s fingerprint %#016x, want %#016x",
+					gmp, ReplayToken(p.cfgSeed, clusterPinSched(p)), h, p.fingerprint)
+			}
+		}
+	}
+}

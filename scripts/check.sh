@@ -17,6 +17,12 @@ go test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
 # protocol bugs (mutation self-test). Prints a replay seed pair on failure.
 go run ./cmd/xhcverify -quick
 
+# Multi-node sweep: randomized cluster shapes on the sharded engine, every
+# run executed at workers=1 and workers=GOMAXPROCS with schedule
+# fingerprints compared (any divergence is an engine-sharding determinism
+# bug, reported with a -cluster -replay seed pair).
+go run ./cmd/xhcverify -cluster -quick
+
 # Short fuzz smoke: the seed corpora plus a few seconds of mutation on the
 # goroutine-backed allreduce, rooted reduce, allgather and the hierarchy
 # builder.
@@ -90,3 +96,18 @@ go run ./cmd/xhcbench -backend gxhc -coll bcast -np 4 -procs 2 \
 go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_sc.json" -current "$tmpdir/cells_sc.json" > /dev/null
 go run ./cmd/xhcstat -baseline BENCH_gxhc.json -current BENCH_gxhc.json > /dev/null
+
+# Cluster determinism + baseline gate: the sharded (workers=4) report must
+# be byte-identical to the sequential (workers=1) reference, and the
+# committed BENCH_cluster.json must diff cleanly against a fresh sweep in
+# both directions — cluster latencies are simulated virtual time, so any
+# difference at all is a real model/protocol/determinism change, not
+# measurement noise.
+go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+    -np 32 -sizes 8,1024,65536,1048576 -workers 1 \
+    -json "$tmpdir/cells_cl.json" > "$tmpdir/cl_seq.txt"
+go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+    -np 32 -sizes 8,1024,65536,1048576 -workers 4 > "$tmpdir/cl_par.txt"
+cmp "$tmpdir/cl_seq.txt" "$tmpdir/cl_par.txt"
+go run ./cmd/xhcstat -baseline BENCH_cluster.json -current "$tmpdir/cells_cl.json" > /dev/null
+go run ./cmd/xhcstat -baseline "$tmpdir/cells_cl.json" -current BENCH_cluster.json > /dev/null
