@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster quick-report
+.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster bench-overlap quick-report
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$$' ./internal/gxhc/
+	$(GO) test -fuzz FuzzGoCommIallreduceOverlap -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$$' ./internal/hier/
 
 # Oversubscription regression (waiter starvation, both park and spin
@@ -88,6 +89,13 @@ telemetry-check:
 	    -sizes 4096 -warmup 5 -iters 20 -allocgate -spin > /dev/null
 	$(GO) run ./cmd/xhcstat -baseline BENCH_gxhc.json \
 	    -current BENCH_gxhc.json > /dev/null
+	$(GO) run ./cmd/xhcbench -backend gxhc -coll ibcast-overlap,ibcast-fused \
+	    -np 4 -procs 2 -sizes 256,1024 -warmup 5 -iters 20 -allocgate \
+	    -json /tmp/xhc_check_ov.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_ov.json \
+	    -current /tmp/xhc_check_ov.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline BENCH_overlap.json \
+	    -current BENCH_overlap.json > /dev/null
 
 # Cluster determinism + baseline gate: the sharded run's report must be
 # byte-identical to the sequential reference, and the committed
@@ -138,6 +146,18 @@ bench-cluster:
 	    -current /tmp/xhc_bench_cluster.json
 	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_bench_cluster.json \
 	    -current BENCH_cluster.json > /dev/null
+
+# Regenerate the non-blocking overlap trajectory: the overlapDepth-deep
+# Ibcast window with fusion off (ibcast-overlap) vs on (ibcast-fused),
+# zero-alloc gate held on every cell. Latencies are wall clock, so the
+# committed BENCH_overlap.json gates cell coverage via self-diff (like
+# BENCH_gxhc.json), not exact numbers.
+bench-overlap:
+	$(GO) run ./cmd/xhcbench -backend gxhc -coll ibcast-overlap,ibcast-fused \
+	    -np 8 -procs 2,8 -sizes 64,256,1024 -warmup 10 -iters 50 -allocgate \
+	    -json BENCH_overlap.json
+	$(GO) run ./cmd/xhcstat -baseline BENCH_overlap.json \
+	    -current BENCH_overlap.json > /dev/null
 
 quick-report:
 	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

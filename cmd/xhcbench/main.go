@@ -58,7 +58,7 @@ type cellRecord struct {
 func main() {
 	backend := flag.String("backend", "sim", "sim (simulated platforms) | gxhc (real goroutine-backed wall clock)")
 	platform := flag.String("platform", "Epyc-2P", "Epyc-1P | Epyc-2P | ARM-N1 (sim backend)")
-	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter (cluster platforms: comma-separated list of bcast | allreduce | reduce | barrier)")
+	collective := flag.String("coll", "bcast", "bcast | allreduce | barrier | reduce | allgather | scatter (cluster platforms: comma-separated list of bcast | allreduce | reduce | barrier; gxhc backend also: ibcast-overlap | ibcast-fused)")
 	comps := flag.String("comp", "xhc-tree", "comma-separated component list (see -listcomp)")
 	sizesArg := flag.String("sizes", "", "comma-separated byte sizes (default: 4B..4MB sweep)")
 	nranks := flag.Int("np", 0, "rank count (0 = all cores)")
@@ -460,8 +460,11 @@ type gxhcOpts struct {
 
 // runGxhc measures the real goroutine-backed gxhc communicator on the wall
 // clock, sweeping GOMAXPROCS settings: one column per setting, one row per
-// measured size. The -json cells key the GOMAXPROCS setting into the
-// platform field ("gxhc-P<n>") so xhcstat diffs stay per-setting.
+// measured size. Like the cluster backend, -coll accepts a comma-separated
+// list here, so one invocation can emit e.g. both non-blocking overlap
+// cells (ibcast-overlap, ibcast-fused) into one cells file. The -json
+// cells key the GOMAXPROCS setting into the platform field ("gxhc-P<n>")
+// so xhcstat diffs stay per-setting.
 func runGxhc(o gxhcOpts, reg *obs.Registry) []cellRecord {
 	np := o.nranks
 	if np == 0 {
@@ -485,90 +488,96 @@ func runGxhc(o gxhcOpts, reg *obs.Registry) []cellRecord {
 		component = "gxhc-spin"
 	}
 
-	spec := gxhc.BenchSpec{
-		Ranks: np,
-		Cfg:   gxhc.Config{GroupSize: o.group, ChunkBytes: o.chunk, Spin: o.spin},
-		Coll:  o.coll, Warmup: o.warmup, Iters: o.iters, Dirty: o.dirty, Root: o.root,
-	}
-	var worlds []*obs.World
-	if reg != nil {
-		spec.Observe = func(c *gxhc.Comm) {
-			wo := reg.NewWorld("gxhc", np, obs.WallTicksPerUS, obs.WallClock())
-			wo.Rec.Backend = component
-			c.AttachRecorder(wo.Rec)
-			worlds = append(worlds, wo)
-		}
-	}
-
-	colLabels := make([]string, len(procs))
-	cols := make([]map[int]float64, len(procs))
 	var records []cellRecord
-	var rowSizes []int
-	seenSize := map[int]bool{}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
-	for pi, p := range procs {
-		runtime.GOMAXPROCS(p)
-		colLabels[pi] = fmt.Sprintf("P%d", p)
-		cols[pi] = map[int]float64{}
-		for _, size := range o.sizes {
-			start := time.Now()
-			rs, err := spec.Run([]int{size})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if len(rs) == 0 {
-				continue
-			}
-			wall := time.Since(start)
-			r := rs[0]
-			cols[pi][r.Size] = r.AvgLat
-			if !seenSize[r.Size] {
-				seenSize[r.Size] = true
-				rowSizes = append(rowSizes, r.Size)
-			}
-			records = append(records, cellRecord{
-				Platform: fmt.Sprintf("gxhc-P%d", p), Collective: o.coll, Component: component,
-				Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
-				WallMS: float64(wall.Microseconds()) / 1e3,
-			})
+	for ci, coll := range strings.Split(o.coll, ",") {
+		coll = strings.TrimSpace(coll)
+		spec := gxhc.BenchSpec{
+			Ranks: np,
+			Cfg:   gxhc.Config{GroupSize: o.group, ChunkBytes: o.chunk, Spin: o.spin},
+			Coll:  coll, Warmup: o.warmup, Iters: o.iters, Dirty: o.dirty, Root: o.root,
 		}
-		if o.allocGate {
-			for _, size := range rowSizes {
-				got, err := spec.SteadyStateAllocs(size)
+		var worlds []*obs.World
+		if reg != nil {
+			spec.Observe = func(c *gxhc.Comm) {
+				wo := reg.NewWorld("gxhc", np, obs.WallTicksPerUS, obs.WallClock())
+				wo.Rec.Backend = component
+				c.AttachRecorder(wo.Rec)
+				worlds = append(worlds, wo)
+			}
+		}
+
+		colLabels := make([]string, len(procs))
+		cols := make([]map[int]float64, len(procs))
+		var rowSizes []int
+		seenSize := map[int]bool{}
+		for pi, p := range procs {
+			runtime.GOMAXPROCS(p)
+			colLabels[pi] = fmt.Sprintf("P%d", p)
+			cols[pi] = map[int]float64{}
+			for _, size := range o.sizes {
+				start := time.Now()
+				rs, err := spec.Run([]int{size})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
-				if got != 0 {
-					fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: %.4f allocs/op on the steady-state path (want 0)\n",
-						o.coll, p, size, got)
-					os.Exit(1)
+				if len(rs) == 0 {
+					continue
 				}
-				fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: 0 allocs/op\n", o.coll, p, size)
+				wall := time.Since(start)
+				r := rs[0]
+				cols[pi][r.Size] = r.AvgLat
+				if !seenSize[r.Size] {
+					seenSize[r.Size] = true
+					rowSizes = append(rowSizes, r.Size)
+				}
+				records = append(records, cellRecord{
+					Platform: fmt.Sprintf("gxhc-P%d", p), Collective: coll, Component: component,
+					Size: r.Size, AvgLatUS: r.AvgLat, MinLatUS: r.MinLat, MaxLatUS: r.MaxLat,
+					WallMS: float64(wall.Microseconds()) / 1e3,
+				})
+			}
+			if o.allocGate {
+				for _, size := range rowSizes {
+					got, err := spec.SteadyStateAllocs(size)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					if got != 0 {
+						fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: %.4f allocs/op on the steady-state path (want 0)\n",
+							coll, p, size, got)
+						os.Exit(1)
+					}
+					fmt.Fprintf(os.Stderr, "allocgate: %s P%d size %d: 0 allocs/op\n", coll, p, size)
+				}
 			}
 		}
-	}
-	runtime.GOMAXPROCS(prev)
-	for _, wo := range worlds {
-		wo.Finish(mem.Stats{}, sim.EngineStats{})
-	}
-
-	waiter := "park"
-	if o.spin {
-		waiter = "spin"
-	}
-	fmt.Printf("# %s on gxhc (wall clock), %d ranks, group %d, waiter=%s, root %d (latency us, mean of %d iters)\n",
-		o.coll, np, o.group, waiter, o.root, o.iters)
-	t := &stats.Table{Header: append([]string{"size"}, colLabels...)}
-	for _, n := range rowSizes {
-		row := []string{stats.SizeLabel(n)}
-		for pi := range procs {
-			row = append(row, fmt.Sprintf("%.2f", cols[pi][n]))
+		runtime.GOMAXPROCS(prev)
+		for _, wo := range worlds {
+			wo.Finish(mem.Stats{}, sim.EngineStats{})
 		}
-		t.Add(row...)
+
+		waiter := "park"
+		if o.spin {
+			waiter = "spin"
+		}
+		if ci > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("# %s on gxhc (wall clock), %d ranks, group %d, waiter=%s, root %d (latency us, mean of %d iters)\n",
+			coll, np, o.group, waiter, o.root, o.iters)
+		t := &stats.Table{Header: append([]string{"size"}, colLabels...)}
+		for _, n := range rowSizes {
+			row := []string{stats.SizeLabel(n)}
+			for pi := range procs {
+				row = append(row, fmt.Sprintf("%.2f", cols[pi][n]))
+			}
+			t.Add(row...)
+		}
+		fmt.Print(t.String())
 	}
-	fmt.Print(t.String())
 	return records
 }

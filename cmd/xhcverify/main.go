@@ -114,8 +114,8 @@ func doSweep(configs, schedules int, seed uint64, quick, verbose bool, reg *obs.
 	}
 	start := time.Now()
 	sum := verify.Explore(o)
-	fmt.Printf("explored %d runs over %d configurations: %d distinct schedules in %v\n",
-		sum.Runs, sum.Configs, sum.DistinctSchedules, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("explored %d runs over %d configurations: %d distinct schedules, %d with concurrent communicators, in %v\n",
+		sum.Runs, sum.Configs, sum.DistinctSchedules, sum.ConcRuns, time.Since(start).Round(time.Millisecond))
 	for _, f := range sum.Failures {
 		fmt.Printf("FAIL %s\n  schedule %s\n  %s\n  replay: xhcverify -replay %#016x:%#016x\n",
 			f.Case, f.Sched, f.Err, f.CfgSeed, f.SchedSeed)
@@ -126,6 +126,14 @@ func doSweep(configs, schedules int, seed uint64, quick, verbose bool, reg *obs.
 	}
 	if quick && sum.DistinctSchedules < 200 {
 		fmt.Printf("quick gate: only %d distinct schedules (< 200)\n", sum.DistinctSchedules)
+		return 1
+	}
+	if quick && sum.ConcRuns < 12 {
+		// The concurrency draw adds overlapping-communicator phases (>= 2
+		// comms, >= 2 requests in flight per member) to a third of the
+		// seeds; a sweep that explored fewer than one configuration's worth
+		// never exercised concurrent collectives.
+		fmt.Printf("quick gate: only %d concurrent-communicator runs (< 12)\n", sum.ConcRuns)
 		return 1
 	}
 	fmt.Println("all runs passed")

@@ -19,6 +19,10 @@ import (
 // internal root (rank 0), overlapped with a pipelined broadcast of the
 // result.
 func (c *Comm) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqAllreduce, sbuf, rbuf, 0, n, 0, dt, op))
+		return
+	}
 	c.allreduce(p, sbuf, rbuf, n, dt, op, true, 0)
 }
 
@@ -26,6 +30,10 @@ func (c *Comm) Allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 // primitive). Non-root ranks' rbuf arguments are ignored; internal scratch
 // accumulators are used at non-root leaders.
 func (c *Comm) Reduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Datatype, op mpi.Op, root int) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqReduce, sbuf, rbuf, 0, n, root, dt, op))
+		return
+	}
 	c.allreduce(p, sbuf, rbuf, n, dt, op, false, root)
 }
 
@@ -108,7 +116,7 @@ func (c *Comm) allreduce(p *env.Proc, sbuf, rbuf *mem.Buffer, n int, dt mpi.Data
 // scratchFor returns (growing on demand) rank's internal accumulator.
 func (c *Comm) scratchFor(rank, n int) *mem.Buffer {
 	if c.scratch[rank] == nil || c.scratch[rank].Len() < n {
-		c.scratch[rank] = c.W.NewBufferAt(fmt.Sprintf("xhc.scratch.%d", rank), rank, n)
+		c.scratch[rank] = c.W.NewBufferAt(c.name("scratch.%d", rank), rank, n)
 	}
 	return c.scratch[rank]
 }
@@ -762,6 +770,14 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 // Barrier synchronizes all ranks hierarchically: arrival propagates up via
 // the ack flags, release propagates down via the ready counters.
 func (c *Comm) Barrier(p *env.Proc) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqBarrier, nil, nil, 0, 0, 0, 0, 0))
+		return
+	}
+	c.barrier(p)
+}
+
+func (c *Comm) barrier(p *env.Proc) {
 	st := c.stateFor(0)
 	view := st.views[p.Rank]
 	view.opSeq++

@@ -13,7 +13,17 @@ import (
 // IV-A: leaders expose their buffer, a leader-owned shared counter
 // announces available bytes, members attach and pull chunks as they become
 // available, and a hierarchical acknowledgment step closes the operation.
+// While non-blocking requests are outstanding on this rank, the call is
+// diverted through the request queue to run in issue order behind them.
 func (c *Comm) Bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqBcast, buf, nil, off, n, root, 0, 0))
+		return
+	}
+	c.bcast(p, buf, off, n, root)
+}
+
+func (c *Comm) bcast(p *env.Proc, buf *mem.Buffer, off, n, root int) {
 	sizeCheck(buf, off, n)
 	st := c.stateFor(root)
 	view := st.views[p.Rank]

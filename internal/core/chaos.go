@@ -32,6 +32,26 @@ type ChaosConfig struct {
 	// on the second and later operations. The shm layer itself rejects
 	// the non-monotone store; caught as an engine failure.
 	AckRegression bool
+
+	// LostProgress makes the per-rank request helper drop a finished
+	// non-blocking op on the floor: the body runs, but completion is never
+	// published, so Test never reports done and Wait suspends forever —
+	// the classic missing-progress bug. Caught by the engine's deadlock
+	// detector.
+	LostProgress bool
+
+	// EarlyComplete publishes a non-blocking request's completion without
+	// running the collective body at all — completion visible before the
+	// data is. Every rank skips uniformly (no cross-rank hang), so the
+	// caller's byte check deterministically sees its stale junk fill.
+	// Caught by the per-request byte-exactness invariant.
+	EarlyComplete bool
+
+	// FuseCorrupt makes the fused-broadcast root swap the first two sub-op
+	// slots of the staging buffer after staging a batch, corrupting the
+	// fusion boundaries whenever a batch of at least two ops forms. Caught
+	// by byte-exactness.
+	FuseCorrupt bool
 }
 
 // chaos returns the active mutation set (the zero value when none).

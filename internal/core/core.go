@@ -75,6 +75,14 @@ type Config struct {
 	Flags FlagScheme
 	// RegCache enables the per-rank XPMEM registration cache.
 	RegCache bool
+	// Tag namespaces this communicator's shared control structures. Every
+	// flag and internal buffer name carries the tag ("xhc.c[<tag>].…"), so
+	// communicators with overlapping rank sets running concurrently on one
+	// world never alias control lines — and the verify tracker can prove
+	// it from the names alone (the bracketed form never collides with the
+	// legacy names, whose first segment is bare). Empty (the default) keeps
+	// the legacy un-namespaced names byte-identical.
+	Tag string
 	// Chaos, when non-nil, enables deliberate protocol mutations for the
 	// verify harness's self-test (see ChaosConfig). Production code leaves
 	// it nil.
@@ -135,8 +143,29 @@ type Comm struct {
 	scratch []*mem.Buffer              // per-rank internal accumulators for Reduce
 	agFlags map[*commState][]*shm.Flag // allgather push-completion flags
 
+	// Non-blocking request machinery (request.go): one lane per rank
+	// holding the queue its helper proc drains, a per-rank staging buffer
+	// for fused small-op batches, and the fusion size cap (CICOThreshold).
+	nb      []nbRank
+	fuseBuf []*mem.Buffer
+	fuseMax int
+	// inflightCur counts this comm's currently outstanding requests
+	// (plain: the simulation is cooperative).
+	inflightCur int64
+
 	// Ops counts completed collective operations.
 	Ops int64
+}
+
+// name renders an internal flag/buffer name, namespaced by the
+// communicator tag. The empty tag produces the historical "xhc.…" names
+// byte-for-byte (replay fingerprints hash event sequences that depend on
+// flag identity, so the default naming must not move).
+func (c *Comm) name(format string, args ...any) string {
+	if c.Cfg.Tag == "" {
+		return fmt.Sprintf("xhc."+format, args...)
+	}
+	return fmt.Sprintf("xhc.c["+c.Cfg.Tag+"]."+format, args...)
 }
 
 // New creates an XHC communicator. Setup work (hierarchy construction,
@@ -172,9 +201,12 @@ func New(w *env.World, cfg Config) (*Comm, error) {
 	c.caches = make([]*xpmem.Cache, w.N)
 	c.cico = make([]*mem.Buffer, w.N)
 	c.scratch = make([]*mem.Buffer, w.N)
+	c.nb = make([]nbRank, w.N)
+	c.fuseBuf = make([]*mem.Buffer, w.N)
+	c.fuseMax = cfg.CICOThreshold
 	for r := 0; r < w.N; r++ {
 		c.caches[r] = xpmem.NewCache(w.Sys, 0, cfg.RegCache)
-		c.cico[r] = w.NewBufferAt(fmt.Sprintf("xhc.cico.%d", r), r, cfg.CICOBytes)
+		c.cico[r] = w.NewBufferAt(c.name("cico.%d", r), r, cfg.CICOBytes)
 	}
 	// Pre-build the root-0 hierarchy to validate the configuration.
 	if _, err := c.stateForChecked(0); err != nil {
@@ -207,6 +239,25 @@ func (c *Comm) recordPull(from, to, n int) {
 	if c.obsPull != nil {
 		c.obsPull(from, to, n)
 	}
+}
+
+// Split derives a communicator over a subset of this communicator's ranks
+// (MPI_Comm_split with one surviving color): the child runs on an
+// env.Subset world sharing the parent's engine and memory system, under a
+// fresh tag that namespaces every control flag and internal buffer — so
+// parent and child (or two overlapping children) can run collectives
+// concurrently without ever touching the same control lines. The tag must
+// be non-empty and unique among communicators sharing the world.
+func (c *Comm) Split(ranks []int, tag string) (*Comm, error) {
+	if tag == "" {
+		return nil, fmt.Errorf("core: split requires a non-empty tag (flag namespace)")
+	}
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("core: empty split")
+	}
+	cfg := c.Cfg
+	cfg.Tag = tag
+	return New(c.W.Subset(ranks), cfg)
 }
 
 // MustNew panics on configuration errors.
@@ -257,6 +308,13 @@ type groupState struct {
 	expSeq     *shm.Flag
 	exposed    xpmem.Handle
 	exposedOff int
+	// fuseFirst is the op sequence of the first sub-op in the leader's
+	// currently exposed fused-broadcast batch: sub-op q of the batch sits at
+	// offset (q-fuseFirst)*n in the exposed staging buffer. Written by the
+	// leader only while no member is mid-batch (the trailing ack wait of the
+	// fused protocol freezes it); plain because the simulation is
+	// cooperative. See request.go.
+	fuseFirst uint64
 	// acks[m] is member m's cumulative completed-op counter.
 	acks map[int]*shm.Flag
 
@@ -334,18 +392,18 @@ func (c *Comm) stateForChecked(root int) (*commState, error) {
 			gs := &groupState{
 				g:             g,
 				leader:        g.Leader,
-				expSeq:        shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.exp", root, l, gi), lc),
+				expSeq:        shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.exp", root, l, gi), lc),
 				acks:          map[int]*shm.Flag{},
 				redReady:      map[int]*shm.Flag{},
 				redDone:       map[int]*shm.Flag{},
 				redExpSeq:     map[int]*shm.Flag{},
 				redExposed:    map[int]xpmem.Handle{},
 				redExposedOff: map[int]int{},
-				accExpSeq:     shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.accexp", root, l, gi), lc),
+				accExpSeq:     shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.accexp", root, l, gi), lc),
 			}
 			switch c.Cfg.Flags {
 			case SingleFlag:
-				gs.ready = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.ready", root, l, gi), lc)
+				gs.ready = shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.ready", root, l, gi), lc)
 			case MultiSharedLine:
 				gs.memberReady = map[int]*shm.Flag{}
 				line := c.W.Sys.NewLine(lc)
@@ -359,7 +417,7 @@ func (c *Comm) stateForChecked(root int) (*commState, error) {
 						line = c.W.Sys.NewLine(lc)
 					}
 					gs.memberReady[m] = shm.NewFlagOnLine(c.W.Sys,
-						fmt.Sprintf("xhc.r%d.l%d.g%d.ready.%d", root, l, gi, m), lc, line)
+						c.name("r%d.l%d.g%d.ready.%d", root, l, gi, m), lc, line)
 					n++
 				}
 			case MultiSeparateLines:
@@ -369,7 +427,7 @@ func (c *Comm) stateForChecked(root int) (*commState, error) {
 						continue
 					}
 					gs.memberReady[m] = shm.NewFlag(c.W.Sys,
-						fmt.Sprintf("xhc.r%d.l%d.g%d.ready.%d", root, l, gi, m), lc)
+						c.name("r%d.l%d.g%d.ready.%d", root, l, gi, m), lc)
 				}
 			}
 			// Mutation: drop the per-writer line placement and pack every
@@ -381,15 +439,15 @@ func (c *Comm) stateForChecked(root int) (*commState, error) {
 			}
 			for _, m := range g.Members {
 				mc := c.W.Core(m)
-				ackName := fmt.Sprintf("xhc.r%d.l%d.g%d.ack.%d", root, l, gi, m)
+				ackName := c.name("r%d.l%d.g%d.ack.%d", root, l, gi, m)
 				if ackLine != nil {
 					gs.acks[m] = shm.NewFlagOnLine(c.W.Sys, ackName, mc, ackLine)
 				} else {
 					gs.acks[m] = shm.NewFlag(c.W.Sys, ackName, mc)
 				}
-				gs.redReady[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rr.%d", root, l, gi, m), mc)
-				gs.redDone[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rd.%d", root, l, gi, m), mc)
-				gs.redExpSeq[m] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.r%d.l%d.g%d.rexp.%d", root, l, gi, m), mc)
+				gs.redReady[m] = shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.rr.%d", root, l, gi, m), mc)
+				gs.redDone[m] = shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.rd.%d", root, l, gi, m), mc)
+				gs.redExpSeq[m] = shm.NewFlag(c.W.Sys, c.name("r%d.l%d.g%d.rexp.%d", root, l, gi, m), mc)
 			}
 			lvl = append(lvl, gs)
 		}

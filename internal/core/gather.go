@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"xhc/internal/env"
 	"xhc/internal/mem"
 	"xhc/internal/obs"
@@ -23,6 +21,14 @@ import (
 // scatter's disjoint traffic, but the pull is still distance-aware via the
 // memory model.
 func (c *Comm) Scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqScatter, buf, out, 0, blockLen, root, 0, 0))
+		return
+	}
+	c.scatter(p, buf, out, blockLen, root)
+}
+
+func (c *Comm) scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, root int) {
 	st := c.stateFor(root)
 	view := st.views[p.Rank]
 	view.opSeq++
@@ -101,6 +107,14 @@ func (c *Comm) cicoScatter(p *env.Proc, st *commState, view *rankView, buf *mem.
 // root exposes its receive buffer, every rank attaches and writes its own
 // disjoint block directly — the inverse of the broadcast pull.
 func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, root int) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqGather, in, buf, 0, blockLen, root, 0, 0))
+		return
+	}
+	c.gather(p, in, buf, blockLen, root)
+}
+
+func (c *Comm) gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, root int) {
 	st := c.stateFor(root)
 	view := st.views[p.Rank]
 	view.opSeq++
@@ -145,6 +159,14 @@ func (c *Comm) Gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, ro
 // gathered into the leaders' buffers level by level, then the assembled
 // result is broadcast back down with the pipelined broadcast.
 func (c *Comm) Allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int) {
+	if c.nbGated(p.Rank) {
+		c.issueBlocking(p, c.buildReq(p.Rank, reqAllgather, in, out, 0, blockLen, 0, 0, 0))
+		return
+	}
+	c.allgather(p, in, out, blockLen)
+}
+
+func (c *Comm) allgather(p *env.Proc, in *mem.Buffer, out *mem.Buffer, blockLen int) {
 	if blockLen == 0 {
 		st := c.stateFor(0)
 		view := st.views[p.Rank]
@@ -252,7 +274,7 @@ func (c *Comm) agDone(st *commState, rank int) *shm.Flag {
 	if fl == nil {
 		fl = make([]*shm.Flag, c.W.N)
 		for r := 0; r < c.W.N; r++ {
-			fl[r] = shm.NewFlag(c.W.Sys, fmt.Sprintf("xhc.ag.%d", r), c.W.Core(r))
+			fl[r] = shm.NewFlag(c.W.Sys, c.name("ag.%d", r), c.W.Core(r))
 		}
 		c.agFlags[st] = fl
 	}

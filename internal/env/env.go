@@ -37,6 +37,11 @@ type World struct {
 
 	barrier  *barrierState
 	obsFlush []func(*obs.World)
+
+	// parent is non-nil on worlds created by Subset. Subset worlds share
+	// the parent's engine and memory system, so the parent's Run is the one
+	// that drains — flush registrations are forwarded there.
+	parent *World
 }
 
 // NewWorld creates a world of len(m) ranks on a fresh engine with default
@@ -84,9 +89,58 @@ func ObserveWorlds(reg *obs.Registry) {
 // the world folds its counters into the registry. Components (the XHC
 // communicator, most notably) use it to contribute end-of-run state such
 // as registration-cache statistics. No-op ordering hazards: flush functions
-// run on the caller of Run, after all rank goroutines have finished.
+// run on the caller of Run, after all rank goroutines have finished. On a
+// Subset world the registration is forwarded to the root parent, whose Run
+// is the one that actually drains the shared engine.
 func (w *World) OnObsFlush(fn func(*obs.World)) {
+	if w.parent != nil {
+		w.parent.OnObsFlush(fn)
+		return
+	}
 	w.obsFlush = append(w.obsFlush, fn)
+}
+
+// Subset derives a communicator-sized world from w: a MPI_Comm_split-style
+// view containing only the given parent ranks (in the given order, which
+// becomes the sub-world's rank order). The sub-world shares the parent's
+// engine, memory system, topology and observability sink — it is the same
+// machine, seen by fewer ranks — but gets its own barrier state. Do not
+// call Run on a subset world: its ranks are driven by procs of the parent
+// world (see ProcOn); only the parent's Run drains the shared engine.
+func (w *World) Subset(ranks []int) *World {
+	m := make(topo.Mapping, len(ranks))
+	seen := make(map[int]bool, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= w.N {
+			panic(fmt.Sprintf("env: subset rank %d out of world size %d", r, w.N))
+		}
+		if seen[r] {
+			panic(fmt.Sprintf("env: duplicate rank %d in subset", r))
+		}
+		seen[r] = true
+		m[i] = w.Map.Core(r)
+	}
+	root := w
+	if w.parent != nil {
+		root = w.parent
+	}
+	return &World{
+		Sys:     w.Sys,
+		Topo:    w.Topo,
+		Map:     m,
+		N:       len(ranks),
+		Obs:     w.Obs,
+		barrier: &barrierState{},
+		parent:  root,
+	}
+}
+
+// ProcOn wraps an already-running simulated process as a rank of this
+// world. It is how subset worlds are driven: a parent-world proc that is
+// rank r of the parent becomes rank i of the subset (the caller supplies
+// the subset-local rank; the core pinning follows the world's mapping).
+func (w *World) ProcOn(s *sim.Proc, rank int) *Proc {
+	return &Proc{S: s, W: w, Rank: rank, Core: w.Map.Core(rank)}
 }
 
 // Core returns the core that rank runs on.

@@ -28,7 +28,10 @@ type BenchSpec struct {
 	Ranks int
 	Cfg   Config
 	// Coll is one of bcast | allreduce | barrier | reduce | allgather |
-	// scatter.
+	// scatter, or one of the non-blocking overlap cells: ibcast-overlap
+	// (overlapDepth broadcasts in flight per rank, fusion disabled) and
+	// ibcast-fused (the same window with same-shape fusion covering the
+	// payload).
 	Coll   string
 	Warmup int
 	Iters  int
@@ -82,6 +85,11 @@ func (s BenchSpec) normSizes(sizes []int) []int {
 	return out
 }
 
+// overlapDepth is how many non-blocking broadcasts the overlap cells keep
+// in flight per rank: one "operation" issues the whole window and waits it
+// out, so the measured latency amortizes the traversal over the window.
+const overlapDepth = 4
+
 // benchWorld is the per-measurement buffer set: every slice a rank touches,
 // preallocated so the measured loop performs no harness allocation.
 type benchWorld struct {
@@ -96,9 +104,27 @@ type benchWorld struct {
 	agOut [][]byte
 	scIn  []byte // scatter (root only)
 	scOut [][]byte
+
+	// The overlap cells: one payload buffer per in-flight slot, plus a
+	// preallocated request scratch reused via [:0] so the measured window
+	// stays allocation-free.
+	obufs [][][]byte // [rank][slot]
+	reqs  [][]*Request
 }
 
 func (s BenchSpec) build(size int) (*benchWorld, error) {
+	// The overlap cells pin their fusion setting at construction time:
+	// ibcast-overlap forces fusion off so every request is its own
+	// hierarchy traversal; ibcast-fused makes the threshold cover the
+	// payload so the whole window fuses into one.
+	switch s.Coll {
+	case "ibcast-overlap":
+		s.Cfg.FuseBytes = -1
+	case "ibcast-fused":
+		if size > 0 {
+			s.Cfg.FuseBytes = size
+		}
+	}
 	comm, err := New(s.Ranks, s.Cfg)
 	if err != nil {
 		return nil, err
@@ -134,6 +160,16 @@ func (s BenchSpec) build(size int) (*benchWorld, error) {
 		w.scOut = make([][]byte, n)
 		for r := range w.scOut {
 			w.scOut[r] = make([]byte, size)
+		}
+	case "ibcast-overlap", "ibcast-fused":
+		w.obufs = make([][][]byte, n)
+		w.reqs = make([][]*Request, n)
+		for r := range w.obufs {
+			w.obufs[r] = make([][]byte, overlapDepth)
+			for slot := range w.obufs[r] {
+				w.obufs[r][slot] = make([]byte, size)
+			}
+			w.reqs[r] = make([]*Request, 0, overlapDepth)
 		}
 	default:
 		return nil, fmt.Errorf("gxhc bench: unknown collective %q", s.Coll)
@@ -171,6 +207,14 @@ func (w *benchWorld) dirty(rank, it int) {
 				w.scIn[i] = byte(i + it*7)
 			}
 		}
+	case "ibcast-overlap", "ibcast-fused":
+		if rank == w.spec.Root {
+			for slot, b := range w.obufs[rank] {
+				for i := range b {
+					b[i] = byte(i + it*31 + slot*101)
+				}
+			}
+		}
 	}
 }
 
@@ -193,6 +237,12 @@ func (w *benchWorld) op(rank int) {
 			in = w.scIn
 		}
 		w.comm.Scatter(rank, in, w.scOut[rank], w.spec.Root)
+	case "ibcast-overlap", "ibcast-fused":
+		rs := w.reqs[rank][:0]
+		for slot := 0; slot < overlapDepth; slot++ {
+			rs = append(rs, w.comm.Ibcast(rank, w.obufs[rank][slot], w.spec.Root))
+		}
+		Waitall(rs...)
 	}
 }
 
@@ -357,8 +407,14 @@ func (s BenchSpec) steadyStateAllocsOnce(size int) (uint64, error) {
 	return m1.Mallocs - m0.Mallocs, nil
 }
 
-// BenchCollectives lists the collectives BenchSpec understands, in report
-// order.
+// BenchCollectives lists the blocking collectives BenchSpec understands,
+// in report order.
 func BenchCollectives() []string {
 	return []string{"bcast", "allreduce", "barrier", "reduce", "allgather", "scatter"}
+}
+
+// OverlapCollectives lists the non-blocking overlap cells: the same
+// overlapDepth-deep Ibcast window measured with fusion off and on.
+func OverlapCollectives() []string {
+	return []string{"ibcast-overlap", "ibcast-fused"}
 }

@@ -12,4 +12,23 @@ type ChaosConfig struct {
 	// mutant introduces a genuine data race, so the self-test must not
 	// run it under the race detector (which would abort the process).
 	StaleReady bool
+
+	// LostProgress makes the request worker drop a completed non-blocking
+	// op on the floor: the body runs, but completion is never published, so
+	// Test never reports done and Wait blocks forever — the classic missing
+	// progress bug. Caught by the concurrency runner's Test deadline.
+	LostProgress bool
+
+	// EarlyComplete publishes a non-blocking request's completion without
+	// running the collective body at all — completion visible before the
+	// data is. Every rank skips uniformly (no cross-rank hang, no data
+	// race), so the caller's byte check deterministically sees its stale
+	// junk fill. Caught by the per-request byte-exactness invariant.
+	EarlyComplete bool
+
+	// FuseCorrupt makes the fused-broadcast root rotate each staged sub-op
+	// payload left by one byte, corrupting the fusion batch's sub-op
+	// boundaries deterministically at any batch length (needs payloads of
+	// at least 2 bytes to take effect). Caught by byte-exactness.
+	FuseCorrupt bool
 }

@@ -128,6 +128,107 @@ func FuzzGoCommReduce(f *testing.F) {
 	})
 }
 
+// FuzzGoCommIallreduceOverlap drives the non-blocking request layer with
+// fuzzed communicator shapes and overlap windows: every rank keeps 2-4
+// Iallreduce requests in flight and consumes them through a fuzzed
+// interleaving of Test polls (of a random outstanding request — completion
+// consumption is legal in any order) and blocking Waits, over several
+// back-to-back rounds so request pooling and recycling are exercised.
+// Contributions are small integers, so every window's sum is exact.
+func FuzzGoCommIallreduceOverlap(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint16(100), uint8(2), uint64(1))
+	f.Add(uint8(8), uint8(4), uint16(0), uint8(0), uint64(2))   // zero-length vectors
+	f.Add(uint8(1), uint8(8), uint16(5), uint8(3), uint64(3))   // singleton communicator
+	f.Add(uint8(9), uint8(20), uint16(7), uint8(1), uint64(4))  // flat (group >= n)
+	f.Add(uint8(16), uint8(2), uint16(1), uint8(2), uint64(5))  // one element, deep tree
+	f.Add(uint8(5), uint8(3), uint16(333), uint8(0), uint64(6)) // odd shape
+	f.Add(uint8(12), uint8(3), uint16(64), uint8(3), uint64(7))
+
+	f.Fuzz(func(t *testing.T, nSeed, gsSeed uint8, countSeed uint16, kSeed uint8, seed uint64) {
+		n := 1 + int(nSeed)%16
+		count := int(countSeed) % 2048
+		k := 2 + int(kSeed)%3 // in-flight window per rank
+		const rounds = 2
+		cfg := Config{GroupSize: int(gsSeed) % (n + 2)}
+		c, err := New(n, cfg)
+		if err != nil {
+			t.Fatalf("New(%d, %+v): %v", n, cfg, err)
+		}
+
+		// Distinct buffers per (rank, slot); want[slot] is the exact sum.
+		src := make([][][]float64, n)
+		dst := make([][][]float64, n)
+		want := make([][]float64, k)
+		state := seed
+		for slot := 0; slot < k; slot++ {
+			want[slot] = make([]float64, count)
+		}
+		for r := 0; r < n; r++ {
+			src[r] = make([][]float64, k)
+			dst[r] = make([][]float64, k)
+			for slot := 0; slot < k; slot++ {
+				src[r][slot] = make([]float64, count)
+				dst[r][slot] = make([]float64, count)
+				for i := range src[r][slot] {
+					state = state*6364136223846793005 + 1442695040888963407
+					v := float64(int(state>>33)%201 - 100)
+					src[r][slot][i] = v
+					want[slot][i] += v
+				}
+			}
+		}
+
+		for round := 0; round < rounds; round++ {
+			runAll(n, func(rank int) {
+				rs := make([]*Request, 0, k)
+				for slot := 0; slot < k; slot++ {
+					rs = append(rs, c.Iallreduce(rank, dst[rank][slot], src[rank][slot], OpSum))
+				}
+				// Consume the window through a per-rank fuzzed mix of Test
+				// polls and Waits, in fuzzed order across the outstanding
+				// requests; the bounded poll budget keeps a lost completion
+				// from spinning forever (the trailing Wait would hang and the
+				// test binary's own deadline converts that into a failure).
+				lcg := seed ^ uint64(rank)<<32 ^ uint64(round)<<16
+				outstanding := k
+				for polls := 0; outstanding > 0 && polls < 64; polls++ {
+					lcg = lcg*6364136223846793005 + 1442695040888963407
+					pick := int(lcg>>33) % k
+					if rs[pick] == nil {
+						continue
+					}
+					lcg = lcg*6364136223846793005 + 1442695040888963407
+					if lcg>>63 == 0 {
+						if rs[pick].Test() {
+							rs[pick] = nil
+							outstanding--
+						}
+					} else {
+						rs[pick].Wait()
+						rs[pick] = nil
+						outstanding--
+					}
+				}
+				for _, r := range rs {
+					if r != nil {
+						r.Wait()
+					}
+				}
+			})
+			for r := 0; r < n; r++ {
+				for slot := 0; slot < k; slot++ {
+					for i, got := range dst[r][slot] {
+						if got != want[slot][i] {
+							t.Fatalf("n=%d cfg=%+v count=%d k=%d round=%d: rank %d slot %d elem %d = %v, want %v",
+								n, cfg, count, k, round, r, slot, i, got, want[slot][i])
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzGoCommAllgather drives the goroutine-backed allgather with fuzzed
 // communicator shapes and block lengths over several back-to-back
 // operations, so the exit-barrier recycling discipline is exercised along

@@ -46,6 +46,12 @@ type Config struct {
 	// Chaos, when non-nil, seeds a deliberate synchronization bug for the
 	// verify harness's mutation self-test (see ChaosConfig).
 	Chaos *ChaosConfig
+	// FuseBytes is the same-shape small-op fusion threshold: non-blocking
+	// broadcasts no larger than this are batched by the request worker into
+	// a single hierarchy traversal (DESIGN.md §15). 0 selects the default
+	// (1 KiB, the CICO/XPMEM size-class boundary); negative disables
+	// fusion.
+	FuseBytes int
 }
 
 // DefaultConfig groups participants by 8 with 64 KiB chunks.
@@ -78,6 +84,17 @@ type Comm struct {
 	// by capacity to the next power of two so a mixed-size op sequence
 	// settles instead of reallocating. Each rank only touches its own slot.
 	scratch [][]float64
+	// nb[r] is rank r's non-blocking request lane: the worker queue, the
+	// request freelist and the pending gate (request.go).
+	nb []nbRank
+	// fuse[r] is rank r's fused-broadcast staging buffer (grow-only, only
+	// ranks that lead a group stage). fuseMax is the normalized fusion
+	// threshold from Config.FuseBytes.
+	fuse    [][]byte
+	fuseMax int
+	// inflight counts non-blocking requests issued but not yet completed,
+	// across all ranks (the requests.max_inflight gauge's source).
+	inflight atomic.Int64
 	// ag[r] exposes rank r's allgather contribution block; the op ends
 	// with barrier semantics, so a single slot per rank suffices.
 	ag []agSlot
@@ -269,7 +286,12 @@ type groupCtl struct {
 	// Scatter, exposedF for float64 reductions), published by expSeq.
 	exposed  []byte
 	exposedF []float64
-	_        [32]byte // start the flag lines on a fresh cache line
+	// fuseFirst is the first sub-op seq of the leader's current fused
+	// broadcast batch: exposed[(q-fuseFirst)*n:] holds sub-op q's payload.
+	// Plain field published by expSeq, frozen (with the staging it
+	// describes) until every member has acked the batch's last sub-op.
+	fuseFirst uint64
+	_         [24]byte // start the flag lines on a fresh cache line
 	// ready is the leader-owned published-bytes counter (single writer).
 	ready flagLine
 	// expSeq announces the exposure sequence.
@@ -331,6 +353,19 @@ func New(n int, cfg Config) (*Comm, error) {
 	}
 	c.scratch = make([][]float64, n)
 	c.ag = make([]agSlot, n)
+	c.nb = make([]nbRank, n)
+	for r := range c.nb {
+		c.nb[r].q = make(chan *Request, nbQueueCap)
+	}
+	c.fuse = make([][]byte, n)
+	switch {
+	case cfg.FuseBytes < 0:
+		c.fuseMax = 0
+	case cfg.FuseBytes == 0:
+		c.fuseMax = defaultFuseBytes
+	default:
+		c.fuseMax = cfg.FuseBytes
+	}
 	if _, err := c.stateFor(0); err != nil {
 		return nil, err
 	}
@@ -463,8 +498,19 @@ func (c *Comm) buildState(root int) (*state, error) {
 }
 
 // Bcast distributes root's buf contents to every participant's buf. All
-// participants must pass equally sized buffers.
+// participants must pass equally sized buffers. While the rank has
+// non-blocking requests in flight the call is ordered behind them through
+// the request queue (request.go); otherwise it runs inline.
 func (c *Comm) Bcast(rank int, buf []byte, root int) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqBcast, buf, nil, nil, nil, root, 0)
+		return
+	}
+	c.bcast(rank, buf, root)
+}
+
+// bcast is Bcast's body, called inline or from the rank's request worker.
+func (c *Comm) bcast(rank int, buf []byte, root int) {
 	st, err := c.stateFor(root)
 	if err != nil {
 		panic(err)
@@ -543,12 +589,16 @@ func (c *Comm) Bcast(rank int, buf []byte, root int) {
 // every participant's dst (len(dst) == len(src) everywhere). The reduction
 // is hierarchical with index partitioning among group members.
 func (c *Comm) AllreduceFloat64(rank int, dst, src []float64) {
-	c.reduceFloat64(rank, dst, src, 0, true, OpSum)
+	c.AllreduceFloat64Op(rank, dst, src, OpSum)
 }
 
 // AllreduceFloat64Op is AllreduceFloat64 with an explicit element-wise op
 // (sum, min or max — see ReduceOp).
 func (c *Comm) AllreduceFloat64Op(rank int, dst, src []float64, op ReduceOp) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqAllreduce, nil, nil, dst, src, 0, op)
+		return
+	}
 	c.reduceFloat64(rank, dst, src, 0, true, op)
 }
 
@@ -557,11 +607,15 @@ func (c *Comm) AllreduceFloat64Op(rank int, dst, src []float64, op ReduceOp) {
 // accumulators are used at non-root leaders), but every rank must pass a
 // src of the same length.
 func (c *Comm) ReduceFloat64(rank int, dst, src []float64, root int) {
-	c.reduceFloat64(rank, dst, src, root, false, OpSum)
+	c.ReduceFloat64Op(rank, dst, src, root, OpSum)
 }
 
 // ReduceFloat64Op is ReduceFloat64 with an explicit element-wise op.
 func (c *Comm) ReduceFloat64Op(rank int, dst, src []float64, root int, op ReduceOp) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqReduce, nil, nil, dst, src, root, op)
+		return
+	}
 	c.reduceFloat64(rank, dst, src, root, false, op)
 }
 
@@ -754,6 +808,16 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 
 // Barrier blocks until every participant has arrived.
 func (c *Comm) Barrier(rank int) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqBarrier, nil, nil, nil, nil, 0, 0)
+		return
+	}
+	c.barrier(rank)
+}
+
+// barrier is Barrier's body, called inline or from the rank's request
+// worker.
+func (c *Comm) barrier(rank int) {
 	st, _ := c.stateFor(0)
 	v := &c.views[rank]
 	v.opSeq++
@@ -800,6 +864,16 @@ func (c *Comm) barrierBody(st *state, v *viewSlot, rank int, wc *wallClock) {
 // participant can republish (or let its caller reuse) a block that a slower
 // peer is still reading.
 func (c *Comm) Allgather(rank int, in, out []byte) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqAllgather, in, out, nil, nil, 0, 0)
+		return
+	}
+	c.allgather(rank, in, out)
+}
+
+// allgather is Allgather's body, called inline or from the rank's request
+// worker.
+func (c *Comm) allgather(rank int, in, out []byte) {
 	blockLen := len(in)
 	if len(out) != blockLen*c.n {
 		panic(fmt.Sprintf("gxhc: allgather out length %d, want %d", len(out), blockLen*c.n))
@@ -833,6 +907,16 @@ func (c *Comm) Allgather(rank int, in, out []byte) {
 // block; the hierarchical ack keeps root from returning — and its caller
 // from reusing in — before every block has been pulled.
 func (c *Comm) Scatter(rank int, in, out []byte, root int) {
+	if c.nb[rank].pending.Load() != 0 {
+		c.issueBlocking(rank, reqScatter, in, out, nil, nil, root, 0)
+		return
+	}
+	c.scatter(rank, in, out, root)
+}
+
+// scatter is Scatter's body, called inline or from the rank's request
+// worker.
+func (c *Comm) scatter(rank int, in, out []byte, root int) {
 	st, err := c.stateFor(root)
 	if err != nil {
 		panic(err)

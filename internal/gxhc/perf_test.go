@@ -35,6 +35,33 @@ func TestGxhcSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestIcollectiveSteadyStateZeroAllocs pins the non-blocking overlap
+// window at 0 allocs/op: one op issues overlapDepth Ibcasts and waits the
+// window out, so the pin covers the pooled request objects, the issue
+// queue, the worker's batch scratch and (for the fused cell) the fused
+// staging path. Measured with fusion off and on.
+func TestIcollectiveSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on sync paths; 0 allocs/op only holds without it")
+	}
+	for _, coll := range OverlapCollectives() {
+		coll := coll
+		t.Run(coll, func(t *testing.T) {
+			spec := BenchSpec{
+				Ranks: 8, Cfg: DefaultConfig(), Coll: coll,
+				Warmup: 30, Iters: 50, Dirty: true, Root: 0,
+			}
+			got, err := spec.SteadyStateAllocs(512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 0 {
+				t.Fatalf("%s: %v allocs/op on the steady-state path, want 0", coll, got)
+			}
+		})
+	}
+}
+
 // TestScratchMixedSizeZeroAllocs is the regression test for the grow-only
 // scratch: a rooted reduce cycling through mixed sizes must stop
 // allocating once the largest size has been seen — the accumulator is

@@ -24,13 +24,17 @@ const (
 	OpScatter
 	OpGather
 	OpP2P
+	// OpRequest spans a non-blocking request from issue to completion
+	// (queueing included), keeping request histograms off the per-collective
+	// body keys.
+	OpRequest
 
 	nOpCodes
 )
 
 var opCodeNames = [nOpCodes]string{
 	"other", "bcast", "allreduce", "reduce", "barrier", "allgather",
-	"scatter", "gather", "p2p",
+	"scatter", "gather", "p2p", "request",
 }
 
 // String names the op code.

@@ -42,6 +42,9 @@ type OpRecorder struct {
 	flight *Flight
 	lanes  []recLane
 	det    stragglerDetector
+	// maxInflight is the high-water mark of concurrently in-flight
+	// non-blocking requests observed via NoteInflight.
+	maxInflight atomic.Int64
 	// quiesceDumps suppresses the straggler detector's flight dumps (the
 	// straggler counter still advances). Allocation gates set it around
 	// their measured window: the gate itself provokes a GC pause that can
@@ -132,6 +135,31 @@ func (r *OpRecorder) RecordFlight(rec FlightRecord) {
 		r.anomalyDump("straggler", v)
 	}
 }
+
+// RecordRequestSpan records one non-blocking request's issue-to-completion
+// span: flight ring + (OpRequest, size, backend) histogram, but NOT the
+// straggler detector — a request span includes queueing time behind earlier
+// requests, and its seq stream is disjoint from the collective bodies', so
+// feeding it to the detector would corrupt the step grouping.
+func (r *OpRecorder) RecordRequestSpan(rec FlightRecord) {
+	r.flight.Record(rec)
+	r.observeLane(int(rec.Lane), HistKey{Op: rec.Op, SizeClass: SizeClass(int(rec.Bytes)), Backend: r.Backend}, r.ticksToNS(rec.Dur()))
+}
+
+// NoteInflight folds one in-flight-request gauge sample into the
+// recorder's high-water mark (surfaced as requests.max_inflight in
+// Registry.Snapshot). Lock-free CAS max, allocation-free.
+func (r *OpRecorder) NoteInflight(cur int64) {
+	for {
+		old := r.maxInflight.Load()
+		if cur <= old || r.maxInflight.CompareAndSwap(old, cur) {
+			return
+		}
+	}
+}
+
+// MaxInflight returns the recorder's in-flight high-water mark.
+func (r *OpRecorder) MaxInflight() int64 { return r.maxInflight.Load() }
 
 // ObserveOp is the harness-level observation point: one call per (rank,
 // operation) with the measured start/end ticks. It feeds the (op, size,

@@ -140,6 +140,7 @@ type aggregate struct {
 	faults      [nFaults]int64
 	stragglers  int64
 	flightDumps int64
+	maxInflight int64
 
 	mem              mem.Stats
 	cache            xpmem.CacheStats
@@ -322,6 +323,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	add("anomaly.stragglers", float64(a.stragglers))
 	add("anomaly.flight_dumps", float64(a.flightDumps))
+	add("requests.max_inflight", float64(a.maxInflight))
 	for _, h := range hs {
 		prefix := "lat." + h.Key.String() + "."
 		add(prefix+"count", float64(h.Count))
@@ -448,5 +450,6 @@ func (w *World) Finish(ms mem.Stats, es sim.EngineStats) {
 			w.reg.hists = make(map[HistKey]*Histogram)
 		}
 		w.Rec.foldInto(w.reg.hists)
+		a.maxInflight = max(a.maxInflight, w.Rec.MaxInflight())
 	}
 }

@@ -1,0 +1,262 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"xhc/internal/coll"
+	"xhc/internal/core"
+	"xhc/internal/env"
+	"xhc/internal/gxhc"
+	"xhc/internal/mem"
+	"xhc/internal/topo"
+)
+
+// The pinned fused-vs-unfused differential grid row (ISSUE: acceptance):
+// the same batch of small same-shape broadcasts must produce byte-identical
+// results whether it runs fused (non-blocking back-to-back issues inside
+// the fusion size class), unfused (fusion disabled, or the blocking calls),
+// through the simulated core, the real-concurrency gxhc backend, or a
+// registry baseline. All rows check against one shared reference.
+const (
+	diffRanks   = 8
+	diffSlots   = 4   // sub-ops per batch
+	diffPayload = 256 // inside every fusion size class the grid enables
+	diffRoot    = 1
+)
+
+// diffFill is the shared reference payload of one sub-op.
+func diffFill(slot int, dst []byte) {
+	r := rng{state: mix(0xd1ff, uint64(slot))}
+	for i := range dst {
+		dst[i] = byte(r.next())
+	}
+}
+
+// diffCheck compares every rank's slot buffers against the reference.
+func diffCheck(t *testing.T, row string, got func(rank, slot int) []byte) {
+	t.Helper()
+	want := make([]byte, diffPayload)
+	for slot := 0; slot < diffSlots; slot++ {
+		diffFill(slot, want)
+		for rk := 0; rk < diffRanks; rk++ {
+			if i := diffBytes(got(rk, slot), want); i >= 0 {
+				t.Errorf("%s: rank %d slot %d: byte %d = %#x, want %#x",
+					row, rk, slot, i, got(rk, slot)[i], want[i])
+				return
+			}
+		}
+	}
+}
+
+// runDiffCore runs the batch through the simulated core communicator:
+// non-blocking Ibcast x4 + Waitall when nonblocking (fused when the CICO
+// threshold admits the payload, unfused when cico is 0), or the blocking
+// Bcast loop otherwise.
+func runDiffCore(t *testing.T, row string, cico int, nonblocking bool) {
+	t.Helper()
+	tp, err := topo.New(platforms[1])
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	m, err := tp.Map(topo.MapCore, diffRanks)
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	w := env.NewWorld(tp, m)
+	cfg := core.DefaultConfig()
+	cfg.CICOThreshold = cico
+	cc, err := core.New(w, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	bufs := make([][]*mem.Buffer, diffRanks)
+	for rk := 0; rk < diffRanks; rk++ {
+		bufs[rk] = make([]*mem.Buffer, diffSlots)
+		for slot := 0; slot < diffSlots; slot++ {
+			bufs[rk][slot] = w.NewBufferAt(fmt.Sprintf("diff.%d.%d", rk, slot), rk, diffPayload)
+		}
+	}
+	runErr := w.Run(func(p *env.Proc) {
+		for slot := 0; slot < diffSlots; slot++ {
+			if p.Rank == diffRoot {
+				diffFill(slot, bufs[p.Rank][slot].Data)
+			} else {
+				fillJunk(bufs[p.Rank][slot].Data, uint64(slot))
+			}
+			p.Dirty(bufs[p.Rank][slot])
+		}
+		p.HarnessBarrier()
+		if nonblocking {
+			rs := make([]*core.Request, diffSlots)
+			for slot := 0; slot < diffSlots; slot++ {
+				rs[slot] = cc.Ibcast(p, bufs[p.Rank][slot], 0, diffPayload, diffRoot)
+			}
+			core.Waitall(p, rs...)
+		} else {
+			for slot := 0; slot < diffSlots; slot++ {
+				cc.Bcast(p, bufs[p.Rank][slot], 0, diffPayload, diffRoot)
+			}
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("%s: %v", row, runErr)
+	}
+	diffCheck(t, row, func(rk, slot int) []byte { return bufs[rk][slot].Data })
+}
+
+// runDiffGxhc runs the batch through the real-concurrency backend, fusion
+// on (default threshold covers the payload) or forced off (FuseBytes -1).
+func runDiffGxhc(t *testing.T, row string, fuseBytes int) {
+	t.Helper()
+	cfg := gxhc.DefaultConfig()
+	cfg.GroupSize = 3 // two hierarchy levels over 8 ranks
+	cfg.FuseBytes = fuseBytes
+	c, err := gxhc.New(diffRanks, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	defer c.Close()
+	bufs := make([][][]byte, diffRanks)
+	for rk := 0; rk < diffRanks; rk++ {
+		bufs[rk] = make([][]byte, diffSlots)
+		for slot := 0; slot < diffSlots; slot++ {
+			b := make([]byte, diffPayload)
+			if rk == diffRoot {
+				diffFill(slot, b)
+			} else {
+				fillJunk(b, uint64(slot))
+			}
+			bufs[rk][slot] = b
+		}
+	}
+	done := make(chan struct{}, diffRanks)
+	for rk := 0; rk < diffRanks; rk++ {
+		go func(rank int) {
+			defer func() { done <- struct{}{} }()
+			rs := make([]*gxhc.Request, diffSlots)
+			for slot := 0; slot < diffSlots; slot++ {
+				rs[slot] = c.Ibcast(rank, bufs[rank][slot], diffRoot)
+			}
+			gxhc.Waitall(rs...)
+		}(rk)
+	}
+	for n := 0; n < diffRanks; n++ {
+		<-done
+	}
+	diffCheck(t, row, func(rk, slot int) []byte { return bufs[rk][slot] })
+}
+
+// runDiffBaseline runs the blocking batch through a registry baseline.
+func runDiffBaseline(t *testing.T, row, name string) {
+	t.Helper()
+	tp, err := topo.New(platforms[1])
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	m, err := tp.Map(topo.MapCore, diffRanks)
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	w := env.NewWorld(tp, m)
+	comp, err := coll.New(name, w)
+	if err != nil {
+		t.Fatalf("%s: %v", row, err)
+	}
+	bufs := make([][]*mem.Buffer, diffRanks)
+	for rk := 0; rk < diffRanks; rk++ {
+		bufs[rk] = make([]*mem.Buffer, diffSlots)
+		for slot := 0; slot < diffSlots; slot++ {
+			bufs[rk][slot] = w.NewBufferAt(fmt.Sprintf("diff.%d.%d", rk, slot), rk, diffPayload)
+		}
+	}
+	runErr := w.Run(func(p *env.Proc) {
+		for slot := 0; slot < diffSlots; slot++ {
+			if p.Rank == diffRoot {
+				diffFill(slot, bufs[p.Rank][slot].Data)
+			} else {
+				fillJunk(bufs[p.Rank][slot].Data, uint64(slot))
+			}
+			p.Dirty(bufs[p.Rank][slot])
+		}
+		p.HarnessBarrier()
+		for slot := 0; slot < diffSlots; slot++ {
+			comp.Bcast(p, bufs[p.Rank][slot], 0, diffPayload, diffRoot)
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("%s: %v", row, runErr)
+	}
+	diffCheck(t, row, func(rk, slot int) []byte { return bufs[rk][slot].Data })
+}
+
+// TestFusedUnfusedDifferential is the pinned grid row: fused and unfused
+// small-op batches, across the simulated core, gxhc and a baseline, all
+// byte-identical against the shared reference payloads.
+func TestFusedUnfusedDifferential(t *testing.T) {
+	t.Run("core-ifused", func(t *testing.T) { runDiffCore(t, "core-ifused", 1<<10, true) })
+	t.Run("core-iunfused", func(t *testing.T) { runDiffCore(t, "core-iunfused", 0, true) })
+	t.Run("core-blocking", func(t *testing.T) { runDiffCore(t, "core-blocking", 1<<10, false) })
+	t.Run("gxhc-ifused", func(t *testing.T) { runDiffGxhc(t, "gxhc-ifused", 0) })
+	t.Run("gxhc-iunfused", func(t *testing.T) { runDiffGxhc(t, "gxhc-iunfused", -1) })
+	t.Run("baseline-tuned", func(t *testing.T) { runDiffBaseline(t, "baseline-tuned", "tuned") })
+}
+
+// TestConcPhaseDirect drives the concurrency runners directly on the
+// mutation base shape: clean FIFO, a perturbed fault schedule, and the
+// real-concurrency backend.
+func TestConcPhaseDirect(t *testing.T) {
+	c := concMutationCase()
+	if err := runConcSim(c, Schedule{}, nil); err != nil {
+		t.Errorf("sim/fifo: %v", err)
+	}
+	if err := runConcSim(c, faultSchedule(), nil); err != nil {
+		t.Errorf("sim/faults: %v", err)
+	}
+	if err := runConcGxhc(c, nil, nil, concCleanDeadline); err != nil {
+		t.Errorf("gxhc: %v", err)
+	}
+}
+
+// TestConcDrawProperties pins the acceptance shape of the concurrency
+// draw: the seeds that draw a phase give it at least two overlapping
+// communicators with at least two requests in flight per member, and the
+// split rank sets are strict, sorted subsets of the parent.
+func TestConcDrawProperties(t *testing.T) {
+	found := 0
+	for seed := uint64(1); seed <= 400; seed++ {
+		c := DeriveCase(seed)
+		if c.Conc == nil {
+			continue
+		}
+		found++
+		cc := c.Conc
+		if len(cc.Comms) < 2 {
+			t.Errorf("seed %d: %d communicators, want >= 2", seed, len(cc.Comms))
+		}
+		if cc.InFlight < 2 {
+			t.Errorf("seed %d: InFlight = %d, want >= 2", seed, cc.InFlight)
+		}
+		if cc.Comms[0].Ranks != nil {
+			t.Errorf("seed %d: first communicator must be the parent (nil ranks)", seed)
+		}
+		for i, cm := range cc.Comms[1:] {
+			if len(cm.Ranks) == 0 || len(cm.Ranks) >= c.Ranks {
+				t.Errorf("seed %d: split %d spans %d of %d ranks, want a strict subset",
+					seed, i+1, len(cm.Ranks), c.Ranks)
+			}
+			for j, rk := range cm.Ranks {
+				if rk < 0 || rk >= c.Ranks || (j > 0 && rk <= cm.Ranks[j-1]) {
+					t.Errorf("seed %d: split %d ranks %v not sorted within [0,%d)", seed, i+1, cm.Ranks, c.Ranks)
+					break
+				}
+			}
+			if cm.Kind != KindBarrier && (cm.Root < 0 || cm.Root >= len(cm.Ranks)) {
+				t.Errorf("seed %d: split %d root %d outside its %d members", seed, i+1, cm.Root, len(cm.Ranks))
+			}
+		}
+	}
+	if found < 50 {
+		t.Errorf("only %d of 400 seeds drew a concurrency phase, want >= 50", found)
+	}
+}

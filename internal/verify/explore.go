@@ -35,7 +35,12 @@ type Summary struct {
 	// across all XHC runs — proof the sweep explored genuinely different
 	// interleavings rather than re-running one.
 	DistinctSchedules int
-	Failures          []Failure
+	// ConcRuns counts runs whose case carried a concurrency phase
+	// (overlapping communicators with non-blocking requests in flight) —
+	// proof the sweep exercised concurrent schedules, not only the
+	// one-collective-at-a-time ones.
+	ConcRuns int
+	Failures []Failure
 }
 
 // Explore sweeps Configs randomized configurations, running each under
@@ -67,6 +72,9 @@ func Explore(o Options) Summary {
 			s := DeriveSchedule(schedSeed)
 			hash, err := RunCaseObs(c, s, o.Obs)
 			sum.Runs++
+			if c.Conc != nil {
+				sum.ConcRuns++
+			}
 			hashes[hash] = struct{}{}
 			if err != nil {
 				sum.Failures = append(sum.Failures, Failure{

@@ -43,6 +43,30 @@ func mutationCase() Case {
 	}
 }
 
+// concMutationCase extends the mutation base case with a concurrency
+// phase: the parent plus an overlapping split, every member keeping three
+// small fusable broadcasts in flight.
+func concMutationCase() Case {
+	c := mutationCase()
+	c.Conc = &ConcCase{
+		InFlight: 3,
+		Rounds:   2,
+		Comms: []ConcComm{
+			{Kind: KindBcast, Bytes: 256, Root: 1},
+			{Ranks: []int{0, 2, 4, 6}, Kind: KindBcast, Bytes: 512, Root: 0},
+		},
+	}
+	return c
+}
+
+// runConcMutant runs the concurrency phase with the given seeded bug under
+// the plain FIFO schedule (deterministic batching, so the fused path the
+// mutants target is guaranteed to form).
+func runConcMutant(c Case, chaos *core.ChaosConfig) error {
+	c.Chaos = chaos
+	return runConcSim(c, Schedule{}, nil)
+}
+
 // faultSchedule is the perturbed schedule the clean control runs under:
 // random tie-breaking, wake jitter and the full fault set. The unmutated
 // protocol must survive it.
@@ -171,6 +195,29 @@ func RunMutationSelfTest(includeGoComm bool) []MutationOutcome {
 	allgather.Bytes = 512
 	record("allgather/clean", false, runMutantSched(allgather, nil, faultSchedule()))
 	record("allgather/early-ready", true, runMutantSched(allgather, &core.ChaosConfig{EarlyReady: true}, faultSchedule()))
+
+	// The non-blocking concurrency runner (DESIGN.md §15): a clean control,
+	// then the three request-layer mutants on the simulated backend. The
+	// payloads sit inside the fusion size class, so the fused traversal is
+	// on the path the mutants corrupt.
+	conc := concMutationCase()
+	// Termination: the worker runs the op but drops its completion; Wait
+	// suspends forever and the deadlock detector converts it.
+	record("iconc/clean", false, runConcMutant(conc, nil))
+	record("iconc/lost-progress", true, runConcMutant(conc, &core.ChaosConfig{LostProgress: true}))
+	// Data: completion published without running the body; the per-request
+	// byte check sees the junk pre-fill.
+	record("iconc/early-complete", true, runConcMutant(conc, &core.ChaosConfig{EarlyComplete: true}))
+	// Data: the fused root stages sub-ops into swapped batch slots.
+	record("iconc/fuse-corrupt", true, runConcMutant(conc, &core.ChaosConfig{FuseCorrupt: true}))
+
+	// The same three on the real-concurrency backend. None of them injects
+	// a data race (unlike StaleReady), so they run under the race detector
+	// too; lost progress is caught by the wall-clock Test deadline.
+	record("goconc/clean", false, runConcGxhc(conc, nil, nil, concCleanDeadline))
+	record("goconc/lost-progress", true, runConcGxhc(conc, &gxhc.ChaosConfig{LostProgress: true}, nil, concMutantDeadline))
+	record("goconc/early-complete", true, runConcGxhc(conc, &gxhc.ChaosConfig{EarlyComplete: true}, nil, concCleanDeadline))
+	record("goconc/fuse-corrupt", true, runConcGxhc(conc, &gxhc.ChaosConfig{FuseCorrupt: true}, nil, concCleanDeadline))
 
 	if includeGoComm {
 		gc := base

@@ -355,5 +355,15 @@ func RunCaseObs(c Case, s Schedule, reg *obs.Registry) (uint64, error) {
 	if err := runGoComm(c, s, nil, reg); err != nil {
 		return hash, err
 	}
+	// The concurrency phase runs last, in fresh worlds, so the runs above
+	// (and the schedule fingerprint already computed) are untouched by it.
+	if c.Conc != nil {
+		if err := runConcSim(c, s, reg); err != nil {
+			return hash, err
+		}
+		if err := runConcGxhc(c, nil, reg, concCleanDeadline); err != nil {
+			return hash, err
+		}
+	}
 	return hash, nil
 }

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"strings"
 
 	"xhc/internal/mem"
 )
@@ -13,9 +14,18 @@ import (
 // bug. The tracker hangs off mem.System.OnFlagWrite and records, per line,
 // the first core that stored to it; any second writing core is a
 // violation.
+//
+// It also enforces communicator isolation: flag names carry their
+// communicator's namespace (core.Config.Tag renders "xhc.c[<tag>].…";
+// the legacy un-tagged names are namespace ""), and a coherence line that
+// holds flags of two different communicators is a violation even when one
+// core owns both — overlapping communicators progressing concurrently
+// must never share a control line.
 type writeTracker struct {
 	owner map[*mem.Line]int    // line -> first writing core
 	name  map[*mem.Line]string // line -> first flag name (for the report)
+	comm  map[*mem.Line]string // line -> first writing communicator namespace
+	tags  map[string]bool      // distinct communicator namespaces observed
 	bad   map[*mem.Line]bool   // already reported
 	viol  []string
 }
@@ -25,6 +35,8 @@ func installTracker(sys *mem.System) *writeTracker {
 	t := &writeTracker{
 		owner: map[*mem.Line]int{},
 		name:  map[*mem.Line]string{},
+		comm:  map[*mem.Line]string{},
+		tags:  map[string]bool{},
 		bad:   map[*mem.Line]bool{},
 	}
 	sys.OnFlagWrite = func(name string, line *mem.Line, core int, v uint64) {
@@ -32,17 +44,51 @@ func installTracker(sys *mem.System) *writeTracker {
 		if !seen {
 			t.owner[line] = core
 			t.name[line] = name
-			return
-		}
-		if first != core && !t.bad[line] {
+		} else if first != core && !t.bad[line] {
 			t.bad[line] = true
 			t.viol = append(t.viol, fmt.Sprintf(
 				"line of flag %q written by core %d and core %d (flag %q)",
 				t.name[line], first, core, name))
 		}
+		tag, owned := commTag(name)
+		if !owned {
+			return
+		}
+		t.tags[tag] = true
+		firstTag, seenTag := t.comm[line]
+		if !seenTag {
+			t.comm[line] = tag
+		} else if firstTag != tag && !t.bad[line] {
+			t.bad[line] = true
+			t.viol = append(t.viol, fmt.Sprintf(
+				"line of flag %q (comm %q) aliased by flag %q (comm %q)",
+				t.name[line], firstTag, name, tag))
+		}
 	}
 	return t
 }
+
+// commTag extracts the communicator namespace from a flag name: the tag of
+// "xhc.c[<tag>].…" names, "" for the legacy "xhc.…" names, and ok=false
+// for flags the XHC core does not own (baselines, harness scaffolding).
+func commTag(name string) (string, bool) {
+	const p = "xhc."
+	if !strings.HasPrefix(name, p) {
+		return "", false
+	}
+	rest := name[len(p):]
+	if strings.HasPrefix(rest, "c[") {
+		if i := strings.IndexByte(rest, ']'); i > 2 {
+			return rest[2:i], true
+		}
+	}
+	return "", true
+}
+
+// commTags returns how many distinct communicator namespaces wrote flags —
+// the concurrency runner's proof that split communicators really used
+// disjoint control namespaces rather than never progressing.
+func (t *writeTracker) commTags() int { return len(t.tags) }
 
 // err returns the first violation (nil when the discipline held).
 func (t *writeTracker) err() error {

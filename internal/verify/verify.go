@@ -103,6 +103,51 @@ type Case struct {
 	// Chaos carries a seeded protocol bug for the mutation self-test;
 	// nil during normal exploration.
 	Chaos *core.ChaosConfig
+
+	// Conc, when non-nil, adds a concurrency phase to the run: several
+	// communicators with overlapping rank sets progressing non-blocking
+	// collectives on one node at the same time, on both the simulated and
+	// the real-concurrency backend (DESIGN.md §15).
+	Conc *ConcCase
+}
+
+// ConcComm is one communicator of a concurrency phase. The first entry is
+// always the parent communicator itself (Ranks nil); the rest are splits
+// of it, deliberately overlapping each other and the parent.
+type ConcComm struct {
+	// Ranks lists the parent ranks the communicator spans (nil: all).
+	Ranks []int
+	// Kind is the collective every member issues on this communicator
+	// (bcast, allgather or barrier — the kinds both backends run
+	// non-blocking over arbitrary bytes).
+	Kind OpKind
+	// Bytes is the payload size (per-member block for allgather, zero for
+	// barrier).
+	Bytes int
+	// Root is the root in the communicator's own rank numbering.
+	Root int
+}
+
+// ConcCase parameterizes the concurrency phase: every member keeps
+// InFlight requests outstanding per communicator it belongs to, for
+// Rounds issue/complete cycles, with the issue streams of the
+// communicators interleaved request-by-request.
+type ConcCase struct {
+	InFlight int
+	Rounds   int
+	Comms    []ConcComm
+}
+
+func (cc *ConcCase) String() string {
+	s := fmt.Sprintf("conc(k=%d", cc.InFlight)
+	for _, cm := range cc.Comms {
+		span := "all"
+		if cm.Ranks != nil {
+			span = fmt.Sprintf("%d", len(cm.Ranks))
+		}
+		s += fmt.Sprintf(" %s/%d@%s", cm.Kind, cm.Bytes, span)
+	}
+	return s + ")"
 }
 
 // platforms are the small synthetic node shapes cases draw from: shared-LLC
@@ -190,14 +235,70 @@ func DeriveCase(seed uint64) Case {
 			c.Baseline = []string{"tuned", "sm"}[(ext>>8)%2]
 		}
 	}
+	// Concurrency draw, appended after the extension draw under the same
+	// compatibility rule: every earlier draw stays byte-identical, so old
+	// replay tokens still derive their exact cases. A third of the seeds
+	// (on nodes with enough ranks to split) add a concurrency phase: the
+	// parent plus one or two overlapping split communicators, each member
+	// keeping 2-4 requests in flight.
+	cx := r.next()
+	if cx%3 == 0 && c.Ranks >= 4 {
+		cc := &ConcCase{InFlight: 2 + int((cx>>8)%3), Rounds: 2}
+		// The parent always runs small broadcasts — inside the fusion size
+		// class, so the concurrency phase exercises same-shape batching
+		// whenever the case's CICO threshold admits it.
+		cc.Comms = append(cc.Comms, ConcComm{
+			Kind:  KindBcast,
+			Bytes: []int{64, 256, 1000}[(cx>>16)%3],
+			Root:  int((cx >> 24) % uint64(c.Ranks)),
+		})
+		// First split: the even parent ranks (overlaps everything).
+		evens := make([]int, 0, (c.Ranks+1)/2)
+		for rk := 0; rk < c.Ranks; rk += 2 {
+			evens = append(evens, rk)
+		}
+		cc.Comms = append(cc.Comms, deriveConcComm(cx>>32, evens))
+		if (cx>>56)%2 == 0 {
+			// Second split: a prefix majority, overlapping both the evens
+			// and the parent.
+			pre := make([]int, c.Ranks/2+1)
+			for i := range pre {
+				pre[i] = i
+			}
+			cc.Comms = append(cc.Comms, deriveConcComm(cx>>40, pre))
+		}
+		c.Conc = cc
+	}
 	return c
+}
+
+// deriveConcComm draws a split communicator's collective from seed bits:
+// kind, payload size and root.
+func deriveConcComm(bits uint64, ranks []int) ConcComm {
+	cm := ConcComm{Ranks: ranks}
+	switch bits % 3 {
+	case 0:
+		cm.Kind, cm.Bytes = KindBcast, []int{64, 256, 1000, 4 << 10}[(bits>>8)%4]
+	case 1:
+		cm.Kind, cm.Bytes = KindAllgather, []int{64, 256}[(bits>>8)%2]
+	case 2:
+		cm.Kind = KindBarrier
+	}
+	if cm.Kind != KindBarrier {
+		cm.Root = int((bits >> 16) % uint64(len(ranks)))
+	}
+	return cm
 }
 
 // String identifies a case in failure reports.
 func (c Case) String() string {
-	return fmt.Sprintf("%s ranks=%d root=%d sens=%q %s n=%d dt=%s op=%s chunk=%d cico<=%d flags=%s regcache=%v vs %s",
+	s := fmt.Sprintf("%s ranks=%d root=%d sens=%q %s n=%d dt=%s op=%s chunk=%d cico<=%d flags=%s regcache=%v vs %s",
 		c.Plat.Name, c.Ranks, c.Root, c.Sens, c.Kind, c.Bytes, c.Dt, c.Op,
 		c.Chunk, c.CICOThreshold, c.Flags, c.RegCache, c.Baseline)
+	if c.Conc != nil {
+		s += " +" + c.Conc.String()
+	}
+	return s
 }
 
 // coreConfig builds the XHC configuration a case describes.

@@ -24,11 +24,14 @@ go run ./cmd/xhcverify -quick
 go run ./cmd/xhcverify -cluster -quick
 
 # Short fuzz smoke: the seed corpora plus a few seconds of mutation on the
-# goroutine-backed allreduce, rooted reduce, allgather and the hierarchy
-# builder.
+# goroutine-backed allreduce, rooted reduce, allgather, the non-blocking
+# request layer (random Test/Wait interleavings over 2-4 overlapped
+# Iallreduces per rank) and the hierarchy builder. The race pass above
+# already covers the gxhc non-blocking tests.
 go test -fuzz FuzzGoCommAllreduce -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$' ./internal/gxhc/
+go test -fuzz FuzzGoCommIallreduceOverlap -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$' ./internal/hier/
 
 # The oversubscription regression (waiter starvation) under a thread
@@ -96,6 +99,20 @@ go run ./cmd/xhcbench -backend gxhc -coll bcast -np 4 -procs 2 \
 go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_sc.json" -current "$tmpdir/cells_sc.json" > /dev/null
 go run ./cmd/xhcstat -baseline BENCH_gxhc.json -current BENCH_gxhc.json > /dev/null
+
+# Non-blocking overlap cells (ibcast-overlap: overlapDepth broadcasts in
+# flight with fusion off; ibcast-fused: the same window fused into one
+# traversal), with the zero-alloc gate held on every cell. xhcstat diffs
+# only cells present in both key sets, so the new cells must self-diff
+# cleanly — both the freshly measured file and the committed
+# BENCH_overlap.json trajectory (wall-clock numbers vary run to run, so
+# the committed file gates key coverage, like BENCH_gxhc.json; regenerate
+# with `make bench-overlap`).
+go run ./cmd/xhcbench -backend gxhc -coll ibcast-overlap,ibcast-fused -np 4 -procs 2 \
+    -sizes 256,1024 -warmup 5 -iters 20 -allocgate \
+    -json "$tmpdir/cells_ov.json" > /dev/null
+go run ./cmd/xhcstat -baseline "$tmpdir/cells_ov.json" -current "$tmpdir/cells_ov.json" > /dev/null
+go run ./cmd/xhcstat -baseline BENCH_overlap.json -current BENCH_overlap.json > /dev/null
 
 # Cluster determinism + baseline gate: the sharded (workers=4) report must
 # be byte-identical to the sequential (workers=1) reference, and the
