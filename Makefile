@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster bench-overlap quick-report
+.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster bench-overlap bench-obs quick-report
 
 build:
 	$(GO) build ./...
@@ -98,9 +98,12 @@ telemetry-check:
 	    -current BENCH_overlap.json > /dev/null
 
 # Cluster determinism + baseline gate: the sharded run's report must be
-# byte-identical to the sequential reference, and the committed
-# BENCH_cluster.json (simulated latencies, so bit-reproducible) must diff
-# cleanly against a fresh sweep in both directions.
+# byte-identical to the sequential reference — and so must a run with live
+# telemetry serving (the cluster path records NIC/fabric overlay blame and
+# runs the cross-node straggler scan, none of which may perturb simulated
+# latencies) — and the committed BENCH_cluster.json (simulated latencies,
+# so bit-reproducible) must diff cleanly against a fresh sweep in both
+# directions.
 cluster-check:
 	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
 	    -np 32 -sizes 8,1024,65536,1048576 -workers 1 \
@@ -108,6 +111,10 @@ cluster-check:
 	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
 	    -np 32 -sizes 8,1024,65536,1048576 -workers 4 > /tmp/xhc_check_cl_par.txt
 	cmp /tmp/xhc_check_cl_seq.txt /tmp/xhc_check_cl_par.txt
+	$(GO) run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+	    -np 32 -sizes 8,1024,65536,1048576 -workers 1 \
+	    -telemetry 127.0.0.1:0 > /tmp/xhc_check_cl_tel.txt 2>/dev/null
+	cmp /tmp/xhc_check_cl_seq.txt /tmp/xhc_check_cl_tel.txt
 	$(GO) run ./cmd/xhcstat -baseline BENCH_cluster.json \
 	    -current /tmp/xhc_check_cl.json > /dev/null
 	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cl.json \
@@ -158,6 +165,14 @@ bench-overlap:
 	    -json BENCH_overlap.json
 	$(GO) run ./cmd/xhcstat -baseline BENCH_overlap.json \
 	    -current BENCH_overlap.json > /dev/null
+
+# Refresh BENCH_obs.json: the observability hot-path microbenchmarks plus
+# "obs-on" overhead cells — the cluster and overlap sweeps measured with
+# live telemetry serving — self-diffed by xhcstat. Cluster cells are
+# virtual time and must match BENCH_cluster.json exactly; overlap cells
+# are wall clock and gate key coverage.
+bench-obs:
+	sh scripts/bench_obs.sh
 
 quick-report:
 	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

@@ -1,0 +1,380 @@
+// Command xhctrace is the critical-path analyzer: it reads observability
+// artifacts the other tools produce — flight-recorder dumps (xhcverify
+// -flightdir files, the telemetry /flight endpoint) and Chrome-trace JSON
+// (xhcrepro/xhcapps -trace) — and prints per-(collective, size-class,
+// world) critical-path summaries: how many operations were analyzed, the
+// mean critical-path latency, and the blame split across edge kinds
+// (expose / flag-wait / chunk-copy / reduce / ack / nic-stage / fabric /
+// queue-wait). Dumps taken by the straggler detector carry their replay
+// token; xhctrace surfaces it next to the offending op so a slow chain
+// can be replayed bit-exactly with xhcverify.
+//
+// Flight dumps already carry each rank's phase breakdown, so the critical
+// record of every operation step (the last-finishing rank, ties toward
+// the lower lane — the same rule internal/obs uses) attributes directly.
+// Chrome traces are rebuilt into a span graph and walked causally, using
+// the "from" edges wait spans carry.
+//
+// Examples:
+//
+//	xhcverify -flightdir dumps -platform 4xEpyc-1P ... && xhctrace dumps/*.json
+//	xhcrepro -trace trace.json && xhctrace trace.json
+//
+// Exit status: 0 on success, 1 when an input could not be parsed, 2 on
+// usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"xhc/internal/obs"
+)
+
+// pathCell aggregates the critical paths of one (world, op, size-class).
+type pathCell struct {
+	World   string             `json:"world"`
+	Op      string             `json:"op"`
+	Size    string             `json:"size_class"`
+	Ops     int64              `json:"ops"`
+	PathUS  float64            `json:"path_us"`
+	BlameUS map[string]float64 `json:"blame_us"`
+}
+
+func (c *pathCell) key() string { return c.World + "\x00" + c.Op + "\x00" + c.Size }
+
+// analysis is the whole report: cells plus the replay tokens of any
+// anomaly dumps seen.
+type analysis struct {
+	cells  map[string]*pathCell
+	replay []string
+}
+
+func newAnalysis() *analysis { return &analysis{cells: make(map[string]*pathCell)} }
+
+func (a *analysis) cell(world, op string, bytes int64) *pathCell {
+	c := &pathCell{World: world, Op: op, Size: obs.SizeClassLabel(obs.SizeClass(int(bytes)))}
+	if got, ok := a.cells[c.key()]; ok {
+		return got
+	}
+	c.BlameUS = make(map[string]float64)
+	a.cells[c.key()] = c
+	return c
+}
+
+// flightDump mirrors the obs.FlightDump JSON shape (only what we read).
+type flightDump struct {
+	World       string `json:"world"`
+	Kind        string `json:"kind"`
+	Reason      string `json:"reason"`
+	ReplayToken string `json:"replay_token"`
+	OffLane     int    `json:"offending_lane"`
+	OffSeq      uint64 `json:"offending_seq"`
+	Records     []struct {
+		Lane     int                `json:"lane"`
+		Node     int                `json:"node"`
+		Op       string             `json:"op"`
+		Seq      uint64             `json:"seq"`
+		Bytes    int64              `json:"bytes"`
+		StartUS  float64            `json:"start_us"`
+		DurUS    float64            `json:"dur_us"`
+		Net      bool               `json:"net"`
+		Request  bool               `json:"request"`
+		PhasesUS map[string]float64 `json:"phases_us"`
+	} `json:"records"`
+}
+
+// chromeFile mirrors the Chrome trace-event JSON shape (only what we read).
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// phaseByName maps a phase's rendered name back to its code.
+func phaseByName(name string) (obs.Phase, bool) {
+	for p := obs.Phase(0); p < obs.NPhases; p++ {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// addFlight folds one flight dump into the analysis: collective-body
+// records regroup into operation steps, each step's critical (last-
+// finishing, tie toward the lower (node, lane)) record attributes its
+// phase breakdown; net and request records attribute directly, the way
+// the live RecordNet / RecordRequest paths do.
+func (a *analysis) addFlight(d *flightDump) {
+	if d.ReplayToken != "" || d.Kind == "straggler" || d.Kind == "cluster-straggler" {
+		tok := d.ReplayToken
+		if tok == "" {
+			tok = "(no replay token)"
+		}
+		a.replay = append(a.replay,
+			fmt.Sprintf("%s %s lane=%d seq=%d token=%s", d.World, d.Kind, d.OffLane, d.OffSeq, tok))
+	}
+	type stepKey struct {
+		op  string
+		seq uint64
+	}
+	type critRec struct {
+		node, lane int
+		endUS      float64
+		startUS    float64
+		bytes      int64
+		phases     map[string]float64
+	}
+	steps := make(map[stepKey]*critRec)
+	var order []stepKey
+	for _, r := range d.Records {
+		switch {
+		case r.Request:
+			if q, ok := r.PhasesUS[obs.PhaseQueueWait.String()]; ok && q > 0 {
+				c := a.cell(d.World, r.Op, r.Bytes)
+				c.BlameUS[obs.EdgeQueueWait.String()] += q
+			}
+		case r.Net:
+			c := a.cell(d.World, r.Op, r.Bytes)
+			for name, us := range r.PhasesUS {
+				if ph, ok := phaseByName(name); ok {
+					if e, ok := obs.EdgeOf(ph); ok {
+						c.BlameUS[e.String()] += us
+					}
+				}
+			}
+		default:
+			k := stepKey{op: r.Op, seq: r.Seq}
+			end := r.StartUS + r.DurUS
+			cur, ok := steps[k]
+			if !ok {
+				order = append(order, k)
+			}
+			if !ok || end > cur.endUS ||
+				(end == cur.endUS && (r.Node < cur.node || (r.Node == cur.node && r.Lane < cur.lane))) {
+				steps[k] = &critRec{
+					node: r.Node, lane: r.Lane, endUS: end, startUS: r.StartUS,
+					bytes: r.Bytes, phases: r.PhasesUS,
+				}
+			}
+		}
+	}
+	for _, k := range order {
+		cr := steps[k]
+		c := a.cell(d.World, k.op, cr.bytes)
+		c.Ops++
+		c.PathUS += cr.endUS - cr.startUS
+		for name, us := range cr.phases {
+			if ph, ok := phaseByName(name); ok {
+				if e, ok := obs.EdgeOf(ph); ok {
+					c.BlameUS[e.String()] += us
+				}
+			}
+		}
+	}
+}
+
+// addChrome rebuilds each trace process into a span graph and folds its
+// critical paths in.
+func (a *analysis) addChrome(cf *chromeFile) {
+	names := make(map[int]string)
+	spansByPID := make(map[int][]obs.Span)
+	var pids []int
+	argInt := func(args map[string]any, key string, def int64) int64 {
+		if v, ok := args[key]; ok {
+			if f, ok := v.(float64); ok {
+				return int64(f)
+			}
+		}
+		return def
+	}
+	for _, ev := range cf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				names[ev.PID] = n
+			}
+			continue
+		}
+		if ev.Ph != "X" {
+			continue
+		}
+		ph, ok := phaseByName(ev.Name)
+		if !ok {
+			continue
+		}
+		if _, seen := spansByPID[ev.PID]; !seen {
+			pids = append(pids, ev.PID)
+		}
+		// Times in integer nanoseconds keep the walk exact for sim traces.
+		spansByPID[ev.PID] = append(spansByPID[ev.PID], obs.Span{
+			Lane: ev.TID, Level: int(argInt(ev.Args, "level", -1)), Phase: ph,
+			Op: ev.Cat, Seq: uint64(argInt(ev.Args, "seq", 0)),
+			Start: int64(ev.TS * 1e3), End: int64((ev.TS + ev.Dur) * 1e3),
+			Bytes: argInt(ev.Args, "bytes", 0),
+			From:  int(argInt(ev.Args, "from", -1)),
+		})
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		world := names[pid]
+		if world == "" {
+			world = fmt.Sprintf("pid %d", pid)
+		}
+		g := obs.NewSpanGraph(spansByPID[pid])
+		for _, cp := range g.CriticalPaths() {
+			c := a.cell(world, cp.Op, cp.Bytes)
+			c.Ops++
+			c.PathUS += float64(cp.End-cp.Start) / 1e3
+			for e := obs.EdgeKind(0); e < obs.NEdges; e++ {
+				if cp.ByEdge[e] > 0 {
+					c.BlameUS[e.String()] += float64(cp.ByEdge[e]) / 1e3
+				}
+			}
+		}
+	}
+}
+
+// load parses one input file into the analysis. Accepted shapes: a single
+// flight dump object, a JSON array of flight dumps (the /flight
+// endpoint), or a Chrome trace ("traceEvents").
+func (a *analysis) load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trim := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trim, "[") {
+		var dumps []flightDump
+		if err := json.Unmarshal(data, &dumps); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for i := range dumps {
+			a.addFlight(&dumps[i])
+		}
+		return nil
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if _, ok := probe["traceEvents"]; ok {
+		var cf chromeFile
+		if err := json.Unmarshal(data, &cf); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		a.addChrome(&cf)
+		return nil
+	}
+	var d flightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	a.addFlight(&d)
+	return nil
+}
+
+func (a *analysis) sorted() []*pathCell {
+	out := make([]*pathCell, 0, len(a.cells))
+	for _, c := range a.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].World != out[j].World {
+			return out[i].World < out[j].World
+		}
+		if out[i].Op != out[j].Op {
+			return out[i].Op < out[j].Op
+		}
+		return out[i].Size < out[j].Size
+	})
+	return out
+}
+
+func (a *analysis) printText() {
+	fmt.Println("# critical-path summary")
+	for _, c := range a.sorted() {
+		// Edge figures print as per-op averages (matching avg_path) so a
+		// row reads as one typical op's blame decomposition; percentages
+		// come from the run totals either way.
+		div := 1.0
+		if c.Ops > 0 {
+			div = float64(c.Ops)
+		}
+		var parts []string
+		// Report edges in blame-report order, skipping empties.
+		for e := obs.EdgeKind(0); e < obs.NEdges; e++ {
+			us := c.BlameUS[e.String()]
+			if us <= 0 {
+				continue
+			}
+			pct := 0.0
+			if c.PathUS > 0 {
+				pct = 100 * us / c.PathUS
+			}
+			parts = append(parts, fmt.Sprintf("%s %.1fus (%.0f%%)", e, us/div, pct))
+		}
+		avg := 0.0
+		if c.Ops > 0 {
+			avg = c.PathUS / float64(c.Ops)
+		}
+		fmt.Printf("%-28s %-10s %-6s ops=%-4d avg_path=%8.2fus  %s\n",
+			c.World, c.Op, c.Size, c.Ops, avg, strings.Join(parts, ", "))
+	}
+	if len(a.replay) > 0 {
+		fmt.Println("# straggler replay tokens")
+		for _, r := range a.replay {
+			fmt.Println("  " + r)
+		}
+	}
+}
+
+func (a *analysis) printJSON() error {
+	doc := struct {
+		Cells  []*pathCell `json:"cells"`
+		Replay []string    `json:"replay,omitempty"`
+	}{Cells: a.sorted(), Replay: a.replay}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xhctrace [-json] file...\n"+
+			"  file: flight dump JSON (object or array) or Chrome trace JSON\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a := newAnalysis()
+	for _, path := range flag.Args() {
+		if err := a.load(path); err != nil {
+			fmt.Fprintf(os.Stderr, "xhctrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		if err := a.printJSON(); err != nil {
+			fmt.Fprintf(os.Stderr, "xhctrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	a.printText()
+}

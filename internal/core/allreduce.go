@@ -263,7 +263,7 @@ func (c *Comm) memberReduceSlice(p *env.Proc, st *commState, view *rankView, pl,
 
 	// Attach the accumulator and every participant's contribution.
 	gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
-	pc.mark(pl, obs.PhaseFlagWait, 0)
+	pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 	accB := c.caches[p.Rank].Attach(p.S, gs.accExposed)
 	accOff := gs.accExposedOff
 	srcs := make(map[int]*mem.Buffer, len(gs.g.Members))
@@ -320,7 +320,7 @@ func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.B
 	pl := st.pullLevel(p.Rank)
 	gs, _ := st.groupOf(pl, p.Rank)
 	gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
-	pc.mark(pl, obs.PhaseFlagWait, 0)
+	pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 	src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 	soff := gs.exposedOff
 	pc.mark(pl, obs.PhaseExpose, 0)
@@ -333,7 +333,7 @@ func (c *Comm) bcastPull(p *env.Proc, st *commState, view *rankView, rbuf *mem.B
 		if avail > n {
 			avail = n
 		}
-		pc.mark(pl, obs.PhaseFlagWait, 0)
+		pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		before := copied
 		for copied < avail {
 			take := min(chunk, avail-copied)
@@ -752,7 +752,7 @@ func (c *Comm) cicoAllreduce(p *env.Proc, st *commState, view *rankView, sbuf, a
 		gs, _ := st.groupOf(pl, p.Rank)
 		base := view.cumBytes[pl]
 		c.waitReady(p, gs, base+uint64(n))
-		pc.mark(pl, obs.PhaseFlagWait, 0)
+		pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		src := c.cico[gs.leader]
 		p.Copy(rbuf, 0, src, slot, n)
 		if len(lead) > 0 {

@@ -69,7 +69,7 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 		gs, _ := st.groupOf(pl, p.Rank)
 		// Wait for this op's exposure, then attach (registration cached).
 		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
-		pc.mark(pl, obs.PhaseFlagWait, 0)
+		pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 		soff := gs.exposedOff
 		pc.mark(pl, obs.PhaseExpose, 0)
@@ -83,7 +83,7 @@ func (c *Comm) xpmemBcast(p *env.Proc, st *commState, view *rankView, buf *mem.B
 			if avail > n {
 				avail = n
 			}
-			pc.mark(pl, obs.PhaseFlagWait, 0)
+			pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 			before := copied
 			// Copy chunk by chunk (not everything available at once): the
 			// chunk granule is what lets children overlap with this rank's

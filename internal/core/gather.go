@@ -59,7 +59,7 @@ func (c *Comm) scatter(p *env.Proc, buf *mem.Buffer, out *mem.Buffer, blockLen, 
 	} else {
 		sizeCheck(out, 0, blockLen)
 		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
-		pc.mark(-1, obs.PhaseFlagWait, 0)
+		pc.markFrom(-1, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(out, 0, src, gs.exposedOff+blockLen*p.Rank, blockLen)
@@ -95,7 +95,7 @@ func (c *Comm) cicoScatter(p *env.Proc, st *commState, view *rankView, buf *mem.
 	} else {
 		sizeCheck(out, 0, blockLen)
 		gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
-		pc.mark(-1, obs.PhaseFlagWait, 0)
+		pc.markFrom(-1, obs.PhaseFlagWait, 0, c.W.Core(root))
 		p.Copy(out, 0, c.cico[root], slot+blockLen*p.Rank, blockLen)
 		pc.mark(-1, obs.PhaseChunkCopy, int64(blockLen))
 		c.recordPull(root, p.Rank, blockLen)
@@ -139,7 +139,7 @@ func (c *Comm) gather(p *env.Proc, in *mem.Buffer, buf *mem.Buffer, blockLen, ro
 	} else {
 		sizeCheck(in, 0, blockLen)
 		gs.accExpSeq.WaitGE(p.S, p.Core, view.opSeq)
-		pc.mark(-1, obs.PhaseFlagWait, 0)
+		pc.markFrom(-1, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		dst := c.caches[p.Rank].Attach(p.S, gs.accExposed)
 		pc.mark(-1, obs.PhaseExpose, 0)
 		p.Copy(dst, gs.accExposedOff+blockLen*p.Rank, in, 0, blockLen)
@@ -304,7 +304,7 @@ func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 	}
 	gs, _ := st.groupOf(pl, p.Rank)
 	gs.expSeq.WaitGE(p.S, p.Core, view.opSeq)
-	pc.mark(pl, obs.PhaseFlagWait, 0)
+	pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 	src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 	soff := gs.exposedOff
 	pc.mark(pl, obs.PhaseExpose, 0)
@@ -317,7 +317,7 @@ func (c *Comm) bcastBody(p *env.Proc, st *commState, view *rankView, buf *mem.Bu
 		if avail > n {
 			avail = n
 		}
-		pc.mark(pl, obs.PhaseFlagWait, 0)
+		pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 		before := copied
 		for copied < avail {
 			take := min(chunk, avail-copied)

@@ -33,6 +33,11 @@ type phaseClock struct {
 	lvls  uint8
 	chnks uint16
 
+	// net marks a cluster-level network clock (a node leader's NIC staging
+	// + fabric exchange): finish commits through RecordNet, whose records
+	// ride their own kind and seq stream.
+	net bool
+
 	start int64
 	last  int64
 	durs  [obs.NPhases]int64
@@ -62,6 +67,13 @@ func (c *Comm) newPhaseClock(p *env.Proc, op obs.OpCode, seq uint64, bytes int64
 // are dropped from the trace but chunk-copy marks still count toward the
 // record's chunk tally.
 func (pc *phaseClock) mark(level int, ph obs.Phase, bytes int64) {
+	pc.markFrom(level, ph, bytes, -1)
+}
+
+// markFrom is mark with an explicit causal parent lane: wait segments pass
+// the lane (core) whose flag write releases this rank, giving the span
+// graph its cross-lane critical-path edges. from is -1 when unknown.
+func (pc *phaseClock) markFrom(level int, ph obs.Phase, bytes int64, from int) {
 	if pc == nil {
 		return
 	}
@@ -69,7 +81,7 @@ func (pc *phaseClock) mark(level int, ph obs.Phase, bytes int64) {
 	if now > pc.last {
 		pc.durs[ph] += now - pc.last
 		if pc.t != nil {
-			pc.t.Record(pc.lane, level, ph, pc.op.String(), pc.seq, pc.last, now, bytes)
+			pc.t.RecordLinked(pc.lane, level, ph, pc.op.String(), pc.seq, pc.last, now, bytes, from)
 		}
 	}
 	if ph == obs.PhaseChunkCopy && bytes > 0 && pc.chnks < ^uint16(0) {
@@ -86,13 +98,18 @@ func (pc *phaseClock) finish() {
 	}
 	now := pc.clk()
 	if pc.t != nil {
-		pc.t.Record(pc.lane, -1, obs.PhaseCollective, pc.op.String(), pc.seq, pc.start, now, 0)
+		pc.t.Record(pc.lane, -1, obs.PhaseCollective, pc.op.String(), pc.seq, pc.start, now, pc.bytes)
 	}
 	if pc.rec != nil {
-		pc.rec.RecordFlight(obs.FlightRecord{
+		rec := obs.FlightRecord{
 			Seq: pc.seq, Start: pc.start, End: now, Bytes: pc.bytes,
 			Phase: pc.durs, Lane: pc.rank, Chunks: pc.chnks,
 			Levels: pc.lvls, Op: pc.op,
-		})
+		}
+		if pc.net {
+			pc.rec.RecordNet(rec)
+		} else {
+			pc.rec.RecordFlight(rec)
+		}
 	}
 }

@@ -70,8 +70,9 @@ type Request struct {
 	dt   mpi.Datatype
 	op   mpi.Op
 
-	issued int64 // obs clock at issue (0 when unobserved)
-	bytes  int64
+	issued   int64 // obs clock at issue (0 when unobserved)
+	svcStart int64 // obs clock when the helper popped it (service start)
+	bytes    int64
 
 	done    bool
 	waiters []reqWaiter
@@ -264,6 +265,9 @@ func (c *Comm) nbHelper(p *env.Proc) {
 			return
 		}
 		r := lane.queue[lane.head]
+		if c.obsClock != nil {
+			r.svcStart = c.obsClock()
+		}
 		if !r.fuse {
 			lane.head++
 			if !c.chaos().EarlyComplete {
@@ -276,8 +280,15 @@ func (c *Comm) nbHelper(p *env.Proc) {
 		for lane.head < len(lane.queue) && k < maxFuseBatch {
 			nx := lane.queue[lane.head]
 			if !nx.fuse || nx.root != r.root || nx.n != r.n {
+				// A fusable request that cannot join this batch is a ragged
+				// break — the shape mismatch the fusion window tolerates but
+				// cannot fuse across. Counted per op (rank 0), like Ops.
+				if nx.fuse && c.rec != nil && p.Rank == 0 {
+					c.rec.CountFuseAbort()
+				}
 				break
 			}
+			nx.svcStart = r.svcStart
 			batch[k] = nx
 			k++
 			lane.head++
@@ -324,10 +335,24 @@ func (c *Comm) completeReq(r *Request) {
 	lane := &c.nb[r.rank]
 	lane.seq++
 	if c.rec != nil {
-		c.rec.RecordRequestSpan(obs.FlightRecord{
-			Seq: lane.seq, Start: r.issued, End: c.obsClock(),
+		end := c.obsClock()
+		q := r.svcStart - r.issued
+		if q < 0 || r.svcStart == 0 {
+			q = 0
+		}
+		rec := obs.FlightRecord{
+			Seq: lane.seq, Start: r.issued, End: end,
 			Bytes: r.bytes, Lane: int32(r.rank), Op: obs.OpRequest,
-		})
+		}
+		rec.Phase[obs.PhaseQueueWait] = q
+		c.rec.RecordRequest(rec)
+		if c.Trace != nil {
+			core := c.W.Core(r.rank)
+			if q > 0 {
+				c.Trace.Record(core, -1, obs.PhaseQueueWait, "request", lane.seq, r.issued, r.issued+q, r.bytes)
+			}
+			c.Trace.Record(core, -1, obs.PhaseCollective, "request", lane.seq, r.issued, end, r.bytes)
+		}
 	}
 	r.done = true
 	if len(r.waiters) > 0 {
@@ -393,6 +418,9 @@ func (c *Comm) fusedBcast(p *env.Proc, batch []*Request) {
 	last := view.opSeq
 	if p.Rank == 0 {
 		c.Ops += int64(k)
+		if c.rec != nil {
+			c.rec.CountFusedBatch(k, int64(k)*int64(n))
+		}
 	}
 	kn := uint64(k) * uint64(n)
 	pc := c.newPhaseClock(p, obs.OpBcast, last, int64(kn), st.h.NLevels())
@@ -434,7 +462,7 @@ func (c *Comm) fusedBcast(p *env.Proc, batch []*Request) {
 		served := 0
 		for served < k {
 			e := gs.expSeq.WaitGE(p.S, p.Core, first+uint64(served))
-			pc.mark(pl, obs.PhaseFlagWait, 0)
+			pc.markFrom(pl, obs.PhaseFlagWait, 0, c.W.Core(gs.leader))
 			f := gs.fuseFirst
 			src := c.caches[p.Rank].Attach(p.S, gs.exposed)
 			soff := gs.exposedOff

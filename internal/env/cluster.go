@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/sim"
 	"xhc/internal/topo"
 )
@@ -101,6 +102,12 @@ func NewClusterWorld(cl *topo.Cluster, m topo.Mapping, params mem.Params, fp mem
 	nodes := make([]*World, cl.Nodes)
 	for i := range nodes {
 		nodes[i] = NewWorldParams(cl.Node, m, params)
+		if nodes[i].Obs != nil && nodes[i].Obs.Rec != nil {
+			// Stamp the node id into every flight record the shard takes,
+			// so cross-shard forensics and the cluster straggler scan can
+			// attribute records to nodes.
+			nodes[i].Obs.Rec.SetNode(i)
+		}
 	}
 	nn := cl.Nodes
 	cw := &ClusterWorld{
@@ -251,13 +258,23 @@ func (cw *ClusterWorld) Run(body func(p *Proc, node int)) error {
 			return cw.deadlockError()
 		}
 	}
+	var recs []*obs.OpRecorder
 	for _, w := range cw.Nodes {
 		if w.Obs != nil {
 			for _, fn := range w.obsFlush {
 				fn(w.Obs)
 			}
 			w.Obs.Finish(w.Sys.Stats, w.Sys.Eng.Stats())
+			if w.Obs.Rec != nil {
+				recs = append(recs, w.Obs.Rec)
+			}
 		}
+	}
+	if len(recs) == len(cw.Nodes) {
+		// Cross-node straggler scan: per-shard detectors only see their own
+		// ranks, so node-level skew is invisible to them. Runs sequentially
+		// after the shards stop — deterministic at any worker count.
+		obs.ScanCluster(recs)
 	}
 	return nil
 }

@@ -202,6 +202,12 @@ func (c *Comm) newWallClock(rank int, op obs.OpCode, seq uint64, bytes int64, le
 }
 
 func (wc *wallClock) mark(level int, ph obs.Phase, bytes int64) {
+	wc.markFrom(level, ph, bytes, -1)
+}
+
+// markFrom is mark with an explicit causal parent lane — wait segments
+// pass the rank whose flag write released this one (see phaseClock).
+func (wc *wallClock) markFrom(level int, ph obs.Phase, bytes int64, from int) {
 	if wc == nil {
 		return
 	}
@@ -209,7 +215,7 @@ func (wc *wallClock) mark(level int, ph obs.Phase, bytes int64) {
 	if now > wc.last {
 		wc.durs[ph] += now - wc.last
 		if wc.t != nil {
-			wc.t.Record(wc.lane, level, ph, wc.op.String(), wc.seq, wc.last, now, bytes)
+			wc.t.RecordLinked(wc.lane, level, ph, wc.op.String(), wc.seq, wc.last, now, bytes, from)
 		}
 	}
 	if ph == obs.PhaseChunkCopy && bytes > 0 && wc.chnks < ^uint16(0) {
@@ -224,7 +230,7 @@ func (wc *wallClock) finish() {
 	}
 	now := wc.clk()
 	if wc.t != nil {
-		wc.t.Record(wc.lane, -1, obs.PhaseCollective, wc.op.String(), wc.seq, wc.start, now, 0)
+		wc.t.Record(wc.lane, -1, obs.PhaseCollective, wc.op.String(), wc.seq, wc.start, now, wc.bytes)
 	}
 	if wc.rec != nil {
 		wc.rec.RecordFlight(obs.FlightRecord{
@@ -539,7 +545,7 @@ func (c *Comm) bcast(rank int, buf []byte, root int) {
 		ctl := p.pull.ctl
 		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, n))
 		src := ctl.exposed
-		wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+		wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 		base := v.cum[p.pull.level]
 		copied := 0
 		for copied < n {
@@ -554,7 +560,7 @@ func (c *Comm) bcast(rank int, buf []byte, root int) {
 					avail = n
 				}
 			}
-			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+			wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 			before := copied
 			copy(buf[copied:avail], src[copied:avail])
 			copied = avail
@@ -757,7 +763,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 			ctl := p.pull.ctl
 			base := v.cum[p.pull.level]
 			c.wait(&ctl.ready, base+uint64(n), rank, opBudget(ctl.spinBudget, n*8))
-			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+			wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 			final := ctl.exposedF
 			if &dst[0] != &final[0] {
 				copy(dst, final)
@@ -940,7 +946,7 @@ func (c *Comm) scatter(rank int, in, out []byte, root int) {
 		copy(out, in[blockLen*root:blockLen*(root+1)])
 	} else if blockLen > 0 {
 		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, blockLen))
-		wc.mark(-1, obs.PhaseFlagWait, 0)
+		wc.markFrom(-1, obs.PhaseFlagWait, 0, ctl.leader)
 		src := ctl.exposed
 		copy(out, src[blockLen*rank:blockLen*(rank+1)])
 	}

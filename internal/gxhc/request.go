@@ -68,8 +68,9 @@ type Request struct {
 	fdst []float64
 	fsrc []float64
 
-	issued int64 // issue timestamp (instrumented runs only)
-	bytes  int64
+	issued   int64 // issue timestamp (instrumented runs only)
+	svcStart int64 // worker pop timestamp (service start)
+	bytes    int64
 
 	// done is the completion flag (worker publishes, caller polls); parked
 	// tells the worker a waiter may be blocked on ch (Dekker handshake,
@@ -318,6 +319,9 @@ func (c *Comm) nbWorker(rank int) {
 		if r == nil {
 			return
 		}
+		if c.clk != nil {
+			r.svcStart = c.clk()
+		}
 		if !r.fuse {
 			if c.cfg.Chaos == nil || !c.cfg.Chaos.EarlyComplete {
 				c.execReq(r)
@@ -337,9 +341,16 @@ func (c *Comm) nbWorker(rank int) {
 					break drain
 				}
 				if nx.fuse && nx.root == r.root && len(nx.buf) == len(r.buf) {
+					nx.svcStart = r.svcStart
 					batch[k] = nx
 					k++
 				} else {
+					// A fusable request with a mismatched shape breaks the
+					// batch: a ragged fuse abort (counted per op on rank 0,
+					// the Ops convention).
+					if nx.fuse && c.rec != nil && rank == 0 {
+						c.rec.CountFuseAbort()
+					}
 					carry = nx
 					break drain
 				}
@@ -388,10 +399,23 @@ func (c *Comm) completeReq(r *Request) {
 	w := &c.nb[r.rank]
 	w.seq++
 	if c.rec != nil {
-		c.rec.RecordRequestSpan(obs.FlightRecord{
-			Seq: w.seq, Start: r.issued, End: c.clk(), Bytes: r.bytes,
+		end := c.clk()
+		q := r.svcStart - r.issued
+		if q < 0 || r.svcStart == 0 {
+			q = 0
+		}
+		rec := obs.FlightRecord{
+			Seq: w.seq, Start: r.issued, End: end, Bytes: r.bytes,
 			Lane: int32(r.rank), Op: obs.OpRequest,
-		})
+		}
+		rec.Phase[obs.PhaseQueueWait] = q
+		c.rec.RecordRequest(rec)
+		if c.trace != nil {
+			if q > 0 {
+				c.trace.Record(r.rank, -1, obs.PhaseQueueWait, "request", w.seq, r.issued, r.issued+q, r.bytes)
+			}
+			c.trace.Record(r.rank, -1, obs.PhaseCollective, "request", w.seq, r.issued, end, r.bytes)
+		}
 	}
 	r.done.Store(1)
 	if r.parked.Load() != 0 {
@@ -436,6 +460,9 @@ func (c *Comm) fusedBcast(rank int, batch []*Request) {
 	v.lastBytes = n
 	p := &st.plans[rank]
 	kn := uint64(k) * uint64(n)
+	if rank == 0 && c.rec != nil {
+		c.rec.CountFusedBatch(k, int64(k)*int64(n))
+	}
 	wc := c.newWallClock(rank, obs.OpBcast, last, int64(k*n), st.h.NLevels())
 
 	// Leaders stage; plain leaf members copy straight into request bufs.
@@ -482,7 +509,7 @@ func (c *Comm) fusedBcast(rank int, batch []*Request) {
 		served := uint64(0)
 		for served < uint64(k) {
 			e := c.wait(&ctl.expSeq, first+served, rank, opBudget(ctl.spinBudget, n))
-			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
+			wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 			f := ctl.fuseFirst // re-read: the parent may have re-staged
 			src := ctl.exposed
 			upTo := e

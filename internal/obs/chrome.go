@@ -52,6 +52,9 @@ func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
 			if s.Bytes > 0 {
 				args["bytes"] = s.Bytes
 			}
+			if s.From >= 0 {
+				args["from"] = s.From
+			}
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: s.Phase.String(), Cat: s.Op, Ph: "X",
 				PID: t.PID, TID: s.Lane,

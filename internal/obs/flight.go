@@ -56,6 +56,20 @@ func OpCodeOf(name string) OpCode {
 	return OpOther
 }
 
+// RecKind distinguishes the three record streams a flight ring carries:
+// intra-node collective bodies (the straggler detector's and critical-path
+// accumulator's input), non-blocking request lifecycles, and cluster-level
+// network ops (a leader's NIC staging + fabric exchange) — each with its
+// own seq stream, so consumers must filter by kind before grouping.
+type RecKind uint8
+
+// Flight-record kinds.
+const (
+	RecOp RecKind = iota
+	RecRequest
+	RecNet
+)
+
 // FlightRecord is the compact per-operation record the flight recorder
 // keeps: one per (rank, collective op), fixed size, no pointers. Times are
 // in the recorder's clock ticks (virtual picoseconds in simulated worlds,
@@ -69,9 +83,11 @@ type FlightRecord struct {
 	// Phase[p] is the ticks this rank spent in Phase p during the op.
 	Phase  [NPhases]int64
 	Lane   int32 // rank
+	Node   int16 // cluster node/shard id (0 on single-node worlds)
 	Chunks uint16
 	Levels uint8
 	Op     OpCode
+	Kind   RecKind
 }
 
 // Dur returns the record's total duration in ticks.
@@ -181,6 +197,7 @@ type FlightDump struct {
 // FlightDumpEntry is one decoded flight record in a dump.
 type FlightDumpEntry struct {
 	Lane      int                `json:"lane"`
+	Node      int                `json:"node,omitempty"`
 	Op        string             `json:"op"`
 	Seq       uint64             `json:"seq"`
 	Bytes     int64              `json:"bytes"`
@@ -188,6 +205,8 @@ type FlightDumpEntry struct {
 	Chunks    int                `json:"chunks"`
 	StartUS   float64            `json:"start_us"`
 	DurUS     float64            `json:"dur_us"`
+	Net       bool               `json:"net,omitempty"`     // cluster-level network op
+	Request   bool               `json:"request,omitempty"` // non-blocking request lifecycle
 	Offending bool               `json:"offending,omitempty"`
 	PhasesUS  map[string]float64 `json:"phases_us,omitempty"`
 }
@@ -213,10 +232,11 @@ func (f *Flight) Dump(kind, reason string, offLane int, offSeq uint64) *FlightDu
 	})
 	for _, r := range recs {
 		e := FlightDumpEntry{
-			Lane: int(r.Lane), Op: r.Op.String(), Seq: r.Seq,
+			Lane: int(r.Lane), Node: int(r.Node), Op: r.Op.String(), Seq: r.Seq,
 			Bytes: r.Bytes, Levels: int(r.Levels), Chunks: int(r.Chunks),
 			StartUS: float64(r.Start) / f.ticksPerUS,
 			DurUS:   float64(r.Dur()) / f.ticksPerUS,
+			Net:     r.Kind == RecNet, Request: r.Kind == RecRequest,
 		}
 		if offLane >= 0 && int(r.Lane) == offLane && r.Seq == offSeq {
 			e.Offending = true

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Causal span graph and critical-path extraction. Phase spans already
+// partition each lane's operation (the segment-clock invariant); the graph
+// adds the cross-lane structure: program-order edges within a lane, plus
+// the causal parent edge wait spans carry (Span.From — the lane whose flag
+// write released the waiter). The critical path of one operation is the
+// longest causal chain ending at the op's last-finishing lane: walk
+// backward from the op end, attributing each covered segment to its
+// phase's edge kind, and jump to the producer lane whenever the chain
+// enters a wait span — the time a rank spent waiting is then explained by
+// what its producer was doing, level by level, down through NIC staging
+// and fabric exchanges on cluster runs.
+
+// EdgeKind classifies one hop of a causal chain — the attribution
+// vocabulary of critical-path blame. Edge kinds map 1:1 onto attribution
+// phases (the umbrella PhaseCollective and overlay PhaseFlow have no edge).
+type EdgeKind uint8
+
+// Edge kinds, in blame-report order.
+const (
+	EdgeExpose EdgeKind = iota
+	EdgeFlagWait
+	EdgeChunkCopy
+	EdgeReduce
+	EdgeAck
+	EdgeNICStage
+	EdgeFabric
+	EdgeQueueWait
+
+	// NEdges is the number of edge kinds; blame counters are arrays of
+	// this length.
+	NEdges
+)
+
+var edgeNames = [NEdges]string{
+	"expose", "flag_wait", "chunk_copy", "reduce", "ack",
+	"nic_stage", "fabric", "queue_wait",
+}
+
+// String names the edge kind the way snapshot metrics embed it.
+func (e EdgeKind) String() string {
+	if int(e) < len(edgeNames) {
+		return edgeNames[e]
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(e))
+}
+
+// phaseEdges maps each phase to its edge kind; NEdges marks phases with no
+// edge (umbrella and overlay phases).
+var phaseEdges = [NPhases]EdgeKind{
+	PhaseCollective:  NEdges,
+	PhaseExpose:      EdgeExpose,
+	PhaseFlagWait:    EdgeFlagWait,
+	PhaseChunkCopy:   EdgeChunkCopy,
+	PhaseReduceSlice: EdgeReduce,
+	PhaseAck:         EdgeAck,
+	PhaseFlow:        NEdges,
+	PhaseNICStage:    EdgeNICStage,
+	PhaseFabric:      EdgeFabric,
+	PhaseQueueWait:   EdgeQueueWait,
+}
+
+// EdgeOf maps a phase to its edge kind; ok is false for phases with no
+// edge (the umbrella PhaseCollective and the overlay PhaseFlow).
+func EdgeOf(ph Phase) (EdgeKind, bool) {
+	if int(ph) >= len(phaseEdges) || phaseEdges[ph] == NEdges {
+		return 0, false
+	}
+	return phaseEdges[ph], true
+}
+
+// SpanGraph indexes one tracer's (or one dump's) spans for causal walks:
+// per-lane attribution spans in time order, plus the umbrella spans that
+// delimit operations.
+type SpanGraph struct {
+	lanes     [][]Span // attribution spans per lane, sorted by Start
+	umbrellas []Span   // PhaseCollective spans, sorted by (Op, Seq, Lane)
+}
+
+// NewSpanGraph builds the graph from a flat span list (Tracer.Spans or a
+// parsed trace file). Spans of any lane set are accepted; lanes are
+// re-derived from the spans themselves.
+func NewSpanGraph(spans []Span) *SpanGraph {
+	maxLane := -1
+	for _, s := range spans {
+		if s.Lane > maxLane {
+			maxLane = s.Lane
+		}
+	}
+	g := &SpanGraph{lanes: make([][]Span, maxLane+1)}
+	for _, s := range spans {
+		if s.Lane < 0 {
+			continue
+		}
+		switch s.Phase {
+		case PhaseCollective:
+			g.umbrellas = append(g.umbrellas, s)
+		case PhaseFlow:
+			// Overlay attribution; not part of the causal chain.
+		default:
+			g.lanes[s.Lane] = append(g.lanes[s.Lane], s)
+		}
+	}
+	for l := range g.lanes {
+		sort.SliceStable(g.lanes[l], func(i, j int) bool {
+			return g.lanes[l][i].Start < g.lanes[l][j].Start
+		})
+	}
+	sort.SliceStable(g.umbrellas, func(i, j int) bool {
+		a, b := g.umbrellas[i], g.umbrellas[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Lane < b.Lane
+	})
+	return g
+}
+
+// CritStep is one hop of a critical path: a contiguous segment of one
+// lane's time attributed to one edge kind.
+type CritStep struct {
+	Lane  int
+	Phase Phase
+	Edge  EdgeKind
+	Start int64
+	End   int64
+}
+
+// CritPath is the longest causal chain through one operation: the walk
+// from the op's last-finishing lane back to the op start, with per-edge
+// latency attribution.
+type CritPath struct {
+	Op    string
+	Seq   uint64
+	Bytes int64
+	// Start/End delimit the operation (earliest entry, latest exit across
+	// lanes); CritLane is the last-finishing lane the walk starts from.
+	Start    int64
+	End      int64
+	CritLane int
+	// Steps is the chain in time order (earliest first); ByEdge the summed
+	// attribution per edge kind. Covered is the chain's total attributed
+	// time — equal to End minus the chain's earliest point, and equal to
+	// End-Start exactly when the walk reaches the op start (virtual-time
+	// worlds; wall-clock worlds may leave sub-mark gaps).
+	Steps   []CritStep
+	ByEdge  [NEdges]int64
+	Covered int64
+}
+
+// CriticalPaths extracts the critical path of every operation in the
+// graph, in (op, seq) order.
+func (g *SpanGraph) CriticalPaths() []CritPath {
+	var out []CritPath
+	for i := 0; i < len(g.umbrellas); {
+		j := i
+		for j < len(g.umbrellas) && g.umbrellas[j].Op == g.umbrellas[i].Op && g.umbrellas[j].Seq == g.umbrellas[i].Seq {
+			j++
+		}
+		out = append(out, g.extract(g.umbrellas[i:j]))
+		i = j
+	}
+	return out
+}
+
+// CriticalPath extracts one operation's critical path (ok is false when
+// the graph holds no umbrella span for it).
+func (g *SpanGraph) CriticalPath(op string, seq uint64) (CritPath, bool) {
+	i := sort.Search(len(g.umbrellas), func(i int) bool {
+		u := g.umbrellas[i]
+		return u.Op > op || (u.Op == op && u.Seq >= seq)
+	})
+	j := i
+	for j < len(g.umbrellas) && g.umbrellas[j].Op == op && g.umbrellas[j].Seq == seq {
+		j++
+	}
+	if i == j {
+		return CritPath{}, false
+	}
+	return g.extract(g.umbrellas[i:j]), true
+}
+
+// extract walks one op's critical chain from the group of umbrella spans
+// sharing (op, seq). Ties on the finishing time break toward the lower
+// lane, so the extraction is deterministic for any span order.
+func (g *SpanGraph) extract(group []Span) CritPath {
+	cp := CritPath{Op: group[0].Op, Seq: group[0].Seq, Start: group[0].Start, End: group[0].End, CritLane: group[0].Lane}
+	for _, u := range group {
+		if u.Start < cp.Start {
+			cp.Start = u.Start
+		}
+		if u.End > cp.End || (u.End == cp.End && u.Lane < cp.CritLane) {
+			if u.End > cp.End {
+				cp.End = u.End
+				cp.CritLane = u.Lane
+			} else {
+				cp.CritLane = u.Lane
+			}
+		}
+		if u.Bytes > cp.Bytes {
+			cp.Bytes = u.Bytes
+		}
+	}
+	lane, t := cp.CritLane, cp.End
+	for t > cp.Start {
+		s, ok := g.covering(lane, cp.Op, cp.Seq, t)
+		if !ok {
+			break
+		}
+		edge, ok := EdgeOf(s.Phase)
+		if !ok {
+			break
+		}
+		lo := s.Start
+		if lo < cp.Start {
+			lo = cp.Start
+		}
+		cp.Steps = append(cp.Steps, CritStep{Lane: lane, Phase: s.Phase, Edge: edge, Start: lo, End: t})
+		cp.ByEdge[edge] += t - lo
+		cp.Covered += t - lo
+		t = lo
+		// A wait span hands the chain to its producer: from here back, the
+		// waiter's time is explained by what the releasing lane was doing.
+		if s.From >= 0 && s.From != lane && s.From < len(g.lanes) {
+			lane = s.From
+		}
+	}
+	// Reverse into time order.
+	for i, j := 0, len(cp.Steps)-1; i < j; i, j = i+1, j-1 {
+		cp.Steps[i], cp.Steps[j] = cp.Steps[j], cp.Steps[i]
+	}
+	return cp
+}
+
+// covering finds the latest span on lane for (op, seq) that covers the
+// instant just before t (Start < t <= End). Spans of one lane and op
+// partition its time, so at most one qualifies.
+func (g *SpanGraph) covering(lane int, op string, seq uint64, t int64) (Span, bool) {
+	if lane < 0 || lane >= len(g.lanes) {
+		return Span{}, false
+	}
+	spans := g.lanes[lane]
+	// Scan backward from the first span at or after t. Spans of other
+	// operations may interleave (request queue-wait overlays a helper's
+	// earlier bodies), so only same-(op, seq) spans bound the scan: they
+	// are non-overlapping, and one ending before t ends the search.
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].Start >= t })
+	for i--; i >= 0; i-- {
+		s := spans[i]
+		if s.Op != op || s.Seq != seq {
+			continue
+		}
+		if s.Start < t && s.End >= t {
+			return s, true
+		}
+		if s.End < t {
+			return Span{}, false
+		}
+	}
+	return Span{}, false
+}

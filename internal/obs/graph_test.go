@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestEdgeOfMapping(t *testing.T) {
+	for _, ph := range []Phase{PhaseCollective, PhaseFlow} {
+		if _, ok := EdgeOf(ph); ok {
+			t.Errorf("EdgeOf(%s) returned an edge; umbrella/overlay phases have none", ph)
+		}
+	}
+	want := map[Phase]EdgeKind{
+		PhaseExpose:      EdgeExpose,
+		PhaseFlagWait:    EdgeFlagWait,
+		PhaseChunkCopy:   EdgeChunkCopy,
+		PhaseReduceSlice: EdgeReduce,
+		PhaseAck:         EdgeAck,
+		PhaseNICStage:    EdgeNICStage,
+		PhaseFabric:      EdgeFabric,
+		PhaseQueueWait:   EdgeQueueWait,
+	}
+	for ph, e := range want {
+		got, ok := EdgeOf(ph)
+		if !ok || got != e {
+			t.Errorf("EdgeOf(%s) = %v/%v, want %v", ph, got, ok, e)
+		}
+	}
+	names := []string{"expose", "flag_wait", "chunk_copy", "reduce", "ack", "nic_stage", "fabric", "queue_wait"}
+	for e := EdgeKind(0); e < NEdges; e++ {
+		if e.String() != names[e] {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", e, e.String(), names[e])
+		}
+	}
+}
+
+// span is a test shorthand for building graph inputs.
+func span(lane int, ph Phase, op string, seq uint64, start, end int64, from int) Span {
+	return Span{Lane: lane, Level: 0, Phase: ph, Op: op, Seq: seq, Start: start, End: end, From: from}
+}
+
+// TestCriticalPathLaneJump pins the causal walk: the chain starts at the
+// last-finishing lane, attributes each covered segment to its phase's
+// edge, and jumps to the producer lane when it crosses a wait span — so
+// the time before a member's wait is explained by what the leader was
+// doing. Coverage is exact: the walk partitions [Start, End].
+func TestCriticalPathLaneJump(t *testing.T) {
+	// Leader (lane 0): expose [0,30], copy [30,60], ack [60,70].
+	// Member (lane 1): expose [0,10], wait [10,60] released by lane 0,
+	// copy [60,90], ack [90,100].
+	spans := []Span{
+		span(0, PhaseCollective, "bcast", 1, 0, 70, -1),
+		span(0, PhaseExpose, "bcast", 1, 0, 30, -1),
+		span(0, PhaseChunkCopy, "bcast", 1, 30, 60, -1),
+		span(0, PhaseAck, "bcast", 1, 60, 70, -1),
+		span(1, PhaseCollective, "bcast", 1, 0, 100, -1),
+		span(1, PhaseExpose, "bcast", 1, 0, 10, -1),
+		span(1, PhaseFlagWait, "bcast", 1, 10, 60, 0),
+		span(1, PhaseChunkCopy, "bcast", 1, 60, 90, -1),
+		span(1, PhaseAck, "bcast", 1, 90, 100, -1),
+		// An unrelated op's span interleaved on lane 0 must not divert the
+		// walk (covering filters to same-(op, seq) spans).
+		span(0, PhaseChunkCopy, "other", 9, 0, 100, -1),
+	}
+	g := NewSpanGraph(spans)
+	cp, ok := g.CriticalPath("bcast", 1)
+	if !ok {
+		t.Fatal("CriticalPath(bcast, 1) not found")
+	}
+	if cp.CritLane != 1 || cp.Start != 0 || cp.End != 100 {
+		t.Fatalf("crit lane/span = %d [%d,%d], want 1 [0,100]", cp.CritLane, cp.Start, cp.End)
+	}
+	if cp.Covered != cp.End-cp.Start {
+		t.Errorf("Covered = %d, want full span %d", cp.Covered, cp.End-cp.Start)
+	}
+	wantEdge := map[EdgeKind]int64{
+		EdgeExpose: 10, EdgeFlagWait: 50, EdgeChunkCopy: 30, EdgeAck: 10,
+	}
+	for e := EdgeKind(0); e < NEdges; e++ {
+		if cp.ByEdge[e] != wantEdge[e] {
+			t.Errorf("ByEdge[%s] = %d, want %d", e, cp.ByEdge[e], wantEdge[e])
+		}
+	}
+	// Time order, with the chain's head on the leader lane (the jump).
+	if len(cp.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4: %+v", len(cp.Steps), cp.Steps)
+	}
+	if cp.Steps[0].Lane != 0 || cp.Steps[0].Edge != EdgeExpose || cp.Steps[0].End != 10 {
+		t.Errorf("head step = %+v, want leader expose [0,10]", cp.Steps[0])
+	}
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].Start != cp.Steps[i-1].End {
+			t.Errorf("step %d starts at %d, previous ended at %d (chain must be contiguous)",
+				i, cp.Steps[i].Start, cp.Steps[i-1].End)
+		}
+		if cp.Steps[i].Lane != 1 {
+			t.Errorf("step %d on lane %d, want member lane 1", i, cp.Steps[i].Lane)
+		}
+	}
+}
+
+// TestCriticalPathsTieAndOrder pins determinism: ties on the finishing
+// time break toward the lower lane, and CriticalPaths lists ops in (op,
+// seq) order.
+func TestCriticalPathsTieAndOrder(t *testing.T) {
+	spans := []Span{
+		span(2, PhaseCollective, "bcast", 2, 100, 200, -1),
+		span(2, PhaseChunkCopy, "bcast", 2, 100, 200, -1),
+		span(1, PhaseCollective, "bcast", 2, 100, 200, -1),
+		span(1, PhaseAck, "bcast", 2, 100, 200, -1),
+		span(0, PhaseCollective, "bcast", 1, 0, 90, -1),
+		span(0, PhaseExpose, "bcast", 1, 0, 90, -1),
+	}
+	g := NewSpanGraph(spans)
+	cps := g.CriticalPaths()
+	if len(cps) != 2 {
+		t.Fatalf("CriticalPaths = %d ops, want 2", len(cps))
+	}
+	if cps[0].Seq != 1 || cps[1].Seq != 2 {
+		t.Errorf("op order = seq %d, %d, want 1, 2", cps[0].Seq, cps[1].Seq)
+	}
+	if cps[1].CritLane != 1 {
+		t.Errorf("tie at End=200 resolved to lane %d, want lower lane 1", cps[1].CritLane)
+	}
+	if cps[1].ByEdge[EdgeAck] != 100 || cps[1].ByEdge[EdgeChunkCopy] != 0 {
+		t.Errorf("tie walked the wrong lane: ack=%d copy=%d", cps[1].ByEdge[EdgeAck], cps[1].ByEdge[EdgeChunkCopy])
+	}
+	if _, ok := g.CriticalPath("bcast", 7); ok {
+		t.Error("CriticalPath found an op that was never recorded")
+	}
+}
+
+// stepRec builds one rank's flight record with a phase breakdown that
+// partitions [start, start+dur] (the segment-clock invariant).
+func stepRec(lane int32, seq uint64, start, dur int64, expose, wait, cp, ack int64) FlightRecord {
+	r := FlightRecord{
+		Seq: seq, Start: start, End: start + dur, Bytes: 4096,
+		Lane: lane, Chunks: 1, Levels: 1, Op: OpBcast,
+	}
+	r.Phase[PhaseExpose] = expose
+	r.Phase[PhaseFlagWait] = wait
+	r.Phase[PhaseChunkCopy] = cp
+	r.Phase[PhaseAck] = ack
+	return r
+}
+
+// TestCritAccumBlameSumsToTotal pins the accumulator's exactness
+// invariant in ticks: with segment-clock records (phases partition each
+// record), the per-edge blame of every closed step sums exactly to the
+// step's critical-lane latency, so the run totals match too.
+func TestCritAccumBlameSumsToTotal(t *testing.T) {
+	_, r := newTestRecorder(4)
+	us := int64(SimTicksPerUS)
+	wantTotal := int64(0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		for lane := int32(0); lane < 4; lane++ {
+			// Lane 3 finishes last in every step: its record is critical.
+			dur := (10 + int64(lane)) * us
+			rec := stepRec(lane, seq, int64(seq)*100*us, dur, 2*us, dur-6*us, 3*us, us)
+			r.RecordFlight(rec)
+			if lane == 3 {
+				wantTotal += dur
+			}
+		}
+	}
+	r.FlushDetector()
+	blame, total, ops := r.CritTicks()
+	if ops != 3 {
+		t.Fatalf("crit ops = %d, want 3", ops)
+	}
+	if total != wantTotal {
+		t.Fatalf("crit total = %d ticks, want %d", total, wantTotal)
+	}
+	var sum int64
+	for e := EdgeKind(0); e < NEdges; e++ {
+		sum += blame[e]
+	}
+	if sum != total {
+		t.Fatalf("per-edge blame sums to %d ticks, critical-lane total is %d (must be exact)", sum, total)
+	}
+	if blame[EdgeFlagWait] != 3*(13-6)*us {
+		t.Errorf("flag_wait blame = %d, want %d (critical lane only)", blame[EdgeFlagWait], 3*7*us)
+	}
+}
+
+// TestRecordRequestQueueWait pins the request path: queue-wait ticks land
+// as direct queue_wait blame, the record rides the ring with the request
+// kind, and the step accumulator (disjoint seq stream) is untouched.
+func TestRecordRequestQueueWait(t *testing.T) {
+	_, r := newTestRecorder(2)
+	us := int64(SimTicksPerUS)
+	rec := FlightRecord{Seq: 1, Start: 0, End: 40 * us, Bytes: 256, Lane: 0, Op: OpRequest}
+	rec.Phase[PhaseQueueWait] = 5 * us
+	r.RecordRequest(rec)
+
+	blame, total, ops := r.CritTicks()
+	if ops != 0 || total != 0 {
+		t.Errorf("request record opened a step: ops=%d total=%d", ops, total)
+	}
+	if blame[EdgeQueueWait] != 5*us {
+		t.Errorf("queue_wait blame = %d ticks, want %d", blame[EdgeQueueWait], 5*us)
+	}
+	d := r.Flight().Dump("probe", "", -1, 0)
+	if len(d.Records) != 1 || !d.Records[0].Request || d.Records[0].Net {
+		t.Fatalf("ring entry = %+v, want a request-kind record", d.Records)
+	}
+	if d.Records[0].PhasesUS[PhaseQueueWait.String()] != 5 {
+		t.Errorf("queue-wait phase = %v us, want 5", d.Records[0].PhasesUS[PhaseQueueWait.String()])
+	}
+}
+
+// TestRecordNetBlame pins the cluster-network path: a leader's NIC/fabric
+// record attributes its phases directly (no step grouping), rides the
+// ring with the net kind, and lands in the "<backend>-net" histogram.
+func TestRecordNetBlame(t *testing.T) {
+	reg, r := newTestRecorder(2)
+	us := int64(SimTicksPerUS)
+	rec := FlightRecord{Seq: 1, Start: 0, End: 12 * us, Bytes: 8192, Lane: 0, Op: OpAllreduce}
+	rec.Phase[PhaseNICStage] = 3 * us
+	rec.Phase[PhaseFabric] = 7 * us
+	rec.Phase[PhaseReduceSlice] = 2 * us
+	r.RecordNet(rec)
+
+	blame, total, ops := r.CritTicks()
+	if ops != 0 || total != 0 {
+		t.Errorf("net record opened a step: ops=%d total=%d", ops, total)
+	}
+	if blame[EdgeNICStage] != 3*us || blame[EdgeFabric] != 7*us || blame[EdgeReduce] != 2*us {
+		t.Errorf("net blame = nic %d fabric %d reduce %d", blame[EdgeNICStage], blame[EdgeFabric], blame[EdgeReduce])
+	}
+	d := r.Flight().Dump("probe", "", -1, 0)
+	if len(d.Records) != 1 || !d.Records[0].Net || d.Records[0].Request {
+		t.Fatalf("ring entry = %+v, want a net-kind record", d.Records)
+	}
+	fold := make(map[HistKey]*Histogram)
+	r.foldInto(fold)
+	key := HistKey{Op: OpAllreduce, SizeClass: SizeClass(8192), Backend: "xhc-net"}
+	if h := fold[key]; h == nil || h.Count != 1 {
+		t.Errorf("net histogram %v missing or empty: %+v", key, fold[key])
+	}
+	_ = reg
+}
+
+// TestRecordRequestZeroAllocs pins the split queue/service request path
+// to zero allocations in steady state, like the flight-record gate.
+func TestRecordRequestZeroAllocs(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 4, DefaultFlightCap, SimTicksPerUS, clk.now)
+
+	us := int64(SimTicksPerUS)
+	seq := uint64(1)
+	record := func() {
+		for lane := int32(0); lane < 4; lane++ {
+			rec := FlightRecord{
+				Seq: seq, Start: int64(seq) * us, End: int64(seq)*us + 30*us,
+				Bytes: 256, Lane: lane, Op: OpRequest,
+			}
+			rec.Phase[PhaseQueueWait] = 4 * us
+			r.RecordRequest(rec)
+		}
+		seq++
+	}
+	for i := 0; i < 100; i++ {
+		record()
+	}
+	a1 := testing.AllocsPerRun(100, record)
+	a2 := testing.AllocsPerRun(100, record)
+	if m := minF(a1, a2); m != 0 {
+		t.Fatalf("RecordRequest allocates in steady state: %.2f allocs/op (runs: %.2f, %.2f)", m, a1, a2)
+	}
+}
+
+// TestRecordNetZeroAllocs pins the cluster-network record path too.
+func TestRecordNetZeroAllocs(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	r := newOpRecorder(reg, "w0", 2, DefaultFlightCap, SimTicksPerUS, clk.now)
+
+	us := int64(SimTicksPerUS)
+	seq := uint64(1)
+	record := func() {
+		rec := FlightRecord{
+			Seq: seq, Start: int64(seq) * us, End: int64(seq)*us + 12*us,
+			Bytes: 8192, Lane: 0, Op: OpBcast,
+		}
+		rec.Phase[PhaseNICStage] = 3 * us
+		rec.Phase[PhaseFabric] = 9 * us
+		r.RecordNet(rec)
+		seq++
+	}
+	for i := 0; i < 100; i++ {
+		record()
+	}
+	a1 := testing.AllocsPerRun(100, record)
+	a2 := testing.AllocsPerRun(100, record)
+	if m := minF(a1, a2); m != 0 {
+		t.Fatalf("RecordNet allocates in steady state: %.2f allocs/op (runs: %.2f, %.2f)", m, a1, a2)
+	}
+}

@@ -43,6 +43,15 @@ const (
 	// PhaseFlow is memory-system attribution: one bulk transfer (flow)
 	// through the bandwidth model, recorded on the initiating core's lane.
 	PhaseFlow
+	// PhaseNICStage covers staging a payload into (or out of) a node's NIC
+	// buffer — the CICO-style copy the cluster level pays at the wire.
+	PhaseNICStage
+	// PhaseFabric covers time blocked on the inter-node fabric: a leader's
+	// eager send draining its link, or a receive waiting for arrival.
+	PhaseFabric
+	// PhaseQueueWait covers a non-blocking request's time queued behind
+	// earlier requests on its rank's lane, before its body starts running.
+	PhaseQueueWait
 
 	// NPhases is the number of phase kinds; flight records carry a
 	// per-phase duration array of this length.
@@ -51,6 +60,7 @@ const (
 
 var phaseNames = [NPhases]string{
 	"collective", "expose", "flag-wait", "chunk-copy", "reduce-slice", "ack", "flow",
+	"nic-stage", "fabric", "queue-wait",
 }
 
 // String names the phase the way the Chrome-trace output does.
@@ -73,6 +83,10 @@ type Span struct {
 	Start int64
 	End   int64
 	Bytes int64
+	// From is the causal parent lane of a wait span: the lane whose flag
+	// write released this one (-1 when unknown or not a wait). It is the
+	// cross-lane edge the span graph walks when extracting critical paths.
+	From int
 }
 
 // Dur returns the span length in clock ticks.
@@ -121,12 +135,19 @@ func WallClock() func() int64 {
 // Record appends one complete span to lane's buffer. Safe for concurrent
 // use as long as each lane is written by a single goroutine.
 func (t *Tracer) Record(lane, level int, ph Phase, op string, seq uint64, start, end, bytes int64) {
+	t.RecordLinked(lane, level, ph, op, seq, start, end, bytes, -1)
+}
+
+// RecordLinked is Record with an explicit causal parent lane: wait spans
+// pass the lane whose flag write releases them (the group leader for a
+// member's expose wait), giving the span graph its cross-lane edges.
+func (t *Tracer) RecordLinked(lane, level int, ph Phase, op string, seq uint64, start, end, bytes int64, from int) {
 	if lane < 0 || lane >= len(t.lanes) {
 		return
 	}
 	t.lanes[lane] = append(t.lanes[lane], Span{
 		Lane: lane, Level: level, Phase: ph, Op: op, Seq: seq,
-		Start: start, End: end, Bytes: bytes,
+		Start: start, End: end, Bytes: bytes, From: from,
 	})
 }
 
@@ -166,14 +187,15 @@ func (t *Tracer) PhaseTotal(lane int, ph Phase, seq int64) int64 {
 }
 
 // CoveredTotal sums the durations of every attribution span on a lane for
-// one operation — all phases except the umbrella PhaseCollective and the
-// memory-level PhaseFlow (which overlaps the core phases). For the
-// simulated collectives the attribution spans partition the operation, so
-// this equals the operation's latency.
+// one operation — all phases except the umbrella PhaseCollective, the
+// memory-level PhaseFlow (which overlaps the core phases) and the request
+// lifecycle's PhaseQueueWait (which overlaps whatever op the helper was
+// still serving). For the simulated collectives the attribution spans
+// partition the operation, so this equals the operation's latency.
 func (t *Tracer) CoveredTotal(lane int, seq int64) int64 {
 	var sum int64
 	for _, s := range t.lanes[lane] {
-		if s.Phase == PhaseCollective || s.Phase == PhaseFlow {
+		if s.Phase == PhaseCollective || s.Phase == PhaseFlow || s.Phase == PhaseQueueWait {
 			continue
 		}
 		if seq < 0 || s.Seq == uint64(seq) {

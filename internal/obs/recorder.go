@@ -42,6 +42,24 @@ type OpRecorder struct {
 	flight *Flight
 	lanes  []recLane
 	det    stragglerDetector
+	// crit is the always-on critical-path accumulator: it regroups the
+	// flight records of each operation step and, when the step closes,
+	// attributes the critical (last-finishing) lane's phase breakdown to
+	// per-edge blame counters and histograms. Same step discipline as the
+	// straggler detector, same zero-alloc reused buffers.
+	crit critAccum
+	// node is the cluster node/shard id stamped into every record (0 for
+	// single-node worlds); set once via SetNode before the run.
+	node int16
+	// backendNet labels the histograms of cluster-level network records
+	// (RecordNet), derived lazily from Backend ("xhc" -> "xhc-net").
+	backendNet string
+	// Fusion counters (request-layer fusion path; counted on rank 0 like
+	// Comm.Ops, so one count per collective op, not per rank).
+	fusionBatches atomic.Int64
+	fusionOps     atomic.Int64
+	fusionBytes   atomic.Int64
+	fuseAborts    atomic.Int64
 	// maxInflight is the high-water mark of concurrently in-flight
 	// non-blocking requests observed via NoteInflight.
 	maxInflight atomic.Int64
@@ -122,28 +140,92 @@ func (r *OpRecorder) observeLane(lane int, key HistKey, ns int64) {
 	h.Observe(ns)
 }
 
+// SetNode stamps the cluster node/shard id into every record this
+// recorder takes, making cross-shard forensics (and the cluster-aware
+// straggler scan) attributable. Call before the run starts.
+func (r *OpRecorder) SetNode(node int) { r.node = int16(node) }
+
+// Node returns the recorder's cluster node id (0 outside clusters).
+func (r *OpRecorder) Node() int { return int(r.node) }
+
 // RecordFlight is the always-on per-op record path of the instrumented
 // communicators: it appends the record to the flight ring, folds the op
 // latency into the recorder-backend histogram and feeds the straggler
-// detector, which on a verdict bumps the registry's anomaly counter and
-// dumps the flight recorder. 0 allocs/op in steady state (pinned by
-// TestFlightRecordZeroAllocs and BenchmarkRecordFlight).
+// detector (which on a verdict bumps the registry's anomaly counter and
+// dumps the flight recorder) and the critical-path accumulator. 0
+// allocs/op in steady state (pinned by TestFlightRecordZeroAllocs and
+// BenchmarkRecordFlight).
 func (r *OpRecorder) RecordFlight(rec FlightRecord) {
+	rec.Node = r.node
+	rec.Kind = RecOp
 	r.flight.Record(rec)
 	r.observeLane(int(rec.Lane), HistKey{Op: rec.Op, SizeClass: SizeClass(int(rec.Bytes)), Backend: r.Backend}, r.ticksToNS(rec.Dur()))
+	r.crit.observe(r, &rec)
 	if v, ok := r.det.observe(int(rec.Lane), rec.Seq, rec.Op, rec.Start, rec.End); ok {
 		r.anomalyDump("straggler", v)
 	}
 }
 
-// RecordRequestSpan records one non-blocking request's issue-to-completion
-// span: flight ring + (OpRequest, size, backend) histogram, but NOT the
-// straggler detector — a request span includes queueing time behind earlier
-// requests, and its seq stream is disjoint from the collective bodies', so
-// feeding it to the detector would corrupt the step grouping.
-func (r *OpRecorder) RecordRequestSpan(rec FlightRecord) {
+// RecordRequest records one non-blocking request's lifecycle: the record
+// spans issue to completion, with Phase[PhaseQueueWait] carrying the
+// queued-behind-earlier-requests share (service time is the remainder).
+// It feeds the flight ring, the (OpRequest, size, backend) histogram and
+// the queue-wait blame counter — but NOT the straggler detector or the
+// step accumulator: a request's seq stream is disjoint from the collective
+// bodies', so feeding it to the step grouping would corrupt both.
+// 0 allocs/op in steady state (pinned by TestRecordRequestZeroAllocs).
+func (r *OpRecorder) RecordRequest(rec FlightRecord) {
+	rec.Node = r.node
+	rec.Kind = RecRequest
 	r.flight.Record(rec)
 	r.observeLane(int(rec.Lane), HistKey{Op: rec.Op, SizeClass: SizeClass(int(rec.Bytes)), Backend: r.Backend}, r.ticksToNS(rec.Dur()))
+	if q := rec.Phase[PhaseQueueWait]; q > 0 {
+		r.crit.addDirect(r, EdgeQueueWait, q)
+	}
+}
+
+// RecordNet records one cluster-level network operation (a node leader's
+// NIC staging plus fabric exchange around an intra-node op). The record
+// goes to the flight ring under its own kind and seq stream, to a
+// "<backend>-net"-labelled histogram, and its nic-stage/fabric/reduce
+// phase durations straight into the blame counters — a leader's fabric
+// exchange is on the cluster op's critical chain by construction, so no
+// step grouping is needed. Allocation-free in steady state.
+func (r *OpRecorder) RecordNet(rec FlightRecord) {
+	rec.Node = r.node
+	rec.Kind = RecNet
+	r.flight.Record(rec)
+	if r.backendNet == "" {
+		r.backendNet = r.Backend + "-net"
+	}
+	r.observeLane(int(rec.Lane), HistKey{Op: rec.Op, SizeClass: SizeClass(int(rec.Bytes)), Backend: r.backendNet}, r.ticksToNS(rec.Dur()))
+	for ph, t := range rec.Phase {
+		if t <= 0 {
+			continue
+		}
+		if e, ok := EdgeOf(Phase(ph)); ok {
+			r.crit.addDirect(r, e, t)
+		}
+	}
+}
+
+// CountFusedBatch counts one fused-broadcast traversal carrying k sub-ops
+// of bytes total payload. Instrumented fusion paths call it on rank 0
+// only (the Comm.Ops convention), so counts are per collective op.
+func (r *OpRecorder) CountFusedBatch(k int, bytes int64) {
+	r.fusionBatches.Add(1)
+	r.fusionOps.Add(int64(k))
+	r.fusionBytes.Add(bytes)
+}
+
+// CountFuseAbort counts one fusable request that could not join the
+// current batch because its shape (root or payload size) differed — the
+// ragged-batch break the fusion window tolerates but cannot fuse across.
+func (r *OpRecorder) CountFuseAbort() { r.fuseAborts.Add(1) }
+
+// FusionCounts returns (batches, fused ops, fused bytes, ragged aborts).
+func (r *OpRecorder) FusionCounts() (batches, ops, bytes, aborts int64) {
+	return r.fusionBatches.Load(), r.fusionOps.Load(), r.fusionBytes.Load(), r.fuseAborts.Load()
 }
 
 // NoteInflight folds one in-flight-request gauge sample into the
@@ -170,12 +252,25 @@ func (r *OpRecorder) ObserveOp(lane int, seq uint64, op OpCode, backend string, 
 	r.observeLane(lane, HistKey{Op: op, SizeClass: SizeClass(bytes), Backend: backend}, r.ticksToNS(end-start))
 }
 
-// FlushDetector closes the last open detector step (called by Finish; the
-// final operation of a run has no successor to close it).
+// FlushDetector closes the last open detector and critical-path steps
+// (called by Finish; the final operation of a run has no successor to
+// close it).
 func (r *OpRecorder) FlushDetector() {
 	if v, ok := r.det.flush(); ok {
 		r.anomalyDump("straggler", v)
 	}
+	r.crit.flush(r)
+}
+
+// CritTicks returns the recorder's critical-path state in clock ticks:
+// per-edge blame, the summed critical-lane latency of every closed step,
+// and the number of steps. The intra-node edges' blame sums exactly to
+// total in virtual-time worlds (the segment clock partitions each op);
+// queue-wait and net edges are overlay attributions on top of it.
+func (r *OpRecorder) CritTicks() (blame [NEdges]int64, total int64, ops int64) {
+	r.crit.mu.Lock()
+	defer r.crit.mu.Unlock()
+	return r.crit.blame, r.crit.total, r.crit.ops
 }
 
 // DumpNow takes an explicit flight dump (invariant failure, chaos
@@ -230,6 +325,137 @@ func (r *OpRecorder) foldInto(hists map[HistKey]*Histogram) {
 			dst.Merge(h)
 		}
 	}
+}
+
+// critAccum is the always-on critical-path accumulator. It regroups
+// RecordFlight's per-rank records into operation steps exactly like the
+// straggler detector (one seq per step, reused buffers, close on seq
+// advance), and when a step closes it picks the critical lane — the
+// last-finishing rank, ties toward the lower lane, matching
+// SpanGraph.extract — and charges that lane's phase breakdown to
+// per-edge blame counters and histograms. Queue-wait (RecordRequest) and
+// NIC/fabric time (RecordNet) arrive via addDirect as overlay blame on
+// top of the step-derived intra-node edges.
+type critAccum struct {
+	mu sync.Mutex
+
+	open   bool
+	seq    uint64
+	op     OpCode
+	lanes  []int32
+	starts []int64
+	ends   []int64
+	phases [][NPhases]int64
+
+	// blame is per-edge attributed ticks; hists the per-edge latency
+	// histograms (nanoseconds, like every other histogram). ops counts
+	// closed steps, total their summed critical-lane latency in ticks.
+	blame [NEdges]int64
+	hists [NEdges]Histogram
+	ops   int64
+	total int64
+}
+
+// observe feeds one collective-body record. Caller is RecordFlight; the
+// path is allocation-free once the step buffers have grown to the rank
+// count.
+func (c *critAccum) observe(r *OpRecorder, rec *FlightRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case !c.open:
+		c.reset(rec.Seq, rec.Op)
+	case rec.Seq > c.seq:
+		c.close(r)
+		c.reset(rec.Seq, rec.Op)
+	case rec.Seq < c.seq:
+		// Late record from an already-closed step (gxhc scheduling): drop.
+		return
+	}
+	c.lanes = append(c.lanes, rec.Lane)
+	c.starts = append(c.starts, rec.Start)
+	c.ends = append(c.ends, rec.End)
+	c.phases = append(c.phases, rec.Phase)
+}
+
+// addDirect charges ticks straight to one edge's blame and histogram,
+// bypassing step grouping (request queue-wait, leader net ops).
+func (c *critAccum) addDirect(r *OpRecorder, e EdgeKind, ticks int64) {
+	ns := r.ticksToNS(ticks)
+	c.mu.Lock()
+	c.blame[e] += ticks
+	c.hists[e].Observe(ns)
+	c.mu.Unlock()
+}
+
+// flush closes the last open step (no successor op will close it).
+func (c *critAccum) flush(r *OpRecorder) {
+	c.mu.Lock()
+	c.close(r)
+	c.open = false
+	c.lanes = c.lanes[:0]
+	c.starts = c.starts[:0]
+	c.ends = c.ends[:0]
+	c.phases = c.phases[:0]
+	c.mu.Unlock()
+}
+
+// close attributes the buffered step's critical lane. Caller holds c.mu.
+// In virtual-time worlds the segment clock partitions the critical
+// record's duration across its phases, so the step's blame increments
+// sum exactly to its critical-lane latency — the invariant the pinned
+// blame-sum test asserts.
+func (c *critAccum) close(r *OpRecorder) {
+	n := len(c.ends)
+	if !c.open || n == 0 {
+		return
+	}
+	ci := 0
+	for i := 1; i < n; i++ {
+		if c.ends[i] > c.ends[ci] || (c.ends[i] == c.ends[ci] && c.lanes[i] < c.lanes[ci]) {
+			ci = i
+		}
+	}
+	for ph, t := range c.phases[ci] {
+		if t <= 0 {
+			continue
+		}
+		if e, ok := EdgeOf(Phase(ph)); ok {
+			c.blame[e] += t
+			c.hists[e].Observe(r.ticksToNS(t))
+		}
+	}
+	c.total += c.ends[ci] - c.starts[ci]
+	c.ops++
+}
+
+func (c *critAccum) reset(seq uint64, op OpCode) {
+	c.open = true
+	c.seq = seq
+	c.op = op
+	c.lanes = c.lanes[:0]
+	c.starts = c.starts[:0]
+	c.ends = c.ends[:0]
+	c.phases = c.phases[:0]
+}
+
+// foldCritInto merges the recorder's critical-path blame (converted to
+// nanoseconds), per-edge histograms and fusion counters into the
+// registry aggregate. Called by World.Finish under the registry lock.
+func (r *OpRecorder) foldCritInto(a *aggregate) {
+	r.crit.mu.Lock()
+	for e := 0; e < int(NEdges); e++ {
+		a.critBlameNS[e] += r.ticksToNS(r.crit.blame[e])
+		a.critHists[e].Merge(&r.crit.hists[e])
+	}
+	a.critOps += r.crit.ops
+	a.critPathNS += r.ticksToNS(r.crit.total)
+	r.crit.mu.Unlock()
+	b, o, by, ab := r.FusionCounts()
+	a.fusionBatches += b
+	a.fusionOps += o
+	a.fusionBytes += by
+	a.fuseAborts += ab
 }
 
 // stragglerVerdict describes one detected straggler step.

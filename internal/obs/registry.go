@@ -142,6 +142,21 @@ type aggregate struct {
 	flightDumps int64
 	maxInflight int64
 
+	// Critical-path blame: per-edge attributed time (ns), the per-edge
+	// latency histograms, and the number / summed latency of analyzed
+	// operation steps (see critAccum).
+	critBlameNS [NEdges]int64
+	critHists   [NEdges]Histogram
+	critOps     int64
+	critPathNS  int64
+
+	// Request-fusion counters (fused batches formed, sub-ops fused into
+	// them, fused payload bytes, ragged-shape fuse aborts).
+	fusionBatches int64
+	fusionOps     int64
+	fusionBytes   int64
+	fuseAborts    int64
+
 	mem              mem.Stats
 	cache            xpmem.CacheStats
 	eventsScheduled  int64
@@ -324,6 +339,21 @@ func (r *Registry) Snapshot() Snapshot {
 	add("anomaly.stragglers", float64(a.stragglers))
 	add("anomaly.flight_dumps", float64(a.flightDumps))
 	add("requests.max_inflight", float64(a.maxInflight))
+	add("crit.ops", float64(a.critOps))
+	add("crit.path_us", float64(a.critPathNS)/1e3)
+	for e := EdgeKind(0); e < NEdges; e++ {
+		prefix := "crit." + e.String() + "."
+		h := &a.critHists[e]
+		add(prefix+"blame_us", float64(a.critBlameNS[e])/1e3)
+		add(prefix+"count", float64(h.Count))
+		add(prefix+"p50_us", h.Quantile(0.50)/1e3)
+		add(prefix+"p99_us", h.Quantile(0.99)/1e3)
+		add(prefix+"max_us", float64(h.MaxNS)/1e3)
+	}
+	add("fusion.batches", float64(a.fusionBatches))
+	add("fusion.ops_fused", float64(a.fusionOps))
+	add("fusion.fused_bytes", float64(a.fusionBytes))
+	add("fusion.aborted_ragged", float64(a.fuseAborts))
 	for _, h := range hs {
 		prefix := "lat." + h.Key.String() + "."
 		add(prefix+"count", float64(h.Count))
@@ -450,6 +480,7 @@ func (w *World) Finish(ms mem.Stats, es sim.EngineStats) {
 			w.reg.hists = make(map[HistKey]*Histogram)
 		}
 		w.Rec.foldInto(w.reg.hists)
+		w.Rec.foldCritInto(a)
 		a.maxInflight = max(a.maxInflight, w.Rec.MaxInflight())
 	}
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScanCluster runs the straggler detector across the flight records of a
+// whole cluster: each node's OpRecorder only ever sees its own ranks, so
+// a node-wide delay (one shard scheduled late, one NIC draining slowly)
+// is invisible to the per-node detectors — every local rank starts late
+// together, and the local step shows no spread. The cross-node scan
+// merges every node's retained collective-body records, regroups them by
+// operation step over global lanes (node*stride+rank) and re-evaluates
+// each step with the same thresholds, so skew *between* nodes trips the
+// detector too. Verdicts are counted on the shared registry and dumped
+// as a merged, node-qualified "cluster-straggler" flight dump.
+//
+// The scan is deterministic: it runs after the cluster run completes
+// (ClusterWorld.Run calls it once the per-node Finish loop is done),
+// over sorted record copies, regardless of how many engine workers the
+// run used. It returns the number of cluster-level verdicts.
+func ScanCluster(recs []*OpRecorder) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	stride := 0
+	for _, r := range recs {
+		if n := r.flight.Lanes(); n > stride {
+			stride = n
+		}
+	}
+	if stride == 0 {
+		return 0
+	}
+	type nodeRec struct {
+		node int
+		rec  FlightRecord
+	}
+	var all []nodeRec
+	for ni, r := range recs {
+		for lane := 0; lane < r.flight.Lanes(); lane++ {
+			for _, rec := range r.flight.LaneRecords(lane) {
+				if rec.Kind != RecOp {
+					continue
+				}
+				all = append(all, nodeRec{node: ni, rec: rec})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.rec.Seq != b.rec.Seq {
+			return a.rec.Seq < b.rec.Seq
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		return a.rec.Lane < b.rec.Lane
+	})
+	var det stragglerDetector
+	recs[0].det.mu.Lock()
+	det.k, det.floor = recs[0].det.k, recs[0].det.floor
+	recs[0].det.mu.Unlock()
+	found := 0
+	report := func(v stragglerVerdict) {
+		found++
+		clusterStragglerDump(recs, stride, v)
+	}
+	for _, nr := range all {
+		g := nr.node*stride + int(nr.rec.Lane)
+		if v, ok := det.observe(g, nr.rec.Seq, nr.rec.Op, nr.rec.Start, nr.rec.End); ok {
+			report(v)
+		}
+	}
+	if v, ok := det.flush(); ok {
+		report(v)
+	}
+	return found
+}
+
+// clusterStragglerDump counts one cluster-level verdict and takes a
+// merged flight dump across every node's recorder, with the offending
+// (node, rank, seq) record marked.
+func clusterStragglerDump(recs []*OpRecorder, stride int, v stragglerVerdict) {
+	r0 := recs[0]
+	r0.reg.countStraggler()
+	if r0.quiesceDumps.Load() {
+		return
+	}
+	node, lane := v.lane/stride, v.lane%stride
+	d := &FlightDump{
+		Kind: "cluster-straggler",
+		Reason: fmt.Sprintf(
+			"cluster straggler: node %d lane %d %s seq %d (%s), step skew %.1fus vs median latency %.1fus",
+			node, lane, v.op, v.seq, v.why,
+			float64(v.skew)/r0.TicksPerUS, float64(v.median)/r0.TicksPerUS),
+		OffLane: v.lane, OffSeq: v.seq,
+		Records: []FlightDumpEntry{},
+	}
+	for ni, r := range recs {
+		nd := r.flight.Dump("", "", -1, 0)
+		for _, e := range nd.Records {
+			if ni == node && e.Lane == lane && e.Seq == v.seq && !e.Net && !e.Request {
+				e.Offending = true
+			}
+			d.Records = append(d.Records, e)
+		}
+	}
+	sort.SliceStable(d.Records, func(i, j int) bool {
+		a, b := d.Records[i], d.Records[j]
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Lane < b.Lane
+	})
+	r0.finishDump(d)
+}

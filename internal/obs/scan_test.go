@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// feedNodeStep records one node's two ranks entering an op step together
+// (internally uniform — no local skew).
+func feedNodeStep(r *OpRecorder, seq uint64, start, dur int64) {
+	for lane := int32(0); lane < 2; lane++ {
+		r.RecordFlight(FlightRecord{
+			Seq: seq, Start: start, End: start + dur, Bytes: 4096,
+			Lane: lane, Chunks: 1, Levels: 2, Op: OpBcast,
+		})
+	}
+}
+
+// TestScanClusterDetectsNodeSkew pins the cross-node scan: a whole node
+// entering every step late is invisible to the per-node detectors (its
+// local ranks are mutually uniform) but must trip the cluster-level
+// regrouping, producing a merged "cluster-straggler" dump that names the
+// offending node.
+func TestScanClusterDetectsNodeSkew(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	recs := make([]*OpRecorder, 4)
+	for i := range recs {
+		recs[i] = newOpRecorder(reg, fmt.Sprintf("node%d", i), 2, DefaultFlightCap, SimTicksPerUS, clk.now)
+		recs[i].SetNode(i)
+	}
+	us := int64(SimTicksPerUS)
+	for seq := uint64(1); seq <= 2; seq++ {
+		base := int64(seq) * 1000 * us
+		for ni, r := range recs {
+			start := base
+			if ni == 3 {
+				start += 500 * us // node 3 is scheduled late every step
+			}
+			feedNodeStep(r, seq, start, 10*us)
+		}
+		// Per-node detectors see no skew within their own ranks.
+		if n := len(reg.Dumps()); n != 0 {
+			t.Fatalf("seq %d: local detector dumped (%d dumps) — node-level skew must be local-invisible", seq, n)
+		}
+	}
+	for _, r := range recs {
+		r.FlushDetector()
+	}
+	if n := len(reg.Dumps()); n != 0 {
+		t.Fatalf("local flush dumped %d dumps on node-uniform steps", n)
+	}
+
+	found := ScanCluster(recs)
+	if found < 1 {
+		t.Fatalf("ScanCluster found %d verdicts, want >= 1", found)
+	}
+	dumps := reg.Dumps()
+	if len(dumps) == 0 {
+		t.Fatal("no cluster dumps registered")
+	}
+	d := dumps[len(dumps)-1]
+	if d.Kind != "cluster-straggler" {
+		t.Fatalf("dump kind = %q, want cluster-straggler", d.Kind)
+	}
+	if !strings.Contains(d.Reason, "node 3") {
+		t.Errorf("reason %q does not name the offending node", d.Reason)
+	}
+	var offending int
+	nodesSeen := map[int]bool{}
+	for _, e := range d.Records {
+		nodesSeen[e.Node] = true
+		if e.Offending {
+			offending++
+			if e.Node != 3 {
+				t.Errorf("offending record on node %d, want 3", e.Node)
+			}
+		}
+	}
+	if offending == 0 {
+		t.Error("merged dump marks no offending record")
+	}
+	if len(nodesSeen) != 4 {
+		t.Errorf("merged dump covers %d nodes, want all 4", len(nodesSeen))
+	}
+	if got := reg.Snapshot().Value("anomaly.stragglers"); got < 1 {
+		t.Errorf("anomaly.stragglers = %v, want >= 1", got)
+	}
+}
+
+// TestScanClusterCleanRun pins the negative: with every node aligned the
+// scan finds nothing.
+func TestScanClusterCleanRun(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	recs := make([]*OpRecorder, 3)
+	for i := range recs {
+		recs[i] = newOpRecorder(reg, fmt.Sprintf("node%d", i), 2, DefaultFlightCap, SimTicksPerUS, clk.now)
+		recs[i].SetNode(i)
+	}
+	us := int64(SimTicksPerUS)
+	for seq := uint64(1); seq <= 3; seq++ {
+		for _, r := range recs {
+			feedNodeStep(r, seq, int64(seq)*1000*us, 10*us)
+		}
+	}
+	if found := ScanCluster(recs); found != 0 {
+		t.Fatalf("ScanCluster found %d verdicts on an aligned run", found)
+	}
+	if n := len(reg.Dumps()); n != 0 {
+		t.Fatalf("clean scan registered %d dumps", n)
+	}
+}

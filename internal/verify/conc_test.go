@@ -9,6 +9,7 @@ import (
 	"xhc/internal/env"
 	"xhc/internal/gxhc"
 	"xhc/internal/mem"
+	"xhc/internal/obs"
 	"xhc/internal/topo"
 )
 
@@ -53,8 +54,12 @@ func diffCheck(t *testing.T, row string, got func(rank, slot int) []byte) {
 // non-blocking Ibcast x4 + Waitall when nonblocking (fused when the CICO
 // threshold admits the payload, unfused when cico is 0), or the blocking
 // Bcast loop otherwise.
-func runDiffCore(t *testing.T, row string, cico int, nonblocking bool) {
+func runDiffCore(t *testing.T, row string, cico int, nonblocking bool, reg *obs.Registry) {
 	t.Helper()
+	if reg != nil {
+		env.ObserveWorlds(reg)
+		defer func() { env.Observer = nil }()
+	}
 	tp, err := topo.New(platforms[1])
 	if err != nil {
 		t.Fatalf("%s: %v", row, err)
@@ -107,7 +112,7 @@ func runDiffCore(t *testing.T, row string, cico int, nonblocking bool) {
 
 // runDiffGxhc runs the batch through the real-concurrency backend, fusion
 // on (default threshold covers the payload) or forced off (FuseBytes -1).
-func runDiffGxhc(t *testing.T, row string, fuseBytes int) {
+func runDiffGxhc(t *testing.T, row string, fuseBytes int, rec *obs.OpRecorder) {
 	t.Helper()
 	cfg := gxhc.DefaultConfig()
 	cfg.GroupSize = 3 // two hierarchy levels over 8 ranks
@@ -117,6 +122,9 @@ func runDiffGxhc(t *testing.T, row string, fuseBytes int) {
 		t.Fatalf("%s: %v", row, err)
 	}
 	defer c.Close()
+	if rec != nil {
+		c.AttachRecorder(rec)
+	}
 	bufs := make([][][]byte, diffRanks)
 	for rk := 0; rk < diffRanks; rk++ {
 		bufs[rk] = make([][]byte, diffSlots)
@@ -190,15 +198,65 @@ func runDiffBaseline(t *testing.T, row, name string) {
 	diffCheck(t, row, func(rk, slot int) []byte { return bufs[rk][slot].Data })
 }
 
+// checkFusion asserts the registry's fusion counters for one core row.
+func checkFusion(t *testing.T, row string, reg *obs.Registry, batches, ops, bytes, aborts float64) {
+	t.Helper()
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"fusion.batches":        batches,
+		"fusion.ops_fused":      ops,
+		"fusion.fused_bytes":    bytes,
+		"fusion.aborted_ragged": aborts,
+	} {
+		if got, ok := snap.Get(name); !ok || got != want {
+			t.Errorf("%s: %s = %v (present=%v), want %v", row, name, got, ok, want)
+		}
+	}
+}
+
 // TestFusedUnfusedDifferential is the pinned grid row: fused and unfused
 // small-op batches, across the simulated core, gxhc and a baseline, all
-// byte-identical against the shared reference payloads.
+// byte-identical against the shared reference payloads. The fused rows
+// additionally pin the fusion counters: the core schedules the whole
+// burst before the helper drains, so the 4 sub-ops form exactly one
+// batch; gxhc's worker drains whatever has queued, so the batch count is
+// scheduling-dependent but every sub-op still transits the fused path.
 func TestFusedUnfusedDifferential(t *testing.T) {
-	t.Run("core-ifused", func(t *testing.T) { runDiffCore(t, "core-ifused", 1<<10, true) })
-	t.Run("core-iunfused", func(t *testing.T) { runDiffCore(t, "core-iunfused", 0, true) })
-	t.Run("core-blocking", func(t *testing.T) { runDiffCore(t, "core-blocking", 1<<10, false) })
-	t.Run("gxhc-ifused", func(t *testing.T) { runDiffGxhc(t, "gxhc-ifused", 0) })
-	t.Run("gxhc-iunfused", func(t *testing.T) { runDiffGxhc(t, "gxhc-iunfused", -1) })
+	const batchBytes = diffSlots * diffPayload
+	t.Run("core-ifused", func(t *testing.T) {
+		reg := obs.NewRegistry(false)
+		runDiffCore(t, "core-ifused", 1<<10, true, reg)
+		checkFusion(t, "core-ifused", reg, 1, diffSlots, batchBytes, 0)
+	})
+	t.Run("core-iunfused", func(t *testing.T) {
+		reg := obs.NewRegistry(false)
+		runDiffCore(t, "core-iunfused", 0, true, reg)
+		checkFusion(t, "core-iunfused", reg, 0, 0, 0, 0)
+	})
+	t.Run("core-blocking", func(t *testing.T) { runDiffCore(t, "core-blocking", 1<<10, false, nil) })
+	t.Run("gxhc-ifused", func(t *testing.T) {
+		reg := obs.NewRegistry(false)
+		wo := reg.NewWorld("gxhc", diffRanks, obs.WallTicksPerUS, obs.WallClock())
+		wo.Rec.SetQuiesceDumps(true)
+		runDiffGxhc(t, "gxhc-ifused", 0, wo.Rec)
+		batches, ops, bytes, aborts := wo.Rec.FusionCounts()
+		if batches < 1 || batches > diffSlots {
+			t.Errorf("gxhc-ifused: %d batches, want 1..%d", batches, diffSlots)
+		}
+		if ops != diffSlots || bytes != batchBytes || aborts != 0 {
+			t.Errorf("gxhc-ifused: ops=%d bytes=%d aborts=%d, want ops=%d bytes=%d aborts=0",
+				ops, bytes, aborts, diffSlots, batchBytes)
+		}
+	})
+	t.Run("gxhc-iunfused", func(t *testing.T) {
+		reg := obs.NewRegistry(false)
+		wo := reg.NewWorld("gxhc", diffRanks, obs.WallTicksPerUS, obs.WallClock())
+		wo.Rec.SetQuiesceDumps(true)
+		runDiffGxhc(t, "gxhc-iunfused", -1, wo.Rec)
+		if batches, ops, bytes, aborts := wo.Rec.FusionCounts(); batches != 0 || ops != 0 || bytes != 0 || aborts != 0 {
+			t.Errorf("gxhc-iunfused: fusion counters %d/%d/%d/%d, want all zero", batches, ops, bytes, aborts)
+		}
+	})
 	t.Run("baseline-tuned", func(t *testing.T) { runDiffBaseline(t, "baseline-tuned", "tuned") })
 }
 

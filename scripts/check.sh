@@ -126,5 +126,15 @@ go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
 go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
     -np 32 -sizes 8,1024,65536,1048576 -workers 4 > "$tmpdir/cl_par.txt"
 cmp "$tmpdir/cl_seq.txt" "$tmpdir/cl_par.txt"
+
+# Telemetry invariance on the cluster platform: live serving turns on the
+# NIC/fabric overlay blame, the critical-path accumulator and the
+# cross-node straggler scan, and none of it may shift a simulated latency
+# — the report stays byte-identical to the unobserved sequential
+# reference.
+go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
+    -np 32 -sizes 8,1024,65536,1048576 -workers 1 \
+    -telemetry 127.0.0.1:0 > "$tmpdir/cl_tel.txt" 2>/dev/null
+cmp "$tmpdir/cl_seq.txt" "$tmpdir/cl_tel.txt"
 go run ./cmd/xhcstat -baseline BENCH_cluster.json -current "$tmpdir/cells_cl.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_cl.json" -current BENCH_cluster.json > /dev/null
