@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check check bench bench-sim bench-gxhc bench-cluster bench-overlap bench-obs quick-report
+.PHONY: build test vet race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check tune-check check bench bench-sim bench-gxhc bench-cluster bench-overlap bench-obs bench-tune quick-report
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ test:
 # worker goroutines — so those run under the race detector.
 race:
 	$(GO) test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
+	$(GO) test -race -run 'Online' ./internal/tune/
 
 # Schedule-exploration checker: randomized configurations x seeded
 # schedules with fault injection, invariant checks on every run, plus the
@@ -43,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzGoCommIallreduceOverlap -fuzztime 5s -run '^$$' ./internal/gxhc/
 	$(GO) test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$$' ./internal/hier/
+	$(GO) test -fuzz FuzzPlanFile -fuzztime 5s -run '^$$' ./internal/tune/
 
 # Oversubscription regression (waiter starvation, both park and spin
 # modes — plus a race pass over the parking handshake under the same
@@ -97,6 +99,16 @@ telemetry-check:
 	$(GO) run ./cmd/xhcstat -baseline BENCH_overlap.json \
 	    -current BENCH_overlap.json > /dev/null
 
+# Tuner repro gate (DESIGN.md section 17): replay the committed plan
+# file's pinned cells fresh — default plan vs persisted winner, simulated
+# latencies, so verdicts are exact — and fail xhcstat-style if any tuned
+# cell is more than 5% and 1us slower than the default. The committed
+# BENCH_tune.json trajectory must also self-diff cleanly (both-key-sets
+# rule, like BENCH_gxhc.json; regenerate with `make bench-tune`).
+tune-check:
+	$(GO) run ./cmd/xhctune -check -quick -plan tuned/ARM-N1.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline BENCH_tune.json -current BENCH_tune.json > /dev/null
+
 # Cluster determinism + baseline gate: the sharded run's report must be
 # byte-identical to the sequential reference — and so must a run with live
 # telemetry serving (the cluster path records NIC/fabric overlay blame and
@@ -120,7 +132,7 @@ cluster-check:
 	$(GO) run ./cmd/xhcstat -baseline /tmp/xhc_check_cl.json \
 	    -current BENCH_cluster.json > /dev/null
 
-check: build vet test race verify verify-cluster fuzz-smoke harness-checks telemetry-check cluster-check
+check: build vet test race verify verify-cluster fuzz-smoke harness-checks telemetry-check tune-check cluster-check
 
 # Simulator performance benchmarks (see DESIGN.md section 8 and
 # BENCH_flowsolver.json for the recorded before/after numbers).
@@ -173,6 +185,18 @@ bench-overlap:
 # are wall clock and gate key coverage.
 bench-obs:
 	sh scripts/bench_obs.sh
+
+# Regenerate the autotuner artifacts: a full offline sweep-and-select on
+# ARM-N1 (all 160 ranks, full iteration counts — the same fidelity the
+# tune-check gate replays against) persisting the winning plan per pinned
+# cell to tuned/ARM-N1.json and the default-vs-tuned cells to
+# BENCH_tune.json, then the repro gate over what was just written.
+bench-tune:
+	mkdir -p tuned
+	$(GO) run ./cmd/xhctune -sweep -platform ARM-N1 \
+	    -plan tuned/ARM-N1.json -benchout BENCH_tune.json
+	$(GO) run ./cmd/xhctune -check -quick -plan tuned/ARM-N1.json > /dev/null
+	$(GO) run ./cmd/xhcstat -baseline BENCH_tune.json -current BENCH_tune.json > /dev/null
 
 quick-report:
 	$(GO) run ./cmd/xhcrepro -quick -o EXPERIMENTS_quick.txt

@@ -39,6 +39,7 @@ import (
 	"xhc/internal/sim"
 	"xhc/internal/stats"
 	"xhc/internal/topo"
+	"xhc/internal/tune"
 )
 
 // cellRecord is one (component, size) measurement in the -json output:
@@ -80,7 +81,18 @@ func main() {
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
+	tunedPath := flag.String("tuned", "", "xhctune plan file backing the xhc-tuned component (sim backend)")
 	flag.Parse()
+
+	var tuned *tune.File
+	if *tunedPath != "" {
+		f, err := tune.Load(*tunedPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tuned = &f
+	}
 
 	var reg *obs.Registry
 	if *traceOut != "" || *metrics || *telemetry != "" {
@@ -166,6 +178,7 @@ func main() {
 			platform: *platform, coll: *collective, comps: *comps,
 			sizes: sizes, nranks: *nranks, policy: *policy, root: *root,
 			warmup: *warmup, iters: *iterations, dirty: !*stock,
+			tuned: tuned,
 		})
 	}
 
@@ -206,6 +219,12 @@ type simOpts struct {
 	sizes                         []int
 	nranks, root, warmup, iters   int
 	dirty                         bool
+	// tuned backs the "xhc-tuned" component: each measured size resolves
+	// its plan through the file's size classes. Requesting xhc-tuned
+	// without a plan file (or with a cell the file does not cover) is an
+	// error — a tuned column silently falling back to defaults would
+	// fabricate wins.
+	tuned *tune.File
 }
 
 // runSim is the original simulated-platform sweep: one column per
@@ -232,6 +251,19 @@ func runSim(o simOpts) []cellRecord {
 		}
 		all[name] = map[int]float64{}
 		for _, size := range o.sizes {
+			if name == "xhc-tuned" {
+				if o.tuned == nil {
+					fmt.Fprintln(os.Stderr, "component xhc-tuned needs -tuned <planfile>")
+					os.Exit(2)
+				}
+				cp, ok := o.tuned.Lookup(o.coll, size)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "plan file %s has no cell covering %s size %d\n",
+						o.tuned.Platform, o.coll, size)
+					os.Exit(2)
+				}
+				b.Custom = cp.Plan.Builder()
+			}
 			start := time.Now()
 			var rs []osu.Result
 			var err error

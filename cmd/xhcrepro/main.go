@@ -36,6 +36,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write per-rank phase spans as Chrome-trace JSON to this file")
 	metrics := flag.Bool("metrics", false, "print the unified observability snapshot on exit")
 	telemetry := flag.String("telemetry", "", "serve live telemetry (Prometheus /metrics, /flight dumps, pprof) on this address during the run")
+	tuned := flag.String("tuned", "", "xhctune plan file for the tune experiment (default: in-memory sweep)")
 	flag.Parse()
 
 	// With none of the observability flags set no Observer is installed and
@@ -89,7 +90,7 @@ func main() {
 		return
 	}
 
-	opts := exper.Options{Quick: *quick, Parallel: *parallel}
+	opts := exper.Options{Quick: *quick, Parallel: *parallel, PlanFile: *tuned}
 	var doc string
 	if *expID != "" {
 		e, ok := exper.ByID(*expID)

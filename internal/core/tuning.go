@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"xhc/internal/env"
+)
+
+// Tuning is the subset of Config an online tuner may change on a live
+// communicator (DESIGN.md §17). Knobs that cannot move after construction
+// (hierarchy sensitivity, flag scheme, CICO buffer size) are deliberately
+// absent: changing them means building a new communicator.
+//
+// Field conventions — the zero value of a "keep" sentinel leaves the knob
+// untouched, so a Tuning can be sparse:
+//
+//   - ChunkBytes: nil/empty keeps the current per-level granules; a
+//     non-empty slice replaces them (entries must be positive).
+//   - CICOThreshold: negative keeps; >= 0 sets, clamped to half the CICO
+//     buffer (the double-buffered slot size — a payload must fit a slot).
+//   - FuseBytes: negative keeps; 0 disables request fusion; positive sets
+//     the fusable-payload cap, clamped to the construction-time staging
+//     capacity (the staging buffers are sized once and never grow).
+type Tuning struct {
+	ChunkBytes    []int
+	CICOThreshold int
+	FuseBytes     int
+}
+
+// KeepTuning returns the Tuning that changes nothing — the base other
+// plans override field by field.
+func KeepTuning() Tuning {
+	return Tuning{CICOThreshold: -1, FuseBytes: -1}
+}
+
+// ApplyTuning installs t on the communicator at a safe operation boundary.
+// It is a collective: every rank must call it at the same point in its
+// operation sequence, outside any non-blocking window (panics if the
+// calling rank has requests in flight — the pending gate would otherwise
+// let an in-flight helper observe a half-applied plan). Internally it is a
+// barrier sandwich: no rank can start a post-tuning operation until rank 0
+// has applied the plan, and rank 0 applies it only after every rank has
+// finished its pre-tuning operations — so every op runs under exactly one
+// plan, and a fixed plan trace stays byte-identical in replay.
+func (c *Comm) ApplyTuning(p *env.Proc, t Tuning) {
+	c.Retune(p, func() Tuning { return t })
+}
+
+// Retune is ApplyTuning with the plan decided inside the quiesced window:
+// f runs on rank 0 after every rank has arrived (so it may read telemetry
+// folded by an obs.World.Sync without racing in-flight ops) and the Tuning
+// it returns is applied before any rank proceeds.
+func (c *Comm) Retune(p *env.Proc, f func() Tuning) {
+	if c.nb[p.Rank].pending > 0 {
+		panic(fmt.Sprintf("core: Retune on rank %d inside a non-blocking window (%d requests in flight)",
+			p.Rank, c.nb[p.Rank].pending))
+	}
+	c.Barrier(p)
+	if p.Rank == 0 {
+		c.applyTuning(f())
+	}
+	c.Barrier(p)
+}
+
+// applyTuning mutates the live knobs. Runs on rank 0 only, with every
+// rank parked inside the closing barrier of Retune — the simulation is
+// cooperative, so the plain stores cannot tear, and the sandwich
+// guarantees no operation body reads a half-applied plan.
+func (c *Comm) applyTuning(t Tuning) {
+	if len(t.ChunkBytes) > 0 {
+		nc := make([]int, len(t.ChunkBytes))
+		for i, n := range t.ChunkBytes {
+			if n <= 0 {
+				panic(fmt.Sprintf("core: tuning chunk size %d must be positive", n))
+			}
+			nc[i] = n
+		}
+		c.Cfg.ChunkBytes = nc
+	}
+	if t.CICOThreshold >= 0 {
+		th := t.CICOThreshold
+		if slot := c.Cfg.CICOBytes / 2; th > slot {
+			th = slot
+		}
+		c.Cfg.CICOThreshold = th
+	}
+	switch {
+	case t.FuseBytes < 0:
+		// keep
+	case t.FuseBytes == 0:
+		c.fuseMax = 0
+	default:
+		fb := t.FuseBytes
+		if fb > c.fuseCap {
+			fb = c.fuseCap
+		}
+		c.fuseMax = fb
+	}
+}

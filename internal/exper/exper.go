@@ -26,6 +26,11 @@ type Options struct {
 	// reports are byte-identical at any worker count: results land in
 	// pre-sized slots and are assembled in the original loop order.
 	Parallel int
+
+	// PlanFile, when set, points the tune experiment at a persisted
+	// xhctune plan file (tuned/<platform>.json) instead of running its
+	// own in-memory sweep. Other experiments ignore it.
+	PlanFile string
 }
 
 // workers resolves the worker count for n independent cells.
@@ -121,7 +126,7 @@ func All() []Experiment {
 
 func orderOf(id string) int {
 	order := []string{"tab1", "fig1a", "fig1b", "fig2", "fig3", "fig4", "fig7",
-		"fig8", "fig9a", "fig9b", "tab2", "fig10", "fig11", "ext", "fig12", "fig13", "fig14"}
+		"fig8", "fig9a", "fig9b", "tab2", "fig10", "fig11", "ext", "fig12", "fig13", "fig14", "tune"}
 	for i, o := range order {
 		if o == id {
 			return i

@@ -52,6 +52,15 @@ type Config struct {
 	// (1 KiB, the CICO/XPMEM size-class boundary); negative disables
 	// fusion.
 	FuseBytes int
+	// SpinProbes is the unit of the waiter's yielding-spin budget: the
+	// per-flag budget is SpinProbes scaled by the group fan-in (waiter.go),
+	// and bulk-payload waits drop to a floor of exactly SpinProbes. 0
+	// selects the default (192).
+	SpinProbes int
+	// SpinScaleMax caps the small-fan-in multiplier of the spin budget
+	// (the fanin<=2 budget is SpinProbes*SpinScaleMax). 0 selects the
+	// default (8).
+	SpinScaleMax int
 }
 
 // DefaultConfig groups participants by 8 with 64 KiB chunks.
@@ -95,6 +104,12 @@ type Comm struct {
 	// inflight counts non-blocking requests issued but not yet completed,
 	// across all ranks (the requests.max_inflight gauge's source).
 	inflight atomic.Int64
+	// tuneGate is the all-ranks rendezvous ApplyTuning/Retune quiesce the
+	// communicator through before mutating the live knobs (tuning.go). A
+	// dedicated sense-reversing barrier, not the collective Barrier: its
+	// body must not read any knob being retuned, and the mutex/cond pair
+	// gives the knob stores a happens-before edge to every rank.
+	tuneGate rendezvous
 	// ag[r] exposes rank r's allgather contribution block; the op ends
 	// with barrier semantics, so a single slot per rank suffices.
 	ag []agSlot
@@ -249,7 +264,7 @@ type viewSlot struct {
 	cum   [8]uint64
 	// lastBytes is the payload size of the rank's most recent data op.
 	// Barrier waits (including allgather's exit barrier) select their spin
-	// budget through opBudget(budget, lastBytes): a barrier that follows a
+	// budget through c.opBudget(budget, lastBytes): a barrier that follows a
 	// bulk op is overwhelmingly waiting on stragglers still moving exactly
 	// that payload, so its early finishers must park at the floor instead
 	// of yield-storming through the copies; a barrier in a small-op or
@@ -350,7 +365,15 @@ func New(n int, cfg Config) (*Comm, error) {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 64 << 10
 	}
-	c := &Comm{n: n, cfg: cfg, agBudget: spinBudgetFor(n)}
+	if cfg.SpinProbes <= 0 {
+		cfg.SpinProbes = spinProbes
+	}
+	if cfg.SpinScaleMax <= 0 {
+		cfg.SpinScaleMax = spinScaleMax
+	}
+	c := &Comm{n: n, cfg: cfg}
+	c.agBudget = c.spinBudgetFor(n)
+	c.tuneGate.cond = sync.NewCond(&c.tuneGate.mu)
 	c.states = make([]atomic.Pointer[state], n)
 	c.views = make([]viewSlot, n)
 	c.park = make([]parkNode, n)
@@ -443,7 +466,7 @@ func (c *Comm) buildState(root int) (*state, error) {
 			ctl := &groupCtl{
 				leader:     g.Leader,
 				members:    make([]int32, len(g.Members)),
-				spinBudget: spinBudgetFor(len(g.Members)),
+				spinBudget: c.spinBudgetFor(len(g.Members)),
 				acks:       make([]flagLine, len(g.Members)),
 				red:        make([]flagLine, len(g.Members)),
 				contrib:    make([]contribSlot, len(g.Members)),
@@ -543,7 +566,7 @@ func (c *Comm) bcast(rank int, buf []byte, root int) {
 		wc.mark(-1, obs.PhaseChunkCopy, int64(n))
 	} else if n > 0 {
 		ctl := p.pull.ctl
-		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, n))
+		c.wait(&ctl.expSeq, seq, rank, c.opBudget(ctl.spinBudget, n))
 		src := ctl.exposed
 		wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 		base := v.cum[p.pull.level]
@@ -555,7 +578,7 @@ func (c *Comm) bcast(rank int, buf []byte, root int) {
 				avail = n
 			} else {
 				want := copied + min(c.cfg.ChunkBytes, n-copied)
-				avail = int(c.wait(&ctl.ready, base+uint64(want), rank, opBudget(ctl.spinBudget, n)) - base)
+				avail = int(c.wait(&ctl.ready, base+uint64(want), rank, c.opBudget(ctl.spinBudget, n)) - base)
 				if avail > n {
 					avail = n
 				}
@@ -580,7 +603,7 @@ func (c *Comm) bcast(rank int, buf []byte, root int) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, n))
+				c.wait(&lr.ctl.acks[s], seq, rank, c.opBudget(lr.ctl.spinBudget, n))
 			}
 		}
 	}
@@ -707,7 +730,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		}
 		for s := range lr.ctl.red {
 			if s != lr.slot {
-				c.wait(&lr.ctl.red[s], seq*2+1, rank, opBudget(lr.ctl.spinBudget, n*8))
+				c.wait(&lr.ctl.red[s], seq*2+1, rank, c.opBudget(lr.ctl.spinBudget, n*8))
 			}
 		}
 		if i+1 < len(p.lead) {
@@ -725,11 +748,11 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		lo := n * p.redIdx / p.redCnt
 		hi := n * (p.redIdx + 1) / p.redCnt
 		if hi > lo {
-			c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, n*8))
+			c.wait(&ctl.expSeq, seq, rank, c.opBudget(ctl.spinBudget, n*8))
 			lacc := ctl.exposedF
 			// Wait for every member's contribution to be ready.
 			for s := range ctl.red {
-				c.wait(&ctl.red[s], seq*2, rank, opBudget(ctl.spinBudget, n*8))
+				c.wait(&ctl.red[s], seq*2, rank, c.opBudget(ctl.spinBudget, n*8))
 			}
 			wc.mark(p.pull.level, obs.PhaseFlagWait, 0)
 			leaderContrib := ctl.contrib[ctl.leaderSlot].f
@@ -762,7 +785,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 			// pull against the leader's expose; skip it — there is no data.
 			ctl := p.pull.ctl
 			base := v.cum[p.pull.level]
-			c.wait(&ctl.ready, base+uint64(n), rank, opBudget(ctl.spinBudget, n*8))
+			c.wait(&ctl.ready, base+uint64(n), rank, c.opBudget(ctl.spinBudget, n*8))
 			wc.markFrom(p.pull.level, obs.PhaseFlagWait, 0, ctl.leader)
 			final := ctl.exposedF
 			if &dst[0] != &final[0] {
@@ -786,7 +809,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		ctl := p.pull.ctl
 		for s := range ctl.red {
 			if s != p.pull.slot && s != ctl.leaderSlot {
-				c.wait(&ctl.red[s], seq*2+1, rank, opBudget(ctl.spinBudget, n*8))
+				c.wait(&ctl.red[s], seq*2+1, rank, c.opBudget(ctl.spinBudget, n*8))
 			}
 		}
 	}
@@ -799,7 +822,7 @@ func (c *Comm) reduceFloat64(rank int, dst, src []float64, root int, bcast bool,
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, n*8))
+				c.wait(&lr.ctl.acks[s], seq, rank, c.opBudget(lr.ctl.spinBudget, n*8))
 			}
 		}
 	}
@@ -844,14 +867,14 @@ func (c *Comm) barrierBody(st *state, v *viewSlot, rank int, wc *wallClock) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, v.lastBytes))
+				c.wait(&lr.ctl.acks[s], seq, rank, c.opBudget(lr.ctl.spinBudget, v.lastBytes))
 			}
 		}
 	}
 	if p.hasPull {
 		ctl := p.pull.ctl
 		ctl.acks[p.pull.slot].set(seq)
-		c.wait(&ctl.ready, v.cum[p.pull.level]+1, rank, opBudget(ctl.spinBudget, v.lastBytes))
+		c.wait(&ctl.ready, v.cum[p.pull.level]+1, rank, c.opBudget(ctl.spinBudget, v.lastBytes))
 	}
 	for i := len(p.lead) - 1; i >= 0; i-- {
 		lr := &p.lead[i]
@@ -899,7 +922,7 @@ func (c *Comm) allgather(rank int, in, out []byte) {
 			copy(out[blockLen*r:blockLen*(r+1)], in)
 			continue
 		}
-		c.wait(&c.ag[r].seq, seq, rank, opBudget(c.agBudget, blockLen))
+		c.wait(&c.ag[r].seq, seq, rank, c.opBudget(c.agBudget, blockLen))
 		copy(out[blockLen*r:blockLen*(r+1)], c.ag[r].blk)
 	}
 	wc.mark(-1, obs.PhaseChunkCopy, int64(blockLen*c.n))
@@ -945,7 +968,7 @@ func (c *Comm) scatter(rank int, in, out []byte, root int) {
 		wc.mark(-1, obs.PhaseExpose, 0)
 		copy(out, in[blockLen*root:blockLen*(root+1)])
 	} else if blockLen > 0 {
-		c.wait(&ctl.expSeq, seq, rank, opBudget(ctl.spinBudget, blockLen))
+		c.wait(&ctl.expSeq, seq, rank, c.opBudget(ctl.spinBudget, blockLen))
 		wc.markFrom(-1, obs.PhaseFlagWait, 0, ctl.leader)
 		src := ctl.exposed
 		copy(out, src[blockLen*rank:blockLen*(rank+1)])
@@ -961,7 +984,7 @@ func (c *Comm) scatter(rank int, in, out []byte, root int) {
 		lr := &p.lead[i]
 		for s := range lr.ctl.acks {
 			if s != lr.slot {
-				c.wait(&lr.ctl.acks[s], seq, rank, opBudget(lr.ctl.spinBudget, blockLen))
+				c.wait(&lr.ctl.acks[s], seq, rank, c.opBudget(lr.ctl.spinBudget, blockLen))
 			}
 		}
 	}

@@ -43,16 +43,39 @@ const (
 //
 // fanin <= 2: 8x spinProbes; halves with each doubling; >= 16: 1x.
 func spinBudgetFor(fanin int) int {
+	return spinBudget(spinProbes, spinScaleMax, fanin)
+}
+
+// spinBudget is the parameterized policy behind spinBudgetFor: probes is
+// the budget unit (Config.SpinProbes), scaleMax caps the small-fan-in
+// multiplier (Config.SpinScaleMax). The package-level constants remain the
+// default policy; a communicator's live policy goes through the Comm
+// methods below so an online tuner can move it (tuning.go).
+func spinBudget(probes, scaleMax, fanin int) int {
 	if fanin < 1 {
 		fanin = 1
 	}
 	scale := spinScaleRef / fanin
 	if scale < 1 {
 		scale = 1
-	} else if scale > spinScaleMax {
-		scale = spinScaleMax
+	} else if scale > scaleMax {
+		scale = scaleMax
 	}
-	return spinProbes * scale
+	return probes * scale
+}
+
+// spinBudgetFor is spinBudgetFor under the communicator's live spin knobs.
+func (c *Comm) spinBudgetFor(fanin int) int {
+	return spinBudget(c.cfg.SpinProbes, c.cfg.SpinScaleMax, fanin)
+}
+
+// opBudget is the package opBudget under the communicator's live knobs:
+// the bulk-payload floor tracks Config.SpinProbes.
+func (c *Comm) opBudget(base, nbytes int) int {
+	if nbytes >= spinLargeBytes {
+		return c.cfg.SpinProbes
+	}
+	return base
 }
 
 // spinLargeBytes is the payload size above which an op's flag waits drop

@@ -72,10 +72,49 @@ type OpRecorder struct {
 
 	mu    sync.Mutex
 	token string
+
+	// folded tracks what previous folds already contributed to the
+	// registry, so a mid-run World.Sync and the eventual World.Finish each
+	// fold only the increment since the last fold (foldInto/foldCritInto).
+	folded foldedState
 }
 
 type recLane struct {
 	hists map[HistKey]*Histogram
+}
+
+// foldedState is the cumulative state as of the recorder's last fold into
+// the registry. Histograms are value snapshots (Buckets is a fixed array);
+// tick-derived totals are kept in the nanosecond unit they were folded in,
+// so repeated folds sum to exactly what a single final fold would have
+// contributed (ticksToNS truncates — subtracting already-folded NS instead
+// of converting tick deltas keeps Sync+Finish byte-identical to
+// Finish-only).
+type foldedState struct {
+	hists     map[HistKey]Histogram
+	blameNS   [NEdges]int64
+	critHists [NEdges]Histogram
+	critOps   int64
+	pathNS    int64
+
+	fusionBatches int64
+	fusionOps     int64
+	fusionBytes   int64
+	fuseAborts    int64
+}
+
+// histDelta returns the increment cur has accumulated since prev. Count,
+// SumNS and Buckets subtract exactly; MaxNS stays cur's running maximum —
+// Histogram.Merge takes the larger side, so re-merging a maximum already
+// folded is idempotent.
+func histDelta(cur, prev Histogram) Histogram {
+	d := cur
+	d.Count -= prev.Count
+	d.SumNS -= prev.SumNS
+	for i := range d.Buckets {
+		d.Buckets[i] -= prev.Buckets[i]
+	}
+	return d
 }
 
 func newOpRecorder(reg *Registry, label string, lanes, flightCap int, ticksPerUS float64, now func() int64) *OpRecorder {
@@ -312,19 +351,33 @@ func (r *OpRecorder) finishDump(d *FlightDump) {
 // Snapshot and on the telemetry endpoint).
 func (r *OpRecorder) CountFault(f Fault) { r.reg.CountFault(f, 1) }
 
-// foldInto merges every lane's histograms into the registry aggregate.
-// Called by World.Finish under the registry lock.
+// foldInto merges every lane's histograms into the registry aggregate —
+// incrementally: only what accumulated since the previous fold is merged,
+// so World.Sync mid-run followed by World.Finish double-counts nothing.
+// Called under the registry lock, at a quiesced boundary (lane histograms
+// are single-writer; the caller guarantees their writers are parked).
 func (r *OpRecorder) foldInto(hists map[HistKey]*Histogram) {
+	cur := make(map[HistKey]Histogram)
 	for i := range r.lanes {
 		for k, h := range r.lanes[i].hists {
-			dst := hists[k]
-			if dst == nil {
-				dst = &Histogram{}
-				hists[k] = dst
-			}
-			dst.Merge(h)
+			c := cur[k]
+			c.Merge(h)
+			cur[k] = c
 		}
 	}
+	for k, c := range cur {
+		d := histDelta(c, r.folded.hists[k])
+		if d.Count == 0 && d.SumNS == 0 {
+			continue
+		}
+		dst := hists[k]
+		if dst == nil {
+			dst = &Histogram{}
+			hists[k] = dst
+		}
+		dst.Merge(&d)
+	}
+	r.folded.hists = cur
 }
 
 // critAccum is the always-on critical-path accumulator. It regroups
@@ -440,22 +493,35 @@ func (c *critAccum) reset(seq uint64, op OpCode) {
 }
 
 // foldCritInto merges the recorder's critical-path blame (converted to
-// nanoseconds), per-edge histograms and fusion counters into the
-// registry aggregate. Called by World.Finish under the registry lock.
+// nanoseconds), per-edge histograms and fusion counters into the registry
+// aggregate — incrementally, like foldInto: each call contributes only the
+// increment since the previous fold. Blame and path totals subtract in the
+// already-converted nanosecond unit (not tick deltas), so the sum over
+// repeated folds equals a single final fold exactly despite ticksToNS
+// truncation. Called under the registry lock.
 func (r *OpRecorder) foldCritInto(a *aggregate) {
+	f := &r.folded
 	r.crit.mu.Lock()
 	for e := 0; e < int(NEdges); e++ {
-		a.critBlameNS[e] += r.ticksToNS(r.crit.blame[e])
-		a.critHists[e].Merge(&r.crit.hists[e])
+		ns := r.ticksToNS(r.crit.blame[e])
+		a.critBlameNS[e] += ns - f.blameNS[e]
+		f.blameNS[e] = ns
+		d := histDelta(r.crit.hists[e], f.critHists[e])
+		a.critHists[e].Merge(&d)
+		f.critHists[e] = r.crit.hists[e]
 	}
-	a.critOps += r.crit.ops
-	a.critPathNS += r.ticksToNS(r.crit.total)
+	a.critOps += r.crit.ops - f.critOps
+	f.critOps = r.crit.ops
+	pathNS := r.ticksToNS(r.crit.total)
+	a.critPathNS += pathNS - f.pathNS
+	f.pathNS = pathNS
 	r.crit.mu.Unlock()
 	b, o, by, ab := r.FusionCounts()
-	a.fusionBatches += b
-	a.fusionOps += o
-	a.fusionBytes += by
-	a.fuseAborts += ab
+	a.fusionBatches += b - f.fusionBatches
+	a.fusionOps += o - f.fusionOps
+	a.fusionBytes += by - f.fusionBytes
+	a.fuseAborts += ab - f.fuseAborts
+	f.fusionBatches, f.fusionOps, f.fusionBytes, f.fuseAborts = b, o, by, ab
 }
 
 // stragglerVerdict describes one detected straggler step.

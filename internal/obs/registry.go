@@ -426,6 +426,40 @@ func (w *World) AddCacheStats(st xpmem.CacheStats) {
 // AddOps folds a component's completed-operation count in.
 func (w *World) AddOps(n int64) { w.ops += n }
 
+// Sync folds the world's latency histograms, critical-path blame and
+// fusion counters into the registry mid-run, without finishing the world:
+// a subsequent Sync or Finish folds only what accumulated afterwards, so
+// nothing is ever counted twice. This is the telemetry feed of the online
+// tuner (internal/tune): Registry.Snapshot after a Sync reflects every
+// operation completed so far, not just finished worlds.
+//
+// Call it only at a quiesced operation boundary — the per-lane histogram
+// maps are single-writer and unlocked. Simulated worlds may Sync any time
+// from the engine goroutine; gxhc communicators must Sync from rank 0
+// inside a Retune window (every rank parked in the rendezvous, request
+// workers drained), which is exactly where the bandit runs.
+//
+// The world-local engine/memory/cache counters are NOT folded here — they
+// arrive with Finish, whose signature carries them. A Sync'd registry
+// therefore shows live histograms and blame alongside finished-world-only
+// counter totals.
+func (w *World) Sync() {
+	if w.Rec == nil {
+		return
+	}
+	w.reg.mu.Lock()
+	defer w.reg.mu.Unlock()
+	if w.finished {
+		return
+	}
+	if w.reg.hists == nil {
+		w.reg.hists = make(map[HistKey]*Histogram)
+	}
+	w.Rec.foldInto(w.reg.hists)
+	w.Rec.foldCritInto(&w.reg.agg)
+	w.reg.agg.maxInflight = max(w.reg.agg.maxInflight, w.Rec.MaxInflight())
+}
+
 // Finish folds the world's counters and latency histograms into the
 // registry. It is idempotent per world and safe to call from any
 // goroutine. The detector flush happens before the registry lock is

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"xhc/internal/mem"
+	"xhc/internal/sim"
+)
+
+// feedPhasedStep records one operation step whose records carry a phase
+// breakdown, so the critical-path accumulator attributes blame.
+func feedPhasedStep(r *OpRecorder, seq uint64, lanes int) {
+	us := int64(SimTicksPerUS)
+	base := int64(seq) * 100 * us
+	for lane := 0; lane < lanes; lane++ {
+		dur := (10 + int64(lane)) * us
+		rec := FlightRecord{
+			Seq: seq, Start: base, End: base + dur,
+			Bytes: 4096, Lane: int32(lane), Chunks: 1, Levels: 1, Op: OpBcast,
+		}
+		rec.Phase[PhaseFlagWait] = 3 * us
+		rec.Phase[PhaseChunkCopy] = dur - 3*us
+		r.RecordFlight(rec)
+	}
+}
+
+// runSyncWorld replays a fixed telemetry trace against a fresh registry,
+// calling World.Sync after every syncEvery ops (0: never — Finish-only).
+func runSyncWorld(syncEvery int) (*Registry, Snapshot) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	w := reg.NewWorld("w", 4, SimTicksPerUS, clk.now)
+	for seq := uint64(1); seq <= 6; seq++ {
+		feedPhasedStep(w.Rec, seq, 4)
+		w.Rec.CountFusedBatch(2, 4096)
+		w.Rec.NoteInflight(int64(seq))
+		if syncEvery > 0 && int(seq)%syncEvery == 0 {
+			w.Sync()
+		}
+	}
+	w.AddOps(6)
+	w.Finish(mem.Stats{}, sim.EngineStats{})
+	return reg, reg.Snapshot()
+}
+
+// TestSyncNeverDoubleCounts pins the delta-fold contract: a run that Syncs
+// mid-flight (at several cadences, including back-to-back Syncs with no
+// new data in between) must finish with a registry byte-identical to the
+// Finish-only run.
+func TestSyncNeverDoubleCounts(t *testing.T) {
+	regWant, want := runSyncWorld(0)
+	for _, every := range []int{1, 2, 3} {
+		regGot, got := runSyncWorld(every)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("syncEvery=%d: snapshot diverged from Finish-only run\nwant %+v\ngot  %+v", every, want, got)
+		}
+		if w, g := regWant.HistSnapshot(), regGot.HistSnapshot(); !reflect.DeepEqual(w, g) {
+			t.Errorf("syncEvery=%d: folded histograms diverged", every)
+		}
+	}
+}
+
+// TestSyncExposesLiveTelemetry asserts Sync is what makes mid-run
+// histograms and critical-path blame visible to Snapshot — the feed the
+// online tuner reads — and that a redundant Sync with no new data changes
+// nothing.
+func TestSyncExposesLiveTelemetry(t *testing.T) {
+	reg := NewRegistry(false)
+	clk := &fakeClock{}
+	w := reg.NewWorld("w", 4, SimTicksPerUS, clk.now)
+	feedPhasedStep(w.Rec, 1, 4)
+	feedPhasedStep(w.Rec, 2, 4) // closes step 1
+
+	if n := len(reg.HistSnapshot()); n != 0 {
+		t.Fatalf("histograms visible before any Sync/Finish: %d keys", n)
+	}
+	w.Sync()
+	snap := reg.Snapshot()
+	if len(snap.Hists) == 0 {
+		t.Fatal("Sync did not expose op histograms")
+	}
+	if got := snap.Value("crit.ops"); got != 1 {
+		t.Errorf("crit.ops after Sync = %v, want 1 (only the closed step)", got)
+	}
+	if got := snap.Value("crit.flag_wait.blame_us"); got != 3 {
+		t.Errorf("crit.flag_wait.blame_us after Sync = %v, want 3", got)
+	}
+
+	w.Sync() // no new data: must be a no-op
+	again := reg.Snapshot()
+	if !reflect.DeepEqual(snap, again) {
+		t.Errorf("redundant Sync changed the snapshot\nbefore %+v\nafter  %+v", snap, again)
+	}
+
+	w.Finish(mem.Stats{}, sim.EngineStats{})
+	final := reg.Snapshot()
+	if got := final.Value("crit.ops"); got != 2 {
+		t.Errorf("crit.ops after Finish = %v, want 2 (flush closes step 2)", got)
+	}
+	w.Sync() // after Finish: ignored
+	if post := reg.Snapshot(); !reflect.DeepEqual(final, post) {
+		t.Error("Sync after Finish changed the snapshot")
+	}
+}

@@ -1,0 +1,201 @@
+package tune
+
+import (
+	"fmt"
+
+	"xhc/internal/obs"
+)
+
+// splitmix64 steps the bandit's deterministic exploration stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Bandit is a deterministic epsilon-greedy bandit over a small candidate
+// plan set: each arm tracks the running mean of the per-operation latency
+// observed while it was live, Next exploits the best arm three rounds out
+// of four and explores on the fourth, and a blame bias (from critical-path
+// telemetry) steers the next exploration toward the arm the edge blame
+// points at instead of a uniform draw.
+type Bandit struct {
+	state uint64
+	pulls []int64
+	sums  []float64
+	bias  int
+}
+
+// NewBandit creates a bandit over n arms with a deterministic seed.
+func NewBandit(n int, seed uint64) *Bandit {
+	return &Bandit{state: seed, pulls: make([]int64, n), sums: make([]float64, n), bias: -1}
+}
+
+func (b *Bandit) rand() uint64 {
+	b.state = splitmix64(b.state)
+	return b.state
+}
+
+// Next picks the arm for the coming round: unpulled arms first (in index
+// order, so every candidate gets one measurement), then epsilon-greedy.
+func (b *Bandit) Next() int {
+	for i, p := range b.pulls {
+		if p == 0 {
+			return i
+		}
+	}
+	if b.rand()%4 == 0 { // explore
+		if b.bias >= 0 {
+			arm := b.bias
+			b.bias = -1
+			return arm
+		}
+		return int(b.rand() % uint64(len(b.pulls)))
+	}
+	return b.Best()
+}
+
+// Observe credits one round's mean per-op latency to the arm that ran it.
+func (b *Bandit) Observe(arm int, meanUS float64) {
+	b.pulls[arm]++
+	b.sums[arm] += meanUS
+}
+
+// SetBias marks the arm the next exploration should try (telemetry hint).
+func (b *Bandit) SetBias(arm int) {
+	if arm >= 0 && arm < len(b.pulls) {
+		b.bias = arm
+	}
+}
+
+// Best returns the pulled arm with the lowest running mean (ties: lowest
+// index; nothing pulled: arm 0, the caller's default plan by convention).
+func (b *Bandit) Best() int {
+	best, bestMean := 0, 0.0
+	found := false
+	for i, p := range b.pulls {
+		if p == 0 {
+			continue
+		}
+		m := b.sums[i] / float64(p)
+		if !found || m < bestMean {
+			best, bestMean, found = i, m, true
+		}
+	}
+	return best
+}
+
+// Means returns each arm's running mean (0 for unpulled arms).
+func (b *Bandit) Means() []float64 {
+	out := make([]float64, len(b.pulls))
+	for i, p := range b.pulls {
+		if p > 0 {
+			out[i] = b.sums[i] / float64(p)
+		}
+	}
+	return out
+}
+
+// Pulls returns each arm's pull count.
+func (b *Bandit) Pulls() []int64 { return append([]int64(nil), b.pulls...) }
+
+// RewardWindow turns the registry's cumulative latency histograms into
+// per-round rewards: each Delta call returns the mean latency of only the
+// samples folded since the previous call, filtered to one collective — so
+// the barrier/rendezvous traffic of the plan switch itself never pollutes
+// the reward, and each arm is credited with exactly the ops it ran.
+type RewardWindow struct {
+	prev map[obs.HistKey]obs.Histogram
+}
+
+// Delta returns (mean latency us, sample count) of the op's new samples
+// since the last call. The caller must fold the recorder first
+// (obs.World.Sync) — Delta reads only what the registry has seen.
+func (rw *RewardWindow) Delta(reg *obs.Registry, op obs.OpCode) (float64, int64) {
+	cur := reg.HistSnapshot()
+	var count, sum int64
+	for k, h := range cur {
+		if k.Op != op {
+			continue
+		}
+		p := rw.prev[k]
+		count += h.Count - p.Count
+		sum += h.SumNS - p.SumNS
+	}
+	rw.prev = cur
+	if count == 0 {
+		return 0, 0
+	}
+	return float64(sum) / float64(count) / 1e3, count
+}
+
+// BiasArm maps the dominant critical-path edge to the candidate arm best
+// positioned to relieve it: flag-wait blame prefers the arm with the
+// largest CICO threshold (the CICO path publishes one flag where the
+// XPMEM path publishes exposure plus per-chunk ready counters), chunk-copy
+// blame prefers the largest pipelining granule (fewer flag round-trips per
+// byte). Returns -1 when the snapshot carries no blame to act on.
+func BiasArm(snap obs.Snapshot, plans []Plan) int {
+	flagWait := snap.Value("crit.flag_wait.blame_us")
+	chunkCopy := snap.Value("crit.chunk_copy.blame_us")
+	if flagWait <= 0 && chunkCopy <= 0 {
+		return -1
+	}
+	arm := -1
+	if flagWait >= chunkCopy {
+		best := -1
+		for i, p := range plans {
+			if p.CICOThreshold > best {
+				best, arm = p.CICOThreshold, i
+			}
+		}
+	} else {
+		best := -1
+		for i, p := range plans {
+			if p.ChunkBytes[0] > best {
+				best, arm = p.ChunkBytes[0], i
+			}
+		}
+	}
+	return arm
+}
+
+// validateOnlineSet checks every candidate is boundary-switchable from
+// the construction plan (plans[0]).
+func validateOnlineSet(plans []Plan) error {
+	if len(plans) < 2 {
+		return fmt.Errorf("tune: online tuning needs at least 2 candidate plans, have %d", len(plans))
+	}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if err := p.SwitchableFrom(plans[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnlinePlans is the default online candidate set: boundary-switchable
+// variations of the default plan (same hierarchy, CICO buffer and group
+// size, so any of them can be applied to the live communicator).
+func OnlinePlans() []Plan {
+	d := DefaultPlan()
+	mk := func(name string, mut func(*Plan)) Plan {
+		p := d
+		p.Name = name
+		p.ChunkBytes = append([]int(nil), d.ChunkBytes...)
+		mut(&p)
+		return p
+	}
+	return []Plan{
+		d,
+		mk("chunk-4k", func(p *Plan) { p.ChunkBytes = []int{4 << 10} }),
+		mk("chunk-64k", func(p *Plan) { p.ChunkBytes = []int{64 << 10} }),
+		mk("cico-wide", func(p *Plan) { p.CICOThreshold = 8 << 10 }),
+		mk("cico-off", func(p *Plan) { p.CICOThreshold = 0; p.FuseBytes = 0 }),
+		mk("spin-hot", func(p *Plan) { p.SpinProbes = 384; p.SpinScaleMax = 16 }),
+	}
+}

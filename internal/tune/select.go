@@ -1,0 +1,72 @@
+package tune
+
+import "sort"
+
+// Sample is one sweep measurement: a plan's mean latency on a cell's
+// representative payload.
+type Sample struct {
+	Cell   Cell
+	Size   int
+	Plan   Plan
+	MeanUS float64
+	MinUS  float64
+	MaxUS  float64
+}
+
+// Select reduces sweep samples to one winning plan per cell. It is total
+// and deterministic: every cell appearing in the input yields exactly one
+// CellPlan, the winner is the sample with the lowest mean latency (ties
+// broken by plan name, then by the full canonical plan rendering, so even
+// same-named plans order), and the output is invariant under any
+// permutation of the input. BaselineUS records the default-named plan's
+// mean when the sweep measured one (0 otherwise — a baseline the sweep
+// did not run must not be invented).
+func Select(samples []Sample) []CellPlan {
+	type group struct {
+		best     Sample
+		baseline float64
+	}
+	defName := DefaultPlan().Name
+	groups := make(map[string]*group)
+	var order []string
+	better := func(a, b Sample) bool {
+		if a.MeanUS != b.MeanUS {
+			return a.MeanUS < b.MeanUS
+		}
+		if a.Plan.Name != b.Plan.Name {
+			return a.Plan.Name < b.Plan.Name
+		}
+		return a.Plan.key() < b.Plan.key()
+	}
+	for _, s := range samples {
+		k := s.Cell.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{best: s}
+			groups[k] = g
+			order = append(order, k)
+		} else if better(s, g.best) {
+			g.best = s
+		}
+		if s.Plan.Name == defName {
+			// Multiple default-plan measurements of one cell keep the best
+			// (lowest) one — the strongest baseline the winner must beat.
+			if g.baseline == 0 || s.MeanUS < g.baseline {
+				g.baseline = s.MeanUS
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]CellPlan, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		out = append(out, CellPlan{
+			Cell:       g.best.Cell,
+			Size:       g.best.Size,
+			Plan:       g.best.Plan,
+			BaselineUS: g.baseline,
+			TunedUS:    g.best.MeanUS,
+		})
+	}
+	return out
+}

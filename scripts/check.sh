@@ -10,6 +10,11 @@ go build ./...
 go vet ./...
 go test -shuffle=on ./...
 go test -race ./internal/gxhc/ ./internal/env/ ./internal/verify/
+# tune's online bandit drives live gxhc communicators (plan switches at
+# quiesced boundaries with goroutines parked around them); the race pass
+# is scoped to those tests — the sweep/select tests are single-threaded
+# simulation and already covered unraced above.
+go test -race -run 'Online' ./internal/tune/
 
 # Schedule-exploration gate: sweep randomized configurations under seeded
 # random/PCT schedules with fault injection, cross-checking XHC against a
@@ -33,6 +38,7 @@ go test -fuzz FuzzGoCommReduce -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzGoCommAllgather -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzGoCommIallreduceOverlap -fuzztime 5s -run '^$' ./internal/gxhc/
 go test -fuzz FuzzHierarchyBuild -fuzztime 5s -run '^$' ./internal/hier/
+go test -fuzz FuzzPlanFile -fuzztime 5s -run '^$' ./internal/tune/
 
 # The oversubscription regression (waiter starvation) under a thread
 # budget far below the rank count, in both waiter modes (park + the Spin
@@ -70,6 +76,29 @@ go run ./cmd/xhcbench -platform ARM-N1 -coll scatter -comp xhc-tree,tuned,sm \
     -sizes 4,1024,65536 -telemetry 127.0.0.1:0 > "$tmpdir/sc_on.txt" 2>/dev/null
 cmp "$tmpdir/sc_off.txt" "$tmpdir/sc_on.txt"
 
+# Tuned-vs-default telemetry invariance: the xhc-tuned component resolves
+# its plan per size from the committed tuned/ARM-N1.json (a missing plan
+# file or uncovered cell is a hard error, never a silent fallback), and
+# serving live telemetry while the tuner's plans are active must not move
+# a simulated latency by a byte, exactly as for the stock components.
+go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,xhc-tuned \
+    -tuned tuned/ARM-N1.json -sizes 4,1024,65536 \
+    -json "$tmpdir/cells_tu.json" > "$tmpdir/tu_off.txt"
+go run ./cmd/xhcbench -platform ARM-N1 -coll bcast -comp xhc-tree,xhc-tuned \
+    -tuned tuned/ARM-N1.json -sizes 4,1024,65536 \
+    -telemetry 127.0.0.1:0 > "$tmpdir/tu_on.txt" 2>/dev/null
+cmp "$tmpdir/tu_off.txt" "$tmpdir/tu_on.txt"
+
+# Tuner repro gate (DESIGN.md section 17): replay the committed plan
+# file's pinned cells fresh and fail on any 5%/1us regression. It shares
+# nothing with the gates below, so it runs in the background — and is
+# reaped at the end of the script with an explicit `wait "$pid"`: `set -e`
+# never sees a background job's status, and a bare `wait` with no operand
+# always returns 0, so the per-pid wait is the only form that propagates a
+# tuner regression into this script's exit code.
+go run ./cmd/xhctune -check -quick -plan tuned/ARM-N1.json > /dev/null &
+tune_pid=$!
+
 # The same telemetry invariance on the real backend, with the zero-alloc
 # gate held in both runs: serving live telemetry (flight recorder +
 # histograms + straggler detection on every op) must not change the
@@ -99,6 +128,8 @@ go run ./cmd/xhcbench -backend gxhc -coll bcast -np 4 -procs 2 \
 go run ./cmd/xhcstat -baseline "$tmpdir/cells.json" -current "$tmpdir/cells.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_sc.json" -current "$tmpdir/cells_sc.json" > /dev/null
 go run ./cmd/xhcstat -baseline BENCH_gxhc.json -current BENCH_gxhc.json > /dev/null
+go run ./cmd/xhcstat -baseline "$tmpdir/cells_tu.json" -current "$tmpdir/cells_tu.json" > /dev/null
+go run ./cmd/xhcstat -baseline BENCH_tune.json -current BENCH_tune.json > /dev/null
 
 # Non-blocking overlap cells (ibcast-overlap: overlapDepth broadcasts in
 # flight with fusion off; ibcast-fused: the same window fused into one
@@ -138,3 +169,7 @@ go run ./cmd/xhcbench -platform 4xEpyc-1P -coll bcast,allreduce,reduce,barrier \
 cmp "$tmpdir/cl_seq.txt" "$tmpdir/cl_tel.txt"
 go run ./cmd/xhcstat -baseline BENCH_cluster.json -current "$tmpdir/cells_cl.json" > /dev/null
 go run ./cmd/xhcstat -baseline "$tmpdir/cells_cl.json" -current BENCH_cluster.json > /dev/null
+
+# Reap the backgrounded tuner gate (see above): only an explicit per-pid
+# wait makes its failure fail the whole script.
+wait "$tune_pid"
